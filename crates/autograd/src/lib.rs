@@ -1,0 +1,43 @@
+//! Tape-based reverse-mode automatic differentiation over [`fd_tensor`].
+//!
+//! The FakeDetector model trains three coupled component families — GRU
+//! text encoders (HFLU), gated diffusive units (GDU) and soft-max
+//! credibility heads — end to end through a heterogeneous graph. Deriving
+//! and maintaining those gradients by hand would be fragile, so this crate
+//! provides a small, fully gradient-checked autodiff engine instead.
+//!
+//! # Model
+//!
+//! A [`Tape`] records every operation as it is executed (eager forward
+//! evaluation). Each operation appends a node holding its result; the
+//! returned [`Var`] is a copyable index into the tape. Because nodes are
+//! append-only, tape order *is* a topological order, and
+//! [`Tape::backward`] simply walks it in reverse, dispatching the adjoint
+//! rule for each primitive.
+//!
+//! One tape corresponds to one training step; drop it afterwards and build
+//! a fresh one. Parameters live outside the tape (see `fd-nn`) and are
+//! re-registered as leaves each step.
+//!
+//! # Example
+//!
+//! ```
+//! use fd_autograd::Tape;
+//! use fd_tensor::Matrix;
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
+//! let w = tape.leaf(Matrix::from_rows(&[&[0.5], &[-0.25]]));
+//! let y = tape.matmul(x, w);          // 1x1: [1*0.5 - 2*0.25] = 0.0
+//! let loss = tape.square_norm(y);     // y²
+//! tape.backward(loss);
+//! // d(y²)/dw = 2y·x = 0 here, but the shapes must line up:
+//! assert_eq!(tape.grad(w).unwrap().shape(), (2, 1));
+//! ```
+
+mod check;
+mod ops;
+mod tape;
+
+pub use check::{grad_check, GradCheckReport};
+pub use tape::{Tape, Var};

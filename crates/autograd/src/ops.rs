@@ -1,0 +1,475 @@
+//! Forward definitions and adjoint (backward) rules for every primitive.
+
+use crate::tape::{accumulate, Node, Op, Tape, Var};
+use fd_tensor::{softmax_in_place, Matrix};
+
+impl Tape {
+    /// Matrix product `a · b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.matmul(&nodes[b.0 as usize].value)
+        };
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum of two same-shaped values.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.add(&nodes[b.0 as usize].value)
+        };
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Adds a `1 x n` bias row to every row of `a`.
+    pub fn add_row_broadcast(&self, a: Var, bias: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.add_row_broadcast(&nodes[bias.0 as usize].value)
+        };
+        self.push(value, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.sub(&nodes[b.0 as usize].value)
+        };
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.mul(&nodes[b.0 as usize].value)
+        };
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// `alpha * a`.
+    pub fn scale(&self, a: Var, alpha: f32) -> Var {
+        let value = self.nodes.borrow()[a.0 as usize].value.scale(alpha);
+        self.push(value, Op::Scale(a, alpha))
+    }
+
+    /// `1 - a`, element-wise — the complement used by GDU's selection
+    /// gates.
+    pub fn one_minus(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0 as usize].value.map(|v| 1.0 - v);
+        self.push(value, Op::OneMinus(a))
+    }
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0 as usize].value.map(stable_sigmoid);
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0 as usize].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit `max(0, x)`.
+    pub fn relu(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0 as usize].value.map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Column-wise concatenation `[a | b]`.
+    pub fn concat_cols(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.concat_cols(&nodes[b.0 as usize].value)
+        };
+        self.push(value, Op::ConcatCols(a, b))
+    }
+
+    /// Concatenates three row-blocks of columns; convenience for the
+    /// `[x⊤, z⊤, t⊤]⊤` stacking in the GDU equations.
+    pub fn concat3(&self, a: Var, b: Var, c: Var) -> Var {
+        let ab = self.concat_cols(a, b);
+        self.concat_cols(ab, c)
+    }
+
+    /// Mean of N same-shaped values — the neighbour aggregator of the
+    /// diffusion network.
+    ///
+    /// # Panics
+    /// Panics on an empty input set or mismatched shapes.
+    pub fn mean_n(&self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "mean_n: empty input set");
+        let value = {
+            let nodes = self.nodes.borrow();
+            let mut acc = nodes[vars[0].0 as usize].value.clone();
+            for v in &vars[1..] {
+                acc.add_assign(&nodes[v.0 as usize].value);
+            }
+            acc.scale(1.0 / vars.len() as f32)
+        };
+        self.push(value, Op::MeanN(vars.to_vec()))
+    }
+
+    /// Sum of N same-shaped values (loss accumulation across entities).
+    ///
+    /// # Panics
+    /// Panics on an empty input set or mismatched shapes.
+    pub fn sum_n(&self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "sum_n: empty input set");
+        let value = {
+            let nodes = self.nodes.borrow();
+            let mut acc = nodes[vars[0].0 as usize].value.clone();
+            for v in &vars[1..] {
+                acc.add_assign(&nodes[v.0 as usize].value);
+            }
+            acc
+        };
+        self.push(value, Op::SumN(vars.to_vec()))
+    }
+
+    /// Scalar cross-entropy `-log softmax(logits)[target]` for a `1 x k`
+    /// logits row. The cached soft-max makes the backward pass a single
+    /// subtraction.
+    ///
+    /// # Panics
+    /// Panics when `logits` is not a row vector or `target` is out of
+    /// range.
+    pub fn softmax_cross_entropy(&self, logits: Var, target: usize) -> Var {
+        let (probs, loss) = {
+            let nodes = self.nodes.borrow();
+            let l = &nodes[logits.0 as usize].value;
+            assert!(
+                l.is_row_vector(),
+                "softmax_cross_entropy: logits must be 1 x k, got {}x{}",
+                l.rows(),
+                l.cols()
+            );
+            assert!(
+                target < l.cols(),
+                "softmax_cross_entropy: target {target} out of {} classes",
+                l.cols()
+            );
+            let mut probs = l.clone();
+            softmax_in_place(probs.row_mut(0));
+            // Clamp avoids -inf loss when a class has underflowed to 0.
+            let p = probs[(0, target)].max(1e-12);
+            (probs, -p.ln())
+        };
+        self.push(
+            Matrix::filled(1, 1, loss),
+            Op::SoftmaxCrossEntropy { logits, target, probs },
+        )
+    }
+
+    /// Scalar `Σ xᵢ²`, the L2 regularisation term.
+    pub fn square_norm(&self, a: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let x = &nodes[a.0 as usize].value;
+            Matrix::filled(1, 1, x.as_slice().iter().map(|&v| v * v).sum())
+        };
+        self.push(value, Op::SquareNorm(a))
+    }
+
+    /// Copies row `row` of `table` as a `1 x n` value (embedding lookup);
+    /// the gradient scatters back into that row only.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of range.
+    pub fn embed_row(&self, table: Var, row: usize) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[table.0 as usize].value.row_matrix(row)
+        };
+        self.push(value, Op::EmbedRow { table, row })
+    }
+}
+
+/// Sigmoid that does not overflow for large negative inputs.
+#[inline]
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Applies the adjoint rule of `op` for node `i`, whose output gradient is
+/// `g`, accumulating into its parents.
+pub(crate) fn propagate(nodes: &mut [Node], i: usize, g: &Matrix, op: &Op) {
+    match op {
+        Op::Leaf => {}
+        Op::MatMul(a, b) => {
+            // d/dA (A·B) = G·Bᵀ ; d/dB = Aᵀ·G
+            let da = g.matmul_transpose(&nodes[b.0 as usize].value);
+            let db = nodes[a.0 as usize].value.transpose_matmul(g);
+            accumulate(nodes, *a, &da);
+            accumulate(nodes, *b, &db);
+        }
+        Op::Add(a, b) => {
+            accumulate(nodes, *a, g);
+            accumulate(nodes, *b, g);
+        }
+        Op::AddRowBroadcast(a, bias) => {
+            accumulate(nodes, *a, g);
+            let db = g.col_sums();
+            accumulate(nodes, *bias, &db);
+        }
+        Op::Sub(a, b) => {
+            accumulate(nodes, *a, g);
+            let db = g.scale(-1.0);
+            accumulate(nodes, *b, &db);
+        }
+        Op::Mul(a, b) => {
+            let da = g.mul(&nodes[b.0 as usize].value);
+            let db = g.mul(&nodes[a.0 as usize].value);
+            accumulate(nodes, *a, &da);
+            accumulate(nodes, *b, &db);
+        }
+        Op::Scale(a, alpha) => {
+            let da = g.scale(*alpha);
+            accumulate(nodes, *a, &da);
+        }
+        Op::OneMinus(a) => {
+            let da = g.scale(-1.0);
+            accumulate(nodes, *a, &da);
+        }
+        Op::Sigmoid(a) => {
+            // y' = y(1-y), in terms of the stored output.
+            let y = &nodes[i].value;
+            let da = g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv));
+            accumulate(nodes, *a, &da);
+        }
+        Op::Tanh(a) => {
+            let y = &nodes[i].value;
+            let da = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
+            accumulate(nodes, *a, &da);
+        }
+        Op::Relu(a) => {
+            let x = &nodes[a.0 as usize].value;
+            let da = g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+            accumulate(nodes, *a, &da);
+        }
+        Op::ConcatCols(a, b) => {
+            let a_cols = nodes[a.0 as usize].value.cols();
+            let b_cols = nodes[b.0 as usize].value.cols();
+            let da = g.slice_cols(0, a_cols);
+            let db = g.slice_cols(a_cols, b_cols);
+            accumulate(nodes, *a, &da);
+            accumulate(nodes, *b, &db);
+        }
+        Op::MeanN(vars) => {
+            let share = g.scale(1.0 / vars.len() as f32);
+            for v in vars {
+                accumulate(nodes, *v, &share);
+            }
+        }
+        Op::SumN(vars) => {
+            for v in vars {
+                accumulate(nodes, *v, g);
+            }
+        }
+        Op::SoftmaxCrossEntropy { logits, target, probs } => {
+            // dL/dlogits = softmax(logits) - onehot(target), scaled by the
+            // incoming scalar gradient.
+            let scale = g[(0, 0)];
+            let mut dl = probs.clone();
+            dl[(0, *target)] -= 1.0;
+            let dl = dl.scale(scale);
+            accumulate(nodes, *logits, &dl);
+        }
+        Op::SquareNorm(a) => {
+            let scale = 2.0 * g[(0, 0)];
+            let da = nodes[a.0 as usize].value.scale(scale);
+            accumulate(nodes, *a, &da);
+        }
+        Op::EmbedRow { table, row } => {
+            debug_assert!(g.is_row_vector());
+            let cols = nodes[table.0 as usize].value.cols();
+            let rows = nodes[table.0 as usize].value.rows();
+            let slot = &mut nodes[table.0 as usize].grad;
+            if slot.is_none() {
+                *slot = Some(Matrix::zeros(rows, cols));
+            }
+            let gt = slot.as_mut().expect("just initialised");
+            for (acc, &v) in gt.row_mut(*row).iter_mut().zip(g.row(0)) {
+                *acc += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use fd_tensor::{assert_close, Matrix};
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert!(super::stable_sigmoid(100.0) > 0.999_999);
+        assert!(super::stable_sigmoid(-100.0) < 1e-6);
+        assert!((super::stable_sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn matmul_gradients_match_known_formula() {
+        // loss = sum((x·W)²) for 1x2 · 2x2; verified against hand algebra.
+        let t = Tape::new();
+        let x = t.leaf(Matrix::row_vector(&[1.0, -2.0]));
+        let w = t.leaf(Matrix::from_rows(&[&[0.5, 1.0], &[2.0, -1.0]]));
+        let y = t.matmul(x, w); // [-3.5, 3.0]
+        let loss = t.square_norm(y);
+        t.backward(loss);
+        assert_close(&t.value(y), &Matrix::row_vector(&[-3.5, 3.0]), 1e-6);
+        // dL/dy = 2y; dL/dx = 2y·Wᵀ; dL/dW = xᵀ·2y
+        let dx = t.grad(x).unwrap();
+        assert_close(&dx, &Matrix::row_vector(&[-7.0 * 0.5 + 6.0 * 1.0, -7.0 * 2.0 + 6.0 * -1.0]), 1e-5);
+        let dw = t.grad(w).unwrap();
+        assert_close(
+            &dw,
+            &Matrix::from_rows(&[&[-7.0, 6.0], &[14.0, -12.0]]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn add_and_sub_route_gradients() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::row_vector(&[1.0]));
+        let b = t.leaf(Matrix::row_vector(&[2.0]));
+        let s = t.sub(a, b); // -1
+        let sum = t.add(s, a); // 0
+        let loss = t.square_norm(sum); // (2a - b)² = 0
+        t.backward(loss);
+        // d/da (2a-b)² = 2(2a-b)*2 = 0 at a=1,b=2; but gradients still flow.
+        assert_eq!(t.grad(a).unwrap().shape(), (1, 1));
+        assert_eq!(t.grad(b).unwrap().shape(), (1, 1));
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_is_probs_minus_onehot() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::row_vector(&[1.0, 2.0, 0.5]));
+        let loss = t.softmax_cross_entropy(logits, 1);
+        t.backward(loss);
+        let g = t.grad(logits).unwrap();
+        let p = fd_tensor::softmax_rows(&t.value(logits));
+        let mut expected = p;
+        expected[(0, 1)] -= 1.0;
+        assert_close(&g, &expected, 1e-6);
+        // Loss value is -log p₁.
+        let p1 = fd_tensor::softmax_rows(&t.value(logits))[(0, 1)];
+        assert!((t.value(loss)[(0, 0)] + p1.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_n_splits_gradient_evenly() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::row_vector(&[1.0, 0.0]));
+        let b = t.leaf(Matrix::row_vector(&[3.0, 0.0]));
+        let c = t.leaf(Matrix::row_vector(&[5.0, 0.0]));
+        let m = t.mean_n(&[a, b, c]);
+        assert_close(&t.value(m), &Matrix::row_vector(&[3.0, 0.0]), 1e-6);
+        let loss = t.square_norm(m);
+        t.backward(loss);
+        // dL/da = 2·m/3 = [2, 0]
+        assert_close(&t.grad(a).unwrap(), &Matrix::row_vector(&[2.0, 0.0]), 1e-5);
+        assert_close(&t.grad(b).unwrap(), &t.grad(c).unwrap(), 1e-6);
+    }
+
+    #[test]
+    fn concat_splits_gradient_by_width() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::row_vector(&[1.0]));
+        let b = t.leaf(Matrix::row_vector(&[2.0, 3.0]));
+        let cat = t.concat_cols(a, b);
+        assert_eq!(t.shape(cat), (1, 3));
+        let loss = t.square_norm(cat);
+        t.backward(loss);
+        assert_close(&t.grad(a).unwrap(), &Matrix::row_vector(&[2.0]), 1e-6);
+        assert_close(&t.grad(b).unwrap(), &Matrix::row_vector(&[4.0, 6.0]), 1e-6);
+    }
+
+    #[test]
+    fn embed_row_scatters_into_single_row() {
+        let t = Tape::new();
+        let table = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let e = t.embed_row(table, 1);
+        assert_close(&t.value(e), &Matrix::row_vector(&[3.0, 4.0]), 1e-6);
+        let loss = t.square_norm(e);
+        t.backward(loss);
+        let g = t.grad(table).unwrap();
+        assert_close(
+            &g,
+            &Matrix::from_rows(&[&[0.0, 0.0], &[6.0, 8.0], &[0.0, 0.0]]),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn embed_row_accumulates_on_repeated_lookup() {
+        let t = Tape::new();
+        let table = t.leaf(Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let e1 = t.embed_row(table, 0);
+        let e2 = t.embed_row(table, 0);
+        let s = t.add(e1, e2);
+        let loss = t.square_norm(s);
+        t.backward(loss);
+        // loss = (2x)², dL/dx = 8x = 8.
+        assert_close(&t.grad(table).unwrap(), &Matrix::from_rows(&[&[8.0], &[0.0]]), 1e-5);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // loss = (x + x)² must see dL/dx = 8x.
+        let t = Tape::new();
+        let x = t.leaf(Matrix::row_vector(&[3.0]));
+        let s = t.add(x, x);
+        let loss = t.square_norm(s);
+        t.backward(loss);
+        assert_close(&t.grad(x).unwrap(), &Matrix::row_vector(&[24.0]), 1e-5);
+    }
+
+    #[test]
+    fn activations_forward_values() {
+        let t = Tape::new();
+        let x = t.leaf(Matrix::row_vector(&[-1.0, 0.0, 2.0]));
+        assert_close(
+            &t.value(t.relu(x)),
+            &Matrix::row_vector(&[0.0, 0.0, 2.0]),
+            1e-6,
+        );
+        let s = t.value(t.sigmoid(x));
+        assert!((s[(0, 1)] - 0.5).abs() < 1e-6);
+        let th = t.value(t.tanh(x));
+        assert!((th[(0, 2)] - 2.0f32.tanh()).abs() < 1e-6);
+        let om = t.value(t.one_minus(x));
+        assert_close(&om, &Matrix::row_vector(&[2.0, 1.0, -1.0]), 1e-6);
+    }
+
+    #[test]
+    fn scale_and_broadcast_backward() {
+        let t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(Matrix::row_vector(&[0.5, -0.5]));
+        let y = t.add_row_broadcast(x, b);
+        let z = t.scale(y, 3.0);
+        let loss = t.square_norm(z);
+        t.backward(loss);
+        // Bias gradient is the column sum of the upstream gradient.
+        let gb = t.grad(b).unwrap();
+        assert_eq!(gb.shape(), (1, 2));
+        let gx = t.grad(x).unwrap();
+        assert_eq!(gx.shape(), (2, 2));
+        // dL/dz = 2z, dL/dy = 6z = 18(y), dL/db = colsum.
+        let y_val = t.value(y);
+        let expected_gb_0 = 18.0 * (y_val[(0, 0)] + y_val[(1, 0)]);
+        assert!((gb[(0, 0)] - expected_gb_0).abs() < 1e-4);
+    }
+}

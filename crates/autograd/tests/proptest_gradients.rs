@@ -1,0 +1,213 @@
+//! Property-based gradient checks: random small computation graphs built
+//! from the primitive set must always agree with finite differences.
+
+use fd_autograd::{grad_check, Tape, Var};
+use fd_tensor::Matrix;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn rand_m(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    fd_tensor::uniform_in(rows, cols, -1.0, 1.0, rng)
+}
+
+/// Builds a random elementwise pipeline over a 1 x n row and checks it.
+fn random_pipeline(seed: u64, n: usize, depth: usize) -> bool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = rand_m(1, n, &mut rng);
+    let choices: Vec<u8> = (0..depth).map(|_| rng.gen_range(0u8..6)).collect();
+    let report = grad_check(
+        &[input],
+        move |t: &Tape, v: &[Var]| {
+            let mut cur = v[0];
+            for &c in &choices {
+                cur = match c {
+                    0 => t.sigmoid(cur),
+                    1 => t.tanh(cur),
+                    2 => t.scale(cur, 0.7),
+                    3 => t.one_minus(cur),
+                    4 => t.add(cur, v[0]),
+                    _ => t.mul(cur, v[0]),
+                };
+            }
+            t.square_norm(cur)
+        },
+        1e-2,
+    );
+    report.passes(2e-2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_elementwise_pipelines_gradcheck(seed in any::<u64>(), n in 1usize..5, depth in 1usize..5) {
+        prop_assert!(random_pipeline(seed, n, depth));
+    }
+
+    #[test]
+    fn random_affine_chains_gradcheck(seed in any::<u64>(), dims in prop::collection::vec(1usize..5, 2..4)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mats = vec![rand_m(1, dims[0], &mut rng)];
+        for w in dims.windows(2) {
+            mats.push(rand_m(w[0], w[1], &mut rng));
+            mats.push(rand_m(1, w[1], &mut rng)); // bias
+        }
+        let n_layers = dims.len() - 1;
+        let report = grad_check(
+            &mats,
+            move |t, v| {
+                let mut h = v[0];
+                for l in 0..n_layers {
+                    let w = v[1 + 2 * l];
+                    let b = v[2 + 2 * l];
+                    let a = t.matmul(h, w);
+                    let a = t.add_row_broadcast(a, b);
+                    h = t.tanh(a);
+                }
+                t.square_norm(h)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn cross_entropy_any_target_gradchecks(seed in any::<u64>(), k in 2usize..7, target_raw in any::<usize>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits_in = rand_m(1, 4, &mut rng);
+        let w = rand_m(4, k, &mut rng);
+        let target = target_raw % k;
+        let report = grad_check(
+            &[logits_in, w],
+            move |t, v| {
+                let logits = t.matmul(v[0], v[1]);
+                t.softmax_cross_entropy(logits, target)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn sum_of_losses_gradchecks(seed in any::<u64>(), parts in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Matrix> = (0..parts).map(|_| rand_m(1, 3, &mut rng)).collect();
+        let report = grad_check(
+            &inputs,
+            |t, v| {
+                let losses: Vec<Var> = v.iter().map(|&x| t.square_norm(x)).collect();
+                t.sum_n(&losses)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passes(2e-2), "{report:?}");
+    }
+}
+
+#[test]
+fn gru_cell_composite_gradchecks() {
+    // Full GRU step written out of primitives; this is exactly the
+    // computation fd-nn wraps, so a pass here certifies the layer.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (e, h) = (3, 4);
+    let inputs = vec![
+        rand_m(1, e, &mut rng),     // x
+        rand_m(1, h, &mut rng),     // h_prev
+        rand_m(e, h, &mut rng),     // Wz
+        rand_m(h, h, &mut rng),     // Uz
+        rand_m(1, h, &mut rng),     // bz
+        rand_m(e, h, &mut rng),     // Wr
+        rand_m(h, h, &mut rng),     // Ur
+        rand_m(1, h, &mut rng),     // br
+        rand_m(e, h, &mut rng),     // Wn
+        rand_m(h, h, &mut rng),     // Un
+        rand_m(1, h, &mut rng),     // bn
+    ];
+    let report = grad_check(
+        &inputs,
+        |t, v| {
+            let (x, hp) = (v[0], v[1]);
+            let gate = |w: Var, u: Var, b: Var, hh: Var| {
+                let a = t.matmul(x, w);
+                let c = t.matmul(hh, u);
+                let s = t.add(a, c);
+                t.add_row_broadcast(s, b)
+            };
+            let z = t.sigmoid(gate(v[2], v[3], v[4], hp));
+            let r = t.sigmoid(gate(v[5], v[6], v[7], hp));
+            let rh = t.mul(r, hp);
+            let n_pre = gate(v[8], v[9], v[10], rh);
+            let n = t.tanh(n_pre);
+            let zn = t.mul(z, n);
+            let oz = t.one_minus(z);
+            let ozh = t.mul(oz, hp);
+            let h_new = t.add(zn, ozh);
+            t.square_norm(h_new)
+        },
+        1e-2,
+    );
+    assert!(report.passes(2e-2), "{report:?}");
+    assert_eq!(report.checked, inputs_len(&inputs));
+}
+
+fn inputs_len(inputs: &[Matrix]) -> usize {
+    inputs.iter().map(Matrix::len).sum()
+}
+
+#[test]
+fn gdu_cell_composite_gradchecks() {
+    // The paper's GDU, eq. (4): forget gate f, adjust gate e, two
+    // selection gates g and r, four tanh branches combined by the gates.
+    let mut rng = StdRng::seed_from_u64(7);
+    let d = 3; // feature width for x, z, t alike
+    let h = 3;
+    let inputs = vec![
+        rand_m(1, d, &mut rng),         // x
+        rand_m(1, d, &mut rng),         // z
+        rand_m(1, d, &mut rng),         // t_in
+        rand_m(3 * d, d, &mut rng),     // Wf
+        rand_m(3 * d, d, &mut rng),     // We
+        rand_m(3 * d, h, &mut rng),     // Wg
+        rand_m(3 * d, h, &mut rng),     // Wr
+        rand_m(3 * d, h, &mut rng),     // Wu
+    ];
+    let report = grad_check(
+        &inputs,
+        |t, v| {
+            let (x, z, ti) = (v[0], v[1], v[2]);
+            let (wf, we, wg, wr, wu) = (v[3], v[4], v[5], v[6], v[7]);
+            let xzt = t.concat3(x, z, ti);
+            let f = t.sigmoid(t.matmul(xzt, wf));
+            let e = t.sigmoid(t.matmul(xzt, we));
+            let z_tilde = t.mul(f, z);
+            let t_tilde = t.mul(e, ti);
+            let g = t.sigmoid(t.matmul(xzt, wg));
+            let r = t.sigmoid(t.matmul(xzt, wr));
+            let branch = |zz: Var, tt: Var| {
+                let cat = t.concat3(x, zz, tt);
+                let pre = t.matmul(cat, wu);
+                t.tanh(pre)
+            };
+            let b1 = branch(z_tilde, t_tilde);
+            let b2 = branch(z, t_tilde);
+            let b3 = branch(z_tilde, ti);
+            let b4 = branch(z, ti);
+            let og = t.one_minus(g);
+            let or = t.one_minus(r);
+            let gr = t.mul(g, r);
+            let ogr = t.mul(og, r);
+            let gor = t.mul(g, or);
+            let ogor = t.mul(og, or);
+            let p1 = t.mul(gr, b1);
+            let p2 = t.mul(ogr, b2);
+            let p3 = t.mul(gor, b3);
+            let p4 = t.mul(ogor, b4);
+            let s12 = t.add(p1, p2);
+            let s34 = t.add(p3, p4);
+            let hout = t.add(s12, s34);
+            t.square_norm(hout)
+        },
+        1e-2,
+    );
+    assert!(report.passes(2e-2), "{report:?}");
+}

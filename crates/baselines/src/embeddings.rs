@@ -1,0 +1,219 @@
+//! Skip-gram-with-negative-sampling (SGNS) machinery shared by DeepWalk
+//! and LINE. Updates are hand-rolled (no autograd tape): embedding
+//! training is a tight loop over millions of (center, context) pairs and
+//! the gradient of `log σ(u·v) + Σ log σ(-u·n)` is two axpys per node.
+
+use fd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Paired input/output embedding tables for SGNS training.
+#[derive(Debug, Clone)]
+pub(crate) struct Sgns {
+    input: Vec<f32>,
+    output: Vec<f32>,
+    n: usize,
+    dim: usize,
+}
+
+/// Numerically safe sigmoid for the update rule.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Sgns {
+    /// Tables for `n` nodes of width `dim`; inputs start uniform small,
+    /// outputs at zero (the word2vec convention).
+    pub fn new(n: usize, dim: usize, rng: &mut StdRng) -> Self {
+        assert!(n > 0 && dim > 0, "Sgns::new: empty table");
+        let scale = 0.5 / dim as f32;
+        let input = (0..n * dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let output = vec![0.0; n * dim];
+        Self { input, output, n, dim }
+    }
+
+    /// Number of nodes.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding width.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One SGNS step: positive pair `(center, context)` plus `negatives`
+    /// drawn elsewhere. `symmetric = true` reads the context/negative
+    /// vectors from the *input* table (LINE's first-order objective);
+    /// `false` uses the separate output table (skip-gram / second-order).
+    pub fn step(
+        &mut self,
+        center: usize,
+        context: usize,
+        negatives: &[usize],
+        lr: f32,
+        symmetric: bool,
+    ) {
+        debug_assert!(center < self.n && context < self.n);
+        let d = self.dim;
+        let mut grad_center = vec![0.0f32; d];
+        let mut targets = Vec::with_capacity(1 + negatives.len());
+        targets.push((context, 1.0f32));
+        targets.extend(negatives.iter().map(|&v| (v, 0.0f32)));
+
+        for (other, label) in targets {
+            if other == center && symmetric {
+                continue; // self-pairs carry no information
+            }
+            let (c_row, o_row) = {
+                let c = &self.input[center * d..(center + 1) * d];
+                let o = if symmetric {
+                    &self.input[other * d..(other + 1) * d]
+                } else {
+                    &self.output[other * d..(other + 1) * d]
+                };
+                let dot: f32 = c.iter().zip(o).map(|(&a, &b)| a * b).sum();
+                let g = sigmoid(dot) - label; // d(-loglik)/d(dot)
+                (
+                    o.iter().map(|&v| g * v).collect::<Vec<f32>>(),
+                    c.iter().map(|&v| g * v).collect::<Vec<f32>>(),
+                )
+            };
+            for (acc, v) in grad_center.iter_mut().zip(&c_row) {
+                *acc += v;
+            }
+            let table = if symmetric { &mut self.input } else { &mut self.output };
+            for (slot, v) in table[other * d..(other + 1) * d].iter_mut().zip(&o_row) {
+                *slot -= lr * v;
+            }
+        }
+        for (slot, v) in self.input[center * d..(center + 1) * d].iter_mut().zip(&grad_center) {
+            *slot -= lr * v;
+        }
+    }
+
+    /// Negative log-likelihood of one labelled pair — used by tests to
+    /// verify training decreases the objective.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn pair_loss(&self, center: usize, other: usize, label: f32, symmetric: bool) -> f32 {
+        let d = self.dim;
+        let c = &self.input[center * d..(center + 1) * d];
+        let o = if symmetric {
+            &self.input[other * d..(other + 1) * d]
+        } else {
+            &self.output[other * d..(other + 1) * d]
+        };
+        let dot: f32 = c.iter().zip(o).map(|(&a, &b)| a * b).sum();
+        let p = sigmoid(dot).clamp(1e-7, 1.0 - 1e-7);
+        if label > 0.5 {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
+    }
+
+    /// The learned input embedding of node `i` as a `1 x dim` row.
+    pub fn embedding(&self, i: usize) -> Matrix {
+        Matrix::row_vector(&self.input[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// L2-normalised embedding (what the downstream SVM consumes).
+    pub fn embedding_normalised(&self, i: usize) -> Matrix {
+        let mut e = self.embedding(i);
+        let norm = e.frobenius_norm();
+        if norm > 0.0 {
+            e.map_in_place(|v| v / norm);
+        }
+        e
+    }
+}
+
+/// Unigram^0.75 negative-sampling distribution over node frequencies, as
+/// in word2vec/LINE.
+pub(crate) fn negative_table(frequencies: &[f64]) -> fd_graph::AliasTable {
+    let weights: Vec<f64> = frequencies.iter().map(|&f| (f + 1.0).powf(0.75)).collect();
+    fd_graph::AliasTable::new(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_reduces_positive_pair_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sgns = Sgns::new(10, 8, &mut rng);
+        let before = sgns.pair_loss(0, 1, 1.0, false);
+        for _ in 0..50 {
+            sgns.step(0, 1, &[5, 7], 0.1, false);
+        }
+        let after = sgns.pair_loss(0, 1, 1.0, false);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn step_pushes_negatives_apart() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sgns = Sgns::new(6, 4, &mut rng);
+        for _ in 0..80 {
+            sgns.step(0, 1, &[2], 0.2, false);
+        }
+        let pos = sgns.pair_loss(0, 1, 1.0, false);
+        let neg = sgns.pair_loss(0, 2, 1.0, false);
+        assert!(pos < neg, "positive pair should score higher than negative");
+    }
+
+    #[test]
+    fn symmetric_mode_trains_input_table_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sgns = Sgns::new(6, 4, &mut rng);
+        let before = sgns.pair_loss(0, 1, 1.0, true);
+        for _ in 0..60 {
+            sgns.step(0, 1, &[3, 4], 0.15, true);
+        }
+        let after = sgns.pair_loss(0, 1, 1.0, true);
+        assert!(after < before);
+        // Output table untouched in symmetric mode.
+        assert!(sgns.output.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn symmetric_self_pair_is_skipped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sgns = Sgns::new(3, 4, &mut rng);
+        let before = sgns.embedding(0);
+        sgns.step(0, 0, &[], 0.5, true);
+        assert_eq!(sgns.embedding(0), before);
+    }
+
+    #[test]
+    fn normalised_embeddings_are_unit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sgns = Sgns::new(4, 6, &mut rng);
+        let n = sgns.embedding_normalised(2).frobenius_norm();
+        assert!((n - 1.0).abs() < 1e-5);
+        assert_eq!(sgns.dim(), 6);
+        assert_eq!(sgns.len(), 4);
+    }
+
+    #[test]
+    fn negative_table_prefers_frequent_nodes() {
+        let table = negative_table(&[100.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1] * 3);
+        assert!(counts[1] > 0, "smoothing must keep rare nodes reachable");
+    }
+}

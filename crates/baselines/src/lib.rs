@@ -1,0 +1,39 @@
+//! The five comparison methods of Section 5.1.2:
+//!
+//! | Method | Signal used | Module |
+//! |---|---|---|
+//! | `Svm` | explicit BoW features only | [`svm`] |
+//! | `Rnn` | latent GRU features only | [`rnn`] |
+//! | `DeepWalk` | graph structure (walks + skip-gram) | [`deepwalk`] |
+//! | `Line` | graph structure (1st/2nd-order proximity) | [`line`] |
+//! | `Propagation` | graph structure (label propagation) | [`propagation`] |
+//!
+//! All methods implement [`CredibilityModel`]: one `fit_predict` call
+//! trains on the [`TrainSets`] and returns predicted class indices for
+//! *every* entity; the experiment runner scores the test subsets.
+
+mod embeddings;
+pub mod deepwalk;
+pub mod line;
+pub mod propagation;
+pub mod rnn;
+pub mod svm;
+
+pub use fd_data::{CredibilityModel, ExperimentContext, Predictions};
+pub use deepwalk::DeepWalk;
+pub use line::Line;
+pub use propagation::Propagation;
+pub use rnn::RnnBaseline;
+pub use svm::SvmBaseline;
+
+/// Constructs the paper's five baselines with their default
+/// hyper-parameters, in presentation order.
+pub fn default_baselines() -> Vec<Box<dyn CredibilityModel>> {
+    vec![
+        Box::new(Propagation::default()),
+        Box::new(DeepWalk::default()),
+        Box::new(Line::default()),
+        Box::new(SvmBaseline::default()),
+        Box::new(RnnBaseline::default()),
+    ]
+}

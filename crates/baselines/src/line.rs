@@ -1,0 +1,156 @@
+//! LINE (Tang et al., WWW 2015): large-scale information network
+//! embedding preserving first- and second-order proximity, trained by
+//! edge sampling with negative sampling. As in the paper, the two halves
+//! are trained separately and concatenated before the downstream SVM.
+
+use crate::deepwalk::classify_embeddings;
+use crate::embeddings::{negative_table, Sgns};
+use crate::svm::SvmConfig;
+use crate::{CredibilityModel, ExperimentContext, Predictions};
+use fd_graph::AliasTable;
+use fd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LINE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LineConfig {
+    /// Width of *each* half (final embedding is `2 * dim`).
+    pub dim: usize,
+    /// Edge samples, expressed as multiples of the edge count.
+    pub samples_per_edge: usize,
+    /// Negative samples per positive edge.
+    pub negatives: usize,
+    /// Initial learning rate (linear decay to 1e-4).
+    pub lr: f32,
+    /// Downstream SVM settings.
+    pub svm: SvmConfig,
+}
+
+impl Default for LineConfig {
+    fn default() -> Self {
+        Self { dim: 16, samples_per_edge: 24, negatives: 4, lr: 0.06, svm: SvmConfig::default() }
+    }
+}
+
+/// The LINE baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Hyper-parameters.
+    pub config: LineConfig,
+}
+
+impl Line {
+    /// Learns the concatenated first‖second order embedding per node.
+    pub fn embed(&self, ctx: &ExperimentContext<'_>) -> Vec<Matrix> {
+        let graph = &ctx.corpus.graph;
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x11e0_55aa);
+        let edges = graph.edges_global();
+        assert!(!edges.is_empty(), "Line::embed: graph has no edges");
+        let edge_sampler = AliasTable::new(&vec![1.0; edges.len()]);
+
+        // Degree-based negative distribution.
+        let mut degree = vec![0.0f64; graph.n_nodes()];
+        for &(a, b) in &edges {
+            degree[a] += 1.0;
+            degree[b] += 1.0;
+        }
+        let negatives = negative_table(&degree);
+
+        let total = edges.len() * self.config.samples_per_edge;
+        let mut first = Sgns::new(graph.n_nodes(), self.config.dim, &mut rng);
+        let mut second = Sgns::new(graph.n_nodes(), self.config.dim, &mut rng);
+        for step in 0..total {
+            let lr = (self.config.lr * (1.0 - step as f32 / total as f32)).max(1e-4);
+            let (mut u, mut v) = edges[edge_sampler.sample(&mut rng)];
+            // Undirected edge: orient at random each draw.
+            if rng.gen_bool(0.5) {
+                std::mem::swap(&mut u, &mut v);
+            }
+            let negs: Vec<usize> = (0..self.config.negatives)
+                .map(|_| negatives.sample(&mut rng))
+                .collect();
+            // First order: symmetric objective over the input table.
+            first.step(u, v, &negs, lr, true);
+            // Second order: skip-gram-style with a context table.
+            second.step(u, v, &negs, lr, false);
+        }
+        (0..graph.n_nodes())
+            .map(|i| {
+                first
+                    .embedding_normalised(i)
+                    .concat_cols(&second.embedding_normalised(i))
+            })
+            .collect()
+    }
+}
+
+impl CredibilityModel for Line {
+    fn name(&self) -> &'static str {
+        "line"
+    }
+
+    fn fit_predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
+        let embeddings = self.embed(ctx);
+        classify_embeddings(ctx, &embeddings, &self.config.svm, ctx.seed ^ 0x11e1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_data::{
+        generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
+        TokenizedCorpus, TrainSets,
+    };
+    use fd_graph::{NodeRef, NodeType};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn line_embeddings_have_double_width_and_capture_adjacency() {
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.012), 37);
+        let tokenized = TokenizedCorpus::build(&corpus, 10, 3000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+        };
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+        let ctx = ExperimentContext {
+            corpus: &corpus,
+            tokenized: &tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed: 5,
+        };
+        let model = Line::default();
+        let embeddings = model.embed(&ctx);
+        assert_eq!(embeddings.len(), corpus.graph.n_nodes());
+        assert_eq!(embeddings[0].cols(), 2 * model.config.dim);
+
+        // First-order proximity: an article should be closer to its own
+        // creator than to a structurally distant one, on average.
+        let (mut own, mut other, mut n) = (0.0f32, 0.0f32, 0);
+        for a in 0..corpus.articles.len().min(120) {
+            let creator = corpus.graph.author_of(a).unwrap();
+            let far = (creator + corpus.creators.len() / 2) % corpus.creators.len();
+            if far == creator {
+                continue;
+            }
+            let ga = corpus.graph.global_id(NodeRef { ty: NodeType::Article, idx: a });
+            let gc = corpus.graph.global_id(NodeRef { ty: NodeType::Creator, idx: creator });
+            let gf = corpus.graph.global_id(NodeRef { ty: NodeType::Creator, idx: far });
+            own += embeddings[ga].dot(&embeddings[gc]);
+            other += embeddings[ga].dot(&embeddings[gf]);
+            n += 1;
+        }
+        assert!(
+            own / n as f32 > other / n as f32,
+            "adjacent similarity {} not above distant {}",
+            own / n as f32,
+            other / n as f32
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Heterogeneous label propagation — the paper's structure-only baseline
+//! [29]. Credibility scores (normalised to [0, 1]) diffuse along
+//! authorship and topic links with link-type-specific mixing weights;
+//! training nodes are clamped to their ground truth every sweep and final
+//! scores are rounded back to labels.
+
+use crate::{CredibilityModel, ExperimentContext, Predictions};
+use fd_data::Credibility;
+use fd_graph::NodeType;
+
+/// Label-propagation hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PropagationConfig {
+    /// Propagation sweeps.
+    pub iterations: usize,
+    /// Retention weight on a node's own previous score.
+    pub self_weight: f64,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        Self { iterations: 60, self_weight: 0.3 }
+    }
+}
+
+/// The label-propagation model.
+#[derive(Debug, Clone, Default)]
+pub struct Propagation {
+    /// Sweep settings.
+    pub config: PropagationConfig,
+}
+
+/// Maps a credibility label to the unit interval (True = 1, PoF = 0).
+fn label_to_unit(label: Credibility) -> f64 {
+    (label.score() as f64 - 1.0) / 5.0
+}
+
+impl Propagation {
+    /// Runs the propagation and returns the converged per-type scores in
+    /// [0, 1] (exposed for tests and the ablation harness).
+    pub fn propagate(&self, ctx: &ExperimentContext<'_>) -> [Vec<f64>; 3] {
+        let graph = &ctx.corpus.graph;
+        let neutral = 0.5f64;
+        let mut scores = [
+            vec![neutral; graph.n_articles()],
+            vec![neutral; graph.n_creators()],
+            vec![neutral; graph.n_subjects()],
+        ];
+        // Clamp masks: training nodes hold their ground-truth score.
+        let clamp: Vec<(usize, usize, f64)> = {
+            let mut c = Vec::with_capacity(ctx.train.len());
+            for (slot, ty) in NodeType::ALL.iter().enumerate() {
+                for &idx in ctx.train.for_type(*ty) {
+                    let label = match ty {
+                        NodeType::Article => ctx.corpus.articles[idx].label,
+                        NodeType::Creator => ctx.corpus.creators[idx].label,
+                        NodeType::Subject => ctx.corpus.subjects[idx].label,
+                    };
+                    c.push((slot, idx, label_to_unit(label)));
+                }
+            }
+            c
+        };
+        let apply_clamp = |scores: &mut [Vec<f64>; 3]| {
+            for &(slot, idx, value) in &clamp {
+                scores[slot][idx] = value;
+            }
+        };
+        apply_clamp(&mut scores);
+
+        let sw = self.config.self_weight;
+        for _ in 0..self.config.iterations {
+            let mut next = scores.clone();
+            // Articles mix their creator and mean subject scores.
+            for a in 0..graph.n_articles() {
+                let mut incoming = Vec::with_capacity(2);
+                if let Some(u) = graph.author_of(a) {
+                    incoming.push(scores[1][u]);
+                }
+                let subjects = graph.subjects_of_article(a);
+                if !subjects.is_empty() {
+                    let mean: f64 = subjects.iter().map(|&s| scores[2][s]).sum::<f64>()
+                        / subjects.len() as f64;
+                    incoming.push(mean);
+                }
+                if !incoming.is_empty() {
+                    let neighbour = incoming.iter().sum::<f64>() / incoming.len() as f64;
+                    next[0][a] = sw * scores[0][a] + (1.0 - sw) * neighbour;
+                }
+            }
+            // Creators and subjects mix the mean of their articles.
+            for u in 0..graph.n_creators() {
+                let articles = graph.articles_of_creator(u);
+                if !articles.is_empty() {
+                    let mean: f64 = articles.iter().map(|&a| scores[0][a]).sum::<f64>()
+                        / articles.len() as f64;
+                    next[1][u] = sw * scores[1][u] + (1.0 - sw) * mean;
+                }
+            }
+            for s in 0..graph.n_subjects() {
+                let articles = graph.articles_of_subject(s);
+                if !articles.is_empty() {
+                    let mean: f64 = articles.iter().map(|&a| scores[0][a]).sum::<f64>()
+                        / articles.len() as f64;
+                    next[2][s] = sw * scores[2][s] + (1.0 - sw) * mean;
+                }
+            }
+            scores = next;
+            apply_clamp(&mut scores);
+        }
+        scores
+    }
+}
+
+impl CredibilityModel for Propagation {
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+
+    fn fit_predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
+        let scores = self.propagate(ctx);
+        let mut predictions = Predictions::zeroed(ctx);
+        for (slot, ty) in NodeType::ALL.iter().enumerate() {
+            let out = predictions.for_type_mut(*ty);
+            for (idx, slot_score) in scores[slot].iter().enumerate() {
+                // Round the unit score back onto the label scale, then
+                // map through the run's label mode — "the prediction
+                // score will be rounded and cast into labels".
+                let label = Credibility::from_score_rounded(1.0 + 5.0 * slot_score);
+                out[idx] = ctx.mode.target(label);
+            }
+        }
+        predictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_data::{
+        generate, CvSplits, ExplicitFeatures, GeneratorConfig, LabelMode, TokenizedCorpus,
+        TrainSets,
+    };
+    use rand::{rngs::StdRng, SeedableRng};
+
+    struct Fixture {
+        corpus: fd_data::Corpus,
+        tokenized: TokenizedCorpus,
+        explicit: ExplicitFeatures,
+        train: TrainSets,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.02), seed);
+        let tokenized = TokenizedCorpus::build(&corpus, 12, 4000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+        };
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 60);
+        Fixture { corpus, tokenized, explicit, train }
+    }
+
+    fn ctx(f: &Fixture, mode: LabelMode) -> ExperimentContext<'_> {
+        ExperimentContext {
+            corpus: &f.corpus,
+            tokenized: &f.tokenized,
+            explicit: &f.explicit,
+            train: &f.train,
+            mode,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let f = fixture(3);
+        let c = ctx(&f, LabelMode::Binary);
+        let scores = Propagation::default().propagate(&c);
+        for slot in &scores {
+            assert!(slot.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn training_nodes_stay_clamped() {
+        let f = fixture(4);
+        let c = ctx(&f, LabelMode::Binary);
+        let scores = Propagation::default().propagate(&c);
+        for &idx in &f.train.articles[..10] {
+            let expected = label_to_unit(f.corpus.articles[idx].label);
+            assert!((scores[0][idx] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beats_chance_on_binary_articles() {
+        let f = fixture(5);
+        let c = ctx(&f, LabelMode::Binary);
+        let preds = Propagation::default().fit_predict(&c);
+        // Evaluate on non-train articles.
+        let train: std::collections::HashSet<usize> = f.train.articles.iter().copied().collect();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (i, a) in f.corpus.articles.iter().enumerate() {
+            if train.contains(&i) {
+                continue;
+            }
+            total += 1;
+            if preds.articles[i] == usize::from(a.label.is_true_group()) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.54, "LP accuracy {acc:.3} not above chance");
+    }
+
+    #[test]
+    fn multiclass_predictions_are_valid_indices() {
+        let f = fixture(6);
+        let c = ctx(&f, LabelMode::MultiClass);
+        let preds = Propagation::default().fit_predict(&c);
+        assert!(preds.articles.iter().all(|&p| p < 6));
+        assert!(preds.creators.iter().all(|&p| p < 6));
+        assert!(preds.subjects.iter().all(|&p| p < 6));
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = fixture(8);
+        let c = ctx(&f, LabelMode::Binary);
+        let a = Propagation::default().fit_predict(&c);
+        let b = Propagation::default().fit_predict(&c);
+        assert_eq!(a, b);
+    }
+}

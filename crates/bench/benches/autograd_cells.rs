@@ -1,0 +1,93 @@
+//! Microbenches for the recurrent cells: one GRU step and one GDU step,
+//! forward-only and forward+backward — the inner loop of every training
+//! epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_autograd::Tape;
+use fd_core::GduCell;
+use fd_nn::{Binding, GruCell, Params};
+use fd_tensor::Matrix;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_gru_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gru_step");
+    group.sample_size(30);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cell = GruCell::new(&mut params, "g", 16, 24, &mut rng);
+    let x_val = Matrix::filled(1, 16, 0.3);
+
+    group.bench_function("forward", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &params);
+            let h0 = cell.zero_state(&bind);
+            let x = tape.leaf(x_val.clone());
+            black_box(tape.value(cell.step(&bind, x, h0)))
+        })
+    });
+    group.bench_function("forward_backward_8steps", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &params);
+            let mut h = cell.zero_state(&bind);
+            for _ in 0..8 {
+                let x = tape.leaf(x_val.clone());
+                h = cell.step(&bind, x, h);
+            }
+            let loss = tape.square_norm(h);
+            tape.backward(loss);
+            black_box(bind.grads().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_gdu_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gdu_step");
+    group.sample_size(30);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let cell = GduCell::new(&mut params, "gdu", 84, 24, &mut rng);
+    let x_val = Matrix::filled(1, 84, 0.2);
+    let n_val = Matrix::filled(1, 24, -0.1);
+
+    group.bench_function("forward", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &params);
+            let x = tape.leaf(x_val.clone());
+            let z = tape.leaf(n_val.clone());
+            let t = tape.leaf(n_val.clone());
+            black_box(tape.value(cell.forward(&bind, x, z, t, true)))
+        })
+    });
+    group.bench_function("forward_backward", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &params);
+            let x = tape.leaf(x_val.clone());
+            let z = tape.leaf(n_val.clone());
+            let t = tape.leaf(n_val.clone());
+            let h = cell.forward(&bind, x, z, t, true);
+            let loss = tape.square_norm(h);
+            tape.backward(loss);
+            black_box(bind.grads().len())
+        })
+    });
+    group.bench_function("forward_no_gates", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &params);
+            let x = tape.leaf(x_val.clone());
+            let z = tape.leaf(n_val.clone());
+            let t = tape.leaf(n_val.clone());
+            black_box(tape.value(cell.forward(&bind, x, z, t, false)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gru_step, bench_gdu_step);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbench: the synthetic PolitiFact generator at several scales
+//! (the fixed cost every experiment pays first).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_data::{generate, GeneratorConfig, TokenizedCorpus};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generate");
+    group.sample_size(10);
+    for &scale in &[0.02f64, 0.08, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scale),
+            &scale,
+            |bench, &scale| {
+                let cfg = GeneratorConfig::politifact().scaled(scale);
+                bench.iter(|| black_box(generate(&cfg, 42).articles.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tokenize_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_tokenize");
+    group.sample_size(10);
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.08), 42);
+    group.bench_function("scale0.08_q12", |bench| {
+        bench.iter(|| black_box(TokenizedCorpus::build(&corpus, 12, 6000).vocab.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_tokenize_corpus);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenches for the graph substrate: random walks (DeepWalk's corpus
+//! generator) and alias sampling (LINE's edge sampler).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_data::{generate, GeneratorConfig};
+use fd_graph::{generate_walks, AliasTable, WalkConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_walks");
+    group.sample_size(10);
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.05), 1);
+    let cfg = WalkConfig { walks_per_node: 2, walk_length: 20 };
+    group.bench_function("scale0.05_2x20", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(generate_walks(&corpus.graph, &cfg, &mut rng).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias_table");
+    group.sample_size(30);
+    let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+    group.bench_function("build_10k", |bench| {
+        bench.iter(|| black_box(AliasTable::new(&weights).len()))
+    });
+    let table = AliasTable::new(&weights);
+    group.bench_function("sample_10k_draws", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc ^= table.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_list");
+    group.sample_size(20);
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.05), 2);
+    group.bench_function("edges_global_scale0.05", |bench| {
+        bench.iter(|| black_box(corpus.graph.edges_global().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks, bench_alias, bench_edges);
+criterion_main!(benches);

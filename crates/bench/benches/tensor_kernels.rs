@@ -1,0 +1,80 @@
+//! Microbenches for the fd-tensor kernels the training loops live on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_tensor::{softmax_rows, Matrix};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_m(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fd_tensor::uniform_in(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[16usize, 64, 128] {
+        let a = rand_m(n, n, 1);
+        let b = rand_m(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    // The hot shape in training: a 1xK row against a KxH weight.
+    let row = rand_m(1, 84, 3);
+    let w = rand_m(84, 24, 4);
+    group.bench_function("row_1x84_by_84x24", |bench| {
+        bench.iter(|| black_box(row.matmul(&w)));
+    });
+    group.finish();
+}
+
+fn bench_fused_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_transpose");
+    group.sample_size(20);
+    let a = rand_m(64, 64, 5);
+    let b = rand_m(64, 64, 6);
+    group.bench_function("transpose_matmul_64", |bench| {
+        bench.iter(|| black_box(a.transpose_matmul(&b)));
+    });
+    group.bench_function("explicit_transpose_then_matmul_64", |bench| {
+        bench.iter(|| black_box(a.transpose().matmul(&b)));
+    });
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    group.sample_size(30);
+    let a = rand_m(1, 4096, 7);
+    let b = rand_m(1, 4096, 8);
+    group.bench_function("add_4096", |bench| bench.iter(|| black_box(a.add(&b))));
+    group.bench_function("mul_4096", |bench| bench.iter(|| black_box(a.mul(&b))));
+    let mut acc = rand_m(1, 4096, 9);
+    group.bench_function("axpy_4096", |bench| {
+        bench.iter(|| {
+            acc.add_assign_scaled(&b, 0.5);
+            black_box(&acc);
+        })
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    group.sample_size(30);
+    let logits = rand_m(256, 6, 10);
+    group.bench_function("rows_256x6", |bench| {
+        bench.iter(|| black_box(softmax_rows(&logits)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_fused_transpose,
+    bench_elementwise,
+    bench_softmax
+);
+criterion_main!(benches);

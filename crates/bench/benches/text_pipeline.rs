@@ -1,0 +1,48 @@
+//! Microbenches for the text pipeline: tokenisation, vocabulary build,
+//! χ² word-set extraction and bag-of-words featurisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_data::{generate, GeneratorConfig};
+use fd_text::{bow_features, chi_squared_scores, Tokenizer, Vocab, WordSet};
+use std::hint::black_box;
+
+fn bench_text(c: &mut Criterion) {
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.05), 1);
+    let tokenizer = Tokenizer::default();
+    let docs: Vec<Vec<String>> = corpus
+        .articles
+        .iter()
+        .map(|a| tokenizer.tokenize(&a.text))
+        .collect();
+    let labels: Vec<bool> = corpus.articles.iter().map(|a| a.label.is_true_group()).collect();
+
+    let mut group = c.benchmark_group("text_pipeline");
+    group.sample_size(10);
+    group.bench_function("tokenize_700_articles", |bench| {
+        bench.iter(|| {
+            let n: usize = corpus
+                .articles
+                .iter()
+                .map(|a| tokenizer.tokenize(&a.text).len())
+                .sum();
+            black_box(n)
+        })
+    });
+    group.bench_function("vocab_build", |bench| {
+        bench.iter(|| black_box(Vocab::build(docs.iter().cloned(), 2, 6000).len()))
+    });
+    group.bench_function("chi2_scores", |bench| {
+        bench.iter(|| black_box(chi_squared_scores(&docs, &labels).len()))
+    });
+    let word_set = WordSet::extract(&docs, &labels, 60);
+    group.bench_function("bow_700_articles", |bench| {
+        bench.iter(|| {
+            let s: f32 = docs.iter().map(|d| bow_features(d, &word_set).sum()).sum();
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_text);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! * `no-explicit`  — HFLU latent features only;
+//! * `no-latent`    — HFLU explicit features only;
+//! * `no-diffusion` — GDU with zeroed neighbour ports (per-entity MLP);
+//! * `no-gates`     — forget/adjust gates fixed to 1;
+//! * `rounds-1/2/3` — depth of the unrolled diffusion.
+//!
+//! `cargo run --release -p fd-bench --bin ablation [-- --scale f|--folds n|--seed n]`
+
+use fd_bench::{run_sweep, save_results, SweepConfig};
+use fd_core::{FakeDetector, FakeDetectorConfig};
+use fd_data::{CredibilityModel, LabelMode};
+
+/// A named FakeDetector variant (CredibilityModel requires a 'static
+/// name, so each variant is its own thin wrapper).
+struct Variant {
+    name: &'static str,
+    config: FakeDetectorConfig,
+}
+
+impl CredibilityModel for Variant {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit_predict(&self, ctx: &fd_data::ExperimentContext<'_>) -> fd_data::Predictions {
+        FakeDetector::new(self.config.clone()).fit_predict(ctx)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = SweepConfig::from_args(&args);
+    if !args.iter().any(|a| a == "--full" || a == "--scale") {
+        config.scale = 0.05;
+    }
+    // Ablations compare at full supervision; the θ sweep belongs to fig4/5.
+    config.thetas = vec![1.0];
+
+    let base = FakeDetectorConfig::default();
+    let models: Vec<Box<dyn CredibilityModel>> = vec![
+        Box::new(Variant { name: "full", config: base.clone() }),
+        Box::new(Variant {
+            name: "no-explicit",
+            config: FakeDetectorConfig { use_explicit: false, ..base.clone() },
+        }),
+        Box::new(Variant {
+            name: "no-latent",
+            config: FakeDetectorConfig { use_latent: false, ..base.clone() },
+        }),
+        Box::new(Variant {
+            name: "no-diffusion",
+            config: FakeDetectorConfig { use_diffusion: false, ..base.clone() },
+        }),
+        Box::new(Variant {
+            name: "no-gates",
+            config: FakeDetectorConfig { use_gates: false, ..base.clone() },
+        }),
+        Box::new(Variant {
+            name: "rounds-1",
+            config: FakeDetectorConfig { diffusion_rounds: 1, ..base.clone() },
+        }),
+        Box::new(Variant {
+            name: "rounds-3",
+            config: FakeDetectorConfig { diffusion_rounds: 3, ..base.clone() },
+        }),
+    ];
+
+    let results = run_sweep(&config, LabelMode::Binary, &models);
+    for r in &results {
+        println!("{}", r.all_tables());
+    }
+    save_results("ablation", &results);
+}

@@ -1,0 +1,125 @@
+//! Regenerates **Figure 1** (the PolitiFact dataset analysis):
+//!
+//! * `a`  — power-law creator–article distribution (Fig 1(a));
+//! * `bc` — frequent words in true vs false articles (Fig 1(b)/(c));
+//! * `d`  — top-20 subject credibility distribution (Fig 1(d));
+//! * `ef` — case-study creator label mixtures (Fig 1(e)/(f)).
+//!
+//! `cargo run --release -p fd-bench --bin fig1 [-- a|bc|d|ef|all] [--scale f]`
+
+use fd_data::{
+    creator_tally, generate, subject_tallies, word_frequencies, Credibility, GeneratorConfig,
+};
+use fd_graph::{degree_histogram, fit_power_law};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = 0.25f64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "a" | "bc" | "d" | "ef" | "all" => which = args[i].clone(),
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    eprintln!("[fig1] generating corpus at scale {scale} (seed {seed})…");
+    let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
+
+    if which == "a" || which == "all" {
+        println!("── Fig 1(a): creator-article power law ──");
+        let counts: Vec<usize> = (0..corpus.creators.len())
+            .map(|u| corpus.graph.articles_of_creator(u).len())
+            .collect();
+        let hist = degree_histogram(&counts);
+        println!("{:<22}{:>20}", "# published articles", "fraction of creators");
+        let total = corpus.creators.len() as f64;
+        // Log-spaced sample of the histogram, like the paper's log-log scatter.
+        let mut shown = 0;
+        let mut last_bucket = 0usize;
+        for (&degree, &n) in &hist {
+            let bucket = (degree as f64).log2() as usize;
+            if bucket != last_bucket || shown < 6 {
+                println!("{degree:<22}{:>20.5}", n as f64 / total);
+                last_bucket = bucket;
+                shown += 1;
+            }
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        println!("max articles by one creator: paper 599, generated {max}");
+        match fit_power_law(&counts, 2) {
+            Some(fit) => println!(
+                "power-law fit: alpha = {:.2} (x_min = {}, tail n = {})",
+                fit.alpha, fit.x_min, fit.n_tail
+            ),
+            None => println!("power-law fit: insufficient tail"),
+        }
+        println!();
+    }
+
+    if which == "bc" || which == "all" {
+        println!("── Fig 1(b): frequent words in TRUE articles ──");
+        for (word, count) in word_frequencies(&corpus, true, 20) {
+            println!("{word:<20}{count:>8}");
+        }
+        println!();
+        println!("── Fig 1(c): frequent words in FALSE articles ──");
+        for (word, count) in word_frequencies(&corpus, false, 20) {
+            println!("{word:<20}{count:>8}");
+        }
+        println!();
+    }
+
+    if which == "d" || which == "all" {
+        println!("── Fig 1(d): top-20 subject credibility distribution ──");
+        println!("{:<16}{:>8}{:>8}{:>10}", "subject", "true", "false", "true %");
+        for tally in subject_tallies(&corpus).into_iter().take(20) {
+            println!(
+                "{:<16}{:>8}{:>8}{:>9.1}%",
+                tally.name,
+                tally.true_count,
+                tally.false_count,
+                100.0 * tally.true_fraction()
+            );
+        }
+        println!("(paper: health 46.5% true of 1,572; economy 63.2% true of 1,498)");
+        println!();
+    }
+
+    if which == "ef" || which == "all" {
+        println!("── Fig 1(e)/(f): case-study creators ──");
+        let paper: [(&str, [u32; 6]); 4] = [
+            ("rep-archetype-heavy-false", [23, 60, 77, 112, 167, 75]),
+            ("rep-archetype-balanced", [4, 5, 14, 8, 13, 0]),
+            ("dem-archetype-mostly-true", [123, 165, 161, 70, 71, 9]),
+            ("dem-archetype-lean-true", [72, 76, 69, 41, 31, 7]),
+        ];
+        for (creator, (name, paper_mix)) in paper.iter().enumerate() {
+            let tally = creator_tally(&corpus, creator);
+            let total: usize = tally.iter().sum();
+            println!("{name} ({total} articles at this scale):");
+            for (k, label) in Credibility::ALL.iter().enumerate() {
+                let paper_total: u32 = paper_mix.iter().sum();
+                println!(
+                    "  {:<15} generated {:>4} ({:>4.1}%)   paper {:>4} ({:>4.1}%)",
+                    label.name(),
+                    tally[k],
+                    100.0 * tally[k] as f64 / total.max(1) as f64,
+                    paper_mix[k],
+                    100.0 * paper_mix[k] as f64 / paper_total as f64,
+                );
+            }
+        }
+    }
+}

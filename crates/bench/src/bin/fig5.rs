@@ -1,0 +1,25 @@
+//! Regenerates **Figure 5**: multi-class (6-way Truth-O-Meter) inference
+//! of articles (5(a)–(d)), creators (5(e)–(h)) and subjects (5(i)–(l)) —
+//! Accuracy, Macro-F1, Macro-Precision and Macro-Recall for all six
+//! methods across the θ grid.
+//!
+//! `cargo run --release -p fd-bench --bin fig5 [-- --quick|--full|--scale f|--folds n|--seed n]`
+
+use fd_baselines::default_baselines;
+use fd_bench::{run_sweep, save_results, SweepConfig};
+use fd_core::FakeDetector;
+use fd_data::{CredibilityModel, LabelMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = SweepConfig::from_args(&args);
+
+    let mut models: Vec<Box<dyn CredibilityModel>> = vec![Box::new(FakeDetector::default())];
+    models.extend(default_baselines());
+
+    let results = run_sweep(&config, LabelMode::MultiClass, &models);
+    for r in &results {
+        println!("{}", r.all_tables());
+    }
+    save_results("fig5", &results);
+}

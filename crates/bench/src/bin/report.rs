@@ -1,0 +1,53 @@
+//! Renders the `results/*.json` sweep outputs as the markdown tables
+//! EXPERIMENTS.md embeds.
+//!
+//! `cargo run --release -p fd-bench --bin report [-- results_dir]`
+
+use fd_metrics::{MetricKind, SweepResults};
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    for experiment in ["fig4", "fig5", "ablation"] {
+        for entity in ["articles", "creators", "subjects"] {
+            let path = format!("{dir}/{experiment}_{entity}.json");
+            let Ok(json) = std::fs::read_to_string(&path) else {
+                eprintln!("skipping {path} (not found)");
+                continue;
+            };
+            let results: SweepResults = match serde_json::from_str(&json) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("skipping {path}: {e}");
+                    continue;
+                }
+            };
+            println!("### {experiment} — {} ({})\n", results.entity, results.mode);
+            print_markdown(&results);
+        }
+    }
+}
+
+fn print_markdown(results: &SweepResults) {
+    for metric in MetricKind::ALL {
+        let m = MetricKind::ALL.iter().position(|&k| k == metric).expect("member");
+        println!("**{}**\n", metric.name());
+        print!("| method |");
+        for t in &results.thetas {
+            print!(" θ={t} |");
+        }
+        println!();
+        print!("|---|");
+        for _ in &results.thetas {
+            print!("---|");
+        }
+        println!();
+        for series in &results.series {
+            print!("| {} |", series.method);
+            for point in &series.values {
+                print!(" {:.3} |", point[m]);
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table 1** ("Properties of the Heterogeneous Networks"):
+//! node and link counts of the News-HSN, printed paper-vs-generated.
+//!
+//! `cargo run --release -p fd-bench --bin table1 [--scale f] [--seed n]`
+
+use fd_data::{generate, GeneratorConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    eprintln!("[table1] generating corpus at scale {scale} (seed {seed})…");
+    let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
+    corpus.validate().expect("generated corpus must validate");
+
+    println!("Table 1: Properties of the Heterogeneous Networks");
+    println!("{:<28}{:>12}{:>12}", "property", "paper", "generated");
+    let rows: [(&str, usize, usize); 5] = [
+        ("# node  articles", 14_055, corpus.articles.len()),
+        ("# node  creators", 3_634, corpus.creators.len()),
+        ("# node  subjects", 152, corpus.subjects.len()),
+        ("# link  creator-article", 14_055, corpus.graph.n_authorship_links()),
+        ("# link  article-subject", 48_756, corpus.graph.n_subject_links()),
+    ];
+    for (name, paper, generated) in rows {
+        let paper_scaled = if scale < 1.0 {
+            format!("~{}", (paper as f64 * scale) as usize)
+        } else {
+            paper.to_string()
+        };
+        println!("{name:<28}{paper_scaled:>12}{generated:>12}");
+    }
+    println!();
+    println!(
+        "articles per creator: paper 3.86, generated {:.2}",
+        corpus.articles.len() as f64 / corpus.creators.len() as f64
+    );
+    println!(
+        "subjects per article: paper ~3.47, generated {:.2}",
+        corpus.graph.n_subject_links() as f64 / corpus.articles.len() as f64
+    );
+}

@@ -1,0 +1,373 @@
+//! The experiment harness behind the `table1`, `fig1`, `fig4`, `fig5`
+//! and `ablation` binaries.
+//!
+//! [`run_sweep`] reproduces the paper's evaluation protocol (§5.1.1):
+//! 10-fold cross validation per entity type, a sampling ratio θ applied
+//! to the 9 training folds, every model trained on the same splits, and
+//! fold-merged confusion matrices reported as the four metrics of each
+//! figure.
+
+use fd_data::{
+    generate, sample_ratio, Corpus, CredibilityModel, CvSplits, ExplicitFeatures,
+    GeneratorConfig, LabelMode, Predictions, TokenizedCorpus, TrainSets,
+};
+use fd_graph::NodeType;
+use fd_metrics::{ConfusionMatrix, MetricKind, SweepResults};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Sweep parameters shared by the fig4/fig5/ablation binaries.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Corpus scale relative to the paper's crawl (1.0 = Table 1 sizes).
+    pub scale: f64,
+    /// The θ grid.
+    pub thetas: Vec<f64>,
+    /// How many of the 10 CV folds to run (the paper runs all 10; the
+    /// default keeps single-core wall-clock sane).
+    pub folds: usize,
+    /// Master seed (corpus, splits and model randomness derive from it).
+    pub seed: u64,
+    /// Explicit feature dimensionality `d`.
+    pub explicit_dim: usize,
+    /// Sequence length `q` for the GRU encoders.
+    pub seq_len: usize,
+    /// Vocabulary cap.
+    pub max_vocab: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.12,
+            thetas: vec![0.1, 0.4, 0.7, 1.0],
+            folds: 3,
+            seed: 42,
+            explicit_dim: 60,
+            seq_len: 12,
+            max_vocab: 6000,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The paper-scale protocol: full corpus, θ ∈ {0.1, …, 1.0}, all 10
+    /// folds. Expect this to run for many hours on one core.
+    pub fn full() -> Self {
+        Self {
+            scale: 1.0,
+            thetas: (1..=10).map(|t| t as f64 / 10.0).collect(),
+            folds: 10,
+            ..Self::default()
+        }
+    }
+
+    /// Parses `--scale`, `--folds`, `--seed`, `--full` and `--quick`
+    /// from a raw argument list, starting from the defaults.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => cfg = Self::full(),
+                "--quick" => {
+                    cfg.scale = 0.03;
+                    cfg.folds = 1;
+                    cfg.thetas = vec![0.1, 0.55, 1.0];
+                }
+                "--scale" => {
+                    i += 1;
+                    cfg.scale = args[i].parse().expect("--scale takes a float");
+                }
+                "--folds" => {
+                    i += 1;
+                    cfg.folds = args[i].parse().expect("--folds takes an integer");
+                }
+                "--seed" => {
+                    i += 1;
+                    cfg.seed = args[i].parse().expect("--seed takes an integer");
+                }
+                other => panic!("unknown argument {other}; see DESIGN.md"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Everything fixed across models within one (fold, θ) cell.
+pub struct PreparedCorpus {
+    /// The generated corpus.
+    pub corpus: Corpus,
+    /// Tokenisation + vocabulary (θ-independent).
+    pub tokenized: TokenizedCorpus,
+    /// Per-type CV splits.
+    pub splits: [CvSplits; 3],
+}
+
+/// Generates the corpus and the CV splits for a sweep.
+pub fn prepare(config: &SweepConfig) -> PreparedCorpus {
+    let corpus = generate(&GeneratorConfig::politifact().scaled(config.scale), config.seed);
+    let tokenized = TokenizedCorpus::build(&corpus, config.seq_len, config.max_vocab);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xcf);
+    let k_articles = 10.min(corpus.articles.len());
+    let k_creators = 10.min(corpus.creators.len());
+    let k_subjects = 10.min(corpus.subjects.len());
+    let splits = [
+        CvSplits::new(corpus.articles.len(), k_articles, &mut rng),
+        CvSplits::new(corpus.creators.len(), k_creators, &mut rng),
+        CvSplits::new(corpus.subjects.len(), k_subjects, &mut rng),
+    ];
+    PreparedCorpus { corpus, tokenized, splits }
+}
+
+impl PreparedCorpus {
+    /// Builds the train/test sets of one fold at one θ.
+    pub fn split(&self, fold: usize, theta: f64, seed: u64) -> (TrainSets, TrainSets) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (fold as u64) << 8 ^ (theta * 1000.0) as u64);
+        let (a_train, a_test) = self.splits[0].fold(fold % self.splits[0].k());
+        let (c_train, c_test) = self.splits[1].fold(fold % self.splits[1].k());
+        let (s_train, s_test) = self.splits[2].fold(fold % self.splits[2].k());
+        let train = TrainSets {
+            articles: sample_ratio(&a_train, theta, &mut rng),
+            creators: sample_ratio(&c_train, theta, &mut rng),
+            subjects: sample_ratio(&s_train, theta, &mut rng),
+        };
+        let test = TrainSets { articles: a_test, creators: c_test, subjects: s_test };
+        (train, test)
+    }
+}
+
+/// Scores predictions on the test indices into per-type confusion
+/// matrices.
+pub fn score(
+    corpus: &Corpus,
+    predictions: &Predictions,
+    test: &TrainSets,
+    mode: LabelMode,
+) -> [ConfusionMatrix; 3] {
+    let mut out = [
+        ConfusionMatrix::new(mode.n_classes()),
+        ConfusionMatrix::new(mode.n_classes()),
+        ConfusionMatrix::new(mode.n_classes()),
+    ];
+    for (slot, ty) in NodeType::ALL.iter().enumerate() {
+        for &idx in test.for_type(*ty) {
+            let truth = match ty {
+                NodeType::Article => corpus.articles[idx].label,
+                NodeType::Creator => corpus.creators[idx].label,
+                NodeType::Subject => corpus.subjects[idx].label,
+            };
+            out[slot].record(mode.target(truth), predictions.for_type(*ty)[idx]);
+        }
+    }
+    out
+}
+
+/// Runs the full θ × fold × model sweep for one label mode, returning
+/// one [`SweepResults`] per entity type (articles, creators, subjects).
+pub fn run_sweep(
+    config: &SweepConfig,
+    mode: LabelMode,
+    models: &[Box<dyn CredibilityModel>],
+) -> [SweepResults; 3] {
+    let prepared = prepare(config);
+    let mode_name = match mode {
+        LabelMode::Binary => "bi-class",
+        LabelMode::MultiClass => "multi-class",
+    };
+    eprintln!(
+        "[sweep] {} corpus: {} articles / {} creators / {} subjects; {} thetas x {} folds x {} models",
+        mode_name,
+        prepared.corpus.articles.len(),
+        prepared.corpus.creators.len(),
+        prepared.corpus.subjects.len(),
+        config.thetas.len(),
+        config.folds,
+        models.len()
+    );
+
+    // values[model][theta][type] -> merged confusion matrix
+    let mut merged: Vec<Vec<[ConfusionMatrix; 3]>> = models
+        .iter()
+        .map(|_| {
+            config
+                .thetas
+                .iter()
+                .map(|_| {
+                    [
+                        ConfusionMatrix::new(mode.n_classes()),
+                        ConfusionMatrix::new(mode.n_classes()),
+                        ConfusionMatrix::new(mode.n_classes()),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+
+    for (ti, &theta) in config.thetas.iter().enumerate() {
+        for fold in 0..config.folds {
+            let (train, test) = prepared.split(fold, theta, config.seed);
+            let explicit = ExplicitFeatures::extract(
+                &prepared.corpus,
+                &prepared.tokenized,
+                &train,
+                config.explicit_dim,
+            );
+            let ctx = fd_data::ExperimentContext {
+                corpus: &prepared.corpus,
+                tokenized: &prepared.tokenized,
+                explicit: &explicit,
+                train: &train,
+                mode,
+                seed: config.seed ^ (fold as u64) << 16 ^ (ti as u64) << 24,
+            };
+            for (mi, model) in models.iter().enumerate() {
+                let t0 = Instant::now();
+                let predictions = model.fit_predict(&ctx);
+                let cms = score(&prepared.corpus, &predictions, &test, mode);
+                for (slot, cm) in cms.iter().enumerate() {
+                    merged[mi][ti][slot].merge(cm);
+                }
+                eprintln!(
+                    "[sweep] θ={theta:<4} fold={fold} {:<13} {:.1}s",
+                    model.name(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+
+    let entities = ["articles", "creators", "subjects"];
+    let mut results: Vec<SweepResults> = entities
+        .iter()
+        .map(|e| SweepResults::new(e, mode_name, config.thetas.clone()))
+        .collect();
+    for (mi, model) in models.iter().enumerate() {
+        for (slot, result) in results.iter_mut().enumerate() {
+            let values: Vec<[f64; 4]> = (0..config.thetas.len())
+                .map(|ti| {
+                    let cm = &merged[mi][ti][slot];
+                    [
+                        cm.metric(MetricKind::Accuracy),
+                        cm.metric(MetricKind::F1),
+                        cm.metric(MetricKind::Precision),
+                        cm.metric(MetricKind::Recall),
+                    ]
+                })
+                .collect();
+            result.push(model.name(), values);
+        }
+    }
+    let mut iter = results.into_iter();
+    [
+        iter.next().expect("three results"),
+        iter.next().expect("three results"),
+        iter.next().expect("three results"),
+    ]
+}
+
+/// Writes a result set to `results/<name>.json` (best effort — the
+/// tables on stdout are the primary output).
+pub fn save_results(name: &str, results: &[SweepResults; 3]) {
+    let _ = std::fs::create_dir_all("results");
+    for r in results {
+        let path = format!("results/{name}_{}.json", r.entity);
+        if let Err(e) = std::fs::write(&path, r.to_json()) {
+            eprintln!("[sweep] could not write {path}: {e}");
+        } else {
+            eprintln!("[sweep] wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_baselines::SvmBaseline;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            scale: 0.012,
+            thetas: vec![0.5, 1.0],
+            folds: 1,
+            seed: 9,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn prepare_builds_consistent_splits() {
+        let cfg = tiny();
+        let p = prepare(&cfg);
+        let (train, test) = p.split(0, 1.0, cfg.seed);
+        assert_eq!(
+            train.articles.len() + test.articles.len(),
+            p.corpus.articles.len()
+        );
+        // θ shrinks only the training side.
+        let (small_train, same_test) = p.split(0, 0.2, cfg.seed);
+        assert!(small_train.articles.len() < train.articles.len());
+        assert_eq!(same_test.articles.len(), test.articles.len());
+    }
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let cfg = tiny();
+        let models: Vec<Box<dyn CredibilityModel>> = vec![Box::new(SvmBaseline::default())];
+        let results = run_sweep(&cfg, LabelMode::Binary, &models);
+        for r in &results {
+            assert_eq!(r.thetas.len(), 2);
+            assert_eq!(r.series.len(), 1);
+            assert_eq!(r.series[0].method, "svm");
+            for point in &r.series[0].values {
+                for v in point {
+                    assert!((0.0..=1.0).contains(v), "metric {v} out of range");
+                }
+            }
+        }
+        assert_eq!(results[0].entity, "articles");
+        assert_eq!(results[2].entity, "subjects");
+    }
+
+    #[test]
+    fn score_counts_only_test_entities() {
+        let cfg = tiny();
+        let p = prepare(&cfg);
+        let (_, test) = p.split(0, 1.0, cfg.seed);
+        let preds = fd_data::Predictions {
+            articles: vec![0; p.corpus.articles.len()],
+            creators: vec![0; p.corpus.creators.len()],
+            subjects: vec![0; p.corpus.subjects.len()],
+        };
+        let cms = score(&p.corpus, &preds, &test, LabelMode::Binary);
+        assert_eq!(cms[0].total() as usize, test.articles.len());
+        assert_eq!(cms[1].total() as usize, test.creators.len());
+        assert_eq!(cms[2].total() as usize, test.subjects.len());
+    }
+
+    #[test]
+    fn from_args_parses_flags() {
+        let cfg = SweepConfig::from_args(&[
+            "--scale".into(),
+            "0.2".into(),
+            "--folds".into(),
+            "3".into(),
+            "--seed".into(),
+            "7".into(),
+        ]);
+        assert_eq!(cfg.scale, 0.2);
+        assert_eq!(cfg.folds, 3);
+        assert_eq!(cfg.seed, 7);
+        let full = SweepConfig::from_args(&["--full".into()]);
+        assert_eq!(full.thetas.len(), 10);
+        assert_eq!(full.scale, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn from_args_rejects_garbage() {
+        let _ = SweepConfig::from_args(&["--bogus".into()]);
+    }
+}

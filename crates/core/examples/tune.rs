@@ -1,0 +1,90 @@
+//! Development harness: sweeps FakeDetector hyper-parameters against the
+//! SVM and LP baselines on a small corpus. Run with
+//! `cargo run --release -p fd-core --example tune`.
+
+use fd_baselines::{Propagation, SvmBaseline};
+use fd_core::{FakeDetector, FakeDetectorConfig};
+use fd_data::{
+    generate, sample_ratio, CredibilityModel, CvSplits, ExplicitFeatures, GeneratorConfig,
+    LabelMode, Predictions, TokenizedCorpus, TrainSets,
+};
+use fd_graph::NodeType;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(33u64);
+    let scale = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.015f64);
+    let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
+    let tokenized = TokenizedCorpus::build(&corpus, 12, 4000);
+    let mut rng = StdRng::seed_from_u64(seed ^ 7);
+    let a = CvSplits::new(corpus.articles.len(), 10, &mut rng);
+    let c = CvSplits::new(corpus.creators.len(), 10, &mut rng);
+    let s = CvSplits::new(corpus.subjects.len(), 6, &mut rng);
+    let (a_train, a_test) = a.fold(0);
+    let (c_train, c_test) = c.fold(0);
+    let (s_train, s_test) = s.fold(0);
+    let train = TrainSets {
+        articles: sample_ratio(&a_train, 1.0, &mut rng),
+        creators: sample_ratio(&c_train, 1.0, &mut rng),
+        subjects: sample_ratio(&s_train, 1.0, &mut rng),
+    };
+    let test = TrainSets { articles: a_test, creators: c_test, subjects: s_test };
+    let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 60);
+    let ctx = fd_data::ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode: LabelMode::Binary,
+        seed: 77,
+    };
+
+    let acc = |preds: &Predictions, ty: NodeType| -> f64 {
+        let ids = test.for_type(ty);
+        let correct = ids
+            .iter()
+            .filter(|&&i| {
+                let truth = match ty {
+                    NodeType::Article => corpus.articles[i].label,
+                    NodeType::Creator => corpus.creators[i].label,
+                    NodeType::Subject => corpus.subjects[i].label,
+                };
+                preds.for_type(ty)[i] == LabelMode::Binary.target(truth)
+            })
+            .count();
+        correct as f64 / ids.len() as f64
+    };
+
+    let svm = SvmBaseline::default().fit_predict(&ctx);
+    let lp = Propagation::default().fit_predict(&ctx);
+    println!(
+        "svm  art {:.3} cre {:.3} sub {:.3}",
+        acc(&svm, NodeType::Article),
+        acc(&svm, NodeType::Creator),
+        acc(&svm, NodeType::Subject)
+    );
+    println!(
+        "lp   art {:.3} cre {:.3} sub {:.3}",
+        acc(&lp, NodeType::Article),
+        acc(&lp, NodeType::Creator),
+        acc(&lp, NodeType::Subject)
+    );
+
+    for (label, cfg) in [
+        ("default", FakeDetectorConfig::default()),
+        ("e300 lr3e-2 p50", FakeDetectorConfig { epochs: 300, lr: 3e-2, patience: 50, ..Default::default() }),
+        ("e300 h48", FakeDetectorConfig { epochs: 300, lr: 3e-2, patience: 50, gdu_hidden: 48, ..Default::default() }),
+    ] {
+        let t0 = std::time::Instant::now();
+        let (preds, report) = FakeDetector::new(cfg).fit_predict_with_report(&ctx);
+        println!(
+            "FD {label:14} art {:.3} cre {:.3} sub {:.3}  loss {:.1}->{:.1}  ({:.1}s)",
+            acc(&preds, NodeType::Article),
+            acc(&preds, NodeType::Creator),
+            acc(&preds, NodeType::Subject),
+            report.losses[0],
+            report.losses.last().unwrap(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! FakeDetector hyper-parameters, including the ablation switches the
+//! DESIGN.md experiment index calls out.
+
+/// All tunables of the deep diffusive network.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FakeDetectorConfig {
+    /// Token-embedding width inside each HFLU's GRU.
+    pub embed_dim: usize,
+    /// GRU hidden width inside each HFLU.
+    pub gru_hidden: usize,
+    /// HFLU latent feature width (`x^l`).
+    pub latent_dim: usize,
+    /// GDU state width (`h_i`).
+    pub gdu_hidden: usize,
+    /// Diffusion rounds the GDU layer is unrolled for (≥ 1; the paper's
+    /// mutual data-flow resolved iteratively with shared weights).
+    pub diffusion_rounds: usize,
+    /// Maximum training epochs (full-graph steps); early stopping may
+    /// end training sooner.
+    pub epochs: usize,
+    /// Fraction of the training entities held out as a validation set
+    /// for early stopping (0 disables early stopping).
+    pub validation_fraction: f64,
+    /// Early-stopping patience: epochs without a validation-accuracy
+    /// improvement before training stops (best weights are restored).
+    pub patience: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// `α`, the weight of the L2 regulariser `L_reg(W)`.
+    pub reg_alpha: f32,
+    /// Global-norm gradient clip.
+    pub clip: f32,
+    /// Ablation: feed the explicit BoW half of HFLU (`x^e`).
+    pub use_explicit: bool,
+    /// Ablation: feed the latent GRU half of HFLU (`x^l`).
+    pub use_latent: bool,
+    /// Ablation: diffuse neighbour states (false ⇒ `z = t = 0`, reducing
+    /// GDU to a per-entity gated MLP).
+    pub use_diffusion: bool,
+    /// Ablation: apply the forget/adjust gates (false ⇒ both fixed to 1).
+    pub use_gates: bool,
+}
+
+impl Default for FakeDetectorConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 16,
+            gru_hidden: 24,
+            latent_dim: 24,
+            gdu_hidden: 24,
+            diffusion_rounds: 2,
+            epochs: 250,
+            validation_fraction: 0.15,
+            patience: 45,
+            lr: 3e-2,
+            reg_alpha: 1e-5,
+            clip: 10.0,
+            use_explicit: true,
+            use_latent: true,
+            use_diffusion: true,
+            use_gates: true,
+        }
+    }
+}
+
+impl FakeDetectorConfig {
+    /// HFLU output width given the explicit feature dimensionality `d`
+    /// of the run (the GDU's `x` input width).
+    pub fn hflu_out_dim(&self, explicit_dim: usize) -> usize {
+        let mut out = 0;
+        if self.use_explicit {
+            out += explicit_dim;
+        }
+        if self.use_latent {
+            out += self.latent_dim;
+        }
+        assert!(out > 0, "FakeDetectorConfig: at least one HFLU half must be enabled");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_model() {
+        let c = FakeDetectorConfig::default();
+        assert!(c.use_explicit && c.use_latent && c.use_diffusion && c.use_gates);
+        assert!(c.diffusion_rounds >= 1);
+    }
+
+    #[test]
+    fn hflu_out_dim_tracks_ablations() {
+        let mut c = FakeDetectorConfig::default();
+        assert_eq!(c.hflu_out_dim(60), 60 + c.latent_dim);
+        c.use_explicit = false;
+        assert_eq!(c.hflu_out_dim(60), c.latent_dim);
+        c.use_explicit = true;
+        c.use_latent = false;
+        assert_eq!(c.hflu_out_dim(60), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one HFLU half")]
+    fn both_halves_off_rejected() {
+        let c = FakeDetectorConfig {
+            use_explicit: false,
+            use_latent: false,
+            ..FakeDetectorConfig::default()
+        };
+        let _ = c.hflu_out_dim(60);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Hybrid Feature Learning Unit (Section 4.1, Figure 3(a)).
+//!
+//! `x_i = [(x^e_i)ᵀ, (x^l_i)ᵀ]ᵀ`: the explicit χ² bag-of-words feature
+//! (precomputed in `fd_data::ExplicitFeatures`, entering the tape as a
+//! constant) concatenated with the latent feature from a GRU over the
+//! token sequence with a sigmoid fusion layer (`fd_nn::GruEncoder`).
+
+use crate::FakeDetectorConfig;
+use fd_autograd::Var;
+use fd_data::ExperimentContext;
+use fd_graph::NodeType;
+use fd_nn::{Binding, GruEncoder, ParamId, Params};
+use fd_tensor::Matrix;
+use fd_text::PAD_ID;
+use rand::Rng;
+
+/// One node type's HFLU: the latent encoder plus the ablation switches.
+#[derive(Debug, Clone)]
+pub struct Hflu {
+    encoder: Option<GruEncoder>,
+    use_explicit: bool,
+    out_dim: usize,
+    node_type: NodeType,
+}
+
+impl Hflu {
+    /// Builds the HFLU for one node type. The GRU encoder is only
+    /// allocated when the latent half is enabled.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        node_type: NodeType,
+        vocab_size: usize,
+        explicit_dim: usize,
+        config: &FakeDetectorConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let encoder = config.use_latent.then(|| {
+            GruEncoder::new(
+                params,
+                &format!("{name}.encoder"),
+                vocab_size,
+                config.embed_dim,
+                config.gru_hidden,
+                config.latent_dim,
+                PAD_ID,
+                rng,
+            )
+        });
+        Self {
+            encoder,
+            use_explicit: config.use_explicit,
+            out_dim: config.hflu_out_dim(explicit_dim),
+            node_type,
+        }
+    }
+
+    /// Encodes entity `idx`: `[x^e | x^l]` as a `1 x out_dim` row.
+    pub fn encode(&self, bind: &Binding, ctx: &ExperimentContext<'_>, idx: usize) -> Var {
+        self.encode_raw(
+            bind,
+            ctx.explicit.feature(self.node_type, idx).clone(),
+            ctx.tokenized.sequence(self.node_type, idx),
+        )
+    }
+
+    /// Encodes raw inputs — an explicit feature row plus a token-id
+    /// sequence — for entities that are not part of the corpus (the
+    /// inductive new-article path of `TrainedFakeDetector`).
+    pub fn encode_raw(&self, bind: &Binding, explicit_row: Matrix, sequence: &[usize]) -> Var {
+        let tape = bind.tape();
+        let explicit = self.use_explicit.then(|| tape.leaf(explicit_row));
+        let latent = self.encoder.as_ref().map(|enc| enc.encode(bind, sequence));
+        match (explicit, latent) {
+            (Some(e), Some(l)) => tape.concat_cols(e, l),
+            (Some(e), None) => e,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("config validation forbids both halves off"),
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Trainable parameter handles (empty in the explicit-only ablation).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.encoder.as_ref().map(GruEncoder::param_ids).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_autograd::Tape;
+    use fd_data::{
+        generate, CvSplits, ExplicitFeatures, GeneratorConfig, LabelMode, TokenizedCorpus,
+        TrainSets,
+    };
+    use rand::{rngs::StdRng, SeedableRng};
+
+    struct Fixture {
+        corpus: fd_data::Corpus,
+        tokenized: TokenizedCorpus,
+        explicit: ExplicitFeatures,
+        train: TrainSets,
+    }
+
+    fn fixture() -> Fixture {
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), 3);
+        let tokenized = TokenizedCorpus::build(&corpus, 12, 3000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+        };
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+        Fixture { corpus, tokenized, explicit, train }
+    }
+
+    fn ctx(f: &Fixture) -> ExperimentContext<'_> {
+        ExperimentContext {
+            corpus: &f.corpus,
+            tokenized: &f.tokenized,
+            explicit: &f.explicit,
+            train: &f.train,
+            mode: LabelMode::Binary,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn full_hflu_concatenates_both_halves() {
+        let f = fixture();
+        let c = ctx(&f);
+        let config = FakeDetectorConfig::default();
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hflu = Hflu::new(
+            &mut params,
+            "hflu.article",
+            NodeType::Article,
+            c.tokenized.vocab.id_space(),
+            40,
+            &config,
+            &mut rng,
+        );
+        assert_eq!(hflu.out_dim(), 40 + config.latent_dim);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &params);
+        let x = hflu.encode(&bind, &c, 0);
+        assert_eq!(tape.shape(x), (1, hflu.out_dim()));
+        // Explicit half is the stored feature verbatim.
+        let v = tape.value(x);
+        let expected = c.explicit.feature(NodeType::Article, 0);
+        for i in 0..40 {
+            assert_eq!(v[(0, i)], expected[(0, i)]);
+        }
+    }
+
+    #[test]
+    fn explicit_only_ablation_has_no_params() {
+        let f = fixture();
+        let c = ctx(&f);
+        let config = FakeDetectorConfig { use_latent: false, ..FakeDetectorConfig::default() };
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hflu = Hflu::new(
+            &mut params,
+            "h",
+            NodeType::Creator,
+            c.tokenized.vocab.id_space(),
+            40,
+            &config,
+            &mut rng,
+        );
+        assert!(hflu.param_ids().is_empty());
+        assert_eq!(params.len(), 0);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &params);
+        let x = hflu.encode(&bind, &c, 0);
+        assert_eq!(tape.shape(x), (1, 40));
+    }
+
+    #[test]
+    fn latent_only_ablation_matches_encoder_width() {
+        let f = fixture();
+        let c = ctx(&f);
+        let config = FakeDetectorConfig { use_explicit: false, ..FakeDetectorConfig::default() };
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hflu = Hflu::new(
+            &mut params,
+            "h",
+            NodeType::Subject,
+            c.tokenized.vocab.id_space(),
+            40,
+            &config,
+            &mut rng,
+        );
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &params);
+        let x = hflu.encode(&bind, &c, 0);
+        assert_eq!(tape.shape(x), (1, config.latent_dim));
+        // Latent half is a sigmoid output: strictly in (0, 1).
+        assert!(tape.value(x).as_slice().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+}

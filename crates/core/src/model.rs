@@ -1,0 +1,308 @@
+//! The deep diffusive network: HFLU + GDU per node type, unrolled
+//! diffusion over the News-HSN, joint training (Section 4.3).
+
+use crate::trained::TrainedFakeDetector;
+use crate::{FakeDetectorConfig, GduCell, Hflu};
+use fd_autograd::{Tape, Var};
+use fd_data::{CredibilityModel, ExperimentContext, Predictions};
+use fd_graph::NodeType;
+use fd_nn::{clip_global_norm, Adam, Binding, Linear, Optimizer, ParamId, Params};
+use fd_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed-mixing constant for the internal validation split.
+const VAL_SPLIT_MIX: u64 = 0x7a11_da7e;
+
+fn type_slot(ty: NodeType) -> usize {
+    match ty {
+        NodeType::Article => 0,
+        NodeType::Creator => 1,
+        NodeType::Subject => 2,
+    }
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainReport {
+    /// Total loss (cross-entropy + α·L2) per epoch.
+    pub losses: Vec<f32>,
+    /// Pre-clip global gradient norm per epoch.
+    pub grad_norms: Vec<f32>,
+}
+
+/// The assembled network: parameter store plus the per-type components.
+///
+/// Construction is deterministic in `(config, dims, seed)`; rebuilding
+/// over an existing [`Params`] store (same names, insertion order)
+/// re-attaches to the stored weights, which is how deserialisation works.
+pub(crate) struct Network {
+    pub params: Params,
+    pub hflu: [Hflu; 3],
+    pub gdu: [GduCell; 3],
+    pub heads: [Linear; 3],
+    pub reg_ids: Vec<ParamId>,
+}
+
+/// Structural dimensions a network was built for; persisted alongside
+/// the weights so a loaded model can verify its context matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub(crate) struct NetworkDims {
+    pub vocab: usize,
+    pub explicit_dim: usize,
+    pub n_classes: usize,
+}
+
+impl Network {
+    /// Builds (or re-attaches to) the network components over `params`.
+    pub fn build(
+        config: &FakeDetectorConfig,
+        dims: NetworkDims,
+        mut params: Params,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hflu: [Hflu; 3] = [
+            Hflu::new(&mut params, "hflu.article", NodeType::Article, dims.vocab, dims.explicit_dim, config, &mut rng),
+            Hflu::new(&mut params, "hflu.creator", NodeType::Creator, dims.vocab, dims.explicit_dim, config, &mut rng),
+            Hflu::new(&mut params, "hflu.subject", NodeType::Subject, dims.vocab, dims.explicit_dim, config, &mut rng),
+        ];
+        let x_dim = config.hflu_out_dim(dims.explicit_dim);
+        let gdu: [GduCell; 3] = [
+            GduCell::new(&mut params, "gdu.article", x_dim, config.gdu_hidden, &mut rng),
+            GduCell::new(&mut params, "gdu.creator", x_dim, config.gdu_hidden, &mut rng),
+            GduCell::new(&mut params, "gdu.subject", x_dim, config.gdu_hidden, &mut rng),
+        ];
+        let heads: [Linear; 3] = [
+            Linear::new(&mut params, "head.article", config.gdu_hidden, dims.n_classes, &mut rng),
+            Linear::new(&mut params, "head.creator", config.gdu_hidden, dims.n_classes, &mut rng),
+            Linear::new(&mut params, "head.subject", config.gdu_hidden, dims.n_classes, &mut rng),
+        ];
+        let reg_ids: Vec<ParamId> = hflu
+            .iter()
+            .flat_map(Hflu::param_ids)
+            .chain(gdu.iter().flat_map(GduCell::param_ids))
+            .chain(heads.iter().flat_map(Linear::param_ids))
+            .collect();
+        Self { params, hflu, gdu, heads, reg_ids }
+    }
+
+    /// Full-graph forward: HFLU features once, then `diffusion_rounds`
+    /// synchronous GDU updates. Round 0 sees zero neighbour states, so
+    /// with `L` rounds information travels `L` hops — the unrolled
+    /// reading of Figure 3(c)'s mutual data flow.
+    pub fn forward_states(
+        &self,
+        config: &FakeDetectorConfig,
+        bind: &Binding<'_>,
+        ctx: &ExperimentContext<'_>,
+    ) -> [Vec<Var>; 3] {
+        let tape = bind.tape();
+        let graph = &ctx.corpus.graph;
+        let feats: [Vec<Var>; 3] = [
+            (0..graph.n_articles()).map(|i| self.hflu[0].encode(bind, ctx, i)).collect(),
+            (0..graph.n_creators()).map(|i| self.hflu[1].encode(bind, ctx, i)).collect(),
+            (0..graph.n_subjects()).map(|i| self.hflu[2].encode(bind, ctx, i)).collect(),
+        ];
+        let zero = tape.leaf(Matrix::zeros(1, config.gdu_hidden));
+        let mut states: [Vec<Var>; 3] = [
+            vec![zero; graph.n_articles()],
+            vec![zero; graph.n_creators()],
+            vec![zero; graph.n_subjects()],
+        ];
+        let rounds = config.diffusion_rounds.max(1);
+        for _round in 0..rounds {
+            let mut next: [Vec<Var>; 3] = [
+                Vec::with_capacity(graph.n_articles()),
+                Vec::with_capacity(graph.n_creators()),
+                Vec::with_capacity(graph.n_subjects()),
+            ];
+            for a in 0..graph.n_articles() {
+                let (z, t_in) = if config.use_diffusion {
+                    let subjects = graph.subjects_of_article(a);
+                    let z = if subjects.is_empty() {
+                        zero
+                    } else {
+                        let vars: Vec<Var> = subjects.iter().map(|&s| states[2][s]).collect();
+                        tape.mean_n(&vars)
+                    };
+                    let t_in = graph.author_of(a).map_or(zero, |u| states[1][u]);
+                    (z, t_in)
+                } else {
+                    (zero, zero)
+                };
+                next[0].push(self.gdu[0].forward(bind, feats[0][a], z, t_in, config.use_gates));
+            }
+            for u in 0..graph.n_creators() {
+                let z = self.aggregate(config, bind, &states[0], graph.articles_of_creator(u), zero);
+                next[1].push(self.gdu[1].forward(bind, feats[1][u], z, zero, config.use_gates));
+            }
+            for s in 0..graph.n_subjects() {
+                let z = self.aggregate(config, bind, &states[0], graph.articles_of_subject(s), zero);
+                next[2].push(self.gdu[2].forward(bind, feats[2][s], z, zero, config.use_gates));
+            }
+            states = next;
+        }
+        states
+    }
+
+    /// Mean of the listed article states, or the zero state when
+    /// diffusion is ablated or the list is empty.
+    fn aggregate(
+        &self,
+        config: &FakeDetectorConfig,
+        bind: &Binding<'_>,
+        article_states: &[Var],
+        articles: &[usize],
+        zero: Var,
+    ) -> Var {
+        if !config.use_diffusion || articles.is_empty() {
+            return zero;
+        }
+        let vars: Vec<Var> = articles.iter().map(|&a| article_states[a]).collect();
+        bind.tape().mean_n(&vars)
+    }
+
+    /// A deep copy of the current weights (early-stopping snapshots).
+    pub fn params_snapshot(&self) -> Params {
+        self.params.clone()
+    }
+}
+
+/// The FakeDetector model (configuration only; parameters are built
+/// fresh inside each `fit` call, making runs independent and
+/// deterministic in the context seed).
+#[derive(Debug, Clone, Default)]
+pub struct FakeDetector {
+    /// Hyper-parameters and ablation switches.
+    pub config: FakeDetectorConfig,
+}
+
+impl FakeDetector {
+    /// A model with the given configuration.
+    pub fn new(config: FakeDetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Trains the deep diffusive network on the context's train sets and
+    /// returns the trained model (weights + diagnostics), usable for
+    /// transductive prediction, inductive new-article scoring and
+    /// (de)serialisation.
+    pub fn fit(&self, ctx: &ExperimentContext<'_>) -> TrainedFakeDetector {
+        let cfg = &self.config;
+        let dims = NetworkDims {
+            vocab: ctx.tokenized.vocab.id_space(),
+            explicit_dim: ctx.explicit.dim,
+            n_classes: ctx.n_classes(),
+        };
+        let seed = ctx.seed ^ 0xfa_ce_de_7e;
+        let mut network = Network::build(cfg, dims, Params::new(), seed);
+        let mut optimizer = Adam::new(cfg.lr);
+        let mut report = TrainReport::default();
+
+        // Hold out a slice of the training entities for early stopping;
+        // validation logits fall out of the same forward pass for free.
+        let mut items: Vec<(NodeType, usize, usize)> = ctx.train_items();
+        let mut split_rng = StdRng::seed_from_u64(seed ^ VAL_SPLIT_MIX);
+        use rand::seq::SliceRandom;
+        items.shuffle(&mut split_rng);
+        let n_val = if cfg.validation_fraction > 0.0 {
+            ((items.len() as f64 * cfg.validation_fraction) as usize).min(items.len() - 1)
+        } else {
+            0
+        };
+        let (val_items, fit_items) = items.split_at(n_val);
+        assert!(!fit_items.is_empty(), "FakeDetector: empty training set");
+
+        let mut best: Option<(f64, Params)> = None;
+        let mut since_best = 0usize;
+        for _epoch in 0..cfg.epochs {
+            let tape = Tape::with_capacity(1 << 16);
+            let binding = Binding::new(&tape, &network.params);
+            let states = network.forward_states(cfg, &binding, ctx);
+
+            // The paper's objective: L(T_n) + L(T_u) + L(T_s) + α L_reg.
+            let mut losses: Vec<Var> = Vec::with_capacity(fit_items.len() + 1);
+            for &(ty, idx, target) in fit_items {
+                let slot = type_slot(ty);
+                let logits = network.heads[slot].forward(&binding, states[slot][idx]);
+                losses.push(tape.softmax_cross_entropy(logits, target));
+            }
+            if cfg.reg_alpha > 0.0 && !network.reg_ids.is_empty() {
+                let reg = binding.l2_term(&network.reg_ids);
+                losses.push(tape.scale(reg, cfg.reg_alpha));
+            }
+            let loss = tape.sum_n(&losses);
+            tape.backward(loss);
+            let mut grads = binding.grads();
+            let norm = clip_global_norm(&mut grads, cfg.clip);
+            let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
+
+            // Validation accuracy from the pre-update forward pass,
+            // macro-averaged over entity types so the article-heavy
+            // validation pool does not drown out creators/subjects.
+            if n_val > 0 {
+                let mut correct = [0usize; 3];
+                let mut total = [0usize; 3];
+                for &(ty, idx, target) in val_items {
+                    let slot = type_slot(ty);
+                    let logits = network.heads[slot].forward(&binding, states[slot][idx]);
+                    total[slot] += 1;
+                    if tape.with_value(logits, |m| m.row_argmax(0).index) == target {
+                        correct[slot] += 1;
+                    }
+                }
+                let (mut acc_sum, mut types_present) = (0.0f64, 0usize);
+                for slot in 0..3 {
+                    if total[slot] > 0 {
+                        acc_sum += correct[slot] as f64 / total[slot] as f64;
+                        types_present += 1;
+                    }
+                }
+                let acc = acc_sum / types_present.max(1) as f64;
+                if best.as_ref().is_none_or(|(b, _)| acc > *b) {
+                    best = Some((acc, network.params_snapshot()));
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                }
+            }
+
+            drop(binding);
+            drop(tape);
+            optimizer.apply(&mut network.params, &grads);
+            report.losses.push(loss_value);
+            report.grad_norms.push(norm);
+            if n_val > 0 && since_best >= cfg.patience {
+                break;
+            }
+        }
+        if let Some((_, best_params)) = best {
+            network.params = best_params;
+        }
+
+        TrainedFakeDetector::from_parts(self.config.clone(), dims, seed, network, report)
+    }
+
+    /// Trains and predicts, also returning the loss curve — used by the
+    /// examples and the ablation harness; `fit_predict` discards it.
+    pub fn fit_predict_with_report(
+        &self,
+        ctx: &ExperimentContext<'_>,
+    ) -> (Predictions, TrainReport) {
+        let trained = self.fit(ctx);
+        let predictions = trained.predict(ctx);
+        let report = trained.report().clone();
+        (predictions, report)
+    }
+}
+
+impl CredibilityModel for FakeDetector {
+    fn name(&self) -> &'static str {
+        "FakeDetector"
+    }
+
+    fn fit_predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
+        self.fit_predict_with_report(ctx).0
+    }
+}

@@ -1,0 +1,202 @@
+//! A trained FakeDetector: transductive prediction, probability scores,
+//! inductive scoring of *unseen* articles, and weight (de)serialisation.
+//!
+//! Inductive scoring addresses the paper's motivating goal of detecting
+//! fake news *timely*: a statement that has just appeared can be scored
+//! against the already-trained network without retraining, using its
+//! author's and subjects' diffused states.
+
+use crate::model::{Network, NetworkDims};
+use crate::{FakeDetectorConfig, TrainReport};
+use fd_autograd::{Tape, Var};
+use fd_data::{ExperimentContext, Predictions};
+use fd_graph::NodeType;
+use fd_nn::{Binding, Params};
+use fd_tensor::softmax_in_place;
+use fd_text::{encode_sequence, Tokenizer};
+use serde::{Deserialize, Serialize};
+
+/// The weights and metadata of a fitted model.
+pub struct TrainedFakeDetector {
+    config: FakeDetectorConfig,
+    dims: NetworkDims,
+    seed: u64,
+    network: Network,
+    report: TrainReport,
+}
+
+/// Serialised form (weights as a name→matrix map via `Params`).
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    config: FakeDetectorConfig,
+    dims: NetworkDims,
+    seed: u64,
+    params_json: String,
+    report: TrainReport,
+}
+
+impl TrainedFakeDetector {
+    pub(crate) fn from_parts(
+        config: FakeDetectorConfig,
+        dims: NetworkDims,
+        seed: u64,
+        network: Network,
+        report: TrainReport,
+    ) -> Self {
+        Self { config, dims, seed, network, report }
+    }
+
+    /// The training diagnostics recorded during `fit`.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &FakeDetectorConfig {
+        &self.config
+    }
+
+    /// Checks that a context matches the dimensions this model was
+    /// trained for; all prediction entry points call this.
+    fn check_ctx(&self, ctx: &ExperimentContext<'_>) {
+        assert_eq!(
+            ctx.tokenized.vocab.id_space(),
+            self.dims.vocab,
+            "TrainedFakeDetector: vocabulary size changed since training"
+        );
+        assert_eq!(
+            ctx.explicit.dim, self.dims.explicit_dim,
+            "TrainedFakeDetector: explicit feature width changed since training"
+        );
+        assert_eq!(
+            ctx.n_classes(),
+            self.dims.n_classes,
+            "TrainedFakeDetector: label mode changed since training"
+        );
+    }
+
+    /// Arg-max predictions for every entity in the context's corpus.
+    pub fn predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
+        self.check_ctx(ctx);
+        let tape = Tape::with_capacity(1 << 16);
+        let binding = Binding::new(&tape, &self.network.params);
+        let states = self.network.forward_states(&self.config, &binding, ctx);
+        let mut predictions = Predictions::zeroed(ctx);
+        for (slot, ty) in NodeType::ALL.iter().enumerate() {
+            let out = predictions.for_type_mut(*ty);
+            for (idx, slot_out) in out.iter_mut().enumerate() {
+                let logits = self.network.heads[slot].forward(&binding, states[slot][idx]);
+                *slot_out = tape.with_value(logits, |m| m.row_argmax(0).index);
+            }
+        }
+        predictions
+    }
+
+    /// Per-class probabilities for every entity, type-slot indexed
+    /// (articles, creators, subjects).
+    pub fn predict_proba(&self, ctx: &ExperimentContext<'_>) -> [Vec<Vec<f32>>; 3] {
+        self.check_ctx(ctx);
+        let tape = Tape::with_capacity(1 << 16);
+        let binding = Binding::new(&tape, &self.network.params);
+        let states = self.network.forward_states(&self.config, &binding, ctx);
+        let mut out: [Vec<Vec<f32>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (slot, states_of_type) in states.iter().enumerate() {
+            out[slot] = states_of_type
+                .iter()
+                .map(|&state| {
+                    let logits = self.network.heads[slot].forward(&binding, state);
+                    let mut probs = tape.value(logits).into_vec();
+                    softmax_in_place(&mut probs);
+                    probs
+                })
+                .collect();
+        }
+        out
+    }
+
+    /// **Inductive** scoring of an article that is *not* in the corpus:
+    /// its text is featurised with the trained word sets and vocabulary,
+    /// and one article-GDU step is run against the diffused states of
+    /// its (existing) creator and subjects. Returns per-class
+    /// probabilities under the training label mode.
+    ///
+    /// # Panics
+    /// Panics when `creator`/`subjects` indices are out of range.
+    pub fn score_new_article(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        text: &str,
+        creator: Option<usize>,
+        subjects: &[usize],
+    ) -> Vec<f32> {
+        self.check_ctx(ctx);
+        if let Some(u) = creator {
+            assert!(u < ctx.corpus.creators.len(), "score_new_article: creator {u} out of range");
+        }
+        assert!(
+            subjects.iter().all(|&s| s < ctx.corpus.subjects.len()),
+            "score_new_article: subject out of range"
+        );
+
+        let tokens = Tokenizer::default().tokenize(text);
+        let explicit = ctx.explicit.featurise_tokens(NodeType::Article, &tokens);
+        let sequence = encode_sequence(&tokens, &ctx.tokenized.vocab, ctx.tokenized.seq_len);
+
+        let tape = Tape::with_capacity(1 << 16);
+        let binding = Binding::new(&tape, &self.network.params);
+        let states = self.network.forward_states(&self.config, &binding, ctx);
+
+        let x = self.network.hflu[0].encode_raw(&binding, explicit, &sequence);
+        let zero = tape.leaf(fd_tensor::Matrix::zeros(1, self.config.gdu_hidden));
+        let z = if subjects.is_empty() || !self.config.use_diffusion {
+            zero
+        } else {
+            let vars: Vec<Var> = subjects.iter().map(|&s| states[2][s]).collect();
+            tape.mean_n(&vars)
+        };
+        let t_in = match creator {
+            Some(u) if self.config.use_diffusion => states[1][u],
+            _ => zero,
+        };
+        let h = self.network.gdu[0].forward(&binding, x, z, t_in, self.config.use_gates);
+        let logits = self.network.heads[0].forward(&binding, h);
+        let mut probs = tape.value(logits).into_vec();
+        softmax_in_place(&mut probs);
+        probs
+    }
+
+    /// Serialises config + dimensions + weights + diagnostics to JSON.
+    pub fn to_json(&self) -> String {
+        let saved = SavedModel {
+            config: self.config.clone(),
+            dims: self.dims,
+            seed: self.seed,
+            params_json: self.network.params.to_json(),
+            report: self.report.clone(),
+        };
+        serde_json::to_string(&saved).expect("TrainedFakeDetector serialisation cannot fail")
+    }
+
+    /// Restores a model saved with [`TrainedFakeDetector::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let saved: SavedModel = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let params = Params::from_json(&saved.params_json).map_err(|e| e.to_string())?;
+        let expected = params.len();
+        // Rebuild re-attaches by name; the RNG is only consulted for
+        // parameters missing from the store, of which there must be none.
+        let network = Network::build(&saved.config, saved.dims, params, saved.seed);
+        if network.params.len() != expected {
+            return Err(format!(
+                "saved weights incomplete: rebuild added {} parameters",
+                network.params.len() - expected
+            ));
+        }
+        Ok(Self {
+            config: saved.config,
+            dims: saved.dims,
+            seed: saved.seed,
+            network,
+            report: saved.report,
+        })
+    }
+}

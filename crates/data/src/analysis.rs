@@ -1,0 +1,160 @@
+//! The Section-3 dataset analyses: word frequencies (Fig 1(b)/(c)),
+//! subject tallies (Fig 1(d)) and creator case studies (Fig 1(e)/(f)).
+
+use crate::Corpus;
+use fd_text::Tokenizer;
+use std::collections::HashMap;
+
+/// True/false article counts for one subject (one bar pair of Fig 1(d)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectTally {
+    /// Subject index in the corpus.
+    pub subject: usize,
+    /// Subject display name.
+    pub name: String,
+    /// Articles in the {True, Mostly True, Half True} group.
+    pub true_count: usize,
+    /// Articles in the {Mostly False, False, Pants on Fire!} group.
+    pub false_count: usize,
+}
+
+impl SubjectTally {
+    /// Total articles under the subject.
+    pub fn total(&self) -> usize {
+        self.true_count + self.false_count
+    }
+
+    /// Fraction of true-group articles (`NaN`-free: 0 for empty subjects).
+    pub fn true_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.true_count as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Top-`k` stop-word-filtered word frequencies over articles in the given
+/// label group (`true_group = true` reproduces Fig 1(b), `false`
+/// Fig 1(c)). Ties break alphabetically for determinism.
+pub fn word_frequencies(corpus: &Corpus, true_group: bool, k: usize) -> Vec<(String, u64)> {
+    let tokenizer = Tokenizer::default();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for article in &corpus.articles {
+        if article.label.is_true_group() != true_group {
+            continue;
+        }
+        for token in tokenizer.tokenize(&article.text) {
+            *counts.entry(token).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(String, u64)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Per-subject true/false tallies sorted by article count descending —
+/// take the first 20 for Fig 1(d).
+pub fn subject_tallies(corpus: &Corpus) -> Vec<SubjectTally> {
+    let mut tallies: Vec<SubjectTally> = (0..corpus.subjects.len())
+        .map(|s| {
+            let mut t = SubjectTally {
+                subject: s,
+                name: corpus.subjects[s].name.clone(),
+                true_count: 0,
+                false_count: 0,
+            };
+            for &a in corpus.graph.articles_of_subject(s) {
+                if corpus.articles[a].label.is_true_group() {
+                    t.true_count += 1;
+                } else {
+                    t.false_count += 1;
+                }
+            }
+            t
+        })
+        .collect();
+    tallies.sort_by(|a, b| b.total().cmp(&a.total()).then_with(|| a.subject.cmp(&b.subject)));
+    tallies
+}
+
+/// The 6-class label histogram of one creator's articles, in
+/// [`Credibility::ALL`] order — one pie of Fig 1(e)/(f).
+pub fn creator_tally(corpus: &Corpus, creator: usize) -> [usize; 6] {
+    let mut histogram = [0usize; 6];
+    for &a in corpus.graph.articles_of_creator(creator) {
+        histogram[corpus.articles[a].label.class_index()] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    fn corpus() -> Corpus {
+        generate(&GeneratorConfig::politifact().scaled(0.02), 17)
+    }
+
+    #[test]
+    fn word_frequencies_split_by_group() {
+        let c = corpus();
+        let true_words = word_frequencies(&c, true, 30);
+        let false_words = word_frequencies(&c, false, 30);
+        assert!(!true_words.is_empty() && !false_words.is_empty());
+        // Frequencies are sorted descending.
+        for w in true_words.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The signature separation of Fig 1(b)/(c): at least one
+        // true-pool word in the true top-30 that is absent from the
+        // false top-30 and vice versa.
+        let t_set: Vec<&str> = true_words.iter().map(|(w, _)| w.as_str()).collect();
+        let f_set: Vec<&str> = false_words.iter().map(|(w, _)| w.as_str()).collect();
+        assert!(t_set.iter().any(|w| !f_set.contains(w)));
+        assert!(f_set.iter().any(|w| !t_set.contains(w)));
+    }
+
+    #[test]
+    fn subject_tallies_sum_to_link_count() {
+        let c = corpus();
+        let tallies = subject_tallies(&c);
+        let total: usize = tallies.iter().map(SubjectTally::total).sum();
+        assert_eq!(total, c.graph.n_subject_links());
+        // Sorted descending by volume.
+        for w in tallies.windows(2) {
+            assert!(w[0].total() >= w[1].total());
+        }
+    }
+
+    #[test]
+    fn creator_tally_counts_all_articles() {
+        let c = corpus();
+        for creator in 0..4 {
+            let tally = creator_tally(&c, creator);
+            let total: usize = tally.iter().sum();
+            assert_eq!(total, c.graph.articles_of_creator(creator).len());
+        }
+    }
+
+    #[test]
+    fn archetype_tallies_echo_fig1ef() {
+        let c = corpus();
+        let heavy_false = creator_tally(&c, 0);
+        let mostly_true = creator_tally(&c, 2);
+        let false_share = |t: &[usize; 6]| {
+            let total: usize = t.iter().sum();
+            (t[3] + t[4] + t[5]) as f64 / total.max(1) as f64
+        };
+        assert!(false_share(&heavy_false) > 0.5);
+        assert!(false_share(&mostly_true) < 0.4);
+    }
+
+    #[test]
+    fn true_fraction_handles_empty_subject() {
+        let t = SubjectTally { subject: 0, name: "x".into(), true_count: 0, false_count: 0 };
+        assert_eq!(t.true_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The corpus container: entities plus their News-HSN.
+
+use crate::Credibility;
+use fd_graph::HetGraph;
+use serde::{Deserialize, Serialize};
+
+/// A news article (Definition 2.1): textual content + credibility label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Article {
+    /// The statement text.
+    pub text: String,
+    /// Ground-truth Truth-O-Meter rating.
+    pub label: Credibility,
+}
+
+/// A news creator (Definition 2.3): profile text + credibility label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Creator {
+    /// Display name.
+    pub name: String,
+    /// Profile/background text (title, party, location …).
+    pub profile: String,
+    /// Ground-truth label derived from the creator's article scores.
+    pub label: Credibility,
+}
+
+/// A news subject (Definition 2.2): description text + credibility label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Subject {
+    /// Topic name ("health", "economy", …).
+    pub name: String,
+    /// Topic description text.
+    pub description: String,
+    /// Ground-truth label derived from the subject's article scores.
+    pub label: Credibility,
+}
+
+/// A full News-HSN dataset: entity payloads plus graph structure.
+///
+/// Invariant: `graph.n_articles() == articles.len()` (and likewise for
+/// creators and subjects); entity index == graph node index within the
+/// type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Articles, indexed as in the graph.
+    pub articles: Vec<Article>,
+    /// Creators, indexed as in the graph.
+    pub creators: Vec<Creator>,
+    /// Subjects, indexed as in the graph.
+    pub subjects: Vec<Subject>,
+    /// The heterogeneous network over the three entity sets.
+    pub graph: HetGraph,
+}
+
+impl Corpus {
+    /// Checks the index alignment invariant; call after deserialising
+    /// external data.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.graph.n_articles() != self.articles.len() {
+            return Err(format!(
+                "graph has {} articles, corpus has {}",
+                self.graph.n_articles(),
+                self.articles.len()
+            ));
+        }
+        if self.graph.n_creators() != self.creators.len() {
+            return Err(format!(
+                "graph has {} creators, corpus has {}",
+                self.graph.n_creators(),
+                self.creators.len()
+            ));
+        }
+        if self.graph.n_subjects() != self.subjects.len() {
+            return Err(format!(
+                "graph has {} subjects, corpus has {}",
+                self.graph.n_subjects(),
+                self.subjects.len()
+            ));
+        }
+        for a in 0..self.articles.len() {
+            if self.graph.author_of(a).is_none() {
+                return Err(format!("article {a} has no creator"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The average credibility score of a creator's articles — the
+    /// paper's weighted-sum ground-truth derivation (Section 5.1.1).
+    /// Returns `None` for creators with no articles.
+    pub fn creator_mean_score(&self, creator: usize) -> Option<f64> {
+        let articles = self.graph.articles_of_creator(creator);
+        if articles.is_empty() {
+            return None;
+        }
+        let sum: f64 = articles
+            .iter()
+            .map(|&a| self.articles[a].label.score() as f64)
+            .sum();
+        Some(sum / articles.len() as f64)
+    }
+
+    /// The average credibility score of a subject's articles; `None` for
+    /// empty subjects.
+    pub fn subject_mean_score(&self, subject: usize) -> Option<f64> {
+        let articles = self.graph.articles_of_subject(subject);
+        if articles.is_empty() {
+            return None;
+        }
+        let sum: f64 = articles
+            .iter()
+            .map(|&a| self.articles[a].label.score() as f64)
+            .sum();
+        Some(sum / articles.len() as f64)
+    }
+
+    /// Re-derives every creator and subject label from the current
+    /// article labels (used by the generator after article assignment;
+    /// entities with no articles keep their existing label).
+    pub fn derive_entity_labels(&mut self) {
+        for u in 0..self.creators.len() {
+            if let Some(score) = self.creator_mean_score(u) {
+                self.creators[u].label = Credibility::from_score_rounded(score);
+            }
+        }
+        for s in 0..self.subjects.len() {
+            if let Some(score) = self.subject_mean_score(s) {
+                self.subjects[s].label = Credibility::from_score_rounded(score);
+            }
+        }
+    }
+
+    /// Serialises to JSON (articles, creators, subjects, graph).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Corpus serialisation cannot fail")
+    }
+
+    /// Restores from [`Corpus::to_json`] output and re-validates.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let corpus: Corpus = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        corpus.validate()?;
+        Ok(corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Corpus {
+        let mut graph = HetGraph::new(3, 2, 1);
+        graph.set_author(0, 0);
+        graph.set_author(1, 0);
+        graph.set_author(2, 1);
+        graph.add_subject_link(0, 0);
+        graph.add_subject_link(1, 0);
+        graph.add_subject_link(2, 0);
+        Corpus {
+            articles: vec![
+                Article { text: "tax economy".into(), label: Credibility::True },
+                Article { text: "budget report".into(), label: Credibility::HalfTrue },
+                Article { text: "hoax gun".into(), label: Credibility::PantsOnFire },
+            ],
+            creators: vec![
+                Creator { name: "c0".into(), profile: "analyst".into(), label: Credibility::HalfTrue },
+                Creator { name: "c1".into(), profile: "blogger".into(), label: Credibility::HalfTrue },
+            ],
+            subjects: vec![Subject {
+                name: "economy".into(),
+                description: "jobs taxes".into(),
+                label: Credibility::HalfTrue,
+            }],
+            graph,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_misaligned_counts() {
+        let mut c = tiny();
+        c.articles.pop();
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("articles"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_orphan_article() {
+        let mut graph = HetGraph::new(1, 1, 0);
+        // no author set
+        let c = Corpus {
+            articles: vec![Article { text: String::new(), label: Credibility::True }],
+            creators: vec![Creator {
+                name: "x".into(),
+                profile: String::new(),
+                label: Credibility::True,
+            }],
+            subjects: vec![],
+            graph: std::mem::replace(&mut graph, HetGraph::new(0, 0, 0)),
+        };
+        assert!(c.validate().unwrap_err().contains("no creator"));
+    }
+
+    #[test]
+    fn mean_scores_follow_paper_weighting() {
+        let c = tiny();
+        // Creator 0: articles scored 6 and 4 -> 5.0.
+        assert_eq!(c.creator_mean_score(0), Some(5.0));
+        // Creator 1: one article scored 1.
+        assert_eq!(c.creator_mean_score(1), Some(1.0));
+        // Subject 0: scores 6, 4, 1 -> 11/3.
+        let s = c.subject_mean_score(0).unwrap();
+        assert!((s - 11.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derive_entity_labels_rounds_scores() {
+        let mut c = tiny();
+        c.derive_entity_labels();
+        assert_eq!(c.creators[0].label, Credibility::MostlyTrue); // 5.0
+        assert_eq!(c.creators[1].label, Credibility::PantsOnFire); // 1.0
+        assert_eq!(c.subjects[0].label, Credibility::HalfTrue); // 3.67 -> 4
+    }
+
+    #[test]
+    fn empty_creator_keeps_label() {
+        let mut graph = HetGraph::new(1, 2, 0);
+        graph.set_author(0, 0);
+        let mut c = Corpus {
+            articles: vec![Article { text: String::new(), label: Credibility::True }],
+            creators: vec![
+                Creator { name: "a".into(), profile: String::new(), label: Credibility::HalfTrue },
+                Creator { name: "b".into(), profile: String::new(), label: Credibility::False },
+            ],
+            subjects: vec![],
+            graph,
+        };
+        c.derive_entity_labels();
+        assert_eq!(c.creators[0].label, Credibility::True);
+        assert_eq!(c.creators[1].label, Credibility::False, "no articles: unchanged");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = tiny();
+        let back = Corpus::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.articles.len(), 3);
+        assert_eq!(back.articles[2].label, Credibility::PantsOnFire);
+        assert_eq!(back.graph.articles_of_creator(0), c.graph.articles_of_creator(0));
+    }
+}

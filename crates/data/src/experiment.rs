@@ -1,0 +1,118 @@
+//! The shared experiment interface: the context handed to every model,
+//! the prediction container, and the [`CredibilityModel`] trait that the
+//! five baselines (`fd-baselines`) and FakeDetector itself (`fd-core`)
+//! implement.
+
+use crate::{Corpus, ExplicitFeatures, LabelMode, TokenizedCorpus, TrainSets};
+use fd_graph::NodeType;
+
+/// Everything a model may look at during one experimental run: the corpus
+/// (texts + graph), precomputed tokenisation/features, the training
+/// indices and the label mode.
+///
+/// Ground-truth labels of **non-training** entities must only be touched
+/// by the runner when scoring; models access supervision exclusively via
+/// [`ExperimentContext::train_items`] / [`ExperimentContext::target`] on
+/// training indices.
+pub struct ExperimentContext<'a> {
+    /// The corpus under study.
+    pub corpus: &'a Corpus,
+    /// Tokenised texts, vocabulary and id sequences.
+    pub tokenized: &'a TokenizedCorpus,
+    /// χ² word sets + explicit BoW features (train-extracted).
+    pub explicit: &'a ExplicitFeatures,
+    /// Training indices per entity type.
+    pub train: &'a TrainSets,
+    /// Binary (Fig 4) or six-class (Fig 5) targets.
+    pub mode: LabelMode,
+    /// Seed for any model-internal randomness.
+    pub seed: u64,
+}
+
+impl ExperimentContext<'_> {
+    /// The classification target of an entity under the current mode.
+    pub fn target(&self, ty: NodeType, idx: usize) -> usize {
+        let label = match ty {
+            NodeType::Article => self.corpus.articles[idx].label,
+            NodeType::Creator => self.corpus.creators[idx].label,
+            NodeType::Subject => self.corpus.subjects[idx].label,
+        };
+        self.mode.target(label)
+    }
+
+    /// Number of target classes under the current mode.
+    pub fn n_classes(&self) -> usize {
+        self.mode.n_classes()
+    }
+
+    /// Number of entities of a type.
+    pub fn count(&self, ty: NodeType) -> usize {
+        match ty {
+            NodeType::Article => self.corpus.articles.len(),
+            NodeType::Creator => self.corpus.creators.len(),
+            NodeType::Subject => self.corpus.subjects.len(),
+        }
+    }
+
+    /// All `(type, index, target)` training triples, in type order.
+    pub fn train_items(&self) -> Vec<(NodeType, usize, usize)> {
+        let mut items = Vec::with_capacity(self.train.len());
+        for ty in NodeType::ALL {
+            for &idx in self.train.for_type(ty) {
+                items.push((ty, idx, self.target(ty, idx)));
+            }
+        }
+        items
+    }
+}
+
+/// Predicted class indices (under the run's label mode) for every entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predictions {
+    /// Per-article predictions.
+    pub articles: Vec<usize>,
+    /// Per-creator predictions.
+    pub creators: Vec<usize>,
+    /// Per-subject predictions.
+    pub subjects: Vec<usize>,
+}
+
+impl Predictions {
+    /// Allocates all-zero predictions sized for the context's corpus.
+    pub fn zeroed(ctx: &ExperimentContext<'_>) -> Self {
+        Self {
+            articles: vec![0; ctx.count(NodeType::Article)],
+            creators: vec![0; ctx.count(NodeType::Creator)],
+            subjects: vec![0; ctx.count(NodeType::Subject)],
+        }
+    }
+
+    /// The prediction slice for one type.
+    pub fn for_type(&self, ty: NodeType) -> &[usize] {
+        match ty {
+            NodeType::Article => &self.articles,
+            NodeType::Creator => &self.creators,
+            NodeType::Subject => &self.subjects,
+        }
+    }
+
+    /// Mutable prediction slice for one type.
+    pub fn for_type_mut(&mut self, ty: NodeType) -> &mut Vec<usize> {
+        match ty {
+            NodeType::Article => &mut self.articles,
+            NodeType::Creator => &mut self.creators,
+            NodeType::Subject => &mut self.subjects,
+        }
+    }
+}
+
+/// A credibility-inference method: trains on the context's train sets and
+/// predicts a class index (under the context's [`LabelMode`]) for every
+/// article, creator and subject.
+pub trait CredibilityModel {
+    /// Display name used in result tables ("svm", "FakeDetector", ...).
+    fn name(&self) -> &'static str;
+
+    /// Trains and predicts in one deterministic pass.
+    fn fit_predict(&self, ctx: &ExperimentContext<'_>) -> Predictions;
+}

@@ -1,0 +1,216 @@
+//! The six-level Truth-O-Meter credibility label and its score algebra.
+//!
+//! Section 5.1.1 of the paper maps the categorical labels to numeric
+//! scores — True: 6, Mostly True: 5, Half True: 4, Mostly False: 3,
+//! False: 2, Pants on Fire!: 1 — derives creator/subject ground truth as
+//! weighted article scores rounded back to labels, and groups
+//! {True, Mostly True, Half True} as the positive class for the bi-class
+//! experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A PolitiFact Truth-O-Meter rating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Credibility {
+    /// Completely accurate (score 6).
+    True,
+    /// Accurate with minor caveats (score 5).
+    MostlyTrue,
+    /// Partially accurate (score 4).
+    HalfTrue,
+    /// Contains significant falsehood (score 3).
+    MostlyFalse,
+    /// Inaccurate (score 2).
+    False,
+    /// Totally false claim (score 1).
+    PantsOnFire,
+}
+
+impl Credibility {
+    /// All labels, highest credibility first (class-index order).
+    pub const ALL: [Credibility; 6] = [
+        Credibility::True,
+        Credibility::MostlyTrue,
+        Credibility::HalfTrue,
+        Credibility::MostlyFalse,
+        Credibility::False,
+        Credibility::PantsOnFire,
+    ];
+
+    /// The paper's numeric score: True = 6 down to Pants on Fire! = 1.
+    pub fn score(self) -> u8 {
+        match self {
+            Credibility::True => 6,
+            Credibility::MostlyTrue => 5,
+            Credibility::HalfTrue => 4,
+            Credibility::MostlyFalse => 3,
+            Credibility::False => 2,
+            Credibility::PantsOnFire => 1,
+        }
+    }
+
+    /// Inverse of [`Credibility::score`] with rounding and clamping —
+    /// how creator/subject ground truth is derived from weighted article
+    /// scores.
+    pub fn from_score_rounded(score: f64) -> Self {
+        let s = score.round().clamp(1.0, 6.0) as u8;
+        match s {
+            6 => Credibility::True,
+            5 => Credibility::MostlyTrue,
+            4 => Credibility::HalfTrue,
+            3 => Credibility::MostlyFalse,
+            2 => Credibility::False,
+            _ => Credibility::PantsOnFire,
+        }
+    }
+
+    /// True when the label belongs to the positive bi-class group
+    /// {True, Mostly True, Half True}.
+    pub fn is_true_group(self) -> bool {
+        self.score() >= 4
+    }
+
+    /// Dense class index in [`Credibility::ALL`] order (True = 0).
+    pub fn class_index(self) -> usize {
+        match self {
+            Credibility::True => 0,
+            Credibility::MostlyTrue => 1,
+            Credibility::HalfTrue => 2,
+            Credibility::MostlyFalse => 3,
+            Credibility::False => 4,
+            Credibility::PantsOnFire => 5,
+        }
+    }
+
+    /// Inverse of [`Credibility::class_index`].
+    ///
+    /// # Panics
+    /// Panics when `index >= 6`.
+    pub fn from_class_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Display name as PolitiFact prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Credibility::True => "True",
+            Credibility::MostlyTrue => "Mostly True",
+            Credibility::HalfTrue => "Half True",
+            Credibility::MostlyFalse => "Mostly False",
+            Credibility::False => "False",
+            Credibility::PantsOnFire => "Pants on Fire!",
+        }
+    }
+}
+
+impl std::fmt::Display for Credibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether an experiment runs over the grouped binary labels (Fig 4) or
+/// the original six classes (Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelMode {
+    /// {True, Mostly True, Half True} vs the rest.
+    Binary,
+    /// The six Truth-O-Meter classes.
+    MultiClass,
+}
+
+impl LabelMode {
+    /// Number of target classes.
+    pub fn n_classes(self) -> usize {
+        match self {
+            LabelMode::Binary => 2,
+            LabelMode::MultiClass => 6,
+        }
+    }
+
+    /// The classification target index of `label` under this mode.
+    /// Binary convention: positive (true group) = 1, negative = 0.
+    pub fn target(self, label: Credibility) -> usize {
+        match self {
+            LabelMode::Binary => usize::from(label.is_true_group()),
+            LabelMode::MultiClass => label.class_index(),
+        }
+    }
+
+    /// For binary mode, the index regarded as the positive class.
+    pub fn positive_class(self) -> usize {
+        match self {
+            LabelMode::Binary => 1,
+            LabelMode::MultiClass => {
+                panic!("positive_class is only defined for LabelMode::Binary")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_span_one_to_six() {
+        let scores: Vec<u8> = Credibility::ALL.iter().map(|l| l.score()).collect();
+        assert_eq!(scores, vec![6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn score_roundtrip() {
+        for l in Credibility::ALL {
+            assert_eq!(Credibility::from_score_rounded(l.score() as f64), l);
+        }
+    }
+
+    #[test]
+    fn from_score_rounds_and_clamps() {
+        assert_eq!(Credibility::from_score_rounded(5.6), Credibility::True);
+        assert_eq!(Credibility::from_score_rounded(4.4), Credibility::HalfTrue);
+        assert_eq!(Credibility::from_score_rounded(0.0), Credibility::PantsOnFire);
+        assert_eq!(Credibility::from_score_rounded(99.0), Credibility::True);
+        assert_eq!(Credibility::from_score_rounded(-3.0), Credibility::PantsOnFire);
+    }
+
+    #[test]
+    fn true_group_matches_paper_split() {
+        assert!(Credibility::True.is_true_group());
+        assert!(Credibility::MostlyTrue.is_true_group());
+        assert!(Credibility::HalfTrue.is_true_group());
+        assert!(!Credibility::MostlyFalse.is_true_group());
+        assert!(!Credibility::False.is_true_group());
+        assert!(!Credibility::PantsOnFire.is_true_group());
+    }
+
+    #[test]
+    fn class_index_roundtrip() {
+        for (i, l) in Credibility::ALL.into_iter().enumerate() {
+            assert_eq!(l.class_index(), i);
+            assert_eq!(Credibility::from_class_index(i), l);
+        }
+    }
+
+    #[test]
+    fn label_mode_targets() {
+        assert_eq!(LabelMode::Binary.n_classes(), 2);
+        assert_eq!(LabelMode::MultiClass.n_classes(), 6);
+        assert_eq!(LabelMode::Binary.target(Credibility::True), 1);
+        assert_eq!(LabelMode::Binary.target(Credibility::PantsOnFire), 0);
+        assert_eq!(LabelMode::MultiClass.target(Credibility::False), 4);
+        assert_eq!(LabelMode::Binary.positive_class(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for LabelMode::Binary")]
+    fn positive_class_panics_in_multiclass() {
+        let _ = LabelMode::MultiClass.positive_class();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Credibility::PantsOnFire.to_string(), "Pants on Fire!");
+        assert_eq!(Credibility::MostlyTrue.to_string(), "Mostly True");
+    }
+}

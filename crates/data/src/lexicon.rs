@@ -1,0 +1,143 @@
+//! Word pools for the synthetic corpus.
+//!
+//! Fig 1(b)/(c) of the paper shows that true-leaning and false-leaning
+//! articles use visibly different vocabularies. The generator reproduces
+//! that by drawing article words from three pools — a shared neutral pool
+//! and two label-conditioned signature pools — plus per-subject topic
+//! words. The signature pools below follow the word clouds in the paper
+//! (e.g. "president", "income", "tax" on the true side; "obamacare",
+//! "gun", "fraud" on the false side).
+
+/// The 20 most-populated subjects of Fig 1(d), in the paper's order,
+/// with their observed true-article fraction (red bars vs blue bars).
+/// Remaining subjects (up to 152) are synthesised around a neutral split.
+pub const SUBJECT_TOPICS: &[(&str, f64)] = &[
+    ("health", 0.465),
+    ("economy", 0.632),
+    ("taxes", 0.58),
+    ("education", 0.61),
+    ("federal", 0.55),
+    ("jobs", 0.60),
+    ("state", 0.57),
+    ("candidates", 0.44),
+    ("elections", 0.48),
+    ("immigration", 0.42),
+    ("foreign", 0.52),
+    ("crime", 0.47),
+    ("history", 0.54),
+    ("energy", 0.56),
+    ("legal", 0.51),
+    ("environment", 0.58),
+    ("guns", 0.41),
+    ("military", 0.53),
+    ("terrorism", 0.39),
+    ("job", 0.59),
+];
+
+/// Words over-represented in true-leaning articles (Fig 1(b)).
+pub const TRUE_SIGNATURE_WORDS: &[&str] = &[
+    "president", "income", "tax", "american", "percent", "budget", "workers", "rate",
+    "report", "average", "increase", "spending", "record", "federal", "billion",
+    "growth", "unemployment", "median", "wages", "deficit", "revenue", "senate",
+    "quarterly", "study", "census", "data", "fiscal", "analysis", "department",
+    "measure", "funding", "program", "benefits", "insurance", "enrollment", "export",
+    "statistics", "official", "annual", "decade",
+];
+
+/// Words over-represented in false-leaning articles (Fig 1(c)).
+pub const FALSE_SIGNATURE_WORDS: &[&str] = &[
+    "obama", "republican", "clinton", "obamacare", "gun", "illegal", "fraud",
+    "socialist", "conspiracy", "amnesty", "takeover", "scheme", "radical", "secret",
+    "banned", "hoax", "rigged", "corrupt", "scandal", "cover", "destroy", "invasion",
+    "criminals", "welfare", "handout", "muslim", "sharia", "communist", "tyranny",
+    "confiscate", "caravan", "millions", "flood", "collapse", "bankrupt", "stolen",
+    "lies", "fake", "plot", "agenda",
+];
+
+/// Neutral filler words shared by every article regardless of label.
+/// The pool is kept large (≈3× the signature pools) so that no single
+/// neutral word out-ranks the signature words in the Fig 1(b)/(c)
+/// frequency analysis — in real text the neutral vocabulary is vast.
+pub const COMMON_WORDS: &[&str] = &[
+    "people", "country", "year", "government", "plan", "bill", "law", "time", "new",
+    "million", "says", "said", "claim", "statement", "vote", "voters", "public",
+    "policy", "national", "states", "house", "campaign", "party", "political",
+    "money", "pay", "work", "years", "support", "change", "issue", "debate",
+    "america", "nation", "congress", "governor", "senator", "washington", "proposal",
+    "speech", "leaders", "member", "members", "office", "term", "city", "county",
+    "district", "committee", "council", "board", "meeting", "press", "interview",
+    "question", "answer", "point", "building", "week", "month", "day", "today",
+    "yesterday", "recently", "history", "future", "past", "current", "former",
+    "local", "regional", "major", "minor", "large", "small", "group", "groups",
+    "event", "events", "plans", "effort", "efforts", "level", "levels", "number",
+    "numbers", "part", "parts", "side", "sides", "case", "cases", "fact", "facts",
+    "idea", "ideas", "view", "views", "voice", "matter", "matters", "room", "floor",
+    "session", "agency", "agencies", "secretary", "administration", "cabinet",
+    "leader", "citizens", "community", "communities", "families", "family",
+    "business", "businesses", "industry", "market", "markets", "street", "road",
+    "project", "projects", "system", "systems", "process", "review", "final",
+];
+
+/// Profile words used by reliable creators ("political analyst" style
+/// backgrounds).
+pub const RELIABLE_PROFILE_WORDS: &[&str] = &[
+    "analyst", "professor", "economist", "researcher", "journalist", "editor",
+    "scholar", "director", "expert", "historian", "scientist", "policy",
+];
+
+/// Profile words used by unreliable creators (campaign-machine style
+/// backgrounds).
+pub const UNRELIABLE_PROFILE_WORDS: &[&str] = &[
+    "blogger", "pundit", "activist", "strategist", "operative", "commentator",
+    "radio", "chain", "email", "viral", "anonymous", "talking",
+];
+
+/// Party affiliations used in creator profiles (Definition 2.3 lists
+/// titles like "Democrat"/"Republican").
+pub const PARTIES: &[&str] = &["democrat", "republican", "independent"];
+
+/// Home states used in creator profiles.
+pub const LOCATIONS: &[&str] = &[
+    "york", "illinois", "texas", "florida", "ohio", "california", "virginia",
+    "georgia", "wisconsin", "arizona",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_disjoint() {
+        let t: HashSet<&str> = TRUE_SIGNATURE_WORDS.iter().copied().collect();
+        let f: HashSet<&str> = FALSE_SIGNATURE_WORDS.iter().copied().collect();
+        let c: HashSet<&str> = COMMON_WORDS.iter().copied().collect();
+        assert!(t.is_disjoint(&f), "true/false signature pools overlap");
+        assert!(t.is_disjoint(&c), "true/common pools overlap");
+        assert!(f.is_disjoint(&c), "false/common pools overlap");
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [TRUE_SIGNATURE_WORDS, FALSE_SIGNATURE_WORDS, COMMON_WORDS] {
+            let set: HashSet<&str> = pool.iter().copied().collect();
+            assert_eq!(set.len(), pool.len());
+        }
+    }
+
+    #[test]
+    fn twenty_named_subjects_match_fig1d() {
+        assert_eq!(SUBJECT_TOPICS.len(), 20);
+        let health = SUBJECT_TOPICS.iter().find(|(n, _)| *n == "health").unwrap();
+        assert!(health.1 < 0.5, "health leans false in the paper");
+        let economy = SUBJECT_TOPICS.iter().find(|(n, _)| *n == "economy").unwrap();
+        assert!(economy.1 > 0.6, "economy leans true in the paper");
+    }
+
+    #[test]
+    fn subject_biases_are_probabilities() {
+        for &(name, bias) in SUBJECT_TOPICS {
+            assert!((0.0..=1.0).contains(&bias), "{name} bias {bias} out of range");
+        }
+    }
+}

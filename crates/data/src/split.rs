@@ -1,0 +1,197 @@
+//! 10-fold cross-validation splits with the paper's sampling-ratio knob.
+//!
+//! Section 5.1.1: each entity set is split 9:1 into train/test via
+//! 10-fold CV; a sampling ratio θ ∈ {0.1, …, 1.0} then subsamples the 9
+//! training folds to simulate scarce supervision.
+
+use fd_graph::NodeType;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The per-type training indices for one experimental run (one CV fold at
+/// one sampling ratio θ). Everything not listed is test data.
+#[derive(Debug, Clone, Default)]
+pub struct TrainSets {
+    /// Training article indices.
+    pub articles: Vec<usize>,
+    /// Training creator indices.
+    pub creators: Vec<usize>,
+    /// Training subject indices.
+    pub subjects: Vec<usize>,
+}
+
+impl TrainSets {
+    /// The training indices for one node type.
+    pub fn for_type(&self, ty: NodeType) -> &[usize] {
+        match ty {
+            NodeType::Article => &self.articles,
+            NodeType::Creator => &self.creators,
+            NodeType::Subject => &self.subjects,
+        }
+    }
+
+    /// Total training entities across all types.
+    pub fn len(&self) -> usize {
+        self.articles.len() + self.creators.len() + self.subjects.len()
+    }
+
+    /// True when no entity of any type is in training.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A k-fold partition of `0..n` item indices.
+#[derive(Debug, Clone)]
+pub struct CvSplits {
+    folds: Vec<Vec<usize>>,
+}
+
+impl CvSplits {
+    /// Shuffles `0..n` and cuts it into `k` near-equal folds.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k > n`.
+    pub fn new(n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k > 0, "CvSplits: k must be positive");
+        assert!(k <= n, "CvSplits: cannot cut {n} items into {k} folds");
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+        for (i, idx) in indices.into_iter().enumerate() {
+            folds[i % k].push(idx);
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// `(train, test)` for fold `fold`: the fold itself is the test set,
+    /// the other k−1 folds are the training set.
+    ///
+    /// # Panics
+    /// Panics when `fold >= k`.
+    pub fn fold(&self, fold: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(fold < self.folds.len(), "fold {fold} out of {}", self.folds.len());
+        let test = self.folds[fold].clone();
+        let train = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (train, test)
+    }
+}
+
+/// Subsamples `ratio` of `train` (at least one item), as the paper's θ.
+///
+/// # Panics
+/// Panics unless `0 < ratio <= 1`.
+pub fn sample_ratio(train: &[usize], ratio: f64, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "sample_ratio: ratio {ratio} must be in (0, 1]"
+    );
+    if ratio >= 1.0 {
+        return train.to_vec();
+    }
+    let keep = ((train.len() as f64 * ratio).round() as usize)
+        .clamp(1.min(train.len()), train.len());
+    let mut shuffled = train.to_vec();
+    shuffled.shuffle(rng);
+    shuffled.truncate(keep);
+    shuffled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cv = CvSplits::new(103, 10, &mut rng);
+        for f in 0..10 {
+            let (train, test) = cv.fold(f);
+            assert_eq!(train.len() + test.len(), 103);
+            let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+            assert_eq!(all.len(), 103, "fold {f}: overlap between train and test");
+        }
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cv = CvSplits::new(100, 10, &mut rng);
+        for f in 0..10 {
+            let (_, test) = cv.fold(f);
+            assert_eq!(test.len(), 10);
+        }
+        let cv = CvSplits::new(101, 10, &mut rng);
+        let sizes: Vec<usize> = (0..10).map(|f| cv.fold(f).1.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+    }
+
+    #[test]
+    fn every_item_is_tested_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cv = CvSplits::new(57, 10, &mut rng);
+        let mut tested = vec![0usize; 57];
+        for f in 0..10 {
+            for idx in cv.fold(f).1 {
+                tested[idx] += 1;
+            }
+        }
+        assert!(tested.iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CvSplits::new(50, 5, &mut StdRng::seed_from_u64(9));
+        let b = CvSplits::new(50, 5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.fold(2), b.fold(2));
+    }
+
+    #[test]
+    fn sample_ratio_keeps_requested_fraction() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let train: Vec<usize> = (0..90).collect();
+        let s = sample_ratio(&train, 0.1, &mut rng);
+        assert_eq!(s.len(), 9);
+        let s = sample_ratio(&train, 1.0, &mut rng);
+        assert_eq!(s.len(), 90);
+        // Sampled items come from the original set, without duplicates.
+        let s = sample_ratio(&train, 0.5, &mut rng);
+        let set: HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), s.len());
+        assert!(set.iter().all(|&i| i < 90));
+    }
+
+    #[test]
+    fn sample_ratio_never_empties_nonempty_train() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_ratio(&[42], 0.1, &mut rng);
+        assert_eq!(s, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn sample_ratio_rejects_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = sample_ratio(&[1, 2], 0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cut")]
+    fn too_many_folds_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = CvSplits::new(3, 10, &mut rng);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests on the data layer: generator invariants across random
+//! seeds/scales, label algebra, and CV/θ behaviour.
+
+use fd_data::{generate, sample_ratio, Credibility, CvSplits, GeneratorConfig, LabelMode};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    // Corpus generation is the expensive case; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generator_invariants_hold_for_any_seed(seed in any::<u64>(), scale_pct in 10u32..30) {
+        let cfg = GeneratorConfig::politifact().scaled(scale_pct as f64 / 1000.0);
+        let corpus = generate(&cfg, seed);
+        corpus.validate().expect("generated corpus must validate");
+        // Exact counts.
+        prop_assert_eq!(corpus.articles.len(), cfg.n_articles);
+        prop_assert_eq!(corpus.graph.n_subject_links(), cfg.target_subject_links);
+        // Every article has 1..=8 subjects.
+        for a in 0..corpus.articles.len() {
+            let k = corpus.graph.subjects_of_article(a).len();
+            prop_assert!((1..=8).contains(&k), "article {a} has {k} subjects");
+        }
+        // Budget cap respected.
+        for u in 0..corpus.creators.len() {
+            prop_assert!(
+                corpus.graph.articles_of_creator(u).len() <= cfg.max_articles_per_creator
+            );
+        }
+        // Entity labels really are the rounded mean of article scores.
+        for u in (0..corpus.creators.len()).step_by(17) {
+            if let Some(score) = corpus.creator_mean_score(u) {
+                prop_assert_eq!(
+                    corpus.creators[u].label,
+                    Credibility::from_score_rounded(score)
+                );
+            }
+        }
+        // No entity text is empty.
+        prop_assert!(corpus.articles.iter().all(|a| !a.text.is_empty()));
+        prop_assert!(corpus.creators.iter().all(|c| !c.profile.is_empty()));
+        prop_assert!(corpus.subjects.iter().all(|s| !s.description.is_empty()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn label_score_roundtrip_is_clamped_rounding(score in -10.0f64..20.0) {
+        let label = Credibility::from_score_rounded(score);
+        let back = label.score() as f64;
+        let clamped = score.round().clamp(1.0, 6.0);
+        prop_assert_eq!(back, clamped);
+    }
+
+    #[test]
+    fn binary_grouping_matches_score_threshold(idx in 0usize..6) {
+        let label = Credibility::from_class_index(idx);
+        prop_assert_eq!(label.is_true_group(), label.score() >= 4);
+        prop_assert_eq!(
+            LabelMode::Binary.target(label),
+            usize::from(label.score() >= 4)
+        );
+        prop_assert_eq!(LabelMode::MultiClass.target(label), idx);
+    }
+
+    #[test]
+    fn cv_folds_partition_for_any_sizes(n in 10usize..200, k in 2usize..10, seed in any::<u64>()) {
+        prop_assume!(k <= n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cv = CvSplits::new(n, k, &mut rng);
+        let mut tested = vec![0usize; n];
+        for f in 0..k {
+            let (train, test) = cv.fold(f);
+            prop_assert_eq!(train.len() + test.len(), n);
+            for idx in test {
+                tested[idx] += 1;
+            }
+        }
+        prop_assert!(tested.iter().all(|&t| t == 1), "each item tested exactly once");
+    }
+
+    #[test]
+    fn sample_ratio_size_is_round_of_fraction(n in 1usize..500, pct in 1u32..=100, seed in any::<u64>()) {
+        let ratio = pct as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train: Vec<usize> = (0..n).collect();
+        let sampled = sample_ratio(&train, ratio, &mut rng);
+        let expected = ((n as f64 * ratio).round() as usize).clamp(1, n);
+        prop_assert_eq!(sampled.len(), expected);
+        // No duplicates, all in range.
+        let set: std::collections::HashSet<usize> = sampled.iter().copied().collect();
+        prop_assert_eq!(set.len(), sampled.len());
+        prop_assert!(set.iter().all(|&i| i < n));
+    }
+}

@@ -1,0 +1,150 @@
+//! Walker's alias method: O(1) sampling from a discrete distribution.
+//!
+//! LINE samples edges proportionally to their weight and negative nodes
+//! proportionally to degree^{3/4}; both need constant-time weighted
+//! sampling over millions of draws, which the alias method provides.
+
+use rand::Rng;
+
+/// Preprocessed discrete distribution supporting O(1) draws.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative/non-finite
+    /// entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: empty weights");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "AliasTable: bad weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "AliasTable: weights sum to zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining takes probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws an index according to the weight distribution.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Always false — construction rejects empty weights.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn frequencies(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freq = frequencies(&[1.0, 1.0, 1.0, 1.0], 40_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.02, "frequency {f} far from 0.25");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let freq = frequencies(&[8.0, 1.0, 1.0], 50_000, 2);
+        assert!((freq[0] - 0.8).abs() < 0.02);
+        assert!((freq[1] - 0.1).abs() < 0.02);
+        assert!((freq[2] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let freq = frequencies(&[1.0, 0.0, 1.0], 20_000, 3);
+        assert_eq!(freq[1], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let freq = frequencies(&[42.0], 100, 4);
+        assert_eq!(freq[0], 1.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // The same relative weights must give the same distribution.
+        let a = frequencies(&[1.0, 3.0], 50_000, 5);
+        let b = frequencies(&[100.0, 300.0], 50_000, 5);
+        assert!((a[0] - b[0]).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on News-HSN invariants: adjacency symmetry, global-id
+//! bijection, and walk validity on randomly generated graphs.
+
+use fd_graph::{generate_walks, HetGraph, NodeRef, NodeType, WalkConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Builds a random well-formed News-HSN from a seed.
+fn random_graph(seed: u64, n_articles: usize, n_creators: usize, n_subjects: usize) -> HetGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = HetGraph::new(n_articles, n_creators, n_subjects);
+    for a in 0..n_articles {
+        if n_creators > 0 {
+            g.set_author(a, rng.gen_range(0..n_creators));
+        }
+        if n_subjects > 0 {
+            let k = rng.gen_range(0..=n_subjects.min(4));
+            let mut subjects: Vec<usize> = (0..n_subjects).collect();
+            for _ in 0..k {
+                let i = rng.gen_range(0..subjects.len());
+                let s = subjects.swap_remove(i);
+                g.add_subject_link(a, s);
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_symmetric(seed in any::<u64>(), a in 1usize..30, c in 1usize..10, s in 1usize..8) {
+        let g = random_graph(seed, a, c, s);
+        for ty in NodeType::ALL {
+            let count = match ty {
+                NodeType::Article => g.n_articles(),
+                NodeType::Creator => g.n_creators(),
+                NodeType::Subject => g.n_subjects(),
+            };
+            for idx in 0..count {
+                let node = NodeRef { ty, idx };
+                for nb in g.neighbors(node) {
+                    prop_assert!(
+                        g.neighbors(nb).contains(&node),
+                        "{node:?} -> {nb:?} not symmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_id_is_a_bijection(seed in any::<u64>(), a in 1usize..30, c in 1usize..10, s in 1usize..8) {
+        let g = random_graph(seed, a, c, s);
+        let mut seen = vec![false; g.n_nodes()];
+        for ty in NodeType::ALL {
+            let count = match ty {
+                NodeType::Article => g.n_articles(),
+                NodeType::Creator => g.n_creators(),
+                NodeType::Subject => g.n_subjects(),
+            };
+            for idx in 0..count {
+                let id = g.global_id(NodeRef { ty, idx });
+                prop_assert!(!seen[id], "global id {id} assigned twice");
+                seen[id] = true;
+                prop_assert_eq!(g.from_global_id(id), NodeRef { ty, idx });
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn link_counts_are_consistent(seed in any::<u64>(), a in 1usize..40, c in 1usize..10, s in 1usize..8) {
+        let g = random_graph(seed, a, c, s);
+        // Authorship: sum over creators equals assigned articles.
+        let creator_side: usize = (0..g.n_creators()).map(|u| g.articles_of_creator(u).len()).sum();
+        prop_assert_eq!(creator_side, g.n_authorship_links());
+        // Topic links: both sides agree.
+        let article_side: usize = (0..g.n_articles()).map(|n| g.subjects_of_article(n).len()).sum();
+        let subject_side: usize = (0..g.n_subjects()).map(|t| g.articles_of_subject(t).len()).sum();
+        prop_assert_eq!(article_side, subject_side);
+        prop_assert_eq!(article_side, g.n_subject_links());
+        // Edge list covers exactly every link once.
+        prop_assert_eq!(g.edges_global().len(), g.n_authorship_links() + g.n_subject_links());
+    }
+
+    #[test]
+    fn walks_stay_on_edges(seed in any::<u64>(), a in 1usize..15, c in 1usize..6, s in 1usize..5) {
+        let g = random_graph(seed, a, c, s);
+        let cfg = WalkConfig { walks_per_node: 2, walk_length: 6 };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        for walk in generate_walks(&g, &cfg, &mut rng) {
+            prop_assert!(!walk.is_empty() && walk.len() <= 6);
+            for pair in walk.windows(2) {
+                let from = g.from_global_id(pair[0]);
+                let to = g.from_global_id(pair[1]);
+                prop_assert!(g.neighbors(from).contains(&to));
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Confusion matrix and the metrics derived from it.
+
+use serde::{Deserialize, Serialize};
+
+/// The four metrics the paper plots, in figure order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Fraction of correct predictions.
+    Accuracy,
+    /// F1 (binary) / Macro-F1 (multi-class).
+    F1,
+    /// Precision (binary) / Macro-Precision.
+    Precision,
+    /// Recall (binary) / Macro-Recall.
+    Recall,
+}
+
+impl MetricKind {
+    /// All four, in the paper's subplot order.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::Accuracy,
+        MetricKind::F1,
+        MetricKind::Precision,
+        MetricKind::Recall,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Accuracy => "Accuracy",
+            MetricKind::F1 => "F1",
+            MetricKind::Precision => "Precision",
+            MetricKind::Recall => "Recall",
+        }
+    }
+}
+
+/// A `k x k` confusion matrix; rows = ground truth, columns = prediction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty `k`-class matrix.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "ConfusionMatrix: k must be positive");
+        Self { k, counts: vec![0; k * k] }
+    }
+
+    /// Builds a matrix directly from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range class indices.
+    pub fn from_pairs(k: usize, truth: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "from_pairs: {} truths vs {} predictions",
+            truth.len(),
+            predicted.len()
+        );
+        let mut cm = Self::new(k);
+        for (&t, &p) in truth.iter().zip(predicted) {
+            cm.record(t, p);
+        }
+        cm
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    /// Panics when either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k, "record: class out of range");
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// Merges another matrix of the same arity (fold aggregation).
+    ///
+    /// # Panics
+    /// Panics when the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.k, other.k, "merge: arity mismatch {} vs {}", self.k, other.k);
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Raw cell `(truth, predicted)`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Fraction of correct predictions; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.k).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of `class`: TP / (TP + FP). Convention: 0 when the class
+    /// is never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.k).map(|t| self.count(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of `class`: TP / (TP + FN). Convention: 0 when the class
+    /// never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.k).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 of `class`: harmonic mean of precision and recall (0 when both
+    /// are 0).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean precision over all classes.
+    pub fn macro_precision(&self) -> f64 {
+        (0..self.k).map(|c| self.precision(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Unweighted mean recall over all classes.
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.k).map(|c| self.recall(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Unweighted mean F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.k).map(|c| self.f1(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// The paper's metric for this matrix: binary matrices report the
+    /// positive-class metric (`positive = 1`), larger matrices the macro
+    /// variant.
+    pub fn metric(&self, kind: MetricKind) -> f64 {
+        match (kind, self.k) {
+            (MetricKind::Accuracy, _) => self.accuracy(),
+            (MetricKind::Precision, 2) => self.precision(1),
+            (MetricKind::Recall, 2) => self.recall(1),
+            (MetricKind::F1, 2) => self.f1(1),
+            (MetricKind::Precision, _) => self.macro_precision(),
+            (MetricKind::Recall, _) => self.macro_recall(),
+            (MetricKind::F1, _) => self.macro_f1(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let cm = ConfusionMatrix::from_pairs(3, &[0, 1, 2, 1], &[0, 1, 2, 1]);
+        close(cm.accuracy(), 1.0);
+        close(cm.macro_f1(), 1.0);
+        close(cm.macro_precision(), 1.0);
+        close(cm.macro_recall(), 1.0);
+    }
+
+    #[test]
+    fn binary_metrics_hand_checked() {
+        // truth:     1 1 1 0 0
+        // predicted: 1 0 1 1 0
+        let cm = ConfusionMatrix::from_pairs(2, &[1, 1, 1, 0, 0], &[1, 0, 1, 1, 0]);
+        close(cm.accuracy(), 3.0 / 5.0);
+        close(cm.precision(1), 2.0 / 3.0);
+        close(cm.recall(1), 2.0 / 3.0);
+        close(cm.f1(1), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn class_never_predicted_gives_zero_precision() {
+        let cm = ConfusionMatrix::from_pairs(2, &[0, 1], &[0, 0]);
+        close(cm.precision(1), 0.0);
+        close(cm.recall(1), 0.0);
+        close(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn class_never_present_gives_zero_recall() {
+        let cm = ConfusionMatrix::from_pairs(3, &[0, 0], &[0, 2]);
+        close(cm.recall(2), 0.0);
+        // Class 2 was predicted once, wrongly.
+        close(cm.precision(2), 0.0);
+    }
+
+    #[test]
+    fn macro_averages_are_unweighted() {
+        // Class 0 dominant and perfectly predicted; class 1 always wrong.
+        let cm = ConfusionMatrix::from_pairs(2, &[0, 0, 0, 0, 1], &[0, 0, 0, 0, 0]);
+        close(cm.macro_recall(), (1.0 + 0.0) / 2.0);
+        // Precision of 0: 4/5; precision of 1: 0.
+        close(cm.macro_precision(), (0.8 + 0.0) / 2.0);
+    }
+
+    #[test]
+    fn merge_accumulates_folds() {
+        let mut a = ConfusionMatrix::from_pairs(2, &[1], &[1]);
+        let b = ConfusionMatrix::from_pairs(2, &[0], &[1]);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        close(a.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn metric_dispatch_binary_vs_macro() {
+        let binary = ConfusionMatrix::from_pairs(2, &[1, 0], &[1, 1]);
+        close(binary.metric(MetricKind::Precision), binary.precision(1));
+        let multi = ConfusionMatrix::from_pairs(6, &[0, 5, 3], &[0, 5, 2]);
+        close(multi.metric(MetricKind::Precision), multi.macro_precision());
+        close(multi.metric(MetricKind::Accuracy), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let cm = ConfusionMatrix::new(4);
+        close(cm.accuracy(), 0.0);
+        close(cm.macro_f1(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn record_checks_bounds() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn merge_checks_arity() {
+        let mut a = ConfusionMatrix::new(2);
+        a.merge(&ConfusionMatrix::new(3));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cm = ConfusionMatrix::from_pairs(2, &[1, 0, 1], &[1, 1, 0]);
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cm);
+    }
+}

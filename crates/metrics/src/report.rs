@@ -1,0 +1,124 @@
+//! Human-readable classification reports: a per-class breakdown table
+//! and an aligned confusion-matrix rendering, for examples and the CLI.
+
+use crate::ConfusionMatrix;
+
+/// Renders the matrix with row/column labels, truth in rows.
+///
+/// `labels` must have one entry per class.
+///
+/// # Panics
+/// Panics when `labels.len()` differs from the matrix arity.
+pub fn render_confusion(cm: &ConfusionMatrix, labels: &[&str]) -> String {
+    assert_eq!(
+        labels.len(),
+        cm.n_classes(),
+        "render_confusion: {} labels for {} classes",
+        labels.len(),
+        cm.n_classes()
+    );
+    let width = labels
+        .iter()
+        .map(|l| l.len())
+        .max()
+        .unwrap_or(4)
+        .max(6);
+    let mut out = String::new();
+    out.push_str(&format!("{:>width$} │", "t\\p", width = width));
+    for l in labels {
+        out.push_str(&format!(" {l:>width$}", width = width));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:─>width$}─┼", "", width = width));
+    for _ in labels {
+        out.push_str(&format!("─{:─>width$}", "", width = width));
+    }
+    out.push('\n');
+    for (t, row_label) in labels.iter().enumerate() {
+        out.push_str(&format!("{row_label:>width$} │", width = width));
+        for p in 0..labels.len() {
+            out.push_str(&format!(" {:>width$}", cm.count(t, p), width = width));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A per-class precision/recall/F1/support table plus the overall
+/// accuracy and macro averages — the sklearn-style classification report.
+pub fn classification_report(cm: &ConfusionMatrix, labels: &[&str]) -> String {
+    assert_eq!(
+        labels.len(),
+        cm.n_classes(),
+        "classification_report: {} labels for {} classes",
+        labels.len(),
+        cm.n_classes()
+    );
+    let name_width = labels.iter().map(|l| l.len()).max().unwrap_or(5).max(9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_width$} {:>9} {:>9} {:>9} {:>9}\n",
+        "class", "precision", "recall", "f1", "support",
+        name_width = name_width
+    ));
+    for (c, label) in labels.iter().enumerate() {
+        let support: u64 = (0..labels.len()).map(|p| cm.count(c, p)).sum();
+        out.push_str(&format!(
+            "{:<name_width$} {:>9.3} {:>9.3} {:>9.3} {:>9}\n",
+            label,
+            cm.precision(c),
+            cm.recall(c),
+            cm.f1(c),
+            support,
+            name_width = name_width
+        ));
+    }
+    out.push_str(&format!(
+        "\naccuracy {:.3} | macro precision {:.3} | macro recall {:.3} | macro f1 {:.3} | n = {}\n",
+        cm.accuracy(),
+        cm.macro_precision(),
+        cm.macro_recall(),
+        cm.macro_f1(),
+        cm.total()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        ConfusionMatrix::from_pairs(2, &[1, 1, 1, 0, 0], &[1, 0, 1, 1, 0])
+    }
+
+    #[test]
+    fn confusion_render_contains_all_cells() {
+        let s = render_confusion(&sample(), &["fake", "real"]);
+        assert!(s.contains("fake"));
+        assert!(s.contains("real"));
+        // Cells: (real,real)=2, (real,fake)=1, (fake,real)=1, (fake,fake)=1.
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn report_contains_per_class_rows_and_summary() {
+        let s = classification_report(&sample(), &["fake", "real"]);
+        assert!(s.contains("precision"));
+        assert!(s.contains("fake"));
+        assert!(s.contains("accuracy 0.600"));
+        assert!(s.contains("n = 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels for")]
+    fn render_rejects_wrong_label_count() {
+        let _ = render_confusion(&sample(), &["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels for")]
+    fn report_rejects_wrong_label_count() {
+        let _ = classification_report(&sample(), &["a", "b", "c"]);
+    }
+}

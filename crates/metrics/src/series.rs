@@ -1,0 +1,161 @@
+//! Result containers for the θ-sweep experiments (Figs 4 and 5) with
+//! aligned-table printing and JSON export.
+
+use crate::MetricKind;
+use serde::{Deserialize, Serialize};
+
+/// One method's metric values across the sampled θ grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodSeries {
+    /// Method display name ("FakeDetector", "deepwalk", …).
+    pub method: String,
+    /// `values[i][m]` = metric `MetricKind::ALL[m]` at `thetas[i]`.
+    pub values: Vec<[f64; 4]>,
+}
+
+/// Results of one subplot row: every method × θ × the four metrics, for
+/// one entity type and label mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// What was inferred ("articles", "creators", "subjects").
+    pub entity: String,
+    /// "bi-class" or "multi-class".
+    pub mode: String,
+    /// The θ grid.
+    pub thetas: Vec<f64>,
+    /// One series per method, in presentation order.
+    pub series: Vec<MethodSeries>,
+}
+
+impl SweepResults {
+    /// An empty result set over a θ grid.
+    pub fn new(entity: &str, mode: &str, thetas: Vec<f64>) -> Self {
+        Self { entity: entity.into(), mode: mode.into(), thetas, series: Vec::new() }
+    }
+
+    /// Appends one method's series.
+    ///
+    /// # Panics
+    /// Panics when the series length does not match the θ grid.
+    pub fn push(&mut self, method: &str, values: Vec<[f64; 4]>) {
+        assert_eq!(
+            values.len(),
+            self.thetas.len(),
+            "push: series for {method} has {} points, grid has {}",
+            values.len(),
+            self.thetas.len()
+        );
+        self.series.push(MethodSeries { method: method.into(), values });
+    }
+
+    /// Looks up a method's value for one metric at one θ index.
+    pub fn value(&self, method: &str, theta_idx: usize, metric: MetricKind) -> Option<f64> {
+        let m = MetricKind::ALL.iter().position(|&k| k == metric)?;
+        self.series
+            .iter()
+            .find(|s| s.method == method)
+            .map(|s| s.values[theta_idx][m])
+    }
+
+    /// Renders one metric as the paper presents it: methods as rows, θ as
+    /// columns.
+    pub fn table(&self, metric: MetricKind) -> String {
+        let m = MetricKind::ALL
+            .iter()
+            .position(|&k| k == metric)
+            .expect("metric is one of ALL");
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} {} — {}\n",
+            self.mode, self.entity, metric.name()
+        ));
+        out.push_str(&format!("{:<14}", "method"));
+        for t in &self.thetas {
+            out.push_str(&format!(" θ={:<5.2}", t));
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("{:<14}", s.method));
+            for v in &s.values {
+                out.push_str(&format!(" {:<7.4}", v[m]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// All four metric tables, concatenated — one full figure row.
+    pub fn all_tables(&self) -> String {
+        MetricKind::ALL
+            .iter()
+            .map(|&k| self.table(k))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// JSON export for external re-plotting.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepResults serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepResults {
+        let mut r = SweepResults::new("articles", "bi-class", vec![0.1, 0.5, 1.0]);
+        r.push(
+            "FakeDetector",
+            vec![[0.63, 0.7, 0.6, 0.8], [0.65, 0.72, 0.62, 0.81], [0.66, 0.73, 0.63, 0.82]],
+        );
+        r.push(
+            "svm",
+            vec![[0.55, 0.6, 0.5, 0.75], [0.58, 0.62, 0.52, 0.76], [0.60, 0.64, 0.54, 0.77]],
+        );
+        r
+    }
+
+    #[test]
+    fn value_lookup() {
+        let r = sample();
+        assert_eq!(r.value("FakeDetector", 0, MetricKind::Accuracy), Some(0.63));
+        assert_eq!(r.value("svm", 2, MetricKind::Recall), Some(0.77));
+        assert_eq!(r.value("missing", 0, MetricKind::F1), None);
+    }
+
+    #[test]
+    fn table_contains_all_methods_and_thetas() {
+        let r = sample();
+        let t = r.table(MetricKind::Accuracy);
+        assert!(t.contains("FakeDetector"));
+        assert!(t.contains("svm"));
+        assert!(t.contains("θ=0.10"));
+        assert!(t.contains("0.6300"));
+    }
+
+    #[test]
+    fn all_tables_has_four_sections() {
+        let r = sample();
+        let t = r.all_tables();
+        for k in MetricKind::ALL {
+            assert!(t.contains(k.name()), "missing {}", k.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "series for bad has 1 points")]
+    fn push_checks_grid_length() {
+        let mut r = sample();
+        r.push("bad", vec![[0.0; 4]]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let back: SweepResults = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.thetas, r.thetas);
+        assert_eq!(back.series[0].values[1][0], 0.65);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the metric algebra: bounds, symmetries and
+//! consistency relations that must hold for any confusion matrix.
+
+use fd_metrics::{ConfusionMatrix, MetricKind};
+use proptest::prelude::*;
+
+/// Strategy: parallel truth/prediction vectors over k classes.
+fn labelled(k: usize, n: usize) -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        prop::collection::vec(0..k, n..n + 30),
+        prop::collection::vec(0..k, n + 30),
+    )
+        .prop_map(|(truth, pred)| {
+            let n = truth.len();
+            (truth, pred[..n].to_vec())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_metrics_are_probabilities((truth, pred) in labelled(6, 5)) {
+        let cm = ConfusionMatrix::from_pairs(6, &truth, &pred);
+        for kind in MetricKind::ALL {
+            let v = cm.metric(kind);
+            prop_assert!((0.0..=1.0).contains(&v), "{kind:?} = {v}");
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(truth in prop::collection::vec(0..4usize, 1..40)) {
+        let cm = ConfusionMatrix::from_pairs(4, &truth, &truth);
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        prop_assert_eq!(cm.macro_recall(), {
+            // Recall is 1 for present classes, 0 for absent ones; the
+            // macro average counts absent classes as 0.
+            let present = truth.iter().collect::<std::collections::HashSet<_>>().len();
+            present as f64 / 4.0
+        });
+    }
+
+    #[test]
+    fn f1_is_a_harmonic_mean((truth, pred) in labelled(2, 5)) {
+        let cm = ConfusionMatrix::from_pairs(2, &truth, &pred);
+        let (p, r, f1) = (cm.precision(1), cm.recall(1), cm.f1(1));
+        // Harmonic mean lies between min and max of its inputs and never
+        // exceeds the arithmetic mean.
+        prop_assert!(f1 <= (p + r) / 2.0 + 1e-9);
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(f1 >= p.min(r) - 1e-9);
+            prop_assert!(f1 <= p.max(r) + 1e-9);
+        } else {
+            prop_assert_eq!(f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn accuracy_equals_trace_fraction((truth, pred) in labelled(5, 3)) {
+        let cm = ConfusionMatrix::from_pairs(5, &truth, &pred);
+        let trace: u64 = (0..5).map(|i| cm.count(i, i)).sum();
+        prop_assert!((cm.accuracy() - trace as f64 / truth.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_concatenation((t1, p1) in labelled(3, 2), (t2, p2) in labelled(3, 2)) {
+        let mut merged = ConfusionMatrix::from_pairs(3, &t1, &p1);
+        merged.merge(&ConfusionMatrix::from_pairs(3, &t2, &p2));
+        let concat_t: Vec<usize> = t1.iter().chain(&t2).copied().collect();
+        let concat_p: Vec<usize> = p1.iter().chain(&p2).copied().collect();
+        let direct = ConfusionMatrix::from_pairs(3, &concat_t, &concat_p);
+        prop_assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn binary_precision_recall_swap_under_transpose((truth, pred) in labelled(2, 5)) {
+        // Swapping truth and prediction swaps precision and recall.
+        let cm = ConfusionMatrix::from_pairs(2, &truth, &pred);
+        let swapped = ConfusionMatrix::from_pairs(2, &pred, &truth);
+        prop_assert!((cm.precision(1) - swapped.recall(1)).abs() < 1e-12);
+        prop_assert!((cm.recall(1) - swapped.precision(1)).abs() < 1e-12);
+        prop_assert!((cm.accuracy() - swapped.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuting_observations_is_irrelevant((truth, pred) in labelled(4, 4), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..truth.len()).collect();
+        order.shuffle(&mut rng);
+        let t2: Vec<usize> = order.iter().map(|&i| truth[i]).collect();
+        let p2: Vec<usize> = order.iter().map(|&i| pred[i]).collect();
+        prop_assert_eq!(
+            ConfusionMatrix::from_pairs(4, &truth, &pred),
+            ConfusionMatrix::from_pairs(4, &t2, &p2)
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Bridges a persistent [`Params`] store onto a single-step [`Tape`].
+
+use crate::params::{ParamId, Params};
+use fd_autograd::{Tape, Var};
+use fd_tensor::Matrix;
+use std::cell::RefCell;
+
+/// Per-step view of the parameters on one tape.
+///
+/// Each parameter is registered as a tape leaf at most once per binding
+/// (lazily, on first use), so a layer shared across hundreds of entities —
+/// like the GRU encoder applied to every article — contributes a single
+/// leaf whose gradient accumulates all uses.
+pub struct Binding<'t> {
+    tape: &'t Tape,
+    params: &'t Params,
+    vars: RefCell<Vec<Option<Var>>>,
+}
+
+impl<'t> Binding<'t> {
+    /// Creates a binding of `params` onto `tape`.
+    pub fn new(tape: &'t Tape, params: &'t Params) -> Self {
+        Self {
+            tape,
+            params,
+            vars: RefCell::new(vec![None; params.len()]),
+        }
+    }
+
+    /// The tape this binding records on.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// The tape leaf for parameter `id`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `id` comes from a different (larger) store than the one
+    /// this binding wraps.
+    pub fn var(&self, id: ParamId) -> Var {
+        let mut vars = self.vars.borrow_mut();
+        assert!(
+            id.0 < vars.len(),
+            "Binding::var: parameter {} not in the bound store (len {}); \
+             bindings must be created after all layers are constructed",
+            id.0,
+            vars.len()
+        );
+        *vars[id.0].get_or_insert_with(|| self.tape.leaf(self.params.value(id).clone()))
+    }
+
+    /// Gradients of every parameter used in this step, after
+    /// `tape.backward`. Parameters never touched (or unreached by the
+    /// loss) are skipped.
+    pub fn grads(&self) -> Vec<(ParamId, Matrix)> {
+        self.vars
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                let var = (*v)?;
+                let g = self.tape.grad(var)?;
+                Some((ParamId(i), g))
+            })
+            .collect()
+    }
+
+    /// The tape-level L2 term `Σ_id Σ w²` over the given parameters, built
+    /// so gradients flow back into them (the paper's `α · L_reg(W)`).
+    pub fn l2_term(&self, ids: &[ParamId]) -> Var {
+        assert!(!ids.is_empty(), "l2_term: no parameters given");
+        let parts: Vec<Var> = ids.iter().map(|&id| {
+            let v = self.var(id);
+            self.tape.square_norm(v)
+        }).collect();
+        self.tape.sum_n(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_tensor::assert_close;
+
+    #[test]
+    fn var_registers_once() {
+        let mut params = Params::new();
+        let id = params.get_or_insert("w", || Matrix::ones(1, 2));
+        let tape = Tape::new();
+        let b = Binding::new(&tape, &params);
+        let v1 = b.var(id);
+        let v2 = b.var(id);
+        assert_eq!(v1, v2);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn grads_skip_unused_params() {
+        let mut params = Params::new();
+        let used = params.get_or_insert("used", || Matrix::row_vector(&[2.0]));
+        let _unused = params.get_or_insert("unused", || Matrix::row_vector(&[5.0]));
+        let tape = Tape::new();
+        let b = Binding::new(&tape, &params);
+        let v = b.var(used);
+        let loss = tape.square_norm(v);
+        tape.backward(loss);
+        let grads = b.grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, used);
+        assert_close(&grads[0].1, &Matrix::row_vector(&[4.0]), 1e-6);
+    }
+
+    #[test]
+    fn shared_param_accumulates_gradient_across_uses() {
+        let mut params = Params::new();
+        let id = params.get_or_insert("w", || Matrix::row_vector(&[1.0]));
+        let tape = Tape::new();
+        let b = Binding::new(&tape, &params);
+        // Two "entities" both use the same parameter.
+        let w = b.var(id);
+        let l1 = tape.square_norm(w);
+        let l2 = tape.square_norm(w);
+        let total = tape.add(l1, l2);
+        tape.backward(total);
+        let grads = b.grads();
+        assert_close(&grads[0].1, &Matrix::row_vector(&[4.0]), 1e-6);
+    }
+
+    #[test]
+    fn l2_term_matches_sum_of_squares() {
+        let mut params = Params::new();
+        let a = params.get_or_insert("a", || Matrix::row_vector(&[1.0, 2.0]));
+        let c = params.get_or_insert("c", || Matrix::row_vector(&[3.0]));
+        let tape = Tape::new();
+        let b = Binding::new(&tape, &params);
+        let reg = b.l2_term(&[a, c]);
+        assert_eq!(tape.value(reg)[(0, 0)], 14.0);
+        tape.backward(reg);
+        let grads = b.grads();
+        assert_eq!(grads.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the bound store")]
+    fn stale_binding_panics() {
+        let mut params = Params::new();
+        params.get_or_insert("w", || Matrix::ones(1, 1));
+        let tape = Tape::new();
+        // Binding sized for 1 param; fake a later id.
+        let b = Binding::new(&tape, &params);
+        let _ = b.var(ParamId(5));
+    }
+}

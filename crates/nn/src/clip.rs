@@ -1,0 +1,95 @@
+//! Global-norm gradient clipping — the standard guard against the
+//! exploding gradients recurrent models (GRU chains, unrolled GDU
+//! diffusion) are prone to.
+
+use crate::params::ParamId;
+use fd_tensor::Matrix;
+
+/// Euclidean norm over all gradients jointly.
+pub fn global_norm(grads: &[(ParamId, Matrix)]) -> f32 {
+    grads
+        .iter()
+        .map(|(_, g)| {
+            let n = g.frobenius_norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Scales all gradients so their joint norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+///
+/// # Panics
+/// Panics when `max_norm` is not positive.
+pub fn clip_global_norm(grads: &mut [(ParamId, Matrix)], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    let norm = global_norm(grads);
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for (_, g) in grads.iter_mut() {
+            g.map_in_place(|v| v * scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grads(values: &[&[f32]]) -> Vec<(ParamId, Matrix)> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (param(i), Matrix::row_vector(v)))
+            .collect()
+    }
+
+    fn param(i: usize) -> ParamId {
+        // Construct through the public store so the type stays opaque.
+        let mut p = crate::Params::new();
+        for k in 0..=i {
+            p.get_or_insert(&format!("p{k}"), || Matrix::zeros(1, 1));
+        }
+        p.id_of(&format!("p{i}")).unwrap()
+    }
+
+    #[test]
+    fn norm_over_multiple_parameters() {
+        let g = grads(&[&[3.0], &[4.0]]);
+        assert!((global_norm(&g) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_rescales_when_above_threshold() {
+        let mut g = grads(&[&[3.0], &[4.0]]);
+        let pre = clip_global_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((global_norm(&g) - 1.0).abs() < 1e-5);
+        // Direction is preserved.
+        assert!((g[0].1[(0, 0)] / g[1].1[(0, 0)] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_is_noop_below_threshold() {
+        let mut g = grads(&[&[0.3], &[0.4]]);
+        clip_global_norm(&mut g, 1.0);
+        assert_eq!(g[0].1[(0, 0)], 0.3);
+        assert_eq!(g[1].1[(0, 0)], 0.4);
+    }
+
+    #[test]
+    fn clip_leaves_nonfinite_untouched_rather_than_poisoning() {
+        // A NaN norm must not scale every gradient to NaN; the caller can
+        // then detect and skip the step.
+        let mut g = grads(&[&[f32::NAN], &[1.0]]);
+        clip_global_norm(&mut g, 1.0);
+        assert_eq!(g[1].1[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn empty_gradient_list_is_zero_norm() {
+        assert_eq!(global_norm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! First-order optimisers over a [`Params`] store.
+//!
+//! All optimisers keep their per-parameter state keyed by [`ParamId`]
+//! index, so they survive parameters that only receive gradients on some
+//! steps (e.g. embedding rows, entity-specific heads).
+
+use crate::params::{ParamId, Params};
+use fd_tensor::Matrix;
+use std::collections::HashMap;
+
+/// A gradient-descent family optimiser.
+pub trait Optimizer {
+    /// Applies one update from `(id, gradient)` pairs produced by
+    /// [`crate::Binding::grads`].
+    fn apply(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]);
+
+    /// Replaces the learning rate (used by [`crate::Schedule`]).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with optional classical momentum and
+/// decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD at rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Adds classical momentum `μ ∈ [0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled weight decay `λ`.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn apply(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        for (id, g) in grads {
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(id.index())
+                    .or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+                // v = μv + g; step along v.
+                let mut new_v = v.scale(self.momentum);
+                new_v.add_assign(g);
+                *v = new_v.clone();
+                new_v
+            } else {
+                g.clone()
+            };
+            let p = params.value_mut(*id);
+            if self.weight_decay > 0.0 {
+                let decay = p.scale(self.weight_decay);
+                p.add_assign_scaled(&decay, -self.lr);
+            }
+            p.add_assign_scaled(&update, -self.lr);
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: HashMap<usize, Matrix>,
+    v: HashMap<usize, Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// Overrides the exponential-decay coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn apply(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for (id, g) in grads {
+            let m = self
+                .m
+                .entry(id.index())
+                .or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            let v = self
+                .v
+                .entry(id.index())
+                .or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let p = params.value_mut(*id);
+            for ((pi, &mi), &vi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// AdaGrad (Duchi et al. 2011): per-coordinate rates that decay with the
+/// accumulated squared gradient. A good fit for the sparse embedding
+/// updates of DeepWalk / LINE.
+#[derive(Debug)]
+pub struct AdaGrad {
+    lr: f32,
+    eps: f32,
+    acc: HashMap<usize, Matrix>,
+}
+
+impl AdaGrad {
+    /// AdaGrad at base rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, eps: 1e-8, acc: HashMap::new() }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn apply(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        for (id, g) in grads {
+            let acc = self
+                .acc
+                .entry(id.index())
+                .or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            let p = params.value_mut(*id);
+            for ((pi, ai), &gi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(acc.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *ai += gi * gi;
+                *pi -= self.lr * gi / (ai.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimises f(w) = (w - 3)² with the given optimiser; returns |w - 3|.
+    fn descend(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut params = Params::new();
+        let id = params.get_or_insert("w", || Matrix::row_vector(&[0.0]));
+        for _ in 0..steps {
+            let w = params.value(id)[(0, 0)];
+            let grad = Matrix::row_vector(&[2.0 * (w - 3.0)]);
+            opt.apply(&mut params, &[(id, grad)]);
+        }
+        (params.value(id)[(0, 0)] - 3.0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(descend(&mut opt, 100) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let plain = descend(&mut Sgd::new(0.02), 40);
+        let with_m = descend(&mut Sgd::new(0.02).with_momentum(0.9), 40);
+        assert!(with_m < plain, "momentum {with_m} should beat plain {plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        assert!(descend(&mut opt, 200) < 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        let mut opt = AdaGrad::new(1.0);
+        assert!(descend(&mut opt, 200) < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_direction() {
+        let mut params = Params::new();
+        let id = params.get_or_insert("w", || Matrix::row_vector(&[1.0, 1.0]));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        // Gradient only on the first coordinate; decay must still shrink
+        // the second.
+        for _ in 0..10 {
+            opt.apply(&mut params, &[(id, Matrix::row_vector(&[0.0, 0.0]))]);
+        }
+        assert!(params.value(id)[(0, 1)] < 0.7);
+    }
+
+    #[test]
+    fn adam_state_survives_intermittent_params() {
+        // A parameter that receives gradients only on odd steps must not
+        // lose its moment estimates.
+        let mut params = Params::new();
+        let a = params.get_or_insert("a", || Matrix::row_vector(&[0.0]));
+        let b = params.get_or_insert("b", || Matrix::row_vector(&[0.0]));
+        let mut opt = Adam::new(0.1);
+        for step in 0..50 {
+            let mut grads = vec![(a, Matrix::row_vector(&[2.0 * (params.value(a)[(0, 0)] - 1.0)]))];
+            if step % 2 == 1 {
+                grads.push((b, Matrix::row_vector(&[2.0 * (params.value(b)[(0, 0)] - 1.0)])));
+            }
+            opt.apply(&mut params, &grads);
+        }
+        assert!((params.value(a)[(0, 0)] - 1.0).abs() < 0.1);
+        assert!((params.value(b)[(0, 0)] - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn set_lr_roundtrips() {
+        let mut o: Box<dyn Optimizer> = Box::new(Adam::new(0.1));
+        o.set_lr(0.01);
+        assert_eq!(o.lr(), 0.01);
+    }
+}

@@ -1,0 +1,95 @@
+//! Learning-rate schedules.
+
+/// Maps an epoch index to a learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// The same rate every epoch.
+    Constant(f32),
+    /// Multiply by `factor` every `every` epochs: `lr · factor^(e / every)`.
+    StepDecay {
+        /// Base rate at epoch 0.
+        base: f32,
+        /// Epochs between decays (must be ≥ 1).
+        every: usize,
+        /// Multiplicative factor per decay, usually in (0, 1).
+        factor: f32,
+    },
+    /// Linear ramp from `base` down to `floor` over `epochs`, then flat —
+    /// the schedule DeepWalk/LINE reference implementations use.
+    LinearDecay {
+        /// Rate at epoch 0.
+        base: f32,
+        /// Rate reached at `epochs` and kept afterwards.
+        floor: f32,
+        /// Ramp length in epochs (must be ≥ 1).
+        epochs: usize,
+    },
+}
+
+impl Schedule {
+    /// The learning rate for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match *self {
+            Schedule::Constant(lr) => lr,
+            Schedule::StepDecay { base, every, factor } => {
+                assert!(every >= 1, "StepDecay: `every` must be >= 1");
+                base * factor.powi((epoch / every) as i32)
+            }
+            Schedule::LinearDecay { base, floor, epochs } => {
+                assert!(epochs >= 1, "LinearDecay: `epochs` must be >= 1");
+                if epoch >= epochs {
+                    floor
+                } else {
+                    let t = epoch as f32 / epochs as f32;
+                    base + (floor - base) * t
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::Constant(0.1);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = Schedule::StepDecay { base: 1.0, every: 10, factor: 0.5 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn linear_decay_ramps_and_floors() {
+        let s = Schedule::LinearDecay { base: 1.0, floor: 0.1, epochs: 9 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert!((s.lr_at(3) - 0.7).abs() < 1e-6);
+        assert_eq!(s.lr_at(9), 0.1);
+        assert_eq!(s.lr_at(50), 0.1);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        for s in [
+            Schedule::Constant(0.5),
+            Schedule::StepDecay { base: 0.5, every: 3, factor: 0.7 },
+            Schedule::LinearDecay { base: 0.5, floor: 0.05, epochs: 20 },
+        ] {
+            let mut prev = f32::INFINITY;
+            for e in 0..50 {
+                let lr = s.lr_at(e);
+                assert!(lr <= prev + 1e-7, "{s:?} increased at epoch {e}");
+                prev = lr;
+            }
+        }
+    }
+}

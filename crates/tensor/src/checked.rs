@@ -1,0 +1,100 @@
+//! Fallible (`Result`-returning) counterparts of the core kernels, for
+//! API boundaries handling untrusted shapes (file loaders, FFI, the CLI).
+//! The panicking kernels remain the hot-path API.
+
+use crate::{Matrix, ShapeError};
+
+/// Mismatch raised by a checked binary kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimMismatch {
+    /// Operation name ("matmul", "add", …).
+    pub op: &'static str,
+    /// Left operand shape.
+    pub lhs: (usize, usize),
+    /// Right operand shape.
+    pub rhs: (usize, usize),
+}
+
+impl std::fmt::Display for DimMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: incompatible shapes {}x{} and {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for DimMismatch {}
+
+impl From<ShapeError> for DimMismatch {
+    fn from(e: ShapeError) -> Self {
+        DimMismatch { op: "from_vec", lhs: (e.rows, e.cols), rhs: (e.len, 1) }
+    }
+}
+
+impl Matrix {
+    /// Checked matrix product.
+    pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, DimMismatch> {
+        if self.cols() != other.rows() {
+            return Err(DimMismatch { op: "matmul", lhs: self.shape(), rhs: other.shape() });
+        }
+        Ok(self.matmul(other))
+    }
+
+    /// Checked element-wise sum.
+    pub fn try_add(&self, other: &Matrix) -> Result<Matrix, DimMismatch> {
+        if self.shape() != other.shape() {
+            return Err(DimMismatch { op: "add", lhs: self.shape(), rhs: other.shape() });
+        }
+        Ok(self.add(other))
+    }
+
+    /// Checked Hadamard product.
+    pub fn try_mul(&self, other: &Matrix) -> Result<Matrix, DimMismatch> {
+        if self.shape() != other.shape() {
+            return Err(DimMismatch { op: "mul", lhs: self.shape(), rhs: other.shape() });
+        }
+        Ok(self.mul(other))
+    }
+
+    /// Checked column concatenation.
+    pub fn try_concat_cols(&self, other: &Matrix) -> Result<Matrix, DimMismatch> {
+        if self.rows() != other.rows() {
+            return Err(DimMismatch {
+                op: "concat_cols",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self.concat_cols(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_paths_match_panicking_kernels() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(a.try_matmul(&b).unwrap(), a.matmul(&b));
+        let c = Matrix::from_rows(&[&[5.0, 6.0]]);
+        assert_eq!(a.try_add(&c).unwrap(), a.add(&c));
+        assert_eq!(a.try_mul(&c).unwrap(), a.mul(&c));
+        assert_eq!(a.try_concat_cols(&c).unwrap(), a.concat_cols(&c));
+    }
+
+    #[test]
+    fn mismatches_return_descriptive_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.try_matmul(&b).unwrap_err();
+        assert_eq!(err.op, "matmul");
+        assert!(err.to_string().contains("2x3"));
+        assert!(a.try_add(&Matrix::zeros(3, 2)).is_err());
+        assert!(a.try_mul(&Matrix::zeros(1, 3)).is_err());
+        assert!(a.try_concat_cols(&Matrix::zeros(3, 3)).is_err());
+    }
+}

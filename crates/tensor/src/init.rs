@@ -1,0 +1,95 @@
+//! Seeded weight initialisers.
+//!
+//! All initialisers take an explicit [`Rng`] so that every experiment in
+//! the workspace is reproducible from a single `u64` seed.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Uniform entries in `[lo, hi)`.
+///
+/// # Panics
+/// Panics when `lo >= hi`.
+pub fn uniform_in(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(lo < hi, "uniform_in: empty range [{lo}, {hi})");
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The right default for the
+/// tanh/sigmoid gates used throughout GRU and GDU cells.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    assert!(fan_in > 0 && fan_out > 0, "xavier_uniform: zero fan");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_in(fan_in, fan_out, -a, a, rng)
+}
+
+/// He/Kaiming normal initialisation: `N(0, 2 / fan_in)`, for ReLU layers.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    assert!(fan_in > 0 && fan_out > 0, "he_normal: zero fan");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| {
+        // Box-Muller transform; two uniforms to one normal. Rejection of
+        // u1 == 0 avoids ln(0).
+        let mut u1: f32 = rng.gen();
+        while u1 <= f32::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f32 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        z * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform_in(10, 10, -0.5, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn xavier_bound_scales_with_fan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = xavier_uniform(4, 4, &mut rng);
+        let big = xavier_uniform(400, 400, &mut rng);
+        assert!(small.max_abs() <= (6.0f32 / 8.0).sqrt() + 1e-6);
+        assert!(big.max_abs() <= (6.0f32 / 800.0).sqrt() + 1e-6);
+        assert!(big.max_abs() < small.max_abs());
+    }
+
+    #[test]
+    fn he_normal_has_roughly_right_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fan_in = 64;
+        let m = he_normal(fan_in, 256, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / (m.len() - 1) as f32;
+        let expected = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!(
+            (var - expected).abs() / expected < 0.15,
+            "variance {var} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uniform_in(1, 1, 1.0, 1.0, &mut rng);
+    }
+}

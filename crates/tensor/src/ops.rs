@@ -1,0 +1,402 @@
+//! Linear-algebra and element-wise kernels on [`Matrix`].
+//!
+//! Every binary kernel comes in an owning form (`a.add(&b)`) and, where the
+//! autograd engine needs it, an in-place accumulating form
+//! (`a.add_assign_scaled(&b, alpha)`). Shape mismatches panic with a message
+//! naming the kernel.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Matrix product `self · other` (`m x k` times `k x n`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: inner dimensions differ, {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        // ikj loop order: the innermost loop walks both `other` and `out`
+        // contiguously, which is the cache-friendly order for row-major data.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for j in 0..n {
+                    out_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "transpose_matmul: row counts differ, {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for j in 0..n {
+                    out_row[j] += a_pi * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose: column counts differ, {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, out_v) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *out_v = acc;
+            }
+        }
+        out
+    }
+
+    /// The explicit transpose `selfᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), self.rows());
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.require_same_shape(other, "add");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.require_same_shape(other, "sub");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.require_same_shape(other, "mul");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// `self += alpha * other`, in place (the BLAS `axpy`).
+    pub fn add_assign_scaled(&mut self, other: &Matrix, alpha: f32) {
+        self.require_same_shape(other, "add_assign_scaled");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self += other`, in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.add_assign_scaled(other, 1.0);
+    }
+
+    /// Adds the `1 x n` row vector `bias` to every row of `self`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert!(
+            bias.rows() == 1 && bias.cols() == self.cols(),
+            "add_row_broadcast: bias must be 1x{}, got {}x{}",
+            self.cols(),
+            bias.rows(),
+            bias.cols()
+        );
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice().iter().map(|&v| f(v)).collect(),
+        )
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped matrices entry by entry.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        self.require_same_shape(other, "zip_map");
+        Matrix::from_vec(
+            self.rows(),
+            self.cols(),
+            self.as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        )
+    }
+
+    /// Horizontal concatenation `[self | other]` (same row count).
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "concat_cols: row counts differ, {} vs {}",
+            self.rows(),
+            other.rows()
+        );
+        let mut out = Matrix::zeros(self.rows(), self.cols() + other.cols());
+        for r in 0..self.rows() {
+            let row = out.row_mut(r);
+            row[..self.cols()].copy_from_slice(self.row(r));
+            row[self.cols()..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation (same column count).
+    pub fn concat_rows(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "concat_rows: column counts differ, {} vs {}",
+            self.cols(),
+            other.cols()
+        );
+        let mut data = Vec::with_capacity(self.len() + other.len());
+        data.extend_from_slice(self.as_slice());
+        data.extend_from_slice(other.as_slice());
+        Matrix::from_vec(self.rows() + other.rows(), self.cols(), data)
+    }
+
+    /// Copies columns `[start, start + width)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Matrix {
+        assert!(
+            start + width <= self.cols(),
+            "slice_cols: [{start}, {}) out of {} columns",
+            start + width,
+            self.cols()
+        );
+        let mut out = Matrix::zeros(self.rows(), width);
+        for r in 0..self.rows() {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + width]);
+        }
+        out
+    }
+
+    /// Dot product of two row vectors (or any same-shaped matrices,
+    /// treated as flat).
+    pub fn dot(&self, other: &Matrix) -> f32 {
+        self.require_same_shape(other, "dot");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Outer product of two row vectors: `selfᵀ · other` for `1 x m` and
+    /// `1 x n` inputs, giving `m x n`.
+    pub fn outer(&self, other: &Matrix) -> Matrix {
+        assert!(
+            self.rows() == 1 && other.rows() == 1,
+            "outer: expects two row vectors, got {}x{} and {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        for (i, &a) in self.row(0).iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = out.row_mut(i);
+            for (j, &b) in other.row(0).iter().enumerate() {
+                row[j] = a * b;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assert_close, Matrix};
+
+    fn a() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn matmul_small() {
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a().matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0], &[2.0, 0.0]]);
+        assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[5.0, 1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dimensions differ")]
+    fn matmul_shape_panic() {
+        let _ = a().matmul(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r + 2 * c) as f32);
+        let y = Matrix::from_fn(4, 2, |r, c| (r as f32) - (c as f32) * 0.5);
+        assert_close(&x.transpose_matmul(&y), &x.transpose().matmul(&y), 1e-6);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let x = Matrix::from_fn(2, 5, |r, c| (r * c) as f32 * 0.3 - 1.0);
+        let y = Matrix::from_fn(3, 5, |r, c| (r + c) as f32 * 0.7);
+        assert_close(&x.matmul_transpose(&y), &x.matmul(&y.transpose()), 1e-6);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let x = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f32);
+        assert_eq!(x.transpose().transpose(), x);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let b = Matrix::from_rows(&[&[4.0, 3.0], &[2.0, 1.0]]);
+        assert_eq!(a().add(&b), Matrix::filled(2, 2, 5.0));
+        assert_eq!(a().sub(&b), Matrix::from_rows(&[&[-3.0, -1.0], &[1.0, 3.0]]));
+        assert_eq!(a().mul(&b), Matrix::from_rows(&[&[4.0, 6.0], &[6.0, 4.0]]));
+        assert_eq!(a().scale(2.0), Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut x = Matrix::ones(1, 3);
+        x.add_assign_scaled(&Matrix::row_vector(&[1.0, 2.0, 3.0]), 0.5);
+        assert_eq!(x, Matrix::row_vector(&[1.5, 2.0, 2.5]));
+        x.add_assign(&Matrix::ones(1, 3));
+        assert_eq!(x, Matrix::row_vector(&[2.5, 3.0, 3.5]));
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias_to_every_row() {
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        let out = a().add_row_broadcast(&bias);
+        assert_eq!(out, Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "add_row_broadcast")]
+    fn row_broadcast_shape_panic() {
+        let _ = a().add_row_broadcast(&Matrix::ones(2, 2));
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let left = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let right = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let cat = left.concat_cols(&right);
+        assert_eq!(cat, Matrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+
+        let top = Matrix::row_vector(&[1.0, 2.0]);
+        let stacked = top.concat_rows(&a());
+        assert_eq!(stacked.shape(), (3, 2));
+        assert_eq!(stacked.row(0), &[1.0, 2.0]);
+        assert_eq!(stacked.row(2), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_cols_inverts_concat() {
+        let left = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let right = Matrix::from_fn(3, 4, |r, c| (r * c) as f32);
+        let cat = left.concat_cols(&right);
+        assert_eq!(cat.slice_cols(0, 2), left);
+        assert_eq!(cat.slice_cols(2, 4), right);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let u = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let v = Matrix::row_vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(u.dot(&v), 32.0);
+        let o = u.outer(&v);
+        assert_eq!(o.shape(), (3, 3));
+        assert_eq!(o[(2, 0)], 12.0);
+        // outer must agree with uᵀ·v.
+        assert_close(&o, &u.transpose().matmul(&v), 1e-6);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let m = a().map(|v| v * v);
+        assert_eq!(m, Matrix::from_rows(&[&[1.0, 4.0], &[9.0, 16.0]]));
+        let z = a().zip_map(&a(), |x, y| x - y);
+        assert_eq!(z, Matrix::zeros(2, 2));
+        let mut ip = a();
+        ip.map_in_place(|v| -v);
+        assert_eq!(ip, a().scale(-1.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Numerically stable soft-max and log-sum-exp.
+//!
+//! The credibility heads of every model in this workspace end in a
+//! soft-max over 6 (or 2) classes; these kernels subtract the row maximum
+//! before exponentiating so large logits never overflow.
+
+use crate::Matrix;
+
+/// Stable `log(Σ exp(xᵢ))` over a non-empty slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn log_sum_exp(values: &[f32]) -> f32 {
+    assert!(!values.is_empty(), "log_sum_exp: empty input");
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max.is_infinite() && max < 0.0 {
+        // All entries are -inf: the sum of exps is 0.
+        return f32::NEG_INFINITY;
+    }
+    let sum: f32 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Replaces `values` with its soft-max, stably.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn softmax_in_place(values: &mut [f32]) {
+    assert!(!values.is_empty(), "softmax_in_place: empty input");
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    // `sum >= exp(0) = 1` because at least one entry equals the max, so the
+    // division is always safe.
+    for v in values.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Row-wise soft-max of a logits matrix.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = [1.0, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        let s: f32 = v.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let mut v = [1000.0, 1001.0, 999.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        let s: f32 = v.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_uniform_on_equal_logits() {
+        let mut v = [5.0; 4];
+        softmax_in_place(&mut v);
+        for x in v {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_on_small_values() {
+        let v = [0.1f32, -0.3, 0.7];
+        let naive = v.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&v) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_on_large_values() {
+        let v = [800.0f32, 800.0];
+        let lse = log_sum_exp(&v);
+        assert!((lse - (800.0 + 2.0f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn log_sum_exp_all_neg_inf() {
+        assert_eq!(log_sum_exp(&[f32::NEG_INFINITY; 3]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_rows_is_per_row() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0], &[100.0, 0.0]]);
+        let p = softmax_rows(&logits);
+        assert_close(
+            &p.row_matrix(0),
+            &Matrix::row_vector(&[0.5, 0.5]),
+            1e-6,
+        );
+        assert!(p[(1, 0)] > 0.999);
+    }
+}

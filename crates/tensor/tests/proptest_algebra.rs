@@ -1,0 +1,128 @@
+//! Property-based tests for the matrix algebra: the identities below must
+//! hold for arbitrary well-shaped inputs, not just the hand-picked cases
+//! in the unit tests.
+
+use fd_tensor::{assert_close, softmax_rows, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Strategy: shape triple (m, k, n) for chained products, kept small so the
+/// O(n³) reference checks stay fast.
+fn dims3() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..6, 1usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matmul_identity_is_noop((m, k, _n) in dims3(), seed in any::<u64>()) {
+        let a = deterministic(m, k, seed);
+        assert_close(&a.matmul(&Matrix::identity(k)), &a, 1e-5);
+        assert_close(&Matrix::identity(m).matmul(&a), &a, 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+        let a = deterministic(m, k, s1);
+        let b = deterministic(k, n, s2);
+        let c = deterministic(k, n, s3);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        assert_close(&lhs, &rhs, 1e-2);
+    }
+
+    #[test]
+    fn transpose_reverses_product((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = deterministic(m, k, s1);
+        let b = deterministic(k, n, s2);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert_close(&lhs, &rhs, 1e-3);
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = deterministic(k, m, s1);
+        let b = deterministic(k, n, s2);
+        assert_close(&a.transpose_matmul(&b), &a.transpose().matmul(&b), 1e-3);
+        let c = deterministic(m, k, s1);
+        let d = deterministic(n, k, s2);
+        assert_close(&c.matmul_transpose(&d), &c.matmul(&d.transpose()), 1e-3);
+    }
+
+    #[test]
+    fn add_commutes(a in matrix(3, 4), b in matrix(3, 4)) {
+        assert_close(&a.add(&b), &b.add(&a), 1e-6);
+    }
+
+    #[test]
+    fn mul_commutes(a in matrix(3, 4), b in matrix(3, 4)) {
+        assert_close(&a.mul(&b), &b.mul(&a), 1e-6);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in matrix(2, 5), b in matrix(2, 5)) {
+        assert_close(&a.sub(&b).add(&b), &a, 1e-4);
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 3), alpha in -5.0f32..5.0) {
+        assert_close(&a.scale(alpha).add(&a.scale(-alpha)), &Matrix::zeros(3, 3), 1e-4);
+        let doubled = a.scale(alpha).scale(2.0);
+        assert_close(&doubled, &a.scale(2.0 * alpha), 1e-3);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(a in matrix(3, 2), b in matrix(3, 5)) {
+        let cat = a.concat_cols(&b);
+        assert_close(&cat.slice_cols(0, 2), &a, 0.0);
+        assert_close(&cat.slice_cols(2, 5), &b, 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(4, 6)) {
+        let p = softmax_rows(&a);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(v in prop::collection::vec(-20.0f32..20.0, 1..8), shift in -50.0f32..50.0) {
+        let a = Matrix::row_vector(&v);
+        let b = a.map(|x| x + shift);
+        assert_close(&softmax_rows(&a), &softmax_rows(&b), 1e-4);
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+        let lhs = a.add(&b).frobenius_norm();
+        let rhs = a.frobenius_norm() + b.frobenius_norm();
+        prop_assert!(lhs <= rhs + 1e-3);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(v in prop::collection::vec(-10.0f32..10.0, 1..10), w_seed in any::<u64>()) {
+        let a = Matrix::row_vector(&v);
+        let b = deterministic(1, v.len(), w_seed);
+        let lhs = a.dot(&b).abs();
+        let rhs = a.frobenius_norm() * b.frobenius_norm();
+        prop_assert!(lhs <= rhs * (1.0 + 1e-4) + 1e-4);
+    }
+}
+
+/// Deterministic pseudo-random matrix from a seed, kept outside the
+/// proptest strategies so shape and content can vary independently.
+fn deterministic(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    fd_tensor::uniform_in(rows, cols, -2.0, 2.0, &mut rng)
+}

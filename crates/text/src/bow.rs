@@ -1,0 +1,55 @@
+//! Explicit bag-of-words features over a [`WordSet`].
+
+use crate::WordSet;
+use fd_tensor::Matrix;
+
+/// Counts occurrences of each word-set entry in `tokens`, producing the
+/// paper's explicit feature vector `x^e ∈ R^d` as a `1 x d` row.
+///
+/// Words outside the set are ignored; repeats count every time (the paper
+/// uses appearance counts, not presence flags).
+pub fn bow_features(tokens: &[String], word_set: &WordSet) -> Matrix {
+    let mut features = Matrix::zeros(1, word_set.len());
+    for token in tokens {
+        if let Some(pos) = word_set.position(token) {
+            features[(0, pos)] += 1.0;
+        }
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn counts_occurrences() {
+        let ws = WordSet::from_words(["tax", "hoax", "economy"].map(String::from));
+        let f = bow_features(&toks("tax hoax tax unknown"), &ws);
+        assert_eq!(f, Matrix::row_vector(&[2.0, 1.0, 0.0]));
+    }
+
+    #[test]
+    fn empty_tokens_give_zero_vector() {
+        let ws = WordSet::from_words(["tax"].map(String::from));
+        assert_eq!(bow_features(&[], &ws), Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn empty_word_set_gives_empty_features() {
+        let ws = WordSet::from_words(std::iter::empty());
+        let f = bow_features(&toks("anything"), &ws);
+        assert_eq!(f.shape(), (1, 0));
+    }
+
+    #[test]
+    fn feature_positions_follow_word_set_order() {
+        let ws = WordSet::from_words(["second", "first"].map(String::from));
+        let f = bow_features(&toks("first"), &ws);
+        assert_eq!(f, Matrix::row_vector(&[0.0, 1.0]));
+    }
+}

@@ -1,0 +1,66 @@
+//! Fixed-length token-id sequences for the latent (GRU) features.
+
+use crate::{Vocab, PAD_ID};
+
+/// Encodes `tokens` as exactly `max_len` token ids: truncating long
+/// inputs and right-padding short ones with [`PAD_ID`], as in the paper
+/// ("for those with less than q words, zero-padding will be adopted").
+/// Unknown words map to `UNK_ID`.
+pub fn encode_sequence(tokens: &[String], vocab: &Vocab, max_len: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = tokens
+        .iter()
+        .take(max_len)
+        .map(|t| vocab.id_or_unk(t))
+        .collect();
+    ids.resize(max_len, PAD_ID);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tokenizer, UNK_ID};
+
+    fn vocab() -> Vocab {
+        let t = Tokenizer::default();
+        Vocab::build([t.tokenize("tax economy health gun")], 1, 100)
+    }
+
+    #[test]
+    fn pads_short_sequences() {
+        let v = vocab();
+        let ids = encode_sequence(&["tax".into()], &v, 4);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], v.id("tax").unwrap());
+        assert_eq!(&ids[1..], &[PAD_ID; 3]);
+    }
+
+    #[test]
+    fn truncates_long_sequences() {
+        let v = vocab();
+        let words: Vec<String> = ["tax", "economy", "health", "gun"].map(String::from).into();
+        let ids = encode_sequence(&words, &v, 2);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], v.id("tax").unwrap());
+        assert_eq!(ids[1], v.id("economy").unwrap());
+    }
+
+    #[test]
+    fn unknown_words_become_unk() {
+        let v = vocab();
+        let ids = encode_sequence(&["martian".into()], &v, 2);
+        assert_eq!(ids[0], UNK_ID);
+    }
+
+    #[test]
+    fn empty_input_is_all_pad() {
+        let v = vocab();
+        assert_eq!(encode_sequence(&[], &v, 3), vec![PAD_ID; 3]);
+    }
+
+    #[test]
+    fn zero_max_len_is_empty() {
+        let v = vocab();
+        assert!(encode_sequence(&["tax".into()], &v, 0).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! English stop-word list.
+//!
+//! The paper removes stop words before the frequent-word analysis of
+//! Fig 1(b)-(c) and before building the explicit feature word sets. This
+//! list is the usual small English closed-class set; matching is
+//! case-insensitive because the tokenizer lower-cases first.
+
+/// Sorted list of stop words; binary-searched by [`is_stop_word`].
+static STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any",
+    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below",
+    "between", "both", "but", "by", "can", "cannot", "could", "couldn", "did", "didn",
+    "do", "does", "doesn", "doing", "don", "down", "during", "each", "few", "for",
+    "from", "further", "had", "hadn", "has", "hasn", "have", "haven", "having", "he",
+    "her", "here", "hers", "herself", "him", "himself", "his", "how", "i", "if", "in",
+    "into", "is", "isn", "it", "its", "itself", "just", "me", "more", "most", "my",
+    "myself", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
+    "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "s", "same",
+    "she", "should", "shouldn", "so", "some", "such", "t", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn",
+    "we", "were", "weren", "what", "when", "where", "which", "while", "who", "whom",
+    "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// True when `word` (already lower-cased) is an English stop word.
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must stay sorted");
+    }
+
+    #[test]
+    fn common_words_are_stopped() {
+        for w in ["the", "and", "is", "of", "to", "a"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["tax", "president", "obamacare", "economy", "gun"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn case_sensitivity_contract() {
+        // The function expects lower-cased input; upper case is not
+        // matched — the tokenizer guarantees lower case.
+        assert!(!is_stop_word("The"));
+    }
+}

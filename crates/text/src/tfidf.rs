@@ -1,0 +1,139 @@
+//! TF-IDF weighting over a [`WordSet`] — an alternative to raw counts
+//! for the explicit features. The paper uses appearance counts; TF-IDF
+//! is provided as a documented extension for the ablation harness and
+//! downstream users.
+
+use crate::{bow_features, WordSet};
+use fd_tensor::Matrix;
+
+/// Smoothed inverse-document-frequency weights for a word set, fitted on
+/// a training corpus: `idf = ln((N + 1) / (df + 1)) + 1`.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: Vec<f32>,
+    n_documents: usize,
+}
+
+impl TfIdf {
+    /// Fits document frequencies of each word-set entry over `documents`.
+    pub fn fit(documents: &[Vec<String>], word_set: &WordSet) -> Self {
+        let mut df = vec![0u32; word_set.len()];
+        for doc in documents {
+            let mut seen = vec![false; word_set.len()];
+            for token in doc {
+                if let Some(pos) = word_set.position(token) {
+                    if !seen[pos] {
+                        seen[pos] = true;
+                        df[pos] += 1;
+                    }
+                }
+            }
+        }
+        let n = documents.len();
+        let idf = df
+            .into_iter()
+            .map(|d| ((n as f32 + 1.0) / (d as f32 + 1.0)).ln() + 1.0)
+            .collect();
+        Self { idf, n_documents: n }
+    }
+
+    /// TF-IDF features for one document: raw counts reweighted by the
+    /// fitted IDF. Same shape as [`bow_features`].
+    pub fn transform(&self, tokens: &[String], word_set: &WordSet) -> Matrix {
+        assert_eq!(
+            word_set.len(),
+            self.idf.len(),
+            "TfIdf::transform: word set size {} != fitted size {}",
+            word_set.len(),
+            self.idf.len()
+        );
+        let mut features = bow_features(tokens, word_set);
+        for (v, &w) in features.as_mut_slice().iter_mut().zip(&self.idf) {
+            *v *= w;
+        }
+        features
+    }
+
+    /// The IDF weight of feature position `pos`.
+    pub fn idf(&self, pos: usize) -> f32 {
+        self.idf[pos]
+    }
+
+    /// Number of documents the weights were fitted on.
+    pub fn n_documents(&self) -> usize {
+        self.n_documents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn rare_words_weigh_more_than_common() {
+        let ws = WordSet::from_words(["common", "rare"].map(String::from));
+        let docs = vec![
+            toks("common rare"),
+            toks("common"),
+            toks("common"),
+            toks("common"),
+        ];
+        let tfidf = TfIdf::fit(&docs, &ws);
+        assert!(
+            tfidf.idf(1) > tfidf.idf(0),
+            "rare idf {} should exceed common idf {}",
+            tfidf.idf(1),
+            tfidf.idf(0)
+        );
+    }
+
+    #[test]
+    fn transform_multiplies_counts_by_idf() {
+        let ws = WordSet::from_words(["alpha", "beta"].map(String::from));
+        let docs = vec![toks("alpha"), toks("alpha beta")];
+        let tfidf = TfIdf::fit(&docs, &ws);
+        let f = tfidf.transform(&toks("alpha alpha beta"), &ws);
+        assert!((f[(0, 0)] - 2.0 * tfidf.idf(0)).abs() < 1e-6);
+        assert!((f[(0, 1)] - tfidf.idf(1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unseen_word_gets_maximum_idf() {
+        let ws = WordSet::from_words(["seen", "never"].map(String::from));
+        let docs = vec![toks("seen"); 9];
+        let tfidf = TfIdf::fit(&docs, &ws);
+        let max_idf = ((9.0f32 + 1.0) / 1.0).ln() + 1.0;
+        assert!((tfidf.idf(1) - max_idf).abs() < 1e-6);
+        assert_eq!(tfidf.n_documents(), 9);
+    }
+
+    #[test]
+    fn repeated_word_in_one_doc_counts_once_for_df() {
+        let ws = WordSet::from_words(["spam"].map(String::from));
+        let a = TfIdf::fit(&[toks("spam spam spam")], &ws);
+        let b = TfIdf::fit(&[toks("spam")], &ws);
+        assert_eq!(a.idf(0), b.idf(0));
+    }
+
+    #[test]
+    fn empty_corpus_is_well_defined() {
+        let ws = WordSet::from_words(["x"].map(String::from));
+        let tfidf = TfIdf::fit(&[], &ws);
+        assert!(tfidf.idf(0).is_finite());
+        let f = tfidf.transform(&toks("x"), &ws);
+        assert!(f[(0, 0)].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "word set size")]
+    fn transform_checks_word_set_size() {
+        let ws1 = WordSet::from_words(["a"].map(String::from));
+        let ws2 = WordSet::from_words(["a", "b"].map(String::from));
+        let tfidf = TfIdf::fit(&[toks("a")], &ws1);
+        let _ = tfidf.transform(&toks("a"), &ws2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Discriminative word-set extraction — the paper's pre-extracted
+//! `W_n`, `W_u`, `W_s` used for the explicit features.
+//!
+//! Section 4.1.1 of the paper selects, per node type, the words whose
+//! presence correlates most strongly with the credibility label. We score
+//! candidate words by the χ² statistic of the word-presence ×
+//! positive/negative-label contingency table and keep the top `d`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// χ² score of each word against a binary document labelling.
+///
+/// `documents` are tokenised texts, `positive` flags each document.
+/// Returns `(word, score)` sorted by descending score (alphabetical on
+/// ties, so extraction is deterministic).
+pub fn chi_squared_scores(
+    documents: &[Vec<String>],
+    positive: &[bool],
+) -> Vec<(String, f64)> {
+    assert_eq!(
+        documents.len(),
+        positive.len(),
+        "chi_squared_scores: {} documents vs {} labels",
+        documents.len(),
+        positive.len()
+    );
+    let n = documents.len() as f64;
+    if documents.is_empty() {
+        return Vec::new();
+    }
+    let total_pos = positive.iter().filter(|&&p| p).count() as f64;
+    let total_neg = n - total_pos;
+
+    // Document frequency of each word, split by label.
+    let mut df_pos: HashMap<&str, f64> = HashMap::new();
+    let mut df_neg: HashMap<&str, f64> = HashMap::new();
+    for (doc, &is_pos) in documents.iter().zip(positive) {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for w in doc {
+            if seen.insert(w.as_str()) {
+                let slot = if is_pos { &mut df_pos } else { &mut df_neg };
+                *slot.entry(w.as_str()).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+
+    let mut words: HashSet<&str> = df_pos.keys().copied().collect();
+    words.extend(df_neg.keys().copied());
+
+    let mut scored: Vec<(String, f64)> = words
+        .into_iter()
+        .map(|w| {
+            // 2x2 contingency: word present/absent × label pos/neg.
+            let a = df_pos.get(w).copied().unwrap_or(0.0); // present, pos
+            let b = df_neg.get(w).copied().unwrap_or(0.0); // present, neg
+            let c = total_pos - a; // absent, pos
+            let d = total_neg - b; // absent, neg
+            let denom = (a + b) * (c + d) * (a + c) * (b + d);
+            let chi2 = if denom == 0.0 {
+                0.0
+            } else {
+                let det = a * d - b * c;
+                n * det * det / denom
+            };
+            (w.to_string(), chi2)
+        })
+        .collect();
+    scored.sort_by(|x, y| {
+        y.1.partial_cmp(&x.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.0.cmp(&y.0))
+    });
+    scored
+}
+
+/// A fixed, ordered set of discriminative words with dense feature
+/// positions — the explicit feature extractor's codebook.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct WordSet {
+    words: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl WordSet {
+    /// Selects the top-`d` χ²-scored words from a labelled corpus.
+    pub fn extract(documents: &[Vec<String>], positive: &[bool], d: usize) -> Self {
+        let scored = chi_squared_scores(documents, positive);
+        Self::from_words(scored.into_iter().take(d).map(|(w, _)| w))
+    }
+
+    /// Builds a word set from an explicit word list (deduplicating while
+    /// keeping first occurrence order).
+    pub fn from_words(words: impl IntoIterator<Item = String>) -> Self {
+        let mut seen = HashSet::new();
+        let words: Vec<String> = words
+            .into_iter()
+            .filter(|w| seen.insert(w.clone()))
+            .collect();
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        Self { words, index }
+    }
+
+    /// Feature position of `word` in this set.
+    pub fn position(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Number of words (= explicit feature dimensionality `d`).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The words in feature order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Restores the index after deserialisation.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut ws: WordSet = serde_json::from_str(json)?;
+        ws.index = ws
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        Ok(ws)
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("WordSet serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn chi2_ranks_perfectly_separating_word_first() {
+        let docs = vec![
+            toks("tax income growth"),
+            toks("tax jobs plan"),
+            toks("hoax conspiracy lie"),
+            toks("hoax fraud claim"),
+        ];
+        let labels = vec![true, true, false, false];
+        let scored = chi_squared_scores(&docs, &labels);
+        let top: Vec<&str> = scored.iter().take(2).map(|(w, _)| w.as_str()).collect();
+        assert!(top.contains(&"tax"), "perfect separators should lead: {top:?}");
+        assert!(top.contains(&"hoax"));
+    }
+
+    #[test]
+    fn chi2_scores_zero_for_uninformative_word() {
+        let docs = vec![toks("shared tax"), toks("shared hoax")];
+        let labels = vec![true, false];
+        let scored = chi_squared_scores(&docs, &labels);
+        let shared = scored.iter().find(|(w, _)| w == "shared").unwrap();
+        assert_eq!(shared.1, 0.0);
+    }
+
+    #[test]
+    fn chi2_word_in_every_doc_is_zero_not_nan() {
+        let docs = vec![toks("always"), toks("always")];
+        let labels = vec![true, false];
+        let scored = chi_squared_scores(&docs, &labels);
+        assert!(scored.iter().all(|(_, s)| s.is_finite()));
+    }
+
+    #[test]
+    fn chi2_counts_presence_not_frequency() {
+        // A word repeated within one document must count once.
+        let docs = vec![toks("spam spam spam spam other"), toks("calm")];
+        let labels = vec![true, false];
+        let scored = chi_squared_scores(&docs, &labels);
+        let spam = scored.iter().find(|(w, _)| w == "spam").unwrap().1;
+        let other = scored.iter().find(|(w, _)| w == "other").unwrap().1;
+        assert_eq!(spam, other, "df-based scores must ignore within-doc repeats");
+    }
+
+    #[test]
+    #[should_panic(expected = "documents vs")]
+    fn chi2_rejects_mismatched_lengths() {
+        let _ = chi_squared_scores(&[toks("a")], &[true, false]);
+    }
+
+    #[test]
+    fn extract_keeps_top_d() {
+        let docs = vec![
+            toks("tax income"),
+            toks("tax jobs"),
+            toks("hoax lie"),
+            toks("hoax fraud"),
+        ];
+        let labels = vec![true, true, false, false];
+        let ws = WordSet::extract(&docs, &labels, 2);
+        assert_eq!(ws.len(), 2);
+        assert!(ws.position("tax").is_some());
+        assert!(ws.position("hoax").is_some());
+        assert!(ws.position("income").is_none());
+    }
+
+    #[test]
+    fn from_words_dedupes_preserving_order() {
+        let ws = WordSet::from_words(["b", "a", "b", "c"].map(String::from));
+        assert_eq!(ws.words(), &["b", "a", "c"]);
+        assert_eq!(ws.position("b"), Some(0));
+        assert_eq!(ws.position("c"), Some(2));
+    }
+
+    #[test]
+    fn json_roundtrip_restores_positions() {
+        let ws = WordSet::from_words(["tax", "hoax"].map(String::from));
+        let back = WordSet::from_json(&ws.to_json()).unwrap();
+        assert_eq!(back.position("hoax"), Some(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(chi_squared_scores(&[], &[]).is_empty());
+        let ws = WordSet::extract(&[], &[], 5);
+        assert!(ws.is_empty());
+    }
+}

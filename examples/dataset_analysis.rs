@@ -1,0 +1,72 @@
+//! Reproduces the paper's Section 3 dataset analysis through the public
+//! API: power-law publishing behaviour (Fig 1(a)), label-conditioned
+//! vocabularies (Fig 1(b)/(c)), subject skews (Fig 1(d)) and the creator
+//! case studies (Fig 1(e)/(f)).
+//!
+//! ```sh
+//! cargo run --release --example dataset_analysis
+//! ```
+
+use fakedetector::graph::{degree_histogram, fit_power_law};
+use fakedetector::prelude::*;
+
+fn main() {
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.25), 42);
+
+    // Fig 1(a): creator publishing counts follow a power law.
+    let counts: Vec<usize> = (0..corpus.creators.len())
+        .map(|u| corpus.graph.articles_of_creator(u).len())
+        .collect();
+    let hist = degree_histogram(&counts);
+    let one_article = *hist.get(&1).unwrap_or(&0);
+    println!(
+        "creators: {} total, {} ({:.0}%) published a single article, max {}",
+        corpus.creators.len(),
+        one_article,
+        100.0 * one_article as f64 / corpus.creators.len() as f64,
+        counts.iter().max().unwrap()
+    );
+    if let Some(fit) = fit_power_law(&counts, 2) {
+        println!("power-law exponent over the tail: alpha = {:.2}", fit.alpha);
+    }
+
+    // Fig 1(b)/(c): the vocabularies separate.
+    let true_top = word_frequencies(&corpus, true, 12);
+    let false_top = word_frequencies(&corpus, false, 12);
+    println!("\ntrue-article words : {}", join(&true_top));
+    println!("false-article words: {}", join(&false_top));
+
+    // Fig 1(d): subject-level skews.
+    println!("\ntop subjects by volume:");
+    for t in subject_tallies(&corpus).into_iter().take(8) {
+        let lean = if t.true_fraction() >= 0.5 { "leans true" } else { "leans false" };
+        println!(
+            "  {:<12} {:>5} articles, {:>4.1}% true  ({lean})",
+            t.name,
+            t.total(),
+            100.0 * t.true_fraction()
+        );
+    }
+
+    // Fig 1(e)/(f): the archetype creators.
+    println!("\ncase-study creators:");
+    for creator in 0..4 {
+        let tally = creator_tally(&corpus, creator);
+        let total: usize = tally.iter().sum();
+        let true_share: usize = tally[..3].iter().sum();
+        println!(
+            "  {:<28} {:>4} articles, {:>4.1}% in the true group",
+            corpus.creators[creator].name,
+            total,
+            100.0 * true_share as f64 / total.max(1) as f64
+        );
+    }
+}
+
+fn join(words: &[(String, u64)]) -> String {
+    words
+        .iter()
+        .map(|(w, _)| w.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

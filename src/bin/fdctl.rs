@@ -1,0 +1,380 @@
+//! `fdctl` — command-line workflow around the fakedetector library.
+//!
+//! ```sh
+//! fdctl generate --scale 0.05 --seed 42 --out corpus.json
+//! fdctl train    --corpus corpus.json --out model.json [--mode binary|multi] [--theta 0.5] [--epochs 60]
+//! fdctl predict  --corpus corpus.json --model model.json [--out predictions.json]
+//! fdctl evaluate --corpus corpus.json --model model.json
+//! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
+//! fdctl analyze  --corpus corpus.json
+//! ```
+//!
+//! The train bundle embeds everything needed to rebuild the feature
+//! pipeline (train indices, feature width, sequence length, label mode),
+//! so `predict`/`score` only need the corpus file and the bundle.
+
+use fakedetector::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Everything `train` persists beyond the raw weights.
+#[derive(Serialize, Deserialize)]
+struct Bundle {
+    model_json: String,
+    train: BundleTrain,
+    mode: String,
+    explicit_dim: usize,
+    seq_len: usize,
+    max_vocab: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BundleTrain {
+    articles: Vec<usize>,
+    creators: Vec<usize>,
+    subjects: Vec<usize>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: fdctl <generate|train|predict|evaluate|score|analyze> [options]");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_options(&args[1..]);
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "score" => cmd_score(&opts),
+        "analyze" => cmd_analyze(&opts),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fdctl {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches("--").to_string();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            opts.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            opts.insert(key, "true".to_string());
+            i += 1;
+        }
+    }
+    opts
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse {raw:?}")),
+    }
+}
+
+fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+}
+
+fn load_corpus(opts: &HashMap<String, String>) -> Result<Corpus, String> {
+    let path = required(opts, "corpus")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Corpus::from_json(&json)
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let scale: f64 = opt_parse(opts, "scale", 0.05)?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let out = required(opts, "out")?;
+    let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
+    std::fs::write(out, corpus.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} articles / {} creators / {} subjects",
+        corpus.articles.len(),
+        corpus.creators.len(),
+        corpus.subjects.len()
+    );
+    Ok(())
+}
+
+fn pipeline(
+    corpus: &Corpus,
+    train: &TrainSets,
+    explicit_dim: usize,
+    seq_len: usize,
+    max_vocab: usize,
+) -> (TokenizedCorpus, ExplicitFeatures) {
+    let tokenized = TokenizedCorpus::build(corpus, seq_len, max_vocab);
+    let explicit = ExplicitFeatures::extract(corpus, &tokenized, train, explicit_dim);
+    (tokenized, explicit)
+}
+
+fn parse_mode(raw: &str) -> Result<LabelMode, String> {
+    match raw {
+        "binary" => Ok(LabelMode::Binary),
+        "multi" => Ok(LabelMode::MultiClass),
+        other => Err(format!("--mode must be binary or multi, got {other}")),
+    }
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let out = required(opts, "out")?;
+    let mode = parse_mode(opts.get("mode").map(String::as_str).unwrap_or("binary"))?;
+    let theta: f64 = opt_parse(opts, "theta", 1.0)?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let epochs: usize = opt_parse(opts, "epochs", 60)?;
+    let explicit_dim: usize = opt_parse(opts, "explicit-dim", 60)?;
+    let seq_len: usize = opt_parse(opts, "seq-len", 12)?;
+    let max_vocab: usize = opt_parse(opts, "max-vocab", 6000)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let folds = [
+        CvSplits::new(corpus.articles.len(), 10.min(corpus.articles.len()), &mut rng),
+        CvSplits::new(corpus.creators.len(), 10.min(corpus.creators.len()), &mut rng),
+        CvSplits::new(corpus.subjects.len(), 10.min(corpus.subjects.len()), &mut rng),
+    ];
+    let train = TrainSets {
+        articles: sample_ratio(&folds[0].fold(0).0, theta, &mut rng),
+        creators: sample_ratio(&folds[1].fold(0).0, theta, &mut rng),
+        subjects: sample_ratio(&folds[2].fold(0).0, theta, &mut rng),
+    };
+
+    let (tokenized, explicit) = pipeline(&corpus, &train, explicit_dim, seq_len, max_vocab);
+    let ctx = ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode,
+        seed,
+    };
+    eprintln!(
+        "training on {} articles / {} creators / {} subjects ({epochs} epochs)…",
+        train.articles.len(),
+        train.creators.len(),
+        train.subjects.len()
+    );
+    let config = FakeDetectorConfig { epochs, ..FakeDetectorConfig::default() };
+    let trained = FakeDetector::new(config).fit(&ctx);
+    eprintln!(
+        "loss {:.2} -> {:.2}",
+        trained.report().losses.first().unwrap(),
+        trained.report().losses.last().unwrap()
+    );
+
+    let bundle = Bundle {
+        model_json: trained.to_json(),
+        train: BundleTrain {
+            articles: train.articles,
+            creators: train.creators,
+            subjects: train.subjects,
+        },
+        mode: if mode == LabelMode::Binary { "binary" } else { "multi" }.into(),
+        explicit_dim,
+        seq_len,
+        max_vocab,
+    };
+    let json = serde_json::to_string(&bundle).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn load_bundle(
+    opts: &HashMap<String, String>,
+    corpus: &Corpus,
+) -> Result<
+    (
+        fakedetector::core::TrainedFakeDetector,
+        TrainSets,
+        LabelMode,
+        TokenizedCorpus,
+        ExplicitFeatures,
+    ),
+    String,
+> {
+    let path = required(opts, "model")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let bundle: Bundle = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let trained = fakedetector::core::TrainedFakeDetector::from_json(&bundle.model_json)?;
+    let train = TrainSets {
+        articles: bundle.train.articles,
+        creators: bundle.train.creators,
+        subjects: bundle.train.subjects,
+    };
+    let mode = parse_mode(&bundle.mode)?;
+    let (tokenized, explicit) =
+        pipeline(corpus, &train, bundle.explicit_dim, bundle.seq_len, bundle.max_vocab);
+    Ok((trained, train, mode, tokenized, explicit))
+}
+
+fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let (trained, train, mode, tokenized, explicit) = load_bundle(opts, &corpus)?;
+    let ctx = ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode,
+        seed: 0,
+    };
+    let predictions = trained.predict(&ctx);
+    let payload = serde_json::json!({
+        "mode": if mode == LabelMode::Binary { "binary" } else { "multi" },
+        "articles": predictions.articles,
+        "creators": predictions.creators,
+        "subjects": predictions.subjects,
+    });
+    match opts.get("out") {
+        Some(out) => {
+            std::fs::write(out, payload.to_string()).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => println!("{payload}"),
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fakedetector::metrics::{classification_report, ConfusionMatrix};
+    use fakedetector::prelude::NodeType;
+
+    let corpus = load_corpus(opts)?;
+    let (trained, train, mode, tokenized, explicit) = load_bundle(opts, &corpus)?;
+    let ctx = ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode,
+        seed: 0,
+    };
+    let predictions = trained.predict(&ctx);
+    let binary_labels = ["fake", "credible"];
+    let multi_labels: Vec<&str> = Credibility::ALL.iter().map(|l| l.name()).collect();
+    let labels: Vec<&str> = match mode {
+        LabelMode::Binary => binary_labels.to_vec(),
+        LabelMode::MultiClass => multi_labels.clone(),
+    };
+    for (ty, name) in [
+        (NodeType::Article, "articles"),
+        (NodeType::Creator, "creators"),
+        (NodeType::Subject, "subjects"),
+    ] {
+        let trained_set: std::collections::HashSet<usize> =
+            train.for_type(ty).iter().copied().collect();
+        let mut cm = ConfusionMatrix::new(mode.n_classes());
+        let n = match ty {
+            NodeType::Article => corpus.articles.len(),
+            NodeType::Creator => corpus.creators.len(),
+            NodeType::Subject => corpus.subjects.len(),
+        };
+        for idx in 0..n {
+            if trained_set.contains(&idx) {
+                continue;
+            }
+            let truth = match ty {
+                NodeType::Article => corpus.articles[idx].label,
+                NodeType::Creator => corpus.creators[idx].label,
+                NodeType::Subject => corpus.subjects[idx].label,
+            };
+            cm.record(mode.target(truth), predictions.for_type(ty)[idx]);
+        }
+        println!("== held-out {name} ({} entities) ==", cm.total());
+        println!("{}", classification_report(&cm, &labels));
+    }
+    Ok(())
+}
+
+fn cmd_score(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let (trained, train, mode, tokenized, explicit) = load_bundle(opts, &corpus)?;
+    let text = required(opts, "text")?;
+    let creator: Option<usize> = match opts.get("creator") {
+        Some(raw) => Some(raw.parse().map_err(|_| "--creator: not an index".to_string())?),
+        None => None,
+    };
+    let subjects: Vec<usize> = match opts.get("subjects") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("--subjects: bad index {s:?}")))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let ctx = ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode,
+        seed: 0,
+    };
+    let probs = trained.score_new_article(&ctx, text, creator, &subjects);
+    match mode {
+        LabelMode::Binary => {
+            println!("p(credible) = {:.4}, p(fake) = {:.4}", probs[1], probs[0]);
+        }
+        LabelMode::MultiClass => {
+            for (label, p) in Credibility::ALL.iter().zip(&probs) {
+                println!("{:<15} {:.4}", label.name(), p);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    println!(
+        "{} articles / {} creators / {} subjects / {} topic links",
+        corpus.articles.len(),
+        corpus.creators.len(),
+        corpus.subjects.len(),
+        corpus.graph.n_subject_links()
+    );
+    let true_count = corpus.articles.iter().filter(|a| a.label.is_true_group()).count();
+    println!(
+        "article label balance: {:.1}% true group",
+        100.0 * true_count as f64 / corpus.articles.len() as f64
+    );
+    println!("\ntop subjects:");
+    for t in subject_tallies(&corpus).into_iter().take(10) {
+        println!(
+            "  {:<14} {:>5} articles, {:>4.1}% true",
+            t.name,
+            t.total(),
+            100.0 * t.true_fraction()
+        );
+    }
+    println!("\nmost prolific creators:");
+    let mut by_volume: Vec<usize> = (0..corpus.creators.len()).collect();
+    by_volume.sort_by_key(|&u| std::cmp::Reverse(corpus.graph.articles_of_creator(u).len()));
+    for &u in by_volume.iter().take(5) {
+        println!(
+            "  {:<28} {:>4} articles, rated {}",
+            corpus.creators[u].name,
+            corpus.graph.articles_of_creator(u).len(),
+            corpus.creators[u].label.name()
+        );
+    }
+    Ok(())
+}

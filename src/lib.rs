@@ -1,0 +1,61 @@
+//! # fakedetector
+//!
+//! A from-scratch Rust reproduction of **"FakeDetector: Effective Fake
+//! News Detection with Deep Diffusive Neural Network"** (Zhang et al.,
+//! ICDE 2020) — the model, every substrate it needs (tensor kernels,
+//! autograd, NN layers, text pipeline, heterogeneous graph, synthetic
+//! PolitiFact corpus), all five comparison baselines, and the experiment
+//! harness that regenerates each table and figure of the paper.
+//!
+//! This crate is the convenience facade: it re-exports the workspace
+//! crates under stable module names and hosts the runnable examples.
+//!
+//! ```
+//! use fakedetector::prelude::*;
+//!
+//! let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), 42);
+//! let tallies = subject_tallies(&corpus);
+//! assert!(!tallies.is_empty());
+//! ```
+
+/// Dense f32 matrix kernels.
+pub use fd_tensor as tensor;
+
+/// Tape-based reverse-mode autodiff.
+pub use fd_autograd as autograd;
+
+/// Layers, parameter store, optimisers.
+pub use fd_nn as nn;
+
+/// Tokeniser, vocabulary, word sets, BoW, sequences.
+pub use fd_text as text;
+
+/// The News-HSN heterogeneous graph.
+pub use fd_graph as graph;
+
+/// Labels, synthetic corpus, splits, features, experiment interface.
+pub use fd_data as data;
+
+/// Classification metrics and result series.
+pub use fd_metrics as metrics;
+
+/// The five comparison methods.
+pub use fd_baselines as baselines;
+
+/// HFLU, GDU and the deep diffusive network.
+pub use fd_core as core;
+
+/// The names almost every user of the library needs.
+pub mod prelude {
+    pub use fd_baselines::{
+        default_baselines, DeepWalk, Line, Propagation, RnnBaseline, SvmBaseline,
+    };
+    pub use fd_core::{FakeDetector, FakeDetectorConfig};
+    pub use fd_data::{
+        creator_tally, generate, sample_ratio, subject_tallies, word_frequencies, Corpus,
+        Credibility, CredibilityModel, CvSplits, ExperimentContext, ExplicitFeatures,
+        GeneratorConfig, LabelMode, Predictions, TokenizedCorpus, TrainSets,
+    };
+    pub use fd_graph::{HetGraph, NodeRef, NodeType};
+    pub use fd_metrics::{ConfusionMatrix, MetricKind, SweepResults};
+}

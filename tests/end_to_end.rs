@@ -1,0 +1,110 @@
+//! Workspace-level integration: the full pipeline through the facade
+//! crate — generate → tokenise → split → featurise → train every model →
+//! score — plus serialisation round-trips across crate boundaries.
+
+use fakedetector::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn pipeline(mode: LabelMode) -> (Corpus, TrainSets, TrainSets, Vec<(String, Predictions)>) {
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.012), 4242);
+    let tokenized = TokenizedCorpus::build(&corpus, 10, 4000);
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = CvSplits::new(corpus.articles.len(), 10, &mut rng);
+    let c = CvSplits::new(corpus.creators.len(), 10, &mut rng);
+    let s = CvSplits::new(corpus.subjects.len(), 6, &mut rng);
+    let (a_train, a_test) = a.fold(0);
+    let (c_train, c_test) = c.fold(0);
+    let (s_train, s_test) = s.fold(0);
+    let train = TrainSets { articles: a_train, creators: c_train, subjects: s_train };
+    let test = TrainSets { articles: a_test, creators: c_test, subjects: s_test };
+    let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+    let ctx = ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode,
+        seed: 17,
+    };
+
+    let mut outputs = Vec::new();
+    let fd = FakeDetector::new(FakeDetectorConfig { epochs: 5, ..Default::default() });
+    outputs.push((fd.name().to_string(), fd.fit_predict(&ctx)));
+    for model in [
+        Box::new(SvmBaseline::default()) as Box<dyn CredibilityModel>,
+        Box::new(Propagation::default()),
+    ] {
+        outputs.push((model.name().to_string(), model.fit_predict(&ctx)));
+    }
+    (corpus, train, test, outputs)
+}
+
+#[test]
+fn full_binary_pipeline_runs_and_scores() {
+    let (corpus, _train, test, outputs) = pipeline(LabelMode::Binary);
+    assert_eq!(outputs.len(), 3);
+    for (name, preds) in &outputs {
+        let mut cm = ConfusionMatrix::new(2);
+        for &i in &test.articles {
+            cm.record(
+                LabelMode::Binary.target(corpus.articles[i].label),
+                preds.articles[i],
+            );
+        }
+        assert_eq!(cm.total() as usize, test.articles.len(), "{name}");
+        // Any trained model should at least produce both classes' worth
+        // of structure — accuracy must be a valid probability.
+        let acc = cm.accuracy();
+        assert!((0.0..=1.0).contains(&acc), "{name}: accuracy {acc}");
+    }
+}
+
+#[test]
+fn full_multiclass_pipeline_runs() {
+    let (_, _, _, outputs) = pipeline(LabelMode::MultiClass);
+    for (name, preds) in &outputs {
+        assert!(
+            preds.articles.iter().all(|&p| p < 6),
+            "{name}: out-of-range class"
+        );
+    }
+}
+
+#[test]
+fn corpus_roundtrips_through_json_across_crates() {
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.012), 7);
+    let json = corpus.to_json();
+    let back = Corpus::from_json(&json).expect("roundtrip");
+    assert_eq!(back.articles.len(), corpus.articles.len());
+    assert_eq!(
+        back.graph.n_subject_links(),
+        corpus.graph.n_subject_links()
+    );
+    // Labels and graph structure intact ⇒ derived scores identical.
+    for u in 0..corpus.creators.len() {
+        assert_eq!(back.creator_mean_score(u), corpus.creator_mean_score(u));
+    }
+}
+
+#[test]
+fn sweep_results_roundtrip_through_json() {
+    let mut results = SweepResults::new("articles", "bi-class", vec![0.1, 1.0]);
+    results.push("FakeDetector", vec![[0.6, 0.7, 0.65, 0.75], [0.7, 0.75, 0.7, 0.8]]);
+    let back: SweepResults = serde_json::from_str(&results.to_json()).unwrap();
+    assert_eq!(
+        back.value("FakeDetector", 1, MetricKind::Accuracy),
+        Some(0.7)
+    );
+}
+
+#[test]
+fn prelude_exposes_the_documented_api() {
+    // Compile-time check that the facade stays complete: every name the
+    // README examples use must resolve through the prelude.
+    let _ = GeneratorConfig::politifact;
+    let _ = FakeDetectorConfig::default;
+    let _ = default_baselines;
+    let _: fn(&[usize], f64, &mut StdRng) -> Vec<usize> = sample_ratio;
+    let _ = Credibility::ALL;
+    let _ = NodeType::ALL;
+}

@@ -1,0 +1,162 @@
+//! Failure-injection tests: degenerate corpora that models must survive
+//! without panicking — empty texts, single-class supervision, isolated
+//! entities, minimal training sets.
+
+use fakedetector::prelude::*;
+use fakedetector::graph::HetGraph;
+
+/// A tiny hand-built corpus with deliberate pathologies:
+/// * creator 2 has no articles;
+/// * subject 2 has no articles;
+/// * article 3 has empty text;
+/// * creator 1 has an empty profile.
+fn pathological_corpus() -> Corpus {
+    let mut graph = HetGraph::new(6, 3, 3);
+    for a in 0..6 {
+        graph.set_author(a, a % 2); // creators 0 and 1 only
+        graph.add_subject_link(a, a % 2); // subjects 0 and 1 only
+    }
+    let labels = [
+        Credibility::True,
+        Credibility::False,
+        Credibility::MostlyTrue,
+        Credibility::PantsOnFire,
+        Credibility::HalfTrue,
+        Credibility::MostlyFalse,
+    ];
+    let corpus = Corpus {
+        articles: (0..6)
+            .map(|i| fakedetector::data::Article {
+                text: if i == 3 {
+                    String::new()
+                } else {
+                    format!("budget report tax hoax fraud word{i}")
+                },
+                label: labels[i],
+            })
+            .collect(),
+        creators: vec![
+            fakedetector::data::Creator {
+                name: "c0".into(),
+                profile: "analyst economist".into(),
+                label: Credibility::HalfTrue,
+            },
+            fakedetector::data::Creator {
+                name: "c1".into(),
+                profile: String::new(),
+                label: Credibility::HalfTrue,
+            },
+            fakedetector::data::Creator {
+                name: "orphan".into(),
+                profile: "blogger".into(),
+                label: Credibility::HalfTrue,
+            },
+        ],
+        subjects: vec![
+            fakedetector::data::Subject {
+                name: "economy".into(),
+                description: "jobs taxes growth".into(),
+                label: Credibility::HalfTrue,
+            },
+            fakedetector::data::Subject {
+                name: "health".into(),
+                description: "insurance care".into(),
+                label: Credibility::HalfTrue,
+            },
+            fakedetector::data::Subject {
+                name: "empty-topic".into(),
+                description: "unused".into(),
+                label: Credibility::HalfTrue,
+            },
+        ],
+        graph,
+    };
+    corpus
+}
+
+fn context_over(corpus: &Corpus, train: &TrainSets, mode: LabelMode) -> Vec<(String, Predictions)> {
+    let tokenized = TokenizedCorpus::build(corpus, 8, 500);
+    let explicit = ExplicitFeatures::extract(corpus, &tokenized, train, 10);
+    let ctx = ExperimentContext {
+        corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train,
+        mode,
+        seed: 3,
+    };
+    let mut out = Vec::new();
+    let fd = FakeDetector::new(FakeDetectorConfig {
+        epochs: 3,
+        validation_fraction: 0.0,
+        ..Default::default()
+    });
+    out.push(("FakeDetector".to_string(), fd.fit_predict(&ctx)));
+    out.push(("svm".to_string(), SvmBaseline::default().fit_predict(&ctx)));
+    out.push(("lp".to_string(), Propagation::default().fit_predict(&ctx)));
+    out
+}
+
+#[test]
+fn pathological_corpus_does_not_panic() {
+    let corpus = pathological_corpus();
+    corpus.validate().expect("pathological corpus is still structurally valid");
+    let train = TrainSets {
+        articles: vec![0, 1, 2, 3],
+        creators: vec![0, 1],
+        subjects: vec![0, 1],
+    };
+    for mode in [LabelMode::Binary, LabelMode::MultiClass] {
+        for (name, preds) in context_over(&corpus, &train, mode) {
+            assert_eq!(preds.articles.len(), 6, "{name}");
+            assert_eq!(preds.creators.len(), 3, "{name}: orphan creator must be predicted too");
+            assert_eq!(preds.subjects.len(), 3, "{name}: empty subject must be predicted too");
+            for ty in NodeType::ALL {
+                assert!(preds.for_type(ty).iter().all(|&p| p < mode.n_classes()), "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_class_supervision_survives() {
+    // Every training label in the same class: OvR SVM sees one empty
+    // side, cross-entropy sees a constant target — nothing may panic.
+    let corpus = pathological_corpus();
+    let train = TrainSets {
+        articles: vec![0, 2, 4], // all true-group
+        creators: vec![0],
+        subjects: vec![0],
+    };
+    for (name, preds) in context_over(&corpus, &train, LabelMode::Binary) {
+        assert_eq!(preds.articles.len(), 6, "{name}");
+    }
+}
+
+#[test]
+fn minimal_training_set_survives() {
+    let corpus = pathological_corpus();
+    let train = TrainSets {
+        articles: vec![5],
+        creators: vec![],
+        subjects: vec![],
+    };
+    // SVM/LP skip empty types; FakeDetector trains on one article.
+    for (name, preds) in context_over(&corpus, &train, LabelMode::MultiClass) {
+        assert_eq!(preds.articles.len(), 6, "{name}");
+    }
+}
+
+#[test]
+fn empty_text_encodes_to_valid_features() {
+    let corpus = pathological_corpus();
+    let tokenized = TokenizedCorpus::build(&corpus, 8, 500);
+    // Article 3 has no text at all.
+    assert!(tokenized.sequence(NodeType::Article, 3).iter().all(|&id| id == 0));
+    let train = TrainSets { articles: vec![0, 1], creators: vec![0], subjects: vec![0] };
+    let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 10);
+    let f = explicit.feature(NodeType::Article, 3);
+    assert_eq!(f.cols(), 10);
+    assert!(f.all_finite());
+    assert_eq!(f.frobenius_norm(), 0.0, "empty text gives the zero vector");
+}
