@@ -189,16 +189,9 @@ impl Tape {
     }
 }
 
-/// Sigmoid that does not overflow for large negative inputs.
-#[inline]
-pub(crate) fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
+// The sigmoid definition is shared with the tape-free batched inference
+// path so both produce identical bits.
+pub(crate) use fd_tensor::stable_sigmoid;
 
 /// Applies the adjoint rule of `op` for node `i`, whose output gradient is
 /// `g`, accumulating into its parents.
@@ -329,7 +322,7 @@ mod tests {
         assert_close(&t.value(y), &Matrix::row_vector(&[-3.5, 3.0]), 1e-6);
         // dL/dy = 2y; dL/dx = 2y·Wᵀ; dL/dW = xᵀ·2y
         let dx = t.grad(x).unwrap();
-        assert_close(&dx, &Matrix::row_vector(&[-7.0 * 0.5 + 6.0 * 1.0, -7.0 * 2.0 + 6.0 * -1.0]), 1e-5);
+        assert_close(&dx, &Matrix::row_vector(&[-7.0 * 0.5 + 6.0 * 1.0, -7.0 * 2.0 - 6.0]), 1e-5);
         let dw = t.grad(w).unwrap();
         assert_close(
             &dw,

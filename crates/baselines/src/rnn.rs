@@ -118,10 +118,10 @@ impl CredibilityModel for RnnBaseline {
                 let chunk_end = (chunk_start + cfg.batch_size).min(n);
                 let tape = Tape::with_capacity((chunk_end - chunk_start) * 256);
                 let binding = Binding::new(&tape, &params);
-                for idx in chunk_start..chunk_end {
+                for (idx, slot) in out.iter_mut().enumerate().take(chunk_end).skip(chunk_start) {
                     let latent = encoder.encode(&binding, ctx.tokenized.sequence(ty, idx));
                     let logits = heads[head_slot(ty)].forward(&binding, latent);
-                    out[idx] = tape.with_value(logits, |m| m.row_argmax(0).index);
+                    *slot = tape.with_value(logits, |m| m.row_argmax(0).index);
                 }
             }
         }

@@ -56,8 +56,16 @@ impl LinearSvm {
         let d = features[0].cols();
         let mut weights = Matrix::zeros(k, d);
         let mut bias = Matrix::zeros(1, k);
+        // Polyak-style tail averaging: the last-iterate SGD solution
+        // wobbles with the shuffle order on small datasets, so the
+        // returned model is the average over the final half of the
+        // epochs, which is much less sensitive to the draw.
+        let mut avg_weights = Matrix::zeros(k, d);
+        let mut avg_bias = Matrix::zeros(1, k);
+        let mut averaged = 0usize;
+        let tail_from = config.epochs / 2;
         let mut order: Vec<usize> = (0..features.len()).collect();
-        for _epoch in 0..config.epochs {
+        for epoch in 0..config.epochs {
             order.shuffle(rng);
             for &i in &order {
                 let x = features[i];
@@ -85,8 +93,18 @@ impl LinearSvm {
                     }
                 }
             }
+            if epoch >= tail_from {
+                avg_weights.add_assign(&weights);
+                avg_bias.add_assign(&bias);
+                averaged += 1;
+            }
         }
-        Self { weights, bias }
+        if averaged > 0 {
+            let inv = 1.0 / averaged as f32;
+            Self { weights: avg_weights.scale(inv), bias: avg_bias.scale(inv) }
+        } else {
+            Self { weights, bias }
+        }
     }
 
     /// Raw per-class scores for one feature row.
@@ -163,7 +181,7 @@ mod tests {
         let pos: Vec<Matrix> = (0..20).map(|i| Matrix::row_vector(&[1.0 + i as f32 * 0.1, 0.5])).collect();
         let neg: Vec<Matrix> = (0..20).map(|i| Matrix::row_vector(&[-1.0 - i as f32 * 0.1, 0.5])).collect();
         let features: Vec<&Matrix> = pos.iter().chain(&neg).collect();
-        let targets: Vec<usize> = std::iter::repeat(1).take(20).chain(std::iter::repeat(0).take(20)).collect();
+        let targets: Vec<usize> = std::iter::repeat_n(1, 20).chain(std::iter::repeat_n(0, 20)).collect();
         let model = LinearSvm::train(&features, &targets, 2, &SvmConfig::default(), &mut rng());
         for f in &pos {
             assert_eq!(model.predict(f), 1);

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fd_autograd::Tape;
 use fd_core::GduCell;
 use fd_nn::{Binding, GruCell, Params};
+use fd_tensor::parallel::with_thread_count;
 use fd_tensor::Matrix;
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
@@ -89,5 +90,50 @@ fn bench_gdu_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gru_step, bench_gdu_step);
+/// 256 GDU evaluations: one tape pass per node (how training runs)
+/// against a single batched tape-free `forward_matrix` (how inference
+/// runs), serial and at four threads. The outputs are bit-identical.
+fn bench_gdu_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gdu_batched_256");
+    group.sample_size(20);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let cell = GduCell::new(&mut params, "gdu", 84, 24, &mut rng);
+    let n = 256;
+    let x_val = fd_tensor::uniform_in(n, 84, -1.0, 1.0, &mut rng);
+    let z_val = fd_tensor::uniform_in(n, 24, -1.0, 1.0, &mut rng);
+    let t_val = fd_tensor::uniform_in(n, 24, -1.0, 1.0, &mut rng);
+
+    group.bench_function("per_node_tape", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &params);
+            let mut sum = 0.0f32;
+            for i in 0..n {
+                let x = tape.leaf(x_val.row_matrix(i));
+                let z = tape.leaf(z_val.row_matrix(i));
+                let t = tape.leaf(t_val.row_matrix(i));
+                sum += tape.with_value(cell.forward(&bind, x, z, t, true), |m| m[(0, 0)]);
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("batched_1t", |bench| {
+        bench.iter(|| {
+            with_thread_count(1, || {
+                black_box(cell.forward_matrix(&params, &x_val, &z_val, &t_val, true))
+            })
+        })
+    });
+    group.bench_function("batched_4t", |bench| {
+        bench.iter(|| {
+            with_thread_count(4, || {
+                black_box(cell.forward_matrix(&params, &x_val, &z_val, &t_val, true))
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gru_step, bench_gdu_step, bench_gdu_batched);
 criterion_main!(benches);

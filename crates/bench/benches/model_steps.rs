@@ -7,6 +7,7 @@ use fd_baselines::{CredibilityModel, Propagation, SvmBaseline};
 use fd_bench::{prepare, SweepConfig};
 use fd_core::{FakeDetector, FakeDetectorConfig};
 use fd_data::{ExperimentContext, ExplicitFeatures, LabelMode};
+use fd_tensor::parallel::with_thread_count;
 use std::hint::black_box;
 
 fn bench_models(c: &mut Criterion) {
@@ -40,6 +41,27 @@ fn bench_models(c: &mut Criterion) {
             ..FakeDetectorConfig::default()
         });
         bench.iter(|| black_box(model.fit_predict(&ctx).articles.len()))
+    });
+    group.finish();
+
+    // Inference: the per-node tape replay against the batched tape-free
+    // path, serial and at four threads. These return identical
+    // predictions; the spread is pure kernel/batching win.
+    let trained = FakeDetector::new(FakeDetectorConfig {
+        epochs: 1,
+        ..FakeDetectorConfig::default()
+    })
+    .fit(&ctx);
+    let mut group = c.benchmark_group("model_predict_tiny");
+    group.sample_size(10);
+    group.bench_function("per_node_tape", |bench| {
+        bench.iter(|| black_box(trained.predict_per_node(&ctx).articles.len()))
+    });
+    group.bench_function("batched_1t", |bench| {
+        bench.iter(|| with_thread_count(1, || black_box(trained.predict(&ctx).articles.len())))
+    });
+    group.bench_function("batched_4t", |bench| {
+        bench.iter(|| with_thread_count(4, || black_box(trained.predict(&ctx).articles.len())))
     });
     group.finish();
 }

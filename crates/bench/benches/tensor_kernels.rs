@@ -1,6 +1,13 @@
 //! Microbenches for the fd-tensor kernels the training loops live on.
+//!
+//! The matmul family is benched three ways per shape: the reference
+//! scalar kernel (`*_naive`), the cache-blocked kernel pinned to one
+//! thread, and the same kernel with the row-parallel driver at four
+//! threads — so a single run shows both the blocking win and the
+//! threading win (the latter is only visible on multi-core hosts).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_tensor::parallel::with_thread_count;
 use fd_tensor::{softmax_rows, Matrix};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
@@ -13,11 +20,17 @@ fn rand_m(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
-    for &n in &[16usize, 64, 128] {
+    for &n in &[16usize, 64, 128, 256] {
         let a = rand_m(n, n, 1);
         let b = rand_m(n, n, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b)));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_naive(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_1t", n), &n, |bench, _| {
+            bench.iter(|| with_thread_count(1, || black_box(a.matmul(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_4t", n), &n, |bench, _| {
+            bench.iter(|| with_thread_count(4, || black_box(a.matmul(&b))));
         });
     }
     // The hot shape in training: a 1xK row against a KxH weight.
@@ -32,14 +45,25 @@ fn bench_matmul(c: &mut Criterion) {
 fn bench_fused_transpose(c: &mut Criterion) {
     let mut group = c.benchmark_group("fused_transpose");
     group.sample_size(20);
-    let a = rand_m(64, 64, 5);
-    let b = rand_m(64, 64, 6);
-    group.bench_function("transpose_matmul_64", |bench| {
-        bench.iter(|| black_box(a.transpose_matmul(&b)));
-    });
-    group.bench_function("explicit_transpose_then_matmul_64", |bench| {
-        bench.iter(|| black_box(a.transpose().matmul(&b)));
-    });
+    for &n in &[64usize, 256] {
+        let a = rand_m(n, n, 5);
+        let b = rand_m(n, n, 6);
+        group.bench_with_input(BenchmarkId::new("transpose_matmul_naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.transpose_matmul_naive(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("transpose_matmul_1t", n), &n, |bench, _| {
+            bench.iter(|| with_thread_count(1, || black_box(a.transpose_matmul(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("transpose_matmul_4t", n), &n, |bench, _| {
+            bench.iter(|| with_thread_count(4, || black_box(a.transpose_matmul(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_transpose_naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_transpose_naive(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_transpose_1t", n), &n, |bench, _| {
+            bench.iter(|| with_thread_count(1, || black_box(a.matmul_transpose(&b))));
+        });
+    }
     group.finish();
 }
 

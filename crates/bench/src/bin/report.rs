@@ -1,12 +1,29 @@
-//! Renders the `results/*.json` sweep outputs as the markdown tables
-//! EXPERIMENTS.md embeds.
+//! Report generation over the experiment outputs.
 //!
-//! `cargo run --release -p fd-bench --bin report [-- results_dir]`
+//! Two modes:
+//!
+//! * `cargo run --release -p fd-bench --bin report [-- results_dir]`
+//!   renders the `results/*.json` sweep outputs as the markdown tables
+//!   EXPERIMENTS.md embeds.
+//! * `cargo run --release -p fd-bench --bin report -- tensor [out.json]`
+//!   times the tensor kernels and a full model inference step —
+//!   seed-era naive kernels vs the blocked serial kernels vs the
+//!   row-parallel path — and writes the numbers to `BENCH_tensor.json`.
 
 use fd_metrics::{MetricKind, SweepResults};
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut args = std::env::args().skip(1);
+    match args.next() {
+        Some(mode) if mode == "tensor" => {
+            let out = args.next().unwrap_or_else(|| "BENCH_tensor.json".into());
+            tensor::write_report(&out);
+        }
+        dir => markdown_report(&dir.unwrap_or_else(|| "results".into())),
+    }
+}
+
+fn markdown_report(dir: &str) {
     for experiment in ["fig4", "fig5", "ablation"] {
         for entity in ["articles", "creators", "subjects"] {
             let path = format!("{dir}/{experiment}_{entity}.json");
@@ -49,5 +66,132 @@ fn print_markdown(results: &SweepResults) {
             println!();
         }
         println!();
+    }
+}
+
+mod tensor {
+    //! The `tensor` mode: kernel and model-step timings.
+
+    use fd_tensor::{parallel, uniform_in, Matrix};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::time::Instant;
+
+    /// Median wall-clock milliseconds of `runs` calls to `f`.
+    fn median_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+        let mut samples: Vec<f64> = (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    }
+
+    fn round2(v: f64) -> f64 {
+        (v * 100.0).round() / 100.0
+    }
+
+    /// Times one kernel at `size`³ across the three implementations.
+    fn kernel_section(
+        name: &str,
+        size: usize,
+        runs: usize,
+        naive: impl Fn(&Matrix, &Matrix) -> Matrix,
+        blocked: impl Fn(&Matrix, &Matrix) -> Matrix,
+    ) -> serde_json::Value {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = uniform_in(size, size, -1.0, 1.0, &mut rng);
+        let b = uniform_in(size, size, -1.0, 1.0, &mut rng);
+
+        let naive_ms = median_ms(runs, || naive(&a, &b));
+        let blocked_serial_ms =
+            parallel::with_thread_count(1, || median_ms(runs, || blocked(&a, &b)));
+        let blocked_4t_ms = parallel::with_thread_count(4, || median_ms(runs, || blocked(&a, &b)));
+
+        eprintln!(
+            "{name} {size}x{size}x{size}: naive {naive_ms:.1} ms, blocked(1t) \
+             {blocked_serial_ms:.1} ms, blocked(4t) {blocked_4t_ms:.1} ms"
+        );
+        serde_json::json!({
+            "size": size,
+            "naive_serial_ms": round2(naive_ms),
+            "blocked_serial_ms": round2(blocked_serial_ms),
+            "blocked_parallel_4t_ms": round2(blocked_4t_ms),
+            "speedup_blocked_serial_vs_naive": round2(naive_ms / blocked_serial_ms),
+            "speedup_parallel_4t_vs_naive": round2(naive_ms / blocked_4t_ms),
+        })
+    }
+
+    /// Times a full FakeDetector inference step (diffusion + heads) on a
+    /// small synthetic corpus: the per-node seed path vs the batched
+    /// forward, serial and row-parallel.
+    fn model_section() -> serde_json::Value {
+        use fd_bench::{prepare, SweepConfig};
+        use fd_core::{FakeDetector, FakeDetectorConfig};
+        use fd_data::{ExperimentContext, ExplicitFeatures, LabelMode};
+
+        let config = SweepConfig { scale: 0.05, folds: 1, ..SweepConfig::default() };
+        let prepared = prepare(&config);
+        let (train, _test) = prepared.split(0, 1.0, config.seed);
+        let explicit = ExplicitFeatures::extract(&prepared.corpus, &prepared.tokenized, &train, 60);
+        let ctx = ExperimentContext {
+            corpus: &prepared.corpus,
+            tokenized: &prepared.tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed: 3,
+        };
+        let model_cfg = FakeDetectorConfig { epochs: 1, ..FakeDetectorConfig::default() };
+        let trained = FakeDetector::new(model_cfg).fit(&ctx);
+        let corpus = &prepared.corpus;
+
+        let per_node_ms = median_ms(3, || trained.predict_per_node(&ctx));
+        let batched_serial_ms =
+            parallel::with_thread_count(1, || median_ms(3, || trained.predict(&ctx)));
+        let batched_4t_ms =
+            parallel::with_thread_count(4, || median_ms(3, || trained.predict(&ctx)));
+        eprintln!(
+            "model predict ({} articles): per-node {per_node_ms:.1} ms, batched(1t) \
+             {batched_serial_ms:.1} ms, batched(4t) {batched_4t_ms:.1} ms",
+            corpus.articles.len()
+        );
+        serde_json::json!({
+            "articles": corpus.articles.len(),
+            "per_node_ms": round2(per_node_ms),
+            "batched_serial_ms": round2(batched_serial_ms),
+            "batched_parallel_4t_ms": round2(batched_4t_ms),
+            "speedup_batched_serial_vs_per_node": round2(per_node_ms / batched_serial_ms),
+            "speedup_batched_4t_vs_per_node": round2(per_node_ms / batched_4t_ms),
+        })
+    }
+
+    pub fn write_report(out_path: &str) {
+        let report = serde_json::json!({
+            "generator": "cargo run --release -p fd-bench --bin report -- tensor",
+            "machine_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "matmul": kernel_section("matmul", 512, 5, Matrix::matmul_naive, Matrix::matmul),
+            "transpose_matmul": kernel_section(
+                "transpose_matmul",
+                512,
+                5,
+                Matrix::transpose_matmul_naive,
+                Matrix::transpose_matmul,
+            ),
+            "matmul_transpose": kernel_section(
+                "matmul_transpose",
+                512,
+                5,
+                Matrix::matmul_transpose_naive,
+                Matrix::matmul_transpose,
+            ),
+            "model_predict": model_section(),
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+        eprintln!("wrote {out_path}");
     }
 }

@@ -20,7 +20,7 @@
 
 use fd_autograd::Var;
 use fd_nn::{Binding, ParamId, Params};
-use fd_tensor::xavier_uniform;
+use fd_tensor::{stable_sigmoid, xavier_uniform, Matrix};
 use rand::Rng;
 
 /// One GDU parameter set (shared across diffusion rounds for one node
@@ -92,6 +92,54 @@ impl GduCell {
         let p3 = t.mul(t.mul(g, or), b3);
         let p4 = t.mul(t.mul(og, or), b4);
         t.sum_n(&[p1, p2, p3, p4])
+    }
+
+    /// Tape-free batched twin of [`GduCell::forward`]: evaluates the GDU
+    /// for `n` nodes at once. `x` is `n x x_dim`; `z` and `t_in` are
+    /// `n x hidden`. Row `i` of the result is bit-identical to running
+    /// row `i` through the tape path on its own — the blocked matmul
+    /// reduces each output element in the same fixed order regardless of
+    /// batch size, and every other op here is elementwise.
+    pub fn forward_matrix(
+        &self,
+        params: &Params,
+        x: &Matrix,
+        z: &Matrix,
+        t_in: &Matrix,
+        use_gates: bool,
+    ) -> Matrix {
+        debug_assert_eq!(x.cols(), self.x_dim, "GDU x width mismatch");
+        debug_assert_eq!(z.cols(), self.hidden, "GDU z width mismatch");
+        debug_assert_eq!(t_in.cols(), self.hidden, "GDU t width mismatch");
+        let xzt = x.concat_cols(z).concat_cols(t_in);
+        let gate = |w: ParamId| xzt.matmul(params.value(w)).map(stable_sigmoid);
+
+        let (z_tilde, t_tilde) = if use_gates {
+            (gate(self.wf).mul(z), gate(self.we).mul(t_in))
+        } else {
+            (z.clone(), t_in.clone())
+        };
+
+        let g = gate(self.wg);
+        let r = gate(self.wr);
+        let og = g.map(|v| 1.0 - v);
+        let or = r.map(|v| 1.0 - v);
+
+        let branch = |zz: &Matrix, tt: &Matrix| -> Matrix {
+            x.concat_cols(zz).concat_cols(tt).matmul(params.value(self.wu)).map(f32::tanh)
+        };
+        let b1 = branch(&z_tilde, &t_tilde);
+        let b2 = branch(z, &t_tilde);
+        let b3 = branch(&z_tilde, t_in);
+        let b4 = branch(z, t_in);
+
+        // Same association as the tape path: (g*r)*b, then a left-to-right
+        // sum — `sum_n` adds terms in list order.
+        let p1 = g.mul(&r).mul(&b1);
+        let p2 = og.mul(&r).mul(&b2);
+        let p3 = g.mul(&or).mul(&b3);
+        let p4 = og.mul(&or).mul(&b4);
+        p1.add(&p2).add(&p3).add(&p4)
     }
 
     /// GDU state width.

@@ -79,6 +79,38 @@ impl Hflu {
         }
     }
 
+    /// Tape-free batched twin of [`Hflu::encode`]: encodes entities
+    /// `0..count` of this node type at once, one `out_dim` row each.
+    /// Row `i` is bit-identical to the tape value of `encode(bind, ctx, i)`.
+    pub fn encode_batch(
+        &self,
+        params: &Params,
+        ctx: &ExperimentContext<'_>,
+        count: usize,
+    ) -> Matrix {
+        let explicit = self.use_explicit.then(|| {
+            let dim =
+                if count == 0 { 0 } else { ctx.explicit.feature(self.node_type, 0).cols() };
+            let mut rows = Matrix::zeros(count, dim);
+            for i in 0..count {
+                rows.row_mut(i)
+                    .copy_from_slice(ctx.explicit.feature(self.node_type, i).row(0));
+            }
+            rows
+        });
+        let latent = self.encoder.as_ref().map(|enc| {
+            let sequences: Vec<&[usize]> =
+                (0..count).map(|i| ctx.tokenized.sequence(self.node_type, i)).collect();
+            enc.encode_batch(params, &sequences)
+        });
+        match (explicit, latent) {
+            (Some(e), Some(l)) => e.concat_cols(&l),
+            (Some(e), None) => e,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("config validation forbids both halves off"),
+        }
+    }
+
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.out_dim

@@ -14,6 +14,35 @@ use rand::SeedableRng;
 /// Seed-mixing constant for the internal validation split.
 const VAL_SPLIT_MIX: u64 = 0x7a11_da7e;
 
+/// Row-wise neighbour mean over `src`, replaying `Tape::mean_n`'s
+/// arithmetic exactly: start from the first listed row, `+=` the rest in
+/// list order, then multiply by `1/len`. Empty lists yield a zero row,
+/// matching the tape path's zero-leaf fallback.
+fn gather_mean<'a>(
+    src: &Matrix,
+    n: usize,
+    hidden: usize,
+    lists: impl Fn(usize) -> &'a [usize],
+) -> Matrix {
+    let mut out = Matrix::zeros(n, hidden);
+    for i in 0..n {
+        let list = lists(i);
+        let Some((&first, rest)) = list.split_first() else { continue };
+        let row = out.row_mut(i);
+        row.copy_from_slice(src.row(first));
+        for &j in rest {
+            for (acc, &v) in row.iter_mut().zip(src.row(j)) {
+                *acc += v;
+            }
+        }
+        let inv = 1.0 / list.len() as f32;
+        for acc in row.iter_mut() {
+            *acc *= inv;
+        }
+    }
+    out
+}
+
 fn type_slot(ty: NodeType) -> usize {
     match ty {
         NodeType::Article => 0,
@@ -117,7 +146,7 @@ impl Network {
                 Vec::with_capacity(graph.n_creators()),
                 Vec::with_capacity(graph.n_subjects()),
             ];
-            for a in 0..graph.n_articles() {
+            for (a, &feat) in feats[0].iter().enumerate() {
                 let (z, t_in) = if config.use_diffusion {
                     let subjects = graph.subjects_of_article(a);
                     let z = if subjects.is_empty() {
@@ -131,16 +160,89 @@ impl Network {
                 } else {
                     (zero, zero)
                 };
-                next[0].push(self.gdu[0].forward(bind, feats[0][a], z, t_in, config.use_gates));
+                next[0].push(self.gdu[0].forward(bind, feat, z, t_in, config.use_gates));
             }
-            for u in 0..graph.n_creators() {
+            for (u, &feat) in feats[1].iter().enumerate() {
                 let z = self.aggregate(config, bind, &states[0], graph.articles_of_creator(u), zero);
-                next[1].push(self.gdu[1].forward(bind, feats[1][u], z, zero, config.use_gates));
+                next[1].push(self.gdu[1].forward(bind, feat, z, zero, config.use_gates));
             }
-            for s in 0..graph.n_subjects() {
+            for (s, &feat) in feats[2].iter().enumerate() {
                 let z = self.aggregate(config, bind, &states[0], graph.articles_of_subject(s), zero);
-                next[2].push(self.gdu[2].forward(bind, feats[2][s], z, zero, config.use_gates));
+                next[2].push(self.gdu[2].forward(bind, feat, z, zero, config.use_gates));
             }
+            states = next;
+        }
+        states
+    }
+
+    /// Tape-free batched twin of [`Network::forward_states`]: one
+    /// `count x hidden` state matrix per node type instead of per-node
+    /// tape variables. Row `i` of each matrix is bit-identical to the
+    /// tape value for node `i` — the blocked matmul reduces every output
+    /// element in a fixed order independent of batch size, the gather
+    /// mean below replays `Tape::mean_n` exactly, and all remaining ops
+    /// are elementwise. The three HFLU sweeps and the three per-round
+    /// GDU updates are independent, so both fan out across `FD_THREADS`.
+    pub fn forward_states_matrix(
+        &self,
+        config: &FakeDetectorConfig,
+        ctx: &ExperimentContext<'_>,
+    ) -> [Matrix; 3] {
+        use fd_tensor::parallel;
+        let graph = &ctx.corpus.graph;
+        let counts = [graph.n_articles(), graph.n_creators(), graph.n_subjects()];
+        let n_nodes: usize = counts.iter().sum();
+        let hidden = config.gdu_hidden;
+
+        let feat_work = n_nodes * config.embed_dim * config.gru_hidden;
+        let feats: [Matrix; 3] = parallel::par_map(3, feat_work, |slot| {
+            self.hflu[slot].encode_batch(&self.params, ctx, counts[slot])
+        })
+        .try_into()
+        .expect("par_map returns one result per slot");
+
+        let mut states: [Matrix; 3] = [
+            Matrix::zeros(counts[0], hidden),
+            Matrix::zeros(counts[1], hidden),
+            Matrix::zeros(counts[2], hidden),
+        ];
+        let round_work = n_nodes * hidden * hidden;
+        let rounds = config.diffusion_rounds.max(1);
+        for _round in 0..rounds {
+            let next: [Matrix; 3] = parallel::par_map(3, round_work, |slot| {
+                let (z, t_in) = if !config.use_diffusion {
+                    (Matrix::zeros(counts[slot], hidden), Matrix::zeros(counts[slot], hidden))
+                } else if slot == 0 {
+                    let z = gather_mean(&states[2], counts[0], hidden, |a| {
+                        graph.subjects_of_article(a)
+                    });
+                    let mut t_in = Matrix::zeros(counts[0], hidden);
+                    for a in 0..counts[0] {
+                        if let Some(u) = graph.author_of(a) {
+                            t_in.row_mut(a).copy_from_slice(states[1].row(u));
+                        }
+                    }
+                    (z, t_in)
+                } else {
+                    let z = gather_mean(&states[0], counts[slot], hidden, |i| {
+                        if slot == 1 {
+                            graph.articles_of_creator(i)
+                        } else {
+                            graph.articles_of_subject(i)
+                        }
+                    });
+                    (z, Matrix::zeros(counts[slot], hidden))
+                };
+                self.gdu[slot].forward_matrix(
+                    &self.params,
+                    &feats[slot],
+                    &z,
+                    &t_in,
+                    config.use_gates,
+                )
+            })
+            .try_into()
+            .expect("par_map returns one result per slot");
             states = next;
         }
         states
@@ -304,5 +406,78 @@ impl CredibilityModel for FakeDetector {
 
     fn fit_predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
         self.fit_predict_with_report(ctx).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_data::{
+        generate, CvSplits, ExplicitFeatures, GeneratorConfig, LabelMode, TokenizedCorpus,
+        TrainSets,
+    };
+    use rand::{rngs::StdRng, SeedableRng};
+
+    struct Fixture {
+        corpus: fd_data::Corpus,
+        tokenized: TokenizedCorpus,
+        explicit: ExplicitFeatures,
+        train: TrainSets,
+    }
+
+    fn fixture() -> Fixture {
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), 7);
+        let tokenized = TokenizedCorpus::build(&corpus, 12, 3000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+        };
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+        Fixture { corpus, tokenized, explicit, train }
+    }
+
+    /// The batched forward must reproduce the tape forward *bitwise*,
+    /// state by state — not just up to arg-max. This is the contract the
+    /// blocked matmul's fixed reduction order exists to uphold.
+    #[test]
+    fn forward_states_matrix_is_bitwise_identical_to_tape() {
+        let f = fixture();
+        let ctx = ExperimentContext {
+            corpus: &f.corpus,
+            tokenized: &f.tokenized,
+            explicit: &f.explicit,
+            train: &f.train,
+            mode: LabelMode::Binary,
+            seed: 13,
+        };
+        let config = FakeDetectorConfig::default();
+        let dims = NetworkDims {
+            vocab: ctx.tokenized.vocab.id_space(),
+            explicit_dim: ctx.explicit.dim,
+            n_classes: ctx.n_classes(),
+        };
+        let network = Network::build(&config, dims, Params::new(), 21);
+
+        let tape = Tape::with_capacity(1 << 16);
+        let binding = Binding::new(&tape, &network.params);
+        let tape_states = network.forward_states(&config, &binding, &ctx);
+        let batched = network.forward_states_matrix(&config, &ctx);
+
+        for slot in 0..3 {
+            assert_eq!(batched[slot].rows(), tape_states[slot].len());
+            for (i, &var) in tape_states[slot].iter().enumerate() {
+                tape.with_value(var, |m| {
+                    for (j, (&a, &b)) in m.row(0).iter().zip(batched[slot].row(i)).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "state mismatch at slot {slot}, node {i}, dim {j}: {a} vs {b}"
+                        );
+                    }
+                });
+            }
+        }
     }
 }

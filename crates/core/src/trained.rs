@@ -76,7 +76,32 @@ impl TrainedFakeDetector {
     }
 
     /// Arg-max predictions for every entity in the context's corpus.
+    ///
+    /// Runs the tape-free batched forward pass: all nodes of a type go
+    /// through one blocked matmul per layer instead of one tape replay
+    /// per node, and independent node types fan out across `FD_THREADS`.
+    /// Bit-identical to [`TrainedFakeDetector::predict_per_node`].
     pub fn predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
+        self.check_ctx(ctx);
+        let states = self.network.forward_states_matrix(&self.config, ctx);
+        let mut predictions = Predictions::zeroed(ctx);
+        for (slot, ty) in NodeType::ALL.iter().enumerate() {
+            let logits =
+                self.network.heads[slot].forward_matrix(&self.network.params, &states[slot]);
+            let out = predictions.for_type_mut(*ty);
+            for (idx, slot_out) in out.iter_mut().enumerate() {
+                *slot_out = logits.row_argmax(idx).index;
+            }
+        }
+        predictions
+    }
+
+    /// The original per-node prediction path: replays the autograd tape
+    /// for every entity, exactly as training does. Kept as the reference
+    /// implementation the batched [`TrainedFakeDetector::predict`] is
+    /// regression-tested against, and as the serial baseline the bench
+    /// harness compares the batched path to.
+    pub fn predict_per_node(&self, ctx: &ExperimentContext<'_>) -> Predictions {
         self.check_ctx(ctx);
         let tape = Tape::with_capacity(1 << 16);
         let binding = Binding::new(&tape, &self.network.params);
@@ -93,19 +118,18 @@ impl TrainedFakeDetector {
     }
 
     /// Per-class probabilities for every entity, type-slot indexed
-    /// (articles, creators, subjects).
+    /// (articles, creators, subjects). Uses the batched forward pass;
+    /// probabilities are bit-identical to the per-node tape path.
     pub fn predict_proba(&self, ctx: &ExperimentContext<'_>) -> [Vec<Vec<f32>>; 3] {
         self.check_ctx(ctx);
-        let tape = Tape::with_capacity(1 << 16);
-        let binding = Binding::new(&tape, &self.network.params);
-        let states = self.network.forward_states(&self.config, &binding, ctx);
+        let states = self.network.forward_states_matrix(&self.config, ctx);
         let mut out: [Vec<Vec<f32>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for (slot, states_of_type) in states.iter().enumerate() {
-            out[slot] = states_of_type
-                .iter()
-                .map(|&state| {
-                    let logits = self.network.heads[slot].forward(&binding, state);
-                    let mut probs = tape.value(logits).into_vec();
+            let logits =
+                self.network.heads[slot].forward_matrix(&self.network.params, states_of_type);
+            out[slot] = (0..logits.rows())
+                .map(|idx| {
+                    let mut probs = logits.row(idx).to_vec();
                     softmax_in_place(&mut probs);
                     probs
                 })

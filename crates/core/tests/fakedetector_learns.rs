@@ -105,6 +105,9 @@ fn predictions_are_valid_and_deterministic() {
 }
 
 #[test]
+// ~12 s in release (a full fit at 0.04 scale), several minutes in debug:
+// run with `cargo test -- --ignored` or in the nightly/CI full pass.
+#[ignore = "expensive: full training run (~12 s release); run with --ignored"]
 fn generalises_above_chance_on_binary_articles() {
     // Cross-model rankings at this miniature scale are coin-flip noisy;
     // the paper-shape comparison (FakeDetector top accuracy/precision on

@@ -123,9 +123,9 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Corpus {
     let mut subject_names = Vec::with_capacity(config.n_subjects);
     let mut subject_bias = Vec::with_capacity(config.n_subjects);
     for i in 0..config.n_subjects {
-        if i < SUBJECT_TOPICS.len() {
-            subject_names.push(SUBJECT_TOPICS[i].0.to_string());
-            subject_bias.push(SUBJECT_TOPICS[i].1);
+        if let Some(&(name, bias)) = SUBJECT_TOPICS.get(i) {
+            subject_names.push(name.to_string());
+            subject_bias.push(bias);
         } else {
             subject_names.push(format!("topic{i:03}"));
             subject_bias.push(rng.gen_range(0.25..0.75));
@@ -195,7 +195,7 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Corpus {
     // Article -> creator assignment straight from the budgets.
     let mut article_creator = Vec::with_capacity(config.n_articles);
     for (creator, &budget) in budgets.iter().enumerate() {
-        article_creator.extend(std::iter::repeat(creator).take(budget));
+        article_creator.extend(std::iter::repeat_n(creator, budget));
     }
     article_creator.shuffle(&mut rng);
     for (article, &creator) in article_creator.iter().enumerate() {
@@ -271,8 +271,7 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Corpus {
 
     // ---- Article labels and text ----
     let mut articles = Vec::with_capacity(config.n_articles);
-    for article in 0..config.n_articles {
-        let creator = article_creator[article];
+    for (article, &creator) in article_creator.iter().enumerate() {
         let label = if creator < n_arch {
             sample_from_mixture(&ARCHETYPES[creator].2, &mut rng)
         } else {

@@ -90,25 +90,26 @@ pub fn generate_biased_walks(
                 if neighbors.is_empty() {
                     break;
                 }
-                let next = if uniform || previous.is_none() {
-                    *neighbors.as_slice().choose(rng).expect("non-empty")
-                } else {
-                    let prev = previous.expect("checked above");
-                    let weights: Vec<f64> = neighbors
-                        .iter()
-                        .map(|&n| if n == prev { 1.0 / bias.p } else { 1.0 / bias.q })
-                        .collect();
-                    let total: f64 = weights.iter().sum();
-                    let mut roll = rng.gen_range(0.0..total);
-                    let mut chosen = neighbors[neighbors.len() - 1];
-                    for (&n, &w) in neighbors.iter().zip(&weights) {
-                        if roll < w {
-                            chosen = n;
-                            break;
+                let next = match previous {
+                    None => *neighbors.as_slice().choose(rng).expect("non-empty"),
+                    Some(_) if uniform => *neighbors.as_slice().choose(rng).expect("non-empty"),
+                    Some(prev) => {
+                        let weights: Vec<f64> = neighbors
+                            .iter()
+                            .map(|&n| if n == prev { 1.0 / bias.p } else { 1.0 / bias.q })
+                            .collect();
+                        let total: f64 = weights.iter().sum();
+                        let mut roll = rng.gen_range(0.0..total);
+                        let mut chosen = neighbors[neighbors.len() - 1];
+                        for (&n, &w) in neighbors.iter().zip(&weights) {
+                            if roll < w {
+                                chosen = n;
+                                break;
+                            }
+                            roll -= w;
                         }
-                        roll -= w;
+                        chosen
                     }
-                    chosen
                 };
                 walk.push(graph.global_id(next));
                 previous = Some(current);

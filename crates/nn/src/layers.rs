@@ -33,6 +33,13 @@ impl Linear {
         t.add_row_broadcast(xw, bind.var(self.b))
     }
 
+    /// Tape-free `x · W + b`: the batched-inference twin of
+    /// [`Linear::forward`]. Row `i` of the result is bit-identical to
+    /// running that row through the tape path on its own.
+    pub fn forward_matrix(&self, params: &Params, x: &Matrix) -> Matrix {
+        x.matmul(params.value(self.w)).add_row_broadcast(params.value(self.b))
+    }
+
     /// Input width.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -106,6 +113,25 @@ impl GruCell {
         let oz = t.one_minus(z);
         let ozh = t.mul(oz, h);
         t.add(zn, ozh)
+    }
+
+    /// Tape-free batched recurrence step: `n` independent rows advance
+    /// together, `(x, h) -> h'` with `x` as `n x input_dim` and `h` as
+    /// `n x hidden_dim`. Row `i` is bit-identical to a per-row
+    /// [`GruCell::step`] because every kernel involved (matmul,
+    /// element-wise maps, broadcasts) operates row-independently with a
+    /// fixed per-element order.
+    pub fn step_matrix(&self, params: &Params, x: &Matrix, h: &Matrix) -> Matrix {
+        let gate = |w: ParamId, u: ParamId, b: ParamId, hh: &Matrix| {
+            x.matmul(params.value(w))
+                .add(&hh.matmul(params.value(u)))
+                .add_row_broadcast(params.value(b))
+        };
+        let z = gate(self.wz, self.uz, self.bz, h).map(fd_tensor::stable_sigmoid);
+        let r = gate(self.wr, self.ur, self.br, h).map(fd_tensor::stable_sigmoid);
+        let rh = r.mul(h);
+        let n = gate(self.wn, self.un, self.bn, &rh).map(f32::tanh);
+        z.mul(&n).add(&z.map(|v| 1.0 - v).mul(h))
     }
 
     /// A fresh zero hidden state (a constant leaf on the tape).
@@ -187,6 +213,7 @@ pub struct GruEncoder {
 
 impl GruEncoder {
     /// Builds an encoder producing `out_dim`-wide latent features.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         params: &mut Params,
         name: &str,
@@ -226,6 +253,61 @@ impl GruEncoder {
         let pooled = sum.unwrap_or(h);
         let fused = self.fusion.forward(bind, pooled);
         t.sigmoid(fused)
+    }
+
+    /// Tape-free batched twin of [`GruEncoder::encode`]: encodes all
+    /// `sequences` at once, returning one latent row per sequence.
+    ///
+    /// Each row consumes its own non-PAD tokens in order (PAD positions
+    /// are dropped up front, exactly like the per-node path skips them),
+    /// so virtual step `t` advances every row that still has a `t`-th
+    /// real token through one batched [`GruCell::step_matrix`]; finished
+    /// rows keep their state frozen and stop contributing to the pooled
+    /// sum. Row `i` of the result is bit-identical to
+    /// `encode(bind, sequences[i])`.
+    pub fn encode_batch(&self, params: &Params, sequences: &[&[usize]]) -> Matrix {
+        let n = sequences.len();
+        let (embed_dim, hidden) = (self.embedding.dim(), self.gru.hidden_dim());
+        let tokens: Vec<Vec<usize>> = sequences
+            .iter()
+            .map(|s| s.iter().copied().filter(|&t| t != self.pad_id).collect())
+            .collect();
+        let steps = tokens.iter().map(Vec::len).max().unwrap_or(0);
+
+        let table = params.value(self.embedding.table);
+        let mut h = Matrix::zeros(n, hidden);
+        let mut sum = Matrix::zeros(n, hidden);
+        let mut x = Matrix::zeros(n, embed_dim);
+        for t in 0..steps {
+            for (i, toks) in tokens.iter().enumerate() {
+                if let Some(&tok) = toks.get(t) {
+                    assert!(
+                        tok < self.embedding.vocab(),
+                        "GruEncoder::encode_batch: token {tok} >= vocab {}",
+                        self.embedding.vocab()
+                    );
+                    x.row_mut(i).copy_from_slice(table.row(tok));
+                }
+            }
+            let h_next = self.gru.step_matrix(params, &x, &h);
+            for (i, toks) in tokens.iter().enumerate() {
+                if t < toks.len() {
+                    h.row_mut(i).copy_from_slice(h_next.row(i));
+                    if t == 0 {
+                        // First real token: the per-node path starts its
+                        // running sum *at* h, not at 0 + h.
+                        sum.row_mut(i).copy_from_slice(h_next.row(i));
+                    } else {
+                        for (s, &v) in sum.row_mut(i).iter_mut().zip(h_next.row(i)) {
+                            *s += v;
+                        }
+                    }
+                }
+            }
+        }
+        // Rows with no real tokens pool the zero state, matching the
+        // per-node fallback; `sum` is already zero there.
+        self.fusion.forward_matrix(params, &sum).map(fd_tensor::stable_sigmoid)
     }
 
     /// Output width of [`GruEncoder::encode`].

@@ -33,7 +33,10 @@ impl Schedule {
             Schedule::Constant(lr) => lr,
             Schedule::StepDecay { base, every, factor } => {
                 assert!(every >= 1, "StepDecay: `every` must be >= 1");
-                base * factor.powi((epoch / every) as i32)
+                // Deep decays (factor^k for large k) underflow f32 to 0,
+                // which would silently freeze training; keep the rate a
+                // positive (if tiny) step instead.
+                (base * factor.powi((epoch / every) as i32)).max(f32::MIN_POSITIVE)
             }
             Schedule::LinearDecay { base, floor, epochs } => {
                 assert!(epochs >= 1, "LinearDecay: `epochs` must be >= 1");
@@ -75,6 +78,15 @@ mod tests {
         assert!((s.lr_at(3) - 0.7).abs() < 1e-6);
         assert_eq!(s.lr_at(9), 0.1);
         assert_eq!(s.lr_at(50), 0.1);
+    }
+
+    #[test]
+    fn step_decay_never_underflows_to_zero() {
+        // 0.42^199 is ~1e-75, far below f32's smallest positive value;
+        // the clamp keeps the rate a positive step instead of zero.
+        let s = Schedule::StepDecay { base: 0.78, every: 1, factor: 0.42 };
+        let lr = s.lr_at(199);
+        assert!(lr > 0.0, "deep decay underflowed to {lr}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod checked;
 mod init;
 mod matrix;
 mod ops;
+pub mod parallel;
 mod reduce;
 mod stable;
 
@@ -40,7 +41,7 @@ pub use checked::DimMismatch;
 pub use init::{he_normal, uniform_in, xavier_uniform};
 pub use matrix::{Matrix, ShapeError};
 pub use reduce::{argmax_slice, ArgMax};
-pub use stable::{log_sum_exp, softmax_in_place, softmax_rows};
+pub use stable::{log_sum_exp, softmax_in_place, softmax_rows, stable_sigmoid};
 
 /// Absolute tolerance used by the test helpers in this workspace.
 pub const TEST_EPS: f32 = 1e-4;

@@ -4,8 +4,120 @@
 //! autograd engine needs it, an in-place accumulating form
 //! (`a.add_assign_scaled(&b, alpha)`). Shape mismatches panic with a message
 //! naming the kernel.
+//!
+//! The matmul family runs cache-blocked kernels behind the row-parallel
+//! driver in [`crate::parallel`]. Each output row is produced by one
+//! thread in a fixed reduction order, so results are bit-identical for
+//! every `FD_THREADS` value; the `*_naive` variants keep the original
+//! scalar kernels as a reference for benches and parity tests (they
+//! agree with the blocked kernels only up to float reassociation).
 
-use crate::Matrix;
+use crate::{parallel, Matrix};
+use std::ops::Range;
+
+/// Output rows processed together so the four active `b` rows are
+/// reloaded from L1 instead of L2 while they sweep the tile.
+const ROW_TILE: usize = 8;
+
+/// `out[rows] += a[rows] · b`, the blocked panel kernel behind
+/// [`Matrix::matmul`]. `out` holds exactly the rows in `rows`.
+///
+/// Dispatches once per panel: on x86-64 with AVX2 the same body is
+/// re-compiled with 256-bit vectors enabled (see
+/// [`matmul_panel_avx2`]); otherwise the baseline-ISA copy runs.
+/// Vector width never changes *which* scalar operations produce an
+/// output element or their order — rustc does not contract `a*b + c`
+/// into fused multiply-adds — so both paths return identical bits.
+fn matmul_panel(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was just verified at runtime, and
+        // the wrapped body has no other safety requirements.
+        return unsafe { matmul_panel_avx2(a, b, rows, out) };
+    }
+    matmul_panel_body(a, b, rows, out)
+}
+
+/// The panel body compiled with AVX2 codegen. `#[target_feature]`
+/// plus the `inline(always)` body is the no-intrinsics way to let the
+/// autovectorizer emit 256-bit code while the rest of the crate keeps
+/// the portable baseline ISA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_panel_avx2(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    matmul_panel_body(a, b, rows, out)
+}
+
+/// Cache-blocked matmul panel: [`ROW_TILE`]-row tiles, the `p`
+/// reduction in blocks of four (so four `b` rows stream from L1
+/// across the tile), and two output rows per pass so each loaded `b`
+/// block feeds eight multiply-adds from registers. The reduction over
+/// `p` runs in ascending 4-wide blocks plus a scalar tail — a fixed
+/// order per output element, independent of tiling and of which
+/// thread runs the panel, which is what makes the parallel split
+/// bit-identical to the serial kernel.
+#[inline(always)]
+fn matmul_panel_body(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    let (k, n) = (a.cols(), b.cols());
+    let k4 = k & !3;
+    let row0 = rows.start;
+    let mut t0 = rows.start;
+    while t0 < rows.end {
+        let t1 = (t0 + ROW_TILE).min(rows.end);
+        for p in (0..k4).step_by(4) {
+            let b0 = &b.row(p)[..n];
+            let b1 = &b.row(p + 1)[..n];
+            let b2 = &b.row(p + 2)[..n];
+            let b3 = &b.row(p + 3)[..n];
+            let mut i = t0;
+            while i + 2 <= t1 {
+                let (ar0, ar1) = (a.row(i), a.row(i + 1));
+                let (x0, x1, x2, x3) = (ar0[p], ar0[p + 1], ar0[p + 2], ar0[p + 3]);
+                let (y0, y1, y2, y3) = (ar1[p], ar1[p + 1], ar1[p + 2], ar1[p + 3]);
+                let zero0 = x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0;
+                let zero1 = y0 == 0.0 && y1 == 0.0 && y2 == 0.0 && y3 == 0.0;
+                // Zero-skip fast path: sparse BoW rows drop whole blocks.
+                if zero0 && zero1 {
+                    i += 2;
+                    continue;
+                }
+                let li = i - row0;
+                let (left, right) = out.split_at_mut((li + 1) * n);
+                let or0 = &mut left[li * n..];
+                let or1 = &mut right[..n];
+                for j in 0..n {
+                    or0[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                    or1[j] += y0 * b0[j] + y1 * b1[j] + y2 * b2[j] + y3 * b3[j];
+                }
+                i += 2;
+            }
+            if i < t1 {
+                let ar = a.row(i);
+                let (x0, x1, x2, x3) = (ar[p], ar[p + 1], ar[p + 2], ar[p + 3]);
+                if !(x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) {
+                    let or = &mut out[(i - row0) * n..(i - row0 + 1) * n];
+                    for j in 0..n {
+                        or[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                    }
+                }
+            }
+        }
+        for p in k4..k {
+            let b_row = &b.row(p)[..n];
+            for i in t0..t1 {
+                let a_ip = a.row(i)[p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let or = &mut out[(i - row0) * n..(i - row0 + 1) * n];
+                for j in 0..n {
+                    or[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        t0 = t1;
+    }
+}
 
 impl Matrix {
     /// Matrix product `self · other` (`m x k` times `k x n`).
@@ -21,8 +133,27 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(m, n);
-        // ikj loop order: the innermost loop walks both `other` and `out`
-        // contiguously, which is the cache-friendly order for row-major data.
+        parallel::for_each_row_chunk(m, n, k * n, out.as_mut_slice(), |rows, chunk| {
+            matmul_panel(self, other, rows, chunk)
+        });
+        out
+    }
+
+    /// Reference scalar kernel for [`Matrix::matmul`]: single-threaded
+    /// ikj order with per-coefficient zero skip. Kept for benches and
+    /// blocked-vs-naive parity tests.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: inner dimensions differ, {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -39,8 +170,28 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · other` without materialising the transpose.
+    /// `selfᵀ · other`. Runs as a blocked transpose followed by the
+    /// blocked matmul: the fused column-strided walk the naive kernel
+    /// used defeats vectorisation, and the `k x m` copy is negligible
+    /// next to the `m·k·n` product. The reduction order matches
+    /// `self.transpose().matmul(other)` exactly (same kernel), which
+    /// the algebra proptests pin down bit-for-bit.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "transpose_matmul: row counts differ, {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        self.transpose().matmul(other)
+    }
+
+    /// Reference scalar kernel for [`Matrix::transpose_matmul`]
+    /// (p-outer accumulation, no transpose materialised).
+    pub fn transpose_matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -68,8 +219,27 @@ impl Matrix {
         out
     }
 
-    /// `self · otherᵀ` without materialising the transpose.
+    /// `self · otherᵀ`. Runs as a blocked transpose of `other` followed
+    /// by the blocked matmul: row-times-row dot products serialise the
+    /// FP reduction per element, while transposing first turns the
+    /// whole product into the register-tiled streaming kernel, and the
+    /// `n x k` copy is negligible next to the `m·k·n` product.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose: column counts differ, {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        self.matmul(&other.transpose())
+    }
+
+    /// Reference scalar kernel for [`Matrix::matmul_transpose`]
+    /// (single-accumulator dot products).
+    pub fn matmul_transpose_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -96,13 +266,29 @@ impl Matrix {
         out
     }
 
-    /// The explicit transpose `selfᵀ`.
+    /// The explicit transpose `selfᵀ`, tiled so both the read and the
+    /// write side touch whole cache lines per tile instead of one
+    /// element per line on the strided side.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols(), self.rows());
-        for r in 0..self.rows() {
-            for c in 0..self.cols() {
-                out[(c, r)] = self[(r, c)];
+        const TILE: usize = 32;
+        let (rows, cols) = (self.rows(), self.cols());
+        let mut out = Matrix::zeros(cols, rows);
+        let out_slice = out.as_mut_slice();
+        let mut rb = 0;
+        while rb < rows {
+            let r_end = (rb + TILE).min(rows);
+            let mut cb = 0;
+            while cb < cols {
+                let c_end = (cb + TILE).min(cols);
+                for r in rb..r_end {
+                    let in_row = self.row(r);
+                    for c in cb..c_end {
+                        out_slice[c * rows + r] = in_row[c];
+                    }
+                }
+                cb = c_end;
             }
+            rb = r_end;
         }
         out
     }

@@ -1,0 +1,231 @@
+//! Dependency-free deterministic parallelism for the tensor kernels.
+//!
+//! Built entirely on `std::thread::scope`: no pool crate, no work
+//! stealing, no atomics in the data path. Work is split into contiguous
+//! row ranges with deterministic split points, and every output row is
+//! written by exactly one thread running the same per-row kernel in the
+//! same iteration order. Results are therefore bit-identical for any
+//! thread count — `FD_THREADS=1` and `FD_THREADS=64` produce the same
+//! bytes — and the thread count only changes wall-clock time.
+//!
+//! The global width is resolved once from the `FD_THREADS` environment
+//! variable (default: the machine's available parallelism). Tests pin a
+//! width for the current thread with [`with_thread_count`].
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Minimum inner-loop operations a kernel must have, per thread, before
+/// forking pays for thread spawn and cache-line handoff; anything
+/// smaller runs serially on the calling thread. Tuned on the bench
+/// suite: spawn+join costs ~10µs, which a thread amortises once it
+/// carries a few hundred thousand multiply-adds.
+pub const MIN_WORK_PER_THREAD: usize = 1 << 18;
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// 0 means "no override"; set via [`with_thread_count`].
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn global_threads() -> usize {
+    *GLOBAL_THREADS.get_or_init(|| {
+        match std::env::var("FD_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    })
+}
+
+/// The thread count kernels will use right now: the calling thread's
+/// [`with_thread_count`] override if active, else the `FD_THREADS`
+/// global.
+pub fn current_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden >= 1 {
+        overridden
+    } else {
+        global_threads()
+    }
+}
+
+/// Runs `f` with the thread count pinned to `threads` on this thread,
+/// restoring the previous setting afterwards (also on panic). This is
+/// how the parity tests compare `FD_THREADS` values inside one process.
+pub fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    assert!(threads >= 1, "with_thread_count: need at least one thread");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|o| o.replace(threads)));
+    f()
+}
+
+/// Deterministic split of `rows` into `parts` contiguous ranges: the
+/// first `rows % parts` ranges get one extra row. Depends only on the
+/// two arguments, never on scheduling.
+fn split_rows(rows: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut start = 0;
+    (0..parts).map(move |part| {
+        let len = base + usize::from(part < extra);
+        let range = start..start + len;
+        start += len;
+        range
+    })
+}
+
+/// Row-parallel driver for kernels writing a dense `rows x row_width`
+/// output. `work_per_row` is the kernel's inner-op estimate for one row
+/// (e.g. `k * n` for matmul) and gates the serial fallback. The kernel
+/// receives a row range and the exact output slice for those rows; the
+/// split hands out disjoint `&mut` chunks, so threads never share an
+/// output byte.
+pub fn for_each_row_chunk(
+    rows: usize,
+    row_width: usize,
+    work_per_row: usize,
+    out: &mut [f32],
+    kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
+    assert_eq!(out.len(), rows * row_width, "for_each_row_chunk: output size mismatch");
+    let threads = decide_threads(rows, work_per_row);
+    if threads <= 1 {
+        kernel(0..rows, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let kernel = &kernel;
+        let mut rest = out;
+        for range in split_rows(rows, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * row_width);
+            rest = tail;
+            scope.spawn(move || kernel(range, chunk));
+        }
+    });
+}
+
+/// Ordered parallel map: `f(0..len)` evaluated across threads, results
+/// returned in index order. Used by fd-core to encode independent graph
+/// nodes concurrently; `f` must be a pure function of its index for the
+/// output to stay deterministic, which every call site guarantees by
+/// construction (no shared mutable state compiles past `Sync`).
+pub fn par_map<T: Send>(len: usize, work_per_item: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = decide_threads(len, work_per_item);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = split_rows(len, threads)
+            .map(|range| scope.spawn(move || range.map(f).collect::<Vec<T>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+}
+
+fn decide_threads(items: usize, work_per_item: usize) -> usize {
+    let threads = current_threads().min(items.max(1));
+    if threads <= 1 {
+        return 1;
+    }
+    let total_work = items.saturating_mul(work_per_item);
+    if total_work / threads < MIN_WORK_PER_THREAD {
+        // Not enough work to amortise forking; shrink until each thread
+        // clears the bar (possibly all the way to serial).
+        (total_work / MIN_WORK_PER_THREAD).clamp(1, threads)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_every_row_exactly_once() {
+        for rows in [0usize, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges: Vec<_> = split_rows(rows, parts).collect();
+                assert_eq!(ranges.len(), parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    next = r.end;
+                }
+                assert_eq!(next, rows, "covers all rows");
+                // Deterministic balance: sizes differ by at most one.
+                let sizes: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn override_is_scoped_and_panic_safe() {
+        let before = current_threads();
+        with_thread_count(3, || assert_eq!(current_threads(), 3));
+        assert_eq!(current_threads(), before);
+        let caught = std::panic::catch_unwind(|| with_thread_count(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_threads(), before, "override restored after panic");
+    }
+
+    #[test]
+    fn small_work_stays_serial() {
+        with_thread_count(8, || {
+            assert_eq!(decide_threads(4, 10), 1, "tiny work runs serially");
+            assert_eq!(decide_threads(1 << 20, 1 << 10), 8, "big work uses all threads");
+            assert_eq!(decide_threads(3, 1 << 30), 3, "capped by item count");
+        });
+    }
+
+    #[test]
+    fn for_each_row_chunk_writes_disjoint_rows() {
+        let (rows, width) = (37, 5);
+        let mut out = vec![0.0f32; rows * width];
+        with_thread_count(4, || {
+            for_each_row_chunk(rows, width, MIN_WORK_PER_THREAD, &mut out, |range, chunk| {
+                assert_eq!(chunk.len(), range.len() * width);
+                for (local, row) in range.clone().enumerate() {
+                    for j in 0..width {
+                        chunk[local * width + j] = (row * width + j) as f32;
+                    }
+                }
+            });
+        });
+        let expect: Vec<f32> = (0..rows * width).map(|v| v as f32).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let serial: Vec<usize> = (0..101).map(|i| i * i).collect();
+        for threads in [1, 2, 8] {
+            let parallel =
+                with_thread_count(threads, || par_map(101, MIN_WORK_PER_THREAD, |i| i * i));
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_a_noop() {
+        let mut out: Vec<f32> = vec![];
+        for_each_row_chunk(0, 4, 1 << 30, &mut out, |range, chunk| {
+            assert!(range.is_empty() && chunk.is_empty());
+        });
+        assert!(par_map(0, 1 << 30, |i| i).is_empty());
+    }
+}

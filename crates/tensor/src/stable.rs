@@ -6,6 +6,21 @@
 
 use crate::Matrix;
 
+/// Logistic sigmoid that does not overflow for large negative inputs.
+///
+/// This is the single sigmoid definition of the workspace: the autograd
+/// tape and the tape-free batched inference path both call it, so their
+/// outputs agree bit for bit.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
 /// Stable `log(Σ exp(xᵢ))` over a non-empty slice.
 ///
 /// # Panics

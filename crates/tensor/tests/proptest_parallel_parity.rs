@@ -1,0 +1,118 @@
+//! Property tests for the blocked/parallel kernel contract:
+//!
+//! * `transpose` is an involution and agrees with the naive definition;
+//! * the blocked matmul family matches the seed-era naive kernels to
+//!   rounding error;
+//! * the row-parallel driver is **bit-identical** to the serial path for
+//!   any `FD_THREADS`, on arbitrary shapes including the degenerate
+//!   0-row and 1-row cases. Bitwise equality (not `assert_close`) is the
+//!   property the batched inference path relies on.
+
+use fd_tensor::parallel::with_thread_count;
+use fd_tensor::{assert_close, Matrix};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn deterministic(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fd_tensor::uniform_in(rows, cols, -2.0, 2.0, &mut rng)
+}
+
+/// Shapes that straddle the kernel's tiling: 0 and 1 rows, odd sizes,
+/// and sizes past one 8-row tile / one 4-wide p-block.
+fn dims3() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..21, 1usize..21, 1usize..21)
+}
+
+fn assert_bit_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape mismatch");
+    for r in 0..a.rows() {
+        for (c, (&x, &y)) in a.row(r).iter().zip(b.row(r)).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at ({r},{c}): {x} vs {y}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution((m, k, _n) in dims3(), seed in any::<u64>()) {
+        let a = deterministic(m, k, seed);
+        assert_bit_identical(&a.transpose().transpose(), &a, "transpose∘transpose");
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_definition((m, k, _n) in dims3(), seed in any::<u64>()) {
+        let a = deterministic(m, k, seed);
+        let t = a.transpose();
+        prop_assert_eq!((t.rows(), t.cols()), (k, m));
+        for r in 0..m {
+            for c in 0..k {
+                prop_assert_eq!(a[(r, c)].to_bits(), t[(c, r)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = deterministic(k, m, s1);
+        let b = deterministic(k, n, s2);
+        assert_bit_identical(
+            &a.transpose_matmul(&b),
+            &a.transpose().matmul(&b),
+            "transpose_matmul",
+        );
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = deterministic(m, k, s1);
+        let b = deterministic(k, n, s2);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b), 1e-3);
+        let bt = deterministic(n, k, s2);
+        assert_close(&a.matmul_transpose(&bt), &a.matmul_transpose_naive(&bt), 1e-3);
+        let at = deterministic(k, m, s1);
+        assert_close(&at.transpose_matmul(&b), &at.transpose_matmul_naive(&b), 1e-3);
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = deterministic(m, k, s1);
+        let b = deterministic(k, n, s2);
+        let serial = with_thread_count(1, || a.matmul(&b));
+        for threads in [2usize, 8] {
+            let parallel = with_thread_count(threads, || a.matmul(&b));
+            assert_bit_identical(&serial, &parallel, "matmul under FD_THREADS");
+        }
+    }
+
+    #[test]
+    fn parallel_fused_kernels_bit_identical_to_serial((m, k, n) in dims3(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let at = deterministic(k, m, s1);
+        let b = deterministic(k, n, s2);
+        let bt = deterministic(n, k, s2);
+        let a = deterministic(m, k, s1);
+        let (tm1, mt1) = with_thread_count(1, || (at.transpose_matmul(&b), a.matmul_transpose(&bt)));
+        for threads in [2usize, 8] {
+            let (tm, mt) =
+                with_thread_count(threads, || (at.transpose_matmul(&b), a.matmul_transpose(&bt)));
+            assert_bit_identical(&tm1, &tm, "transpose_matmul under FD_THREADS");
+            assert_bit_identical(&mt1, &mt, "matmul_transpose under FD_THREADS");
+        }
+    }
+}
+
+/// The parallel driver actually forks above its serial-fallback
+/// threshold; make sure bit-parity holds there too, not just on the
+/// small shapes the proptests sweep.
+#[test]
+fn parallel_parity_above_fallback_threshold() {
+    let a = deterministic(160, 160, 41);
+    let b = deterministic(160, 160, 42);
+    let serial = with_thread_count(1, || a.matmul(&b));
+    for threads in [2usize, 8] {
+        let parallel = with_thread_count(threads, || a.matmul(&b));
+        assert_bit_identical(&serial, &parallel, "matmul (large) under FD_THREADS");
+    }
+}

@@ -83,7 +83,7 @@ fn main() {
         .filter(|s| !checked.contains(s))
         .map(|s| (predictions.subjects[s], s))
         .collect();
-    topics.sort_by(|a, b| b.0.cmp(&a.0));
+    topics.sort_by_key(|&(pred, _)| std::cmp::Reverse(pred));
     for &(pred, s) in topics.iter().take(5) {
         println!(
             "  {:<14} predicted {:<14} actual {}",

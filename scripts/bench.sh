@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_tensor.json at the repo root: times the seed-era
+# naive tensor kernels against the blocked serial kernels and the
+# row-parallel path (FD_THREADS=4), plus a full model inference step
+# (per-node tape replay vs batched tape-free forward).
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Numbers are medians of repeated runs but still machine-dependent;
+# compare ratios within one file, not times across machines.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_tensor.json}"
+cargo run --release -p fd-bench --bin report -- tensor "$out"

@@ -1,0 +1,381 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, serialisation goes through a
+//! JSON-shaped data model, [`Content`]: [`Serialize`] lowers a value into
+//! a `Content` tree and [`Deserialize`] rebuilds a value from one. The
+//! companion `serde_json` stand-in converts `Content` to and from text.
+//! The `derive` feature re-exports hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros for named-field structs (honouring
+//! `#[serde(skip)]`) and unit-variant enums — the only shapes this
+//! workspace serialises.
+
+use std::collections::HashMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model values are lowered into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always `< 0`; non-negatives use [`Content::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a [`Content::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a [`Content::Seq`].
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// JSON-flavoured alias for [`Content::as_seq`].
+    pub fn as_array(&self) -> Option<&[Content]> {
+        self.as_seq()
+    }
+
+    /// The string, if this is a [`Content::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, accepting any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::I64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+/// Looks up a struct field in decoded map entries (derive-generated code).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialisation error: a human-readable message naming the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into the [`Content`] data model.
+pub trait Serialize {
+    /// The `Content` representation of `self`.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, or reports what was wrong with the input.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_u64().ok_or_else(|| {
+                    Error::custom(format!("expected unsigned integer, got {c:?}"))
+                })?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("{v} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, got {c:?}"))
+                })?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("{v} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {c:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Ok(f64::deserialize_content(c)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!("expected bool, got {c:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {c:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {c:?}")))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        let seq = c
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {c:?}")))?;
+        if seq.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                seq.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::deserialize_content(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        // Sorted for output determinism; HashMap iteration order is not.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom(format!("expected map, got {c:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_roundtrips() {
+        assert_eq!(usize::deserialize_content(&42usize.serialize_content()), Ok(42));
+        assert_eq!(i64::deserialize_content(&(-7i64).serialize_content()), Ok(-7));
+        assert_eq!(f32::deserialize_content(&1.5f32.serialize_content()), Ok(1.5));
+        assert!(u8::deserialize_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn cross_numeric_coercion() {
+        // A JSON parser may surface `1` as U64 where an f64 is expected.
+        assert_eq!(f64::deserialize_content(&Content::U64(1)), Ok(1.0));
+        assert_eq!(u64::deserialize_content(&Content::F64(3.0)), Ok(3));
+        assert!(u64::deserialize_content(&Content::F64(3.5)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::deserialize_content(&v.serialize_content()), Ok(v));
+        let arr = [1.0f64, 2.0, 3.0, 4.0];
+        assert_eq!(<[f64; 4]>::deserialize_content(&arr.serialize_content()), Ok(arr));
+        let none: Option<u32> = None;
+        assert_eq!(none.serialize_content(), Content::Null);
+        assert_eq!(Option::<u32>::deserialize_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn map_lookup_and_errors_name_the_problem() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert!(content_get(&map, "a").is_some());
+        assert!(content_get(&map, "b").is_none());
+        let err = bool::deserialize_content(&Content::U64(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+    }
+}

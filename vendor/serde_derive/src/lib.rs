@@ -1,0 +1,267 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! Written without `syn`/`quote` (neither is available offline): the
+//! item's `TokenStream` is walked by hand and the impl is emitted as a
+//! formatted string parsed back into tokens. Supports exactly the two
+//! shapes this workspace serialises — named-field structs (with
+//! `#[serde(skip)]`) and unit-variant enums — and panics with a clear
+//! message on anything else, at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading `#[...]` attributes, returning whether any was
+/// `#[serde(..., skip, ...)]`.
+fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                    {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            skip |= args.stream().into_iter().any(|t| {
+                                matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")
+                            });
+                        }
+                    }
+                    i += 2;
+                } else {
+                    panic!("serde_derive: `#` not followed by an attribute group");
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Consumes a visibility modifier (`pub`, `pub(crate)`, ...), if present.
+fn eat_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Splits a brace-group body on commas, ignoring commas nested inside
+/// angle brackets (`HashMap<String, usize>` is one field type, not two
+/// fields — `<`/`>` are plain puncts, not token groups).
+fn split_on_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = eat_attributes(&tokens, 0);
+    i = eat_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    // The body is the first brace group after the name; anything between
+    // (generics, where-clauses) is unsupported by this stand-in.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                "serde_derive stand-in: `{name}` is generic; only plain structs/enums are supported"
+            ),
+            Some(_) => i += 1,
+            None => panic!("serde_derive: `{name}` has no brace-delimited body"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = split_on_commas(body)
+                .into_iter()
+                .map(|chunk| {
+                    let (mut j, skip) = eat_attributes(&chunk, 0);
+                    j = eat_visibility(&chunk, j);
+                    let field_name = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!(
+                            "serde_derive stand-in: `{name}` must use named fields, found {other:?}"
+                        ),
+                    };
+                    if !matches!(chunk.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+                    {
+                        panic!(
+                            "serde_derive stand-in: `{name}` must use named fields \
+                             (`{field_name}` has no `:`)"
+                        );
+                    }
+                    Field { name: field_name, skip }
+                })
+                .collect();
+            Shape::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = split_on_commas(body)
+                .into_iter()
+                .map(|chunk| {
+                    let (j, _) = eat_attributes(&chunk, 0);
+                    let variant = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive: expected variant name, found {other:?}"),
+                    };
+                    if chunk.len() > j + 1 {
+                        panic!(
+                            "serde_derive stand-in: enum `{name}` variant `{variant}` carries \
+                             data; only unit variants are supported"
+                        );
+                    }
+                    variant
+                })
+                .collect();
+            Shape::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::serialize_content(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",", name = name, v = v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::Deserialize::deserialize_content(\
+                                 ::serde::content_get(map, \"{0}\").ok_or_else(|| \
+                                     ::serde::Error::custom(\"{name}: missing field `{0}`\"))?\
+                             )?,",
+                            f.name,
+                            name = name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let map = content.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}: expected map\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        name = name,
+                        v = v
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let tag = content.as_str().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}: expected variant string\"))?;\n\
+                         match tag {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated impl failed to parse")
+}

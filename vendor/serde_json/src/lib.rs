@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Converts between JSON text and the [`serde::Content`] data model of
+//! the companion serde stand-in: [`to_string`] / [`to_string_pretty`]
+//! lower a [`serde::Serialize`] value and render it; [`from_str`]
+//! parses text and rebuilds a [`serde::Deserialize`] value. The
+//! [`json!`] macro covers the object-literal form this workspace uses.
+
+mod read;
+mod write;
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialisation or parse failure, with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Compact JSON text for `value`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.serialize_content()))
+}
+
+/// Pretty-printed JSON text (two-space indent) for `value`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.serialize_content()))
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = read::parse(s).map_err(Error::new)?;
+    Ok(T::deserialize_content(&content)?)
+}
+
+/// A parsed or constructed JSON document ([`json!`] output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value(Content);
+
+impl Value {
+    /// Wraps a raw data-model tree.
+    pub fn from_content(content: Content) -> Self {
+        Value(content)
+    }
+
+    /// The underlying data-model tree.
+    pub fn as_content(&self) -> &Content {
+        &self.0
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Content;
+
+    /// Object-field lookup; a missing key or non-object yields `Null`,
+    /// like upstream's `Value` indexing.
+    fn index(&self, key: &str) -> &Content {
+        static NULL: Content = Content::Null;
+        self.0
+            .as_map()
+            .and_then(|m| serde::content_get(m, key))
+            .unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders compact JSON, so `value.to_string()` is serialisation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&write::compact(&self.0))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(content: &Content) -> Result<Self, serde::Error> {
+        Ok(Value(content.clone()))
+    }
+}
+
+/// Builds a [`Value`] from a JSON object literal. Only the
+/// `json!({ "key": expr, ... })` form is supported; every value
+/// expression must implement [`serde::Serialize`].
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::from_content(::serde::Content::Map(vec![
+            $(($key.to_string(), ::serde::Serialize::serialize_content(&$value))),*
+        ]))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&3usize).unwrap(), "3");
+        assert_eq!(to_string(&-4i64).unwrap(), "-4");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<usize>("3").unwrap(), 3);
+        assert_eq!(from_str::<i32>("-4").unwrap(), -4);
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn f32_survives_the_f64_detour() {
+        // f32 serialises through f64; the widening is exact, so text
+        // like 0.30000001192092896 must parse back to the same bits.
+        for &x in &[0.3f32, -1.5e-8, 7.25, f32::MAX, f32::MIN_POSITIVE] {
+            let text = to_string(&x).unwrap();
+            assert_eq!(from_str::<f32>(&text).unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f32::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "quote\" back\\slash \n\t\r ctrl\u{1} unicode é 中".to_string();
+        let text = to_string(&nasty).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), nasty);
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip() {
+        let rows: Vec<[f64; 4]> = vec![[1.0, 0.5, 0.25, 0.125], [0.0, -1.0, 2.0, 3.5]];
+        let text = to_string(&rows).unwrap();
+        assert_eq!(from_str::<Vec<[f64; 4]>>(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Vec<u32>> = vec![vec![1, 2], vec![], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'), "pretty output has newlines");
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let payload = json!({
+            "mode": "binary",
+            "counts": vec![1usize, 2, 3],
+            "threshold": 0.5f64,
+        });
+        let text = payload.to_string();
+        assert_eq!(
+            text,
+            "{\"mode\":\"binary\",\"counts\":[1,2,3],\"threshold\":0.5}"
+        );
+        assert_eq!(from_str::<Value>(&text).unwrap(), payload);
+    }
+
+    #[test]
+    fn parse_errors_name_the_position() {
+        let err = from_str::<u32>("[1, 2").unwrap_err().to_string();
+        assert!(err.contains("offset"), "{err}");
+        assert!(from_str::<u32>("12 trailing").is_err());
+        assert!(from_str::<u32>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        // Surrogate pair for U+1F600.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "\u{1F600}");
+        assert!(from_str::<String>("\"\\ud83d\"").is_err(), "lone surrogate");
+    }
+
+    mod derive_roundtrip {
+        //! End-to-end checks of the hand-rolled serde derive macros.
+        use super::*;
+        use serde::{Deserialize, Serialize};
+        use std::collections::HashMap;
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Inner {
+            label: String,
+            weights: Vec<f32>,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Outer {
+            pub id: usize,
+            inner: Inner,
+            lookup: HashMap<String, usize>,
+            #[serde(skip)]
+            cache: Vec<u64>,
+            optional: Option<i64>,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Kind {
+            Alpha,
+            Beta,
+        }
+
+        #[test]
+        fn struct_roundtrip_honours_skip() {
+            let outer = Outer {
+                id: 7,
+                inner: Inner { label: "x".into(), weights: vec![0.25, -1.5] },
+                lookup: HashMap::from([("a".to_string(), 1)]),
+                cache: vec![9, 9, 9],
+                optional: Some(-3),
+            };
+            let text = to_string(&outer).unwrap();
+            assert!(!text.contains("cache"), "skipped field serialised: {text}");
+            let back: Outer = from_str(&text).unwrap();
+            assert_eq!(back.cache, Vec::<u64>::new(), "skipped field defaults");
+            assert_eq!(back.id, outer.id);
+            assert_eq!(back.inner, outer.inner);
+            assert_eq!(back.optional, outer.optional);
+        }
+
+        #[test]
+        fn missing_field_is_a_named_error() {
+            let err = from_str::<Inner>("{\"label\":\"x\"}").unwrap_err().to_string();
+            assert!(err.contains("weights"), "{err}");
+        }
+
+        #[test]
+        fn unit_enum_roundtrip() {
+            assert_eq!(to_string(&Kind::Beta).unwrap(), "\"Beta\"");
+            assert_eq!(from_str::<Kind>("\"Alpha\"").unwrap(), Kind::Alpha);
+            let err = from_str::<Kind>("\"Gamma\"").unwrap_err().to_string();
+            assert!(err.contains("Gamma"), "{err}");
+        }
+    }
+}

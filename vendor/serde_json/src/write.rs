@@ -1,0 +1,147 @@
+//! Rendering [`Content`] trees as JSON text.
+
+use serde::Content;
+use std::fmt::Write as _;
+
+/// Compact rendering: no whitespace.
+pub fn compact(content: &Content) -> String {
+    let mut out = String::new();
+    write_value(&mut out, content, None, 0);
+    out
+}
+
+/// Pretty rendering: two-space indent, one entry per line.
+pub fn pretty(content: &Content) -> String {
+    let mut out = String::new();
+    write_value(&mut out, content, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, content: &Content, indent: Option<usize>, depth: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Content::Map(entries) => {
+            write_compound(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (key, value) = &entries[i];
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+/// `{}` on f64 prints the shortest decimal that round-trips the exact
+/// bits, so floats (including widened f32s) survive text and back.
+/// JSON has no non-finite literals; match serde_json and emit `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    // Keep a number-looking token (Display omits ".0" for integral
+    // values, which is still valid JSON — nothing to fix there, but
+    // make sure exponent forms like 1e-8 stay as-is).
+    debug_assert!(out[start..].parse::<f64>().is_ok());
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_has_no_padding() {
+        let v = Content::Map(vec![
+            ("a".into(), Content::Seq(vec![Content::U64(1), Content::U64(2)])),
+            ("b".into(), Content::Null),
+        ]);
+        assert_eq!(compact(&v), "{\"a\":[1,2],\"b\":null}");
+    }
+
+    #[test]
+    fn pretty_indents_by_two() {
+        let v = Content::Map(vec![("a".into(), Content::Seq(vec![Content::U64(1)]))]);
+        assert_eq!(pretty(&v), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_compounds_stay_on_one_line() {
+        assert_eq!(pretty(&Content::Seq(vec![])), "[]");
+        assert_eq!(pretty(&Content::Map(vec![])), "{}");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(compact(&Content::Str("\u{1}".into())), "\"\\u0001\"");
+        assert_eq!(compact(&Content::Str("a\"b".into())), "\"a\\\"b\"");
+    }
+}
