@@ -34,7 +34,11 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("[fig1] generating corpus at scale {scale} (seed {seed})…");
+    fd_obs::event(
+        fd_obs::Level::Info,
+        "fig1.generate",
+        &[("scale", scale.into()), ("seed", seed.into())],
+    );
     let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
 
     if which == "a" || which == "all" {

@@ -11,6 +11,7 @@
 //!   row-parallel path — and writes the numbers to `BENCH_tensor.json`.
 
 use fd_metrics::{MetricKind, SweepResults};
+use fd_obs::{event, Level};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -28,13 +29,21 @@ fn markdown_report(dir: &str) {
         for entity in ["articles", "creators", "subjects"] {
             let path = format!("{dir}/{experiment}_{entity}.json");
             let Ok(json) = std::fs::read_to_string(&path) else {
-                eprintln!("skipping {path} (not found)");
+                event(
+                    Level::Info,
+                    "report.skip",
+                    &[("path", path.as_str().into()), ("reason", "not found".into())],
+                );
                 continue;
             };
             let results: SweepResults = match serde_json::from_str(&json) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("skipping {path}: {e}");
+                    event(
+                        Level::Error,
+                        "report.skip",
+                        &[("path", path.as_str().into()), ("reason", e.to_string().into())],
+                    );
                     continue;
                 }
             };
@@ -110,9 +119,16 @@ mod tensor {
             parallel::with_thread_count(1, || median_ms(runs, || blocked(&a, &b)));
         let blocked_4t_ms = parallel::with_thread_count(4, || median_ms(runs, || blocked(&a, &b)));
 
-        eprintln!(
-            "{name} {size}x{size}x{size}: naive {naive_ms:.1} ms, blocked(1t) \
-             {blocked_serial_ms:.1} ms, blocked(4t) {blocked_4t_ms:.1} ms"
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.kernel",
+            &[
+                ("kernel", name.into()),
+                ("size", size.into()),
+                ("naive_ms", naive_ms.into()),
+                ("blocked_serial_ms", blocked_serial_ms.into()),
+                ("blocked_parallel_4t_ms", blocked_4t_ms.into()),
+            ],
         );
         serde_json::json!({
             "size": size,
@@ -153,10 +169,15 @@ mod tensor {
             parallel::with_thread_count(1, || median_ms(3, || trained.predict(&ctx)));
         let batched_4t_ms =
             parallel::with_thread_count(4, || median_ms(3, || trained.predict(&ctx)));
-        eprintln!(
-            "model predict ({} articles): per-node {per_node_ms:.1} ms, batched(1t) \
-             {batched_serial_ms:.1} ms, batched(4t) {batched_4t_ms:.1} ms",
-            corpus.articles.len()
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.model_predict",
+            &[
+                ("articles", corpus.articles.len().into()),
+                ("per_node_ms", per_node_ms.into()),
+                ("batched_serial_ms", batched_serial_ms.into()),
+                ("batched_parallel_4t_ms", batched_4t_ms.into()),
+            ],
         );
         serde_json::json!({
             "articles": corpus.articles.len(),
@@ -192,6 +213,6 @@ mod tensor {
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
-        eprintln!("wrote {out_path}");
+        fd_obs::event(fd_obs::Level::Info, "report.wrote", &[("path", out_path.into())]);
     }
 }

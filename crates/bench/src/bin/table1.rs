@@ -25,7 +25,11 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("[table1] generating corpus at scale {scale} (seed {seed})…");
+    fd_obs::event(
+        fd_obs::Level::Info,
+        "table1.generate",
+        &[("scale", scale.into()), ("seed", seed.into())],
+    );
     let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
     corpus.validate().expect("generated corpus must validate");
 

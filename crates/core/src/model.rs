@@ -292,6 +292,13 @@ impl FakeDetector {
     /// (de)serialisation.
     pub fn fit(&self, ctx: &ExperimentContext<'_>) -> TrainedFakeDetector {
         let cfg = &self.config;
+        // fit runs a handful of times per process, so registry lookups
+        // here are off the hot path; the epoch loop reuses the handles.
+        let fit_us = fd_obs::histogram("train.fit_us", &fd_obs::exponential_buckets(1e3, 4.0, 10));
+        let epoch_us =
+            fd_obs::histogram("train.epoch_us", &fd_obs::exponential_buckets(100.0, 4.0, 10));
+        let epochs_run = fd_obs::counter("train.epochs");
+        let _fit_span = fd_obs::span_timed("fit", fit_us);
         let dims = NetworkDims {
             vocab: ctx.tokenized.vocab.id_space(),
             explicit_dim: ctx.explicit.dim,
@@ -318,7 +325,9 @@ impl FakeDetector {
 
         let mut best: Option<(f64, Params)> = None;
         let mut since_best = 0usize;
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let epoch_start = std::time::Instant::now();
+            let _epoch_span = fd_obs::span("epoch");
             let tape = Tape::with_capacity(1 << 16);
             let binding = Binding::new(&tape, &network.params);
             let states = network.forward_states(cfg, &binding, ctx);
@@ -339,6 +348,21 @@ impl FakeDetector {
             let mut grads = binding.grads();
             let norm = clip_global_norm(&mut grads, cfg.clip);
             let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
+
+            // Per-entity-type loss decomposition, computed only when
+            // someone is listening: it re-reads one tape value per
+            // training item. `losses[i]` pairs with `fit_items[i]`; the
+            // optional trailing reg term falls off the zip.
+            let slot_losses: Option<[f64; 3]> =
+                fd_obs::enabled(fd_obs::Level::Info).then(|| {
+                    let mut sums = [0.0f64; 3];
+                    for (&(ty, _, _), &item_loss) in fit_items.iter().zip(&losses) {
+                        sums[type_slot(ty)] +=
+                            f64::from(tape.with_value(item_loss, |m| m[(0, 0)]));
+                    }
+                    sums
+                });
+            let mut epoch_val_acc: Option<f64> = None;
 
             // Validation accuracy from the pre-update forward pass,
             // macro-averaged over entity types so the article-heavy
@@ -362,6 +386,7 @@ impl FakeDetector {
                     }
                 }
                 let acc = acc_sum / types_present.max(1) as f64;
+                epoch_val_acc = Some(acc);
                 if best.as_ref().is_none_or(|(b, _)| acc > *b) {
                     best = Some((acc, network.params_snapshot()));
                     since_best = 0;
@@ -375,6 +400,30 @@ impl FakeDetector {
             optimizer.apply(&mut network.params, &grads);
             report.losses.push(loss_value);
             report.grad_norms.push(norm);
+
+            epochs_run.inc();
+            let epoch_elapsed = epoch_start.elapsed().as_secs_f64();
+            epoch_us.record(epoch_elapsed * 1e6);
+            fd_obs::gauge("train.loss").set(f64::from(loss_value));
+            fd_obs::gauge("train.grad_norm").set(f64::from(norm));
+            fd_obs::gauge("train.lr").set(f64::from(cfg.lr));
+            if let Some([la, lc, ls]) = slot_losses {
+                let mut fields: Vec<(&str, fd_obs::Value)> = vec![
+                    ("epoch", epoch.into()),
+                    ("loss", loss_value.into()),
+                    ("loss_articles", la.into()),
+                    ("loss_creators", lc.into()),
+                    ("loss_subjects", ls.into()),
+                    ("grad_norm", norm.into()),
+                    ("lr", cfg.lr.into()),
+                    ("epoch_ms", (epoch_elapsed * 1e3).into()),
+                ];
+                if let Some(acc) = epoch_val_acc {
+                    fields.push(("val_acc", acc.into()));
+                }
+                fd_obs::event(fd_obs::Level::Info, "train.epoch", &fields);
+            }
+
             if n_val > 0 && since_best >= cfg.patience {
                 break;
             }

@@ -16,6 +16,11 @@ use fd_tensor::softmax_in_place;
 use fd_text::{encode_sequence, Tokenizer};
 use serde::{Deserialize, Serialize};
 
+/// Total entities a transductive pass scores (all three node types).
+fn batch_size(ctx: &ExperimentContext<'_>) -> usize {
+    ctx.corpus.articles.len() + ctx.corpus.creators.len() + ctx.corpus.subjects.len()
+}
+
 /// The weights and metadata of a fitted model.
 pub struct TrainedFakeDetector {
     config: FakeDetectorConfig,
@@ -83,6 +88,14 @@ impl TrainedFakeDetector {
     /// Bit-identical to [`TrainedFakeDetector::predict_per_node`].
     pub fn predict(&self, ctx: &ExperimentContext<'_>) -> Predictions {
         self.check_ctx(ctx);
+        let latency =
+            fd_obs::histogram("infer.predict_us", &fd_obs::exponential_buckets(100.0, 4.0, 10));
+        let _span = fd_obs::span_timed("predict", latency);
+        let batch = batch_size(ctx);
+        fd_obs::histogram("infer.batch_size", &fd_obs::exponential_buckets(16.0, 4.0, 8))
+            .record(batch as f64);
+        fd_obs::counter("infer.predictions").add(batch as u64);
+        fd_obs::event(fd_obs::Level::Debug, "infer.predict", &[("batch", batch.into())]);
         let states = self.network.forward_states_matrix(&self.config, ctx);
         let mut predictions = Predictions::zeroed(ctx);
         for (slot, ty) in NodeType::ALL.iter().enumerate() {
@@ -122,6 +135,14 @@ impl TrainedFakeDetector {
     /// probabilities are bit-identical to the per-node tape path.
     pub fn predict_proba(&self, ctx: &ExperimentContext<'_>) -> [Vec<Vec<f32>>; 3] {
         self.check_ctx(ctx);
+        let latency =
+            fd_obs::histogram("infer.proba_us", &fd_obs::exponential_buckets(100.0, 4.0, 10));
+        let _span = fd_obs::span_timed("predict_proba", latency);
+        let batch = batch_size(ctx);
+        fd_obs::histogram("infer.batch_size", &fd_obs::exponential_buckets(16.0, 4.0, 8))
+            .record(batch as f64);
+        fd_obs::counter("infer.proba").add(batch as u64);
+        fd_obs::event(fd_obs::Level::Debug, "infer.predict_proba", &[("batch", batch.into())]);
         let states = self.network.forward_states_matrix(&self.config, ctx);
         let mut out: [Vec<Vec<f32>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for (slot, states_of_type) in states.iter().enumerate() {
@@ -154,6 +175,7 @@ impl TrainedFakeDetector {
         subjects: &[usize],
     ) -> Vec<f32> {
         self.check_ctx(ctx);
+        fd_obs::counter("infer.new_article_scores").inc();
         if let Some(u) = creator {
             assert!(u < ctx.corpus.creators.len(), "score_new_article: creator {u} out of range");
         }

@@ -323,6 +323,24 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Corpus {
     // rounded — the paper's Section 5.1.1 derivation.
     corpus.derive_entity_labels();
     debug_assert!(corpus.validate().is_ok());
+
+    fd_obs::gauge("data.articles").set(corpus.articles.len() as f64);
+    fd_obs::gauge("data.creators").set(corpus.creators.len() as f64);
+    fd_obs::gauge("data.subjects").set(corpus.subjects.len() as f64);
+    fd_obs::gauge("data.authorship_links").set(corpus.graph.n_authorship_links() as f64);
+    fd_obs::gauge("data.subject_links").set(corpus.graph.n_subject_links() as f64);
+    fd_obs::event(
+        fd_obs::Level::Info,
+        "data.generate",
+        &[
+            ("articles", corpus.articles.len().into()),
+            ("creators", corpus.creators.len().into()),
+            ("subjects", corpus.subjects.len().into()),
+            ("authorship_links", corpus.graph.n_authorship_links().into()),
+            ("subject_links", corpus.graph.n_subject_links().into()),
+            ("seed", seed.into()),
+        ],
+    );
     corpus
 }
 

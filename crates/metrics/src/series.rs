@@ -2,6 +2,7 @@
 //! aligned-table printing and JSON export.
 
 use crate::MetricKind;
+use fd_obs::{push_json_f64, push_json_string};
 use serde::{Deserialize, Serialize};
 
 /// One method's metric values across the sampled θ grid.
@@ -11,6 +12,43 @@ pub struct MethodSeries {
     pub method: String,
     /// `values[i][m]` = metric `MetricKind::ALL[m]` at `thetas[i]`.
     pub values: Vec<[f64; 4]>,
+}
+
+impl MethodSeries {
+    /// JSON export of one series. The method name goes through the
+    /// shared fd-obs escaper, so display names containing quotes or
+    /// backslashes produce valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 40 * self.values.len());
+        self.push_json(&mut out, "");
+        out
+    }
+
+    fn push_json(&self, out: &mut String, indent: &str) {
+        out.push_str("{\n");
+        out.push_str(indent);
+        out.push_str("  \"method\": ");
+        push_json_string(out, &self.method);
+        out.push_str(",\n");
+        out.push_str(indent);
+        out.push_str("  \"values\": [");
+        for (i, row) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_json_f64(out, *v);
+            }
+            out.push(']');
+        }
+        out.push_str("]\n");
+        out.push_str(indent);
+        out.push('}');
+    }
 }
 
 /// Results of one subplot row: every method × θ × the four metrics, for
@@ -93,9 +131,33 @@ impl SweepResults {
             .join("\n")
     }
 
-    /// JSON export for external re-plotting.
+    /// JSON export for external re-plotting. Entity, mode and method
+    /// names are escaped through the shared fd-obs escaper (they are
+    /// arbitrary display strings), and the output parses back with
+    /// [`serde_json::from_str`].
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("SweepResults serialisation cannot fail")
+        let mut out = String::with_capacity(256 + 128 * self.series.len());
+        out.push_str("{\n  \"entity\": ");
+        push_json_string(&mut out, &self.entity);
+        out.push_str(",\n  \"mode\": ");
+        push_json_string(&mut out, &self.mode);
+        out.push_str(",\n  \"thetas\": [");
+        for (i, t) in self.thetas.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_f64(&mut out, *t);
+        }
+        out.push_str("],\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            s.push_json(&mut out, "    ");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 }
 
@@ -157,5 +219,29 @@ mod tests {
         assert_eq!(back.series.len(), 2);
         assert_eq!(back.thetas, r.thetas);
         assert_eq!(back.series[0].values[1][0], 0.65);
+    }
+
+    #[test]
+    fn json_escapes_method_and_entity_names() {
+        let mut r = SweepResults::new("articles \"held-out\"", "bi\\class", vec![0.5]);
+        r.push("svm \"rbf\"\nvariant", vec![[0.1, 0.2, 0.3, 0.4]]);
+        let json = r.to_json();
+        let back: SweepResults = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("escaped names broke the JSON: {e}\n{json}"));
+        assert_eq!(back.entity, "articles \"held-out\"");
+        assert_eq!(back.mode, "bi\\class");
+        assert_eq!(back.series[0].method, "svm \"rbf\"\nvariant");
+        assert_eq!(back.series[0].values[0], [0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn method_series_json_parses_standalone() {
+        let series = MethodSeries {
+            method: "line \"v2\"".into(),
+            values: vec![[1.0, 0.5, 0.25, 0.125]],
+        };
+        let back: MethodSeries = serde_json::from_str(&series.to_json()).unwrap();
+        assert_eq!(back.method, series.method);
+        assert_eq!(back.values, series.values);
     }
 }

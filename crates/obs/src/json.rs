@@ -1,0 +1,99 @@
+//! The shared JSON string/number writer.
+//!
+//! Every place in the workspace that hand-rolls JSON (the JSONL logger
+//! here, the metrics snapshot, `fd-metrics`' result series) goes through
+//! these helpers so escaping is implemented exactly once.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes, and control characters per RFC 8259.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The escaped *body* of `s` as a JSON string, without the surrounding
+/// quotes. `escape_json("a\"b")` is `a\"b`.
+pub fn escape_json(s: &str) -> String {
+    let mut quoted = String::with_capacity(s.len() + 2);
+    push_json_string(&mut quoted, s);
+    quoted[1..quoted.len() - 1].to_string()
+}
+
+/// Appends `v` as a JSON number. `{}` on f64 prints the shortest
+/// decimal that round-trips the exact bits; JSON has no non-finite
+/// literals, so NaN/inf become `null` (matching `serde_json`).
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quoted(s: &str) -> String {
+        let mut out = String::new();
+        push_json_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(quoted("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quoted("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(quoted("\n\t\r\u{8}\u{c}"), "\"\\n\\t\\r\\b\\f\"");
+        assert_eq!(quoted("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn passes_unicode_through() {
+        assert_eq!(quoted("é 中"), "\"é 中\"");
+    }
+
+    #[test]
+    fn numbers_render_and_nonfinite_is_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 0.5);
+        out.push(',');
+        push_json_f64(&mut out, -3.0);
+        out.push(',');
+        push_json_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_json_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "0.5,-3,null,null");
+    }
+
+    #[test]
+    fn f64_display_round_trips() {
+        for &v in &[0.1f64, 1e-300, 123456.789, f64::from(0.3f32)] {
+            let mut out = String::new();
+            push_json_f64(&mut out, v);
+            assert_eq!(out.parse::<f64>().unwrap().to_bits(), v.to_bits(), "{out}");
+        }
+    }
+}

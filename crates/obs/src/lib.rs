@@ -1,0 +1,49 @@
+//! `fd-obs` — structured tracing, metrics and profiling hooks for the
+//! FakeDetector stack.
+//!
+//! Three layers, all dependency-free (std only) because `fd-tensor`'s
+//! hot kernels sit on top of this crate:
+//!
+//! 1. **Leveled structured logging** ([`event`], [`Level`], [`Value`]):
+//!    JSONL events — one JSON object per line with a monotonic
+//!    timestamp, the current span path, an event name and `key=value`
+//!    fields — written to stderr, or to a file when `FD_LOG_FILE` is
+//!    set. The level comes from `FD_LOG` (`off`/`error`/`info`/`debug`,
+//!    default `off`); below-level events cost one branch.
+//! 2. **RAII span timers** ([`span`], [`span_timed`]): nested spans
+//!    build dotted parent paths (`fit.epoch`), emit a `span` event with
+//!    the elapsed time at `debug` level, and can feed a [`Histogram`]
+//!    regardless of the log level.
+//! 3. **A global metrics registry** ([`counter`], [`gauge`],
+//!    [`histogram`], [`snapshot`]): lock-free relaxed-atomic counters,
+//!    f64 gauges and fixed-bucket histograms, serialised to JSON by
+//!    `snapshot()`. Registration takes a mutex; recording is atomic
+//!    ops only, cheap enough for per-kernel-call hooks.
+//!
+//! The JSON string escaper the logger uses is exported
+//! ([`escape_json`], [`push_json_string`]) so other crates that
+//! hand-roll JSON (e.g. `fd-metrics` result series) share one correct
+//! implementation.
+//!
+//! ## Event schema
+//!
+//! ```json
+//! {"ts_us":1234,"level":"info","span":"fit","event":"train.epoch","fields":{"epoch":3,"loss":812.5}}
+//! ```
+//!
+//! `ts_us` is microseconds since the first observation in the process
+//! (monotonic clock, never wall time), `span` is the dotted path of the
+//! enclosing spans on the emitting thread (empty at top level), and
+//! `fields` holds the event's key/value payload.
+
+mod json;
+mod log;
+mod metrics;
+mod span;
+
+pub use json::{escape_json, push_json_f64, push_json_string};
+pub use log::{enabled, event, level, with_capture, with_level, Level, Value};
+pub use metrics::{
+    counter, exponential_buckets, gauge, histogram, snapshot, Counter, Gauge, Histogram,
+};
+pub use span::{current_span_path, span, span_timed, SpanTimer};

@@ -1,0 +1,378 @@
+//! The leveled JSONL logger: level resolution from `FD_LOG`, the
+//! stderr/file sink from `FD_LOG_FILE`, and event emission.
+
+use crate::json::{push_json_f64, push_json_string};
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Log verbosity, ordered `Off < Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is emitted (the default).
+    Off,
+    /// Failures only.
+    Error,
+    /// Progress milestones: epochs, corpus generation, bench sections.
+    Info,
+    /// Everything, including span timings and per-call inference events.
+    Debug,
+}
+
+impl Level {
+    /// Parses an `FD_LOG` value; unknown strings mean [`Level::Off`].
+    pub fn parse(raw: &str) -> Level {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "error" => Level::Error,
+            "info" => Level::Info,
+            "debug" | "trace" => Level::Debug,
+            _ => Level::Off,
+        }
+    }
+
+    /// The lowercase name used in event lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static GLOBAL_LEVEL: OnceLock<Level> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`with_level`] (tests).
+    static LEVEL_OVERRIDE: Cell<Option<Level>> = const { Cell::new(None) };
+    /// Per-thread capture buffer installed by [`with_capture`] (tests).
+    static CAPTURE: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+fn global_level() -> Level {
+    *GLOBAL_LEVEL
+        .get_or_init(|| std::env::var("FD_LOG").map_or(Level::Off, |v| Level::parse(&v)))
+}
+
+/// The level in effect on this thread: the [`with_level`] override if
+/// active, else the `FD_LOG` global.
+pub fn level() -> Level {
+    LEVEL_OVERRIDE.with(Cell::get).unwrap_or_else(global_level)
+}
+
+/// True when events at `at` should be emitted. `at` must not be
+/// [`Level::Off`] — call sites always name a real severity.
+#[inline]
+pub fn enabled(at: Level) -> bool {
+    debug_assert!(at != Level::Off, "enabled(Off) is meaningless");
+    at <= level()
+}
+
+/// Runs `f` with the log level pinned to `pinned` on this thread,
+/// restoring the previous setting afterwards (also on panic).
+pub fn with_level<T>(pinned: Level, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Level>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LEVEL_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(LEVEL_OVERRIDE.with(|o| o.replace(Some(pinned))));
+    f()
+}
+
+/// Runs `f` capturing every event line this thread emits, returning
+/// `f`'s result and the captured lines. Used by tests; capture takes
+/// precedence over the global sink.
+pub fn with_capture<T>(f: impl FnOnce() -> T) -> (T, Vec<String>) {
+    struct Restore(Option<Vec<String>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CAPTURE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let mut restore = Restore(CAPTURE.with(|c| c.borrow_mut().replace(Vec::new())));
+    let value = f();
+    let lines = CAPTURE
+        .with(|c| std::mem::replace(&mut *c.borrow_mut(), restore.0.take()))
+        .unwrap_or_default();
+    std::mem::forget(restore);
+    (value, lines)
+}
+
+/// One event field value. `From` impls cover the numeric types the
+/// workspace uses, so call sites write `("loss", loss.into())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values serialise as `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text, escaped on write.
+    Str(String),
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => push_json_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => push_json_string(out, s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(f64::from(v))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the first observation in this process (monotonic).
+fn ts_us() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// The same monotonic clock, for the metrics snapshot header.
+pub(crate) fn snapshot_ts_us() -> u64 {
+    ts_us()
+}
+
+enum Sink {
+    Stderr,
+    File(Mutex<File>),
+}
+
+static SINK: OnceLock<Sink> = OnceLock::new();
+
+fn sink() -> &'static Sink {
+    SINK.get_or_init(|| match std::env::var("FD_LOG_FILE") {
+        Ok(path) if !path.is_empty() => match File::create(&path) {
+            Ok(f) => Sink::File(Mutex::new(f)),
+            Err(e) => {
+                eprintln!("fd-obs: cannot open FD_LOG_FILE={path}: {e}; using stderr");
+                Sink::Stderr
+            }
+        },
+        _ => Sink::Stderr,
+    })
+}
+
+fn emit_line(line: String) {
+    let line = match CAPTURE.with(|c| {
+        let mut cap = c.borrow_mut();
+        match cap.as_mut() {
+            Some(buf) => {
+                buf.push(line);
+                None
+            }
+            None => Some(line),
+        }
+    }) {
+        Some(line) => line,
+        None => return,
+    };
+    match sink() {
+        Sink::Stderr => {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{line}");
+        }
+        Sink::File(file) => {
+            // Lines are written whole under the lock (no BufWriter), so
+            // the JSONL file is valid even if the process is killed and
+            // concurrent threads never interleave within a line.
+            let mut file = file.lock().expect("fd-obs sink poisoned");
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// Emits one structured JSONL event if `at` is enabled. The line carries
+/// a monotonic timestamp, the calling thread's span path, the event
+/// `name` and the `fields` payload; see the crate docs for the schema.
+pub fn event(at: Level, name: &str, fields: &[(&str, Value)]) {
+    if !enabled(at) {
+        return;
+    }
+    let mut line = String::with_capacity(96 + 24 * fields.len());
+    line.push_str("{\"ts_us\":");
+    let _ = write!(line, "{}", ts_us());
+    line.push_str(",\"level\":\"");
+    line.push_str(at.as_str());
+    line.push_str("\",\"span\":");
+    push_json_string(&mut line, &crate::span::current_span_path());
+    line.push_str(",\"event\":");
+    push_json_string(&mut line, name);
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_json_string(&mut line, key);
+        line.push(':');
+        value.push_json(&mut line);
+    }
+    line.push_str("}}");
+    emit_line(line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels_and_defaults_off() {
+        assert_eq!(Level::parse("debug"), Level::Debug);
+        assert_eq!(Level::parse(" Info "), Level::Info);
+        assert_eq!(Level::parse("ERROR"), Level::Error);
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("banana"), Level::Off);
+        assert_eq!(Level::parse(""), Level::Off);
+    }
+
+    #[test]
+    fn ordering_gates_emission() {
+        with_level(Level::Info, || {
+            assert!(enabled(Level::Error));
+            assert!(enabled(Level::Info));
+            assert!(!enabled(Level::Debug));
+        });
+        with_level(Level::Off, || {
+            assert!(!enabled(Level::Error));
+        });
+    }
+
+    #[test]
+    fn with_level_restores_on_panic() {
+        let before = level();
+        let caught = std::panic::catch_unwind(|| with_level(Level::Debug, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(level(), before);
+    }
+
+    #[test]
+    fn below_level_events_are_dropped() {
+        let ((), lines) = with_capture(|| {
+            with_level(Level::Error, || {
+                event(Level::Info, "ignored", &[]);
+                event(Level::Error, "kept", &[]);
+            })
+        });
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"event\":\"kept\""));
+    }
+
+    #[test]
+    fn capture_is_scoped() {
+        let ((), outer) = with_capture(|| {
+            with_level(Level::Debug, || {
+                event(Level::Debug, "outer", &[]);
+                let ((), inner) = with_capture(|| event(Level::Debug, "inner", &[]));
+                assert_eq!(inner.len(), 1);
+                event(Level::Debug, "outer2", &[]);
+            })
+        });
+        assert_eq!(outer.len(), 2, "inner capture must not leak: {outer:?}");
+    }
+
+    #[test]
+    fn field_values_serialise_by_kind() {
+        let ((), lines) = with_capture(|| {
+            with_level(Level::Debug, || {
+                event(
+                    Level::Debug,
+                    "kinds",
+                    &[
+                        ("u", 7usize.into()),
+                        ("i", (-3i64).into()),
+                        ("f", 0.5f64.into()),
+                        ("b", true.into()),
+                        ("s", "x\"y".into()),
+                    ],
+                );
+            })
+        });
+        let line = &lines[0];
+        assert!(line.contains("\"u\":7"), "{line}");
+        assert!(line.contains("\"i\":-3"), "{line}");
+        assert!(line.contains("\"f\":0.5"), "{line}");
+        assert!(line.contains("\"b\":true"), "{line}");
+        assert!(line.contains("\"s\":\"x\\\"y\""), "{line}");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let ((), lines) = with_capture(|| {
+            with_level(Level::Debug, || {
+                event(Level::Debug, "a", &[]);
+                event(Level::Debug, "b", &[]);
+            })
+        });
+        let ts = |line: &str| -> u64 {
+            let rest = line.strip_prefix("{\"ts_us\":").unwrap();
+            rest[..rest.find(',').unwrap()].parse().unwrap()
+        };
+        assert!(ts(&lines[0]) <= ts(&lines[1]));
+    }
+}

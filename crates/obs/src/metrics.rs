@@ -1,0 +1,311 @@
+//! The global metrics registry: counters, gauges and fixed-bucket
+//! histograms, all recorded with relaxed atomics so hot paths pay a
+//! handful of nanoseconds per observation. Registration (name lookup)
+//! takes a mutex; hot call sites cache the returned `&'static` handle
+//! in a `OnceLock` so the lock is taken once per process.
+
+use crate::json::{push_json_f64, push_json_string};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins f64 (stored as bits in an atomic word).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value (0.0 before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram over `bounds.len() + 1` buckets: bucket `i`
+/// counts observations `v` with `bounds[i-1] < v <= bounds[i]`; the
+/// first bucket absorbs everything `<= bounds[0]` (underflow) and the
+/// last everything `> bounds[last]` (overflow). Also tracks the total
+/// count and sum so means survive the bucketing.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "Histogram: need at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "Histogram: bounds must be strictly ascending: {bounds:?}"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 sum via CAS loop (there is no atomic float add in std).
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, `bounds().len() + 1` entries (last = overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Registry maps are only mutated by completed insertions, so a panic
+/// elsewhere while the lock was held cannot leave them inconsistent —
+/// recover from poisoning rather than cascading the panic.
+fn lock_map<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The counter registered under `name`, created on first use. The
+/// handle is `&'static`; hot paths should cache it in a `OnceLock`.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut map = lock_map(&registry().counters);
+    map.entry(name.to_string()).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The gauge registered under `name`, created on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut map = lock_map(&registry().gauges);
+    map.entry(name.to_string()).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The histogram registered under `name`, created with `bounds` on
+/// first use. Later calls return the existing histogram unchanged (the
+/// first registration's bounds win).
+pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
+    let mut map = lock_map(&registry().histograms);
+    map.entry(name.to_string()).or_insert_with(|| Box::leak(Box::new(Histogram::new(bounds))))
+}
+
+/// `count` exponentially spaced bucket bounds starting at `start`:
+/// `start, start*factor, start*factor², …`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count >= 1, "exponential_buckets: bad shape");
+    let mut bounds = Vec::with_capacity(count);
+    let mut bound = start;
+    for _ in 0..count {
+        bounds.push(bound);
+        bound *= factor;
+    }
+    bounds
+}
+
+/// Serialises every registered metric to pretty-printed JSON:
+/// `{"counters": {..}, "gauges": {..}, "histograms": {name: {bounds,
+/// buckets, count, sum}}}`. Map keys are sorted, so the output is
+/// deterministic given the same recorded values.
+pub fn snapshot() -> String {
+    let reg = registry();
+    let mut out = String::with_capacity(1 << 10);
+    out.push_str("{\n  \"ts_us\": ");
+    let _ = write!(out, "{}", crate::log::snapshot_ts_us());
+    out.push_str(",\n  \"counters\": {");
+    {
+        let counters = lock_map(&reg.counters);
+        for (i, (name, c)) in counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_string(&mut out, name);
+            let _ = write!(out, ": {}", c.get());
+        }
+        if !counters.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("},\n  \"gauges\": {");
+    {
+        let gauges = lock_map(&reg.gauges);
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_string(&mut out, name);
+            out.push_str(": ");
+            push_json_f64(&mut out, g.get());
+        }
+        if !gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("},\n  \"histograms\": {");
+    {
+        let histograms = lock_map(&reg.histograms);
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_string(&mut out, name);
+            out.push_str(": {\"bounds\": [");
+            for (j, &b) in h.bounds().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_json_f64(&mut out, b);
+            }
+            out.push_str("], \"buckets\": [");
+            for (j, n) in h.bucket_counts().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{n}");
+            }
+            let _ = write!(out, "], \"count\": {}, \"sum\": ", h.count());
+            push_json_f64(&mut out, h.sum());
+            out.push('}');
+        }
+        if !histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        assert!(std::ptr::eq(c, counter("test.metrics.counter")), "same handle");
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_sum_and_count() {
+        let h = histogram("test.metrics.hist_sum", &[1.0, 2.0]);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(100.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 102.0);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_first_registration_wins() {
+        let a = histogram("test.metrics.hist_dup", &[1.0]);
+        let b = histogram("test.metrics.hist_dup", &[9.0, 10.0]);
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(b.bounds(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = histogram("test.metrics.hist_bad", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_geometrically() {
+        assert_eq!(exponential_buckets(1.0, 4.0, 4), vec![1.0, 4.0, 16.0, 64.0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_contains_registered_names() {
+        counter("test.snap.b").inc();
+        counter("test.snap.a").inc();
+        gauge("test.snap.g").set(0.25);
+        histogram("test.snap.h", &[1.0, 10.0]).record(3.0);
+        let snap = snapshot();
+        let a = snap.find("test.snap.a").expect("a present");
+        let b = snap.find("test.snap.b").expect("b present");
+        assert!(a < b, "sorted order");
+        assert!(snap.contains("\"test.snap.g\": 0.25"), "{snap}");
+        assert!(snap.contains("\"bounds\": [1, 10]"), "{snap}");
+    }
+}

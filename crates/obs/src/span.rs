@@ -1,0 +1,127 @@
+//! RAII span timers. Spans nest per thread into dotted paths
+//! (`fit.epoch`); every event emitted while a span is open carries the
+//! path, and the span itself emits a `span` event with its elapsed time
+//! at `debug` level when it closes. [`span_timed`] additionally feeds a
+//! [`Histogram`] regardless of the log level, which is how hot paths
+//! keep timing distributions with logging off.
+
+use crate::log::{enabled, event, Level, Value};
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's open spans joined with `.` (empty at top level).
+pub fn current_span_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("."))
+}
+
+/// Guard returned by [`span`] / [`span_timed`]; closes the span on drop.
+#[must_use = "a span ends when the guard drops — bind it with `let`"]
+pub struct SpanTimer {
+    start: Option<Instant>,
+    hist: Option<&'static Histogram>,
+    logged: bool,
+}
+
+/// Opens a debug-level span named `name`. When `FD_LOG` is below
+/// `debug` this is a near-free no-op (no clock read, no stack push).
+#[inline]
+pub fn span(name: &'static str) -> SpanTimer {
+    span_inner(name, None)
+}
+
+/// Opens a span that also records its elapsed microseconds into `hist`
+/// on close, whatever the log level.
+#[inline]
+pub fn span_timed(name: &'static str, hist: &'static Histogram) -> SpanTimer {
+    span_inner(name, Some(hist))
+}
+
+#[inline]
+fn span_inner(name: &'static str, hist: Option<&'static Histogram>) -> SpanTimer {
+    let logged = enabled(Level::Debug);
+    if logged {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    }
+    let start = (logged || hist.is_some()).then(Instant::now);
+    SpanTimer { start, hist, logged }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+        if let Some(hist) = self.hist {
+            hist.record(elapsed_us);
+        }
+        if self.logged {
+            // Emit before popping so the event's span path includes the
+            // closing span itself.
+            event(Level::Debug, "span", &[("elapsed_us", Value::F64(elapsed_us))]);
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{with_capture, with_level};
+
+    #[test]
+    fn disabled_span_is_inert() {
+        with_level(Level::Off, || {
+            let guard = span("quiet");
+            assert!(guard.start.is_none());
+            assert_eq!(current_span_path(), "");
+        });
+    }
+
+    #[test]
+    fn nested_spans_build_dotted_paths() {
+        let ((), lines) = with_capture(|| {
+            with_level(Level::Debug, || {
+                let _outer = span("fit");
+                assert_eq!(current_span_path(), "fit");
+                {
+                    let _inner = span("epoch");
+                    assert_eq!(current_span_path(), "fit.epoch");
+                }
+                assert_eq!(current_span_path(), "fit");
+            })
+        });
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"span\":\"fit.epoch\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"span\":\"fit\""), "{}", lines[1]);
+        assert_eq!(current_span_path(), "", "stack drained");
+    }
+
+    #[test]
+    fn events_inside_a_span_carry_its_path() {
+        let ((), lines) = with_capture(|| {
+            with_level(Level::Debug, || {
+                let _s = span("outer");
+                event(Level::Info, "inside", &[]);
+            })
+        });
+        assert!(lines[0].contains("\"span\":\"outer\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"event\":\"inside\""), "{}", lines[0]);
+    }
+
+    #[test]
+    fn timed_span_records_even_when_logging_is_off() {
+        let hist = crate::metrics::histogram("test.span.timed_us", &[1e9]);
+        let before = hist.count();
+        with_level(Level::Off, || {
+            let _t = span_timed("work", hist);
+        });
+        assert_eq!(hist.count(), before + 1);
+        assert_eq!(current_span_path(), "", "no stack entry when logging off");
+    }
+}

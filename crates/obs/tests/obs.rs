@@ -1,0 +1,149 @@
+//! Cross-module contracts of `fd-obs`: histogram bucket edges, counter
+//! atomicity under real threads, span nesting, and the JSONL event
+//! schema round-tripping through a real JSON parser.
+
+use fd_obs::{
+    counter, event, histogram, span, with_capture, with_level, Level,
+};
+
+/// Every bucket edge, including the implicit under/overflow buckets:
+/// bucket `i` counts `bounds[i-1] < v <= bounds[i]`, the first bucket
+/// absorbs `v <= bounds[0]`, the last `v > bounds[last]`.
+#[test]
+fn histogram_bucket_boundaries() {
+    let h = histogram("test.obs.buckets", &[1.0, 10.0, 100.0]);
+    // (value, expected bucket index)
+    let cases = [
+        (-5.0, 0), // deep underflow
+        (0.999, 0),
+        (1.0, 0), // on the first bound: inclusive upper edge
+        (1.001, 1),
+        (10.0, 1),
+        (10.5, 2),
+        (100.0, 2),
+        (100.001, 3), // overflow
+        (1e12, 3),
+    ];
+    for &(v, _) in &cases {
+        h.record(v);
+    }
+    let counts = h.bucket_counts();
+    assert_eq!(counts.len(), 4, "bounds.len() + 1 buckets");
+    let mut expect = vec![0u64; 4];
+    for &(_, idx) in &cases {
+        expect[idx] += 1;
+    }
+    assert_eq!(counts, expect);
+    assert_eq!(h.count(), cases.len() as u64);
+}
+
+/// Concurrent increments from scoped threads must never lose counts.
+/// This is the contract the tensor kernels rely on when `FD_THREADS>1`
+/// workers bump dispatch counters and shard histograms concurrently.
+#[test]
+fn counter_is_atomic_under_thread_scope() {
+    let c = counter("test.obs.atomic_counter");
+    let h = histogram("test.obs.atomic_hist", &[10.0, 1000.0]);
+    let before_c = c.get();
+    let before_h = h.count();
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record((t * PER_THREAD + i) as f64);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get() - before_c, (THREADS * PER_THREAD) as u64);
+    assert_eq!(h.count() - before_h, (THREADS * PER_THREAD) as u64);
+    let total: u64 = h.bucket_counts().iter().sum();
+    assert_eq!(total - before_h, (THREADS * PER_THREAD) as u64, "no lost bucket increments");
+}
+
+/// Nested spans produce dotted parent paths in emitted events, and the
+/// stack unwinds correctly (also across a panic inside a span).
+#[test]
+fn span_nesting_produces_parent_paths() {
+    let ((), lines) = with_capture(|| {
+        with_level(Level::Debug, || {
+            let _fit = span("fit");
+            {
+                let _epoch = span("epoch");
+                {
+                    let _fwd = span("forward");
+                    event(Level::Debug, "leaf", &[]);
+                }
+            }
+        })
+    });
+    let leaf = lines.iter().find(|l| l.contains("\"event\":\"leaf\"")).expect("leaf event");
+    assert!(leaf.contains("\"span\":\"fit.epoch.forward\""), "{leaf}");
+    // Span-close events walk back up the tree.
+    let closes: Vec<&String> =
+        lines.iter().filter(|l| l.contains("\"event\":\"span\"")).collect();
+    assert_eq!(closes.len(), 3);
+    assert!(closes[0].contains("\"span\":\"fit.epoch.forward\""));
+    assert!(closes[1].contains("\"span\":\"fit.epoch\""));
+    assert!(closes[2].contains("\"span\":\"fit\""));
+    assert_eq!(fd_obs::current_span_path(), "");
+}
+
+/// Golden-schema test: a JSONL event line is valid JSON and every field
+/// round-trips through a real parser with its exact value.
+#[test]
+fn event_line_round_trips_as_valid_json() {
+    let ((), lines) = with_capture(|| {
+        with_level(Level::Debug, || {
+            let _s = span("golden");
+            event(
+                Level::Info,
+                "epoch \"quoted\\name",
+                &[
+                    ("epoch", 3usize.into()),
+                    ("loss", 812.53f64.into()),
+                    ("delta", (-7i64).into()),
+                    ("converged", false.into()),
+                    ("note", "line\nbreak and \"quote\"".into()),
+                ],
+            );
+        })
+    });
+    assert_eq!(lines.len(), 2, "event + span close");
+    for line in &lines {
+        let parsed: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("invalid JSON {line}: {e}"));
+        assert!(parsed["ts_us"].as_u64().is_some(), "{line}");
+    }
+    let parsed: serde_json::Value = serde_json::from_str(&lines[0]).unwrap();
+    assert_eq!(parsed["level"].as_str(), Some("info"));
+    assert_eq!(parsed["span"].as_str(), Some("golden"));
+    assert_eq!(parsed["event"].as_str(), Some("epoch \"quoted\\name"));
+    let fields = parsed["fields"].as_map().expect("fields object");
+    let get = |k: &str| serde::content_get(fields, k).expect(k);
+    assert_eq!(get("epoch").as_u64(), Some(3));
+    assert_eq!(get("loss").as_f64(), Some(812.53));
+    assert_eq!(get("delta").as_i64(), Some(-7));
+    assert!(matches!(get("converged"), serde::Content::Bool(false)));
+    assert_eq!(get("note").as_str(), Some("line\nbreak and \"quote\""));
+}
+
+/// The snapshot is itself valid JSON with the three metric families.
+#[test]
+fn snapshot_parses_as_json() {
+    counter("test.obs.snap_counter").add(2);
+    fd_obs::gauge("test.obs.snap_gauge").set(1.5);
+    histogram("test.obs.snap_hist", &[1.0]).record(0.5);
+    let snap = fd_obs::snapshot();
+    let parsed: serde_json::Value =
+        serde_json::from_str(&snap).unwrap_or_else(|e| panic!("invalid snapshot JSON: {e}\n{snap}"));
+    for family in ["counters", "gauges", "histograms"] {
+        assert!(parsed[family].as_map().is_some(), "missing {family}:\n{snap}");
+    }
+    let counters = parsed["counters"].as_map().unwrap();
+    let c = serde::content_get(counters, "test.obs.snap_counter").expect("registered counter");
+    assert!(c.as_u64().unwrap() >= 2);
+}

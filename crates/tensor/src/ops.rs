@@ -14,6 +14,22 @@
 
 use crate::{parallel, Matrix};
 use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Which ISA path the panel dispatcher took, cached `&'static` handles
+/// (one relaxed atomic add per panel; see `fd_obs::counter`).
+fn panel_path_counters() -> (&'static fd_obs::Counter, &'static fd_obs::Counter) {
+    static HANDLES: OnceLock<(&'static fd_obs::Counter, &'static fd_obs::Counter)> =
+        OnceLock::new();
+    *HANDLES.get_or_init(|| {
+        (fd_obs::counter("tensor.matmul.panels_avx2"), fd_obs::counter("tensor.matmul.panels_scalar"))
+    })
+}
+
+fn matmul_calls() -> &'static fd_obs::Counter {
+    static HANDLE: OnceLock<&'static fd_obs::Counter> = OnceLock::new();
+    HANDLE.get_or_init(|| fd_obs::counter("tensor.matmul.calls"))
+}
 
 /// Output rows processed together so the four active `b` rows are
 /// reloaded from L1 instead of L2 while they sweep the tile.
@@ -31,10 +47,12 @@ const ROW_TILE: usize = 8;
 fn matmul_panel(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
     #[cfg(target_arch = "x86_64")]
     if is_x86_feature_detected!("avx2") {
+        panel_path_counters().0.inc();
         // SAFETY: the avx2 feature was just verified at runtime, and
         // the wrapped body has no other safety requirements.
         return unsafe { matmul_panel_avx2(a, b, rows, out) };
     }
+    panel_path_counters().1.inc();
     matmul_panel_body(a, b, rows, out)
 }
 
@@ -132,6 +150,7 @@ impl Matrix {
             other.cols()
         );
         let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        matmul_calls().inc();
         let mut out = Matrix::zeros(m, n);
         parallel::for_each_row_chunk(m, n, k * n, out.as_mut_slice(), |rows, chunk| {
             matmul_panel(self, other, rows, chunk)

@@ -15,6 +15,27 @@
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Metric handles resolved once per process: registration takes a
+/// mutex, so the drivers cache the `&'static` handles here and the hot
+/// path pays one relaxed atomic per dispatch.
+fn dispatch_counters() -> (&'static fd_obs::Counter, &'static fd_obs::Counter) {
+    static HANDLES: OnceLock<(&'static fd_obs::Counter, &'static fd_obs::Counter)> =
+        OnceLock::new();
+    *HANDLES.get_or_init(|| {
+        (fd_obs::counter("tensor.par.dispatch_serial"), fd_obs::counter("tensor.par.dispatch_parallel"))
+    })
+}
+
+/// Per-shard wall time in microseconds; only spawned shards record, so
+/// the serial fast path never reads the clock.
+fn shard_hist() -> &'static fd_obs::Histogram {
+    static HANDLE: OnceLock<&'static fd_obs::Histogram> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        fd_obs::histogram("tensor.par.shard_us", &fd_obs::exponential_buckets(10.0, 4.0, 9))
+    })
+}
 
 /// Minimum inner-loop operations a kernel must have, per thread, before
 /// forking pays for thread spawn and cache-line handoff; anything
@@ -96,17 +117,25 @@ pub fn for_each_row_chunk(
 ) {
     assert_eq!(out.len(), rows * row_width, "for_each_row_chunk: output size mismatch");
     let threads = decide_threads(rows, work_per_row);
+    let (serial, parallel) = dispatch_counters();
     if threads <= 1 {
+        serial.inc();
         kernel(0..rows, out);
         return;
     }
+    parallel.inc();
+    let shard_us = shard_hist();
     std::thread::scope(|scope| {
         let kernel = &kernel;
         let mut rest = out;
         for range in split_rows(rows, threads) {
             let (chunk, tail) = rest.split_at_mut(range.len() * row_width);
             rest = tail;
-            scope.spawn(move || kernel(range, chunk));
+            scope.spawn(move || {
+                let start = Instant::now();
+                kernel(range, chunk);
+                shard_us.record(start.elapsed().as_secs_f64() * 1e6);
+            });
         }
     });
 }
@@ -118,13 +147,24 @@ pub fn for_each_row_chunk(
 /// construction (no shared mutable state compiles past `Sync`).
 pub fn par_map<T: Send>(len: usize, work_per_item: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let threads = decide_threads(len, work_per_item);
+    let (serial, parallel) = dispatch_counters();
     if threads <= 1 {
+        serial.inc();
         return (0..len).map(f).collect();
     }
+    parallel.inc();
+    let shard_us = shard_hist();
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = split_rows(len, threads)
-            .map(|range| scope.spawn(move || range.map(f).collect::<Vec<T>>()))
+            .map(|range| {
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let shard = range.map(f).collect::<Vec<T>>();
+                    shard_us.record(start.elapsed().as_secs_f64() * 1e6);
+                    shard
+                })
+            })
             .collect();
         let mut out = Vec::with_capacity(len);
         for handle in handles {

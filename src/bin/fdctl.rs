@@ -40,7 +40,7 @@ struct BundleTrain {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: fdctl <generate|train|predict|evaluate|score|analyze> [options]");
+        eprintln!("usage: fdctl <generate|train|predict|evaluate|score|analyze|obs> [options]");
         return ExitCode::FAILURE;
     };
     let opts = parse_options(&args[1..]);
@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "score" => cmd_score(&opts),
         "analyze" => cmd_analyze(&opts),
+        "obs" => cmd_obs(&opts),
         other => Err(format!("unknown command {other}")),
     };
     match result {
@@ -195,6 +196,11 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let json = serde_json::to_string(&bundle).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {out}");
+    if let Some(obs_out) = opts.get("obs-out") {
+        std::fs::write(obs_out, fakedetector::obs::snapshot())
+            .map_err(|e| format!("{obs_out}: {e}"))?;
+        eprintln!("wrote {obs_out}");
+    }
     Ok(())
 }
 
@@ -375,6 +381,125 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
             corpus.graph.articles_of_creator(u).len(),
             corpus.creators[u].label.name()
         );
+    }
+    Ok(())
+}
+
+/// Runs an instrumented smoke train (generate → featurise → fit →
+/// predict → predict_proba) and writes the metrics snapshot to `--out`
+/// (default `OBS_train.json`). With `--check` it additionally validates
+/// the `FD_LOG_FILE` JSONL log and the snapshot's expected keys; CI runs
+/// this under `FD_LOG=debug`.
+fn cmd_obs(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = opts.get("out").map(String::as_str).unwrap_or("OBS_train.json");
+    let scale: f64 = opt_parse(opts, "scale", 0.02)?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let epochs: usize = opt_parse(opts, "epochs", 8)?;
+    let check = opts.contains_key("check");
+
+    let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = TrainSets {
+        articles: CvSplits::new(corpus.articles.len(), 10.min(corpus.articles.len()), &mut rng)
+            .fold(0)
+            .0,
+        creators: CvSplits::new(corpus.creators.len(), 10.min(corpus.creators.len()), &mut rng)
+            .fold(0)
+            .0,
+        subjects: CvSplits::new(corpus.subjects.len(), 10.min(corpus.subjects.len()), &mut rng)
+            .fold(0)
+            .0,
+    };
+    let (tokenized, explicit) = pipeline(&corpus, &train, 60, 12, 6000);
+    let ctx = ExperimentContext {
+        corpus: &corpus,
+        tokenized: &tokenized,
+        explicit: &explicit,
+        train: &train,
+        mode: LabelMode::Binary,
+        seed,
+    };
+    // No validation split: every configured epoch runs, so the snapshot
+    // check below can pin the exact epoch count.
+    let config =
+        FakeDetectorConfig { epochs, validation_fraction: 0.0, ..FakeDetectorConfig::default() };
+    let trained = FakeDetector::new(config).fit(&ctx);
+    let predictions = trained.predict(&ctx);
+    let _probas = trained.predict_proba(&ctx);
+    eprintln!(
+        "smoke train done: {} epochs, {} entities scored",
+        trained.report().losses.len(),
+        predictions.articles.len() + predictions.creators.len() + predictions.subjects.len()
+    );
+
+    let snapshot = fakedetector::obs::snapshot();
+    std::fs::write(out, &snapshot).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out}");
+    if check {
+        check_obs(&snapshot, epochs)?;
+        eprintln!("obs check passed");
+    }
+    Ok(())
+}
+
+/// Asserts the snapshot and the `FD_LOG_FILE` JSONL log carry what an
+/// instrumented smoke train must produce. Fails with a description of
+/// the first missing piece.
+fn check_obs(snapshot: &str, epochs: usize) -> Result<(), String> {
+    use fakedetector::obs::Level;
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(snapshot).map_err(|e| format!("snapshot is not valid JSON: {e}"))?;
+    let counters = parsed["counters"].as_map().ok_or("snapshot missing counters")?;
+    let counter = |name: &str| -> Result<u64, String> {
+        serde::content_get(counters, name)
+            .and_then(serde::Content::as_u64)
+            .ok_or_else(|| format!("snapshot missing counter {name}"))
+    };
+    let train_epochs = counter("train.epochs")?;
+    if train_epochs != epochs as u64 {
+        return Err(format!("train.epochs = {train_epochs}, expected {epochs}"));
+    }
+    for name in ["tensor.matmul.calls", "infer.predictions", "infer.proba"] {
+        if counter(name)? == 0 {
+            return Err(format!("counter {name} is zero"));
+        }
+    }
+    if counter("tensor.par.dispatch_serial")? + counter("tensor.par.dispatch_parallel")? == 0 {
+        return Err("no tensor.par dispatches recorded".into());
+    }
+    let histograms = parsed["histograms"].as_map().ok_or("snapshot missing histograms")?;
+    for name in ["train.epoch_us", "train.fit_us", "infer.predict_us", "infer.proba_us"] {
+        let hist = serde::content_get(histograms, name)
+            .and_then(serde::Content::as_map)
+            .ok_or_else(|| format!("snapshot missing histogram {name}"))?;
+        let count = serde::content_get(hist, "count")
+            .and_then(serde::Content::as_u64)
+            .ok_or_else(|| format!("histogram {name} has no count"))?;
+        if count == 0 {
+            return Err(format!("histogram {name} is empty"));
+        }
+    }
+
+    if fakedetector::obs::level() < Level::Info {
+        return Err("--check needs FD_LOG=info or debug for per-epoch events".into());
+    }
+    let log_path = std::env::var("FD_LOG_FILE")
+        .map_err(|_| "--check needs FD_LOG_FILE so the JSONL log can be validated")?;
+    let log = std::fs::read_to_string(&log_path).map_err(|e| format!("{log_path}: {e}"))?;
+    let mut epoch_events = 0usize;
+    for (lineno, line) in log.lines().enumerate() {
+        let event: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{log_path}:{}: invalid JSON: {e}", lineno + 1))?;
+        if event["ts_us"].as_u64().is_none() {
+            return Err(format!("{log_path}:{}: event without ts_us", lineno + 1));
+        }
+        if event["event"].as_str() == Some("train.epoch") {
+            epoch_events += 1;
+        }
+    }
+    if epoch_events != epochs {
+        return Err(format!("{log_path}: {epoch_events} train.epoch events, expected {epochs}"));
     }
     Ok(())
 }

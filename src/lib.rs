@@ -18,6 +18,9 @@
 //! assert!(!tallies.is_empty());
 //! ```
 
+/// Structured logging, metrics and profiling hooks (`FD_LOG`).
+pub use fd_obs as obs;
+
 /// Dense f32 matrix kernels.
 pub use fd_tensor as tensor;
 
