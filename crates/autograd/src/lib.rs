@@ -15,9 +15,11 @@
 //! [`Tape::backward`] simply walks it in reverse, dispatching the adjoint
 //! rule for each primitive.
 //!
-//! One tape corresponds to one training step; drop it afterwards and build
-//! a fresh one. Parameters live outside the tape (see `fd-nn`) and are
-//! re-registered as leaves each step.
+//! One tape corresponds to one training step; afterwards either drop it
+//! or clear it with [`Tape::reset`], which keeps the node arena's
+//! allocation for the next step (how the epoch loop reuses one tape).
+//! Parameters live outside the tape (see `fd-nn`) and are re-registered
+//! as leaves each step.
 //!
 //! # Example
 //!
@@ -40,4 +42,4 @@ mod ops;
 mod tape;
 
 pub use check::{grad_check, GradCheckReport};
-pub use tape::{Tape, Var};
+pub use tape::{RowAccum, Tape, Var};

@@ -1,7 +1,8 @@
 //! Forward definitions and adjoint (backward) rules for every primitive.
 
-use crate::tape::{accumulate, Node, Op, Tape, Var};
+use crate::tape::{accumulate, Node, Op, RowAccum, Tape, Var};
 use fd_tensor::{softmax_in_place, Matrix};
+use std::rc::Rc;
 
 impl Tape {
     /// Matrix product `a · b`.
@@ -187,6 +188,152 @@ impl Tape {
         };
         self.push(value, Op::EmbedRow { table, row })
     }
+
+    /// Batched row gather: row `i` of the result is row `rows[i]` of
+    /// `src`, or a zero row for `None` (an absent neighbour/port). The
+    /// gradient scatter-adds each output row back into its source row,
+    /// with repeats accumulating — the matrix form of [`Tape::embed_row`].
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn gather_rows(&self, src: Var, rows: &[Option<usize>]) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            fd_tensor::gather_rows(&nodes[src.0 as usize].value, rows)
+        };
+        self.push(value, Op::GatherRows { src, rows: Rc::new(rows.to_vec()) })
+    }
+
+    /// Batched neighbour mean: row `i` of the result averages the
+    /// `lists[i]` rows of `src`; empty lists yield zero rows. Replays
+    /// [`Tape::mean_n`]'s arithmetic bitwise per row (copy the first
+    /// member, `+=` the rest in order, scale by `1/len`), and the
+    /// backward distributes `g_i / len` to every listed row — the
+    /// diffusion aggregator over graph adjacency in one op.
+    ///
+    /// # Panics
+    /// Panics when a listed index is out of range.
+    pub fn mean_rows(&self, src: Var, lists: Rc<Vec<Vec<usize>>>) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let l = &lists;
+            fd_tensor::mean_rows(&nodes[src.0 as usize].value, l.len(), |i| l[i].as_slice())
+        };
+        self.push(value, Op::MeanRows { src, lists })
+    }
+
+    /// Vertical stack `[a; b]`; the gradient splits back by row count.
+    ///
+    /// # Panics
+    /// Panics when the column counts differ.
+    pub fn concat_rows(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0 as usize].value.concat_rows(&nodes[b.0 as usize].value)
+        };
+        self.push(value, Op::ConcatRows(a, b))
+    }
+
+    /// Per-row selection between two same-shaped values: row `i` of the
+    /// result is `a`'s row where `take_a[i]`, else `b`'s (exact copies).
+    /// Gradients route row-by-row to whichever parent supplied the row —
+    /// how the batched GRU freezes finished sequences.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a wrong mask length.
+    pub fn mask_rows(&self, a: Var, b: Var, take_a: &[bool]) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (av, bv) = (&nodes[a.0 as usize].value, &nodes[b.0 as usize].value);
+            assert_eq!(av.shape(), bv.shape(), "mask_rows: shape mismatch");
+            assert_eq!(take_a.len(), av.rows(), "mask_rows: mask length mismatch");
+            let mut out = bv.clone();
+            for (i, &take) in take_a.iter().enumerate() {
+                if take {
+                    out.row_mut(i).copy_from_slice(av.row(i));
+                }
+            }
+            out
+        };
+        self.push(value, Op::MaskRows { a, b, take_a: Rc::new(take_a.to_vec()) })
+    }
+
+    /// Per-row pooled-sum accumulation: row `i` of the result is the
+    /// `sum` row ([`RowAccum::Skip`]), a copy of the `h` row
+    /// ([`RowAccum::Start`]), or `sum + h` ([`RowAccum::Add`]). This is
+    /// the batched form of the per-node GRU pooling `sum = sum + h`,
+    /// including its "first step copies `h`" initialisation.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a wrong phase length.
+    pub fn accum_rows(&self, sum: Var, h: Var, phase: &[RowAccum]) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (sv, hv) = (&nodes[sum.0 as usize].value, &nodes[h.0 as usize].value);
+            assert_eq!(sv.shape(), hv.shape(), "accum_rows: shape mismatch");
+            assert_eq!(phase.len(), sv.rows(), "accum_rows: phase length mismatch");
+            let mut out = sv.clone();
+            for (i, &ph) in phase.iter().enumerate() {
+                match ph {
+                    RowAccum::Skip => {}
+                    RowAccum::Start => out.row_mut(i).copy_from_slice(hv.row(i)),
+                    RowAccum::Add => {
+                        for (acc, &v) in out.row_mut(i).iter_mut().zip(hv.row(i)) {
+                            *acc += v;
+                        }
+                    }
+                }
+            }
+            out
+        };
+        self.push(value, Op::AccumRows { sum, h, phase: Rc::new(phase.to_vec()) })
+    }
+
+    /// Batched cross-entropy: the scalar sum over rows of
+    /// `-log softmax(logits_i)[targets[i]]`, accumulated in row order
+    /// (bit-comparable to summing per-row [`Tape::softmax_cross_entropy`]
+    /// terms left to right). The cached row-wise soft-max makes the
+    /// backward one subtraction per row.
+    ///
+    /// # Panics
+    /// Panics on empty logits, a wrong target length, or an
+    /// out-of-range class.
+    pub fn softmax_cross_entropy_rows(&self, logits: Var, targets: &[usize]) -> Var {
+        let (probs, loss) = {
+            let nodes = self.nodes.borrow();
+            let l = &nodes[logits.0 as usize].value;
+            assert!(l.rows() > 0, "softmax_cross_entropy_rows: empty logits");
+            assert_eq!(
+                targets.len(),
+                l.rows(),
+                "softmax_cross_entropy_rows: target count mismatch"
+            );
+            let mut probs = l.clone();
+            let mut loss = 0.0f32;
+            for (i, &target) in targets.iter().enumerate() {
+                assert!(
+                    target < l.cols(),
+                    "softmax_cross_entropy_rows: target {target} out of {} classes",
+                    l.cols()
+                );
+                softmax_in_place(probs.row_mut(i));
+                // Clamp avoids -inf loss when a class has underflowed to
+                // 0; the running sum starts *at* the first term so even
+                // sign-of-zero matches the per-node `sum_n`.
+                let term = -probs.row(i)[target].max(1e-12).ln();
+                if i == 0 {
+                    loss = term;
+                } else {
+                    loss += term;
+                }
+            }
+            (probs, loss)
+        };
+        self.push(
+            Matrix::filled(1, 1, loss),
+            Op::SoftmaxCrossEntropyRows { logits, targets: Rc::new(targets.to_vec()), probs },
+        )
+    }
 }
 
 // The sigmoid definition is shared with the tape-free batched inference
@@ -294,6 +441,79 @@ pub(crate) fn propagate(nodes: &mut [Node], i: usize, g: &Matrix, op: &Op) {
             for (acc, &v) in gt.row_mut(*row).iter_mut().zip(g.row(0)) {
                 *acc += v;
             }
+        }
+        Op::GatherRows { src, rows } => {
+            // Scatter-add each output-row gradient into its source row;
+            // `None` rows took a constant zero and contribute nothing.
+            let (r, c) = nodes[src.0 as usize].value.shape();
+            let slot = &mut nodes[src.0 as usize].grad;
+            if slot.is_none() {
+                *slot = Some(Matrix::zeros(r, c));
+            }
+            fd_tensor::scatter_add_rows(slot.as_mut().expect("just initialised"), rows, g);
+        }
+        Op::MeanRows { src, lists } => {
+            // d mean/d member = 1/len, so row i hands g_i/len to every
+            // listed source row (the scatter form of MeanN's backward).
+            let (r, c) = nodes[src.0 as usize].value.shape();
+            let slot = &mut nodes[src.0 as usize].grad;
+            if slot.is_none() {
+                *slot = Some(Matrix::zeros(r, c));
+            }
+            fd_tensor::scatter_add_mean_rows(
+                slot.as_mut().expect("just initialised"),
+                g,
+                |i| lists[i].as_slice(),
+            );
+        }
+        Op::ConcatRows(a, b) => {
+            let a_rows = nodes[a.0 as usize].value.rows();
+            let b_rows = nodes[b.0 as usize].value.rows();
+            let da = g.slice_rows(0, a_rows);
+            let db = g.slice_rows(a_rows, b_rows);
+            accumulate(nodes, *a, &da);
+            accumulate(nodes, *b, &db);
+        }
+        Op::MaskRows { a, b, take_a } => {
+            // Each gradient row flows to whichever parent supplied the
+            // value row; the other parent sees zero there.
+            let mut da = Matrix::zeros(g.rows(), g.cols());
+            let mut db = Matrix::zeros(g.rows(), g.cols());
+            for (i, &take) in take_a.iter().enumerate() {
+                let dst = if take { &mut da } else { &mut db };
+                dst.row_mut(i).copy_from_slice(g.row(i));
+            }
+            accumulate(nodes, *a, &da);
+            accumulate(nodes, *b, &db);
+        }
+        Op::AccumRows { sum, h, phase } => {
+            // Skip: out = sum        → dsum += g
+            // Start: out = h         → dh += g
+            // Add:  out = sum + h    → both += g
+            let mut dsum = Matrix::zeros(g.rows(), g.cols());
+            let mut dh = Matrix::zeros(g.rows(), g.cols());
+            for (i, &ph) in phase.iter().enumerate() {
+                if ph != RowAccum::Start {
+                    dsum.row_mut(i).copy_from_slice(g.row(i));
+                }
+                if ph != RowAccum::Skip {
+                    dh.row_mut(i).copy_from_slice(g.row(i));
+                }
+            }
+            accumulate(nodes, *sum, &dsum);
+            accumulate(nodes, *h, &dh);
+        }
+        Op::SoftmaxCrossEntropyRows { logits, targets, probs } => {
+            // Per row: dL/dlogits_i = softmax(logits_i) - onehot(t_i),
+            // scaled by the incoming scalar gradient — the batched form
+            // of the per-node rule.
+            let scale = g[(0, 0)];
+            let mut dl = probs.clone();
+            for (i, &target) in targets.iter().enumerate() {
+                dl.row_mut(i)[target] -= 1.0;
+            }
+            let dl = dl.scale(scale);
+            accumulate(nodes, *logits, &dl);
         }
     }
 }
@@ -444,6 +664,201 @@ mod tests {
         assert!((th[(0, 2)] - 2.0f32.tanh()).abs() < 1e-6);
         let om = t.value(t.one_minus(x));
         assert_close(&om, &Matrix::row_vector(&[2.0, 1.0, -1.0]), 1e-6);
+    }
+
+    #[test]
+    fn gather_rows_forward_and_scatter_backward() {
+        let t = Tape::new();
+        let src = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        // Row 1 twice, one absent row: grads must accumulate on row 1
+        // and the absent row must stay a constant zero.
+        let g = t.gather_rows(src, &[Some(1), None, Some(1)]);
+        assert_close(
+            &t.value(g),
+            &Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[3.0, 4.0]]),
+            1e-6,
+        );
+        let loss = t.square_norm(g);
+        t.backward(loss);
+        // d/dsrc row1 = 2·(3,4) + 2·(3,4) = (12, 16).
+        assert_close(
+            &t.grad(src).unwrap(),
+            &Matrix::from_rows(&[&[0.0, 0.0], &[12.0, 16.0]]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn gather_rows_matches_embed_row_per_node() {
+        let t = Tape::new();
+        let table = t.leaf(Matrix::from_rows(&[&[1.5, -2.0], &[0.25, 4.0]]));
+        let batched = t.gather_rows(table, &[Some(1), Some(0)]);
+        for (i, row) in [1usize, 0].into_iter().enumerate() {
+            let single = t.embed_row(table, row);
+            assert_eq!(t.value(single).row(0), t.with_value(batched, |m| m.row(i).to_vec()));
+        }
+    }
+
+    #[test]
+    fn mean_rows_matches_mean_n_bitwise_and_handles_empties() {
+        let t = Tape::new();
+        let src = t.leaf(Matrix::from_rows(&[&[0.1, 0.7], &[-0.3, 0.2], &[0.9, -0.5]]));
+        let lists = std::rc::Rc::new(vec![vec![0usize, 2, 1], vec![], vec![2]]);
+        let m = t.mean_rows(src, lists);
+        // Per-node reference: mean_n over embed_row views of the same rows.
+        let rows: Vec<_> = (0..3).map(|r| t.embed_row(src, r)).collect();
+        let m0 = t.mean_n(&[rows[0], rows[2], rows[1]]);
+        let m2 = t.mean_n(&[rows[2]]);
+        t.with_value(m, |batched| {
+            t.with_value(m0, |r0| assert_eq!(r0.row(0), batched.row(0)));
+            assert!(batched.row(1).iter().all(|&v| v == 0.0), "empty list must be zero");
+            t.with_value(m2, |r2| assert_eq!(r2.row(0), batched.row(2)));
+        });
+    }
+
+    #[test]
+    fn mean_rows_backward_distributes_share() {
+        let t = Tape::new();
+        let src = t.leaf(Matrix::from_rows(&[&[2.0], &[4.0]]));
+        let lists = std::rc::Rc::new(vec![vec![0usize, 1]]);
+        let m = t.mean_rows(src, lists); // [3.0]
+        let loss = t.square_norm(m); // 9
+        t.backward(loss);
+        // dL/dm = 6; each member gets 6/2 = 3.
+        assert_close(&t.grad(src).unwrap(), &Matrix::from_rows(&[&[3.0], &[3.0]]), 1e-5);
+    }
+
+    #[test]
+    fn concat_rows_splits_gradient_by_rows() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = t.leaf(Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let cat = t.concat_rows(a, b);
+        assert_eq!(t.shape(cat), (3, 2));
+        let loss = t.square_norm(cat);
+        t.backward(loss);
+        assert_close(&t.grad(a).unwrap(), &Matrix::from_rows(&[&[2.0, 4.0]]), 1e-6);
+        assert_close(
+            &t.grad(b).unwrap(),
+            &Matrix::from_rows(&[&[6.0, 8.0], &[10.0, 12.0]]),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn mask_rows_routes_gradients_to_the_chosen_parent() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let b = t.leaf(Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let m = t.mask_rows(a, b, &[true, false]);
+        assert_close(&t.value(m), &Matrix::from_rows(&[&[1.0], &[4.0]]), 1e-6);
+        let loss = t.square_norm(m);
+        t.backward(loss);
+        assert_close(&t.grad(a).unwrap(), &Matrix::from_rows(&[&[2.0], &[0.0]]), 1e-6);
+        assert_close(&t.grad(b).unwrap(), &Matrix::from_rows(&[&[0.0], &[8.0]]), 1e-6);
+    }
+
+    #[test]
+    fn accum_rows_phases_forward_and_backward() {
+        use crate::RowAccum::{Add, Skip, Start};
+        let t = Tape::new();
+        let sum = t.leaf(Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let h = t.leaf(Matrix::from_rows(&[&[10.0], &[20.0], &[30.0]]));
+        let out = t.accum_rows(sum, h, &[Skip, Start, Add]);
+        assert_close(&t.value(out), &Matrix::from_rows(&[&[1.0], &[20.0], &[33.0]]), 1e-6);
+        let loss = t.square_norm(out);
+        t.backward(loss);
+        // dL/dout = 2·out = (2, 40, 66).
+        assert_close(
+            &t.grad(sum).unwrap(),
+            &Matrix::from_rows(&[&[2.0], &[0.0], &[66.0]]),
+            1e-4,
+        );
+        assert_close(
+            &t.grad(h).unwrap(),
+            &Matrix::from_rows(&[&[0.0], &[40.0], &[66.0]]),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn softmax_cross_entropy_rows_matches_per_row_sum_bitwise() {
+        let t = Tape::new();
+        let logits =
+            t.leaf(Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[-1.0, 0.0, 3.0], &[0.2, 0.1, -0.4]]));
+        let targets = [1usize, 2, 0];
+        let batched = t.softmax_cross_entropy_rows(logits, &targets);
+        // Per-node reference: one CE per row, summed left to right.
+        let per_row: Vec<_> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &target)| {
+                let row = t.embed_row(logits, i);
+                t.softmax_cross_entropy(row, target)
+            })
+            .collect();
+        let reference = t.sum_n(&per_row);
+        assert_eq!(
+            t.value(batched)[(0, 0)].to_bits(),
+            t.value(reference)[(0, 0)].to_bits(),
+            "batched CE must be bit-comparable to the per-row sum"
+        );
+    }
+
+    #[test]
+    fn softmax_cross_entropy_rows_gradient_is_probs_minus_onehot_per_row() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -0.5]]));
+        let targets = [0usize, 1];
+        let loss = t.softmax_cross_entropy_rows(logits, &targets);
+        t.backward(loss);
+        let g = t.grad(logits).unwrap();
+        let mut expected = fd_tensor::softmax_rows(&t.value(logits));
+        expected[(0, 0)] -= 1.0;
+        expected[(1, 1)] -= 1.0;
+        assert_close(&g, &expected, 1e-6);
+    }
+
+    #[test]
+    fn batched_ops_pass_grad_check() {
+        use crate::grad_check;
+        // A small graph exercising gather → mean → mask/accum → concat →
+        // batched CE end to end against finite differences.
+        let src = Matrix::from_rows(&[&[0.3, -0.2], &[0.8, 0.4], &[-0.5, 0.1]]);
+        let other = Matrix::from_rows(&[&[0.2, 0.9], &[-0.1, 0.3], &[0.6, -0.7]]);
+        let report = grad_check(
+            &[src, other],
+            |t, v| {
+                use crate::RowAccum::{Add, Start};
+                let (s, o) = (v[0], v[1]);
+                let gathered = t.gather_rows(s, &[Some(2), None, Some(0)]);
+                let lists = std::rc::Rc::new(vec![vec![0usize, 1], vec![2], vec![]]);
+                let mixed = t.mean_rows(o, lists);
+                let masked = t.mask_rows(gathered, mixed, &[true, false, true]);
+                let pooled = t.accum_rows(masked, o, &[Add, Start, Add]);
+                let stacked = t.concat_rows(pooled, mixed);
+                let targets = [0usize, 1, 0, 1, 0, 1];
+                t.softmax_cross_entropy_rows(stacked, &targets)
+            },
+            1e-2,
+        );
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn tape_reset_clears_nodes_and_allows_reuse() {
+        let t = Tape::new();
+        let x = t.leaf(Matrix::row_vector(&[2.0]));
+        let loss = t.square_norm(x);
+        t.backward(loss);
+        assert_eq!(t.len(), 2);
+        t.reset();
+        assert!(t.is_empty());
+        // Recording after a reset works and gradients start clean.
+        let y = t.leaf(Matrix::row_vector(&[3.0]));
+        let loss2 = t.square_norm(y);
+        t.backward(loss2);
+        assert_close(&t.grad(y).unwrap(), &Matrix::row_vector(&[6.0]), 1e-6);
     }
 
     #[test]

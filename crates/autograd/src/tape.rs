@@ -2,6 +2,7 @@
 
 use fd_tensor::Matrix;
 use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A handle to a value recorded on a [`Tape`].
 ///
@@ -51,6 +52,41 @@ pub(crate) enum Op {
     SquareNorm(Var),
     /// Copy of one row of the parent (embedding lookup).
     EmbedRow { table: Var, row: usize },
+    /// Batched row gather: output row `i` is `src` row `rows[i]`, or a
+    /// zero row for `None`. The matrix generalisation of `EmbedRow`;
+    /// the backward direction is a scatter-add.
+    GatherRows { src: Var, rows: Rc<Vec<Option<usize>>> },
+    /// Batched neighbour mean: output row `i` averages the `lists[i]`
+    /// rows of `src` (the diffusion aggregator over graph adjacency);
+    /// empty lists yield zero rows.
+    MeanRows { src: Var, lists: Rc<Vec<Vec<usize>>> },
+    /// Vertical stack `[a; b]` (same column count).
+    ConcatRows(Var, Var),
+    /// Per-row selection between two same-shaped values: output row `i`
+    /// is `a`'s row where `take_a[i]`, else `b`'s.
+    MaskRows { a: Var, b: Var, take_a: Rc<Vec<bool>> },
+    /// Per-row pooled-sum accumulation (batched GRU pooling): each row
+    /// either keeps the running sum, starts it at `h`, or adds `h`.
+    AccumRows { sum: Var, h: Var, phase: Rc<Vec<RowAccum>> },
+    /// Scalar sum of per-row `-log softmax(logits_i)[targets[i]]`,
+    /// accumulated in row order; caches the row-wise soft-max.
+    SoftmaxCrossEntropyRows { logits: Var, targets: Rc<Vec<usize>>, probs: Matrix },
+}
+
+/// Per-row instruction for [`Tape::accum_rows`]: what the output row
+/// does with the running `sum` row and the incoming `h` row.
+///
+/// `Start` exists because the per-node GRU pooling begins its running
+/// sum *at* the first hidden state (a copy), not at `0 + h` — the two
+/// differ bitwise when `h` carries a negative zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowAccum {
+    /// Row is finished (or never started): keep the `sum` row.
+    Skip,
+    /// First real step for this row: the output row is a copy of `h`.
+    Start,
+    /// Subsequent step: the output row is `sum + h`.
+    Add,
 }
 
 pub(crate) struct Node {
@@ -150,6 +186,16 @@ impl Tape {
             let op = nodes[i].op.clone();
             crate::ops::propagate(&mut nodes, i, &g, &op);
         }
+    }
+
+    /// Clears every recorded node while keeping the allocated arena, so
+    /// a training loop can record each epoch into the same tape. After
+    /// the first epoch the arena capacity settles at the previous
+    /// epoch's node count — no reallocation, no fresh zeroing.
+    ///
+    /// All `Var` handles from before the reset are invalidated.
+    pub fn reset(&self) {
+        self.nodes.borrow_mut().clear();
     }
 
     /// Drops every accumulated gradient, keeping forward values. Useful

@@ -9,6 +9,10 @@
 //!   times the tensor kernels and a full model inference step —
 //!   seed-era naive kernels vs the blocked serial kernels vs the
 //!   row-parallel path — and writes the numbers to `BENCH_tensor.json`.
+//! * `cargo run --release -p fd-bench --bin report -- train [out.json] [scale]`
+//!   times full training epochs at Table-1 scale (default `scale` 1.0) —
+//!   the per-node reference tape vs the batched matrix-level graph at
+//!   `FD_THREADS` 1 and 4 — and writes `BENCH_train.json`.
 
 use fd_metrics::{MetricKind, SweepResults};
 use fd_obs::{event, Level};
@@ -19,6 +23,14 @@ fn main() {
         Some(mode) if mode == "tensor" => {
             let out = args.next().unwrap_or_else(|| "BENCH_tensor.json".into());
             tensor::write_report(&out);
+        }
+        Some(mode) if mode == "train" => {
+            let out = args.next().unwrap_or_else(|| "BENCH_train.json".into());
+            let scale: f64 = args
+                .next()
+                .map(|s| s.parse().unwrap_or_else(|e| panic!("bad scale `{s}`: {e}")))
+                .unwrap_or(1.0);
+            train::write_report(&out, scale);
         }
         dir => markdown_report(&dir.unwrap_or_else(|| "results".into())),
     }
@@ -75,6 +87,101 @@ fn print_markdown(results: &SweepResults) {
             println!();
         }
         println!();
+    }
+}
+
+mod train {
+    //! The `train` mode: full training-epoch timings at Table-1 scale,
+    //! batched matrix-level graph vs the per-node reference tape.
+
+    use fd_bench::{prepare, SweepConfig};
+    use fd_core::{FakeDetector, FakeDetectorConfig};
+    use fd_data::{ExperimentContext, ExplicitFeatures, LabelMode};
+    use fd_tensor::parallel;
+
+    fn round2(v: f64) -> f64 {
+        (v * 100.0).round() / 100.0
+    }
+
+    fn median(samples: &[f64]) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        sorted[sorted.len() / 2]
+    }
+
+    /// Fits `epochs` full-graph steps and returns the per-epoch
+    /// wall-clock milliseconds the trainer recorded.
+    fn epoch_times(
+        ctx: &ExperimentContext<'_>,
+        epochs: usize,
+        batched: bool,
+        threads: usize,
+    ) -> Vec<f64> {
+        let config = FakeDetectorConfig {
+            epochs,
+            validation_fraction: 0.0,
+            batched_training: batched,
+            ..FakeDetectorConfig::default()
+        };
+        parallel::with_thread_count(threads, || {
+            FakeDetector::new(config).fit(ctx).report().epoch_ms.clone()
+        })
+    }
+
+    pub fn write_report(out_path: &str, scale: f64) {
+        let config = SweepConfig { scale, folds: 1, ..SweepConfig::default() };
+        let prepared = prepare(&config);
+        let (train, _test) = prepared.split(0, 1.0, config.seed);
+        let explicit = ExplicitFeatures::extract(&prepared.corpus, &prepared.tokenized, &train, 60);
+        let ctx = ExperimentContext {
+            corpus: &prepared.corpus,
+            tokenized: &prepared.tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed: 3,
+        };
+
+        let epochs = 3;
+        let per_node_ms = epoch_times(&ctx, epochs, false, 1);
+        let batched_serial_ms = epoch_times(&ctx, epochs, true, 1);
+        let batched_4t_ms = epoch_times(&ctx, epochs, true, 4);
+        let (per_node, serial, four_t) =
+            (median(&per_node_ms), median(&batched_serial_ms), median(&batched_4t_ms));
+
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.model_train",
+            &[
+                ("articles", prepared.corpus.articles.len().into()),
+                ("per_node_epoch_ms", per_node.into()),
+                ("batched_serial_epoch_ms", serial.into()),
+                ("batched_parallel_4t_epoch_ms", four_t.into()),
+            ],
+        );
+        let report = serde_json::json!({
+            "generator": "cargo run --release -p fd-bench --bin report -- train",
+            "machine_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "scale": scale,
+            "articles": prepared.corpus.articles.len(),
+            "creators": prepared.corpus.creators.len(),
+            "subjects": prepared.corpus.subjects.len(),
+            "epochs_timed": epochs,
+            "per_node_epoch_ms": per_node_ms.iter().map(|&v| round2(v)).collect::<Vec<_>>(),
+            "batched_serial_epoch_ms":
+                batched_serial_ms.iter().map(|&v| round2(v)).collect::<Vec<_>>(),
+            "batched_parallel_4t_epoch_ms":
+                batched_4t_ms.iter().map(|&v| round2(v)).collect::<Vec<_>>(),
+            "median_per_node_epoch_ms": round2(per_node),
+            "median_batched_serial_epoch_ms": round2(serial),
+            "median_batched_parallel_4t_epoch_ms": round2(four_t),
+            "speedup_batched_serial_vs_per_node": round2(per_node / serial),
+            "speedup_batched_4t_vs_per_node": round2(per_node / four_t),
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+        fd_obs::event(fd_obs::Level::Info, "report.wrote", &[("path", out_path.into())]);
     }
 }
 

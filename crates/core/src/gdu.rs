@@ -54,15 +54,17 @@ impl GduCell {
         Self { wf, we, wg, wr, wu, x_dim, hidden }
     }
 
-    /// One GDU evaluation. `x` is `1 x x_dim`; `z` and `t_in` are
-    /// `1 x hidden` neighbour states (pass a zero leaf for an unused
+    /// One GDU evaluation over `n` nodes at once (`n = 1` is the
+    /// per-node case). `x` is `n x x_dim`; `z` and `t_in` are
+    /// `n x hidden` neighbour states (pass a zero leaf for an unused
     /// port). `use_gates = false` is the no-gates ablation: forget and
-    /// adjust become identity.
+    /// adjust become identity. Row `i` of the result is bit-identical to
+    /// evaluating row `i` alone — every op here is row-independent.
     pub fn forward(&self, bind: &Binding, x: Var, z: Var, t_in: Var, use_gates: bool) -> Var {
         let t = bind.tape();
-        debug_assert_eq!(t.shape(x), (1, self.x_dim), "GDU x width mismatch");
-        debug_assert_eq!(t.shape(z), (1, self.hidden), "GDU z width mismatch");
-        debug_assert_eq!(t.shape(t_in), (1, self.hidden), "GDU t width mismatch");
+        debug_assert_eq!(t.shape(x).1, self.x_dim, "GDU x width mismatch");
+        debug_assert_eq!(t.shape(z), (t.shape(x).0, self.hidden), "GDU z shape mismatch");
+        debug_assert_eq!(t.shape(t_in), (t.shape(x).0, self.hidden), "GDU t shape mismatch");
         let xzt = t.concat3(x, z, t_in);
 
         let (z_tilde, t_tilde) = if use_gates {

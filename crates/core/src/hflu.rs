@@ -111,6 +111,39 @@ impl Hflu {
         }
     }
 
+    /// Tape-recorded batched twin of [`Hflu::encode`]: one
+    /// `count x out_dim` variable for entities `0..count` of this node
+    /// type. Row `i` is bit-identical to the tape value of
+    /// `encode(bind, ctx, i)`, and the backward pass reaches the same
+    /// encoder parameters the per-node tape would.
+    pub fn encode_batch_tape(
+        &self,
+        bind: &Binding,
+        ctx: &ExperimentContext<'_>,
+        count: usize,
+    ) -> fd_autograd::Var {
+        let tape = bind.tape();
+        let explicit = self.use_explicit.then(|| {
+            let mut rows = Matrix::zeros(count, ctx.explicit.dim);
+            for i in 0..count {
+                rows.row_mut(i)
+                    .copy_from_slice(ctx.explicit.feature(self.node_type, i).row(0));
+            }
+            tape.leaf(rows)
+        });
+        let latent = self.encoder.as_ref().map(|enc| {
+            let sequences: Vec<&[usize]> =
+                (0..count).map(|i| ctx.tokenized.sequence(self.node_type, i)).collect();
+            enc.encode_batch_tape(bind, &sequences)
+        });
+        match (explicit, latent) {
+            (Some(e), Some(l)) => tape.concat_cols(e, l),
+            (Some(e), None) => e,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("config validation forbids both halves off"),
+        }
+    }
+
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.out_dim

@@ -10,38 +10,10 @@ use fd_nn::{clip_global_norm, Adam, Binding, Linear, Optimizer, ParamId, Params}
 use fd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::rc::Rc;
 
 /// Seed-mixing constant for the internal validation split.
 const VAL_SPLIT_MIX: u64 = 0x7a11_da7e;
-
-/// Row-wise neighbour mean over `src`, replaying `Tape::mean_n`'s
-/// arithmetic exactly: start from the first listed row, `+=` the rest in
-/// list order, then multiply by `1/len`. Empty lists yield a zero row,
-/// matching the tape path's zero-leaf fallback.
-fn gather_mean<'a>(
-    src: &Matrix,
-    n: usize,
-    hidden: usize,
-    lists: impl Fn(usize) -> &'a [usize],
-) -> Matrix {
-    let mut out = Matrix::zeros(n, hidden);
-    for i in 0..n {
-        let list = lists(i);
-        let Some((&first, rest)) = list.split_first() else { continue };
-        let row = out.row_mut(i);
-        row.copy_from_slice(src.row(first));
-        for &j in rest {
-            for (acc, &v) in row.iter_mut().zip(src.row(j)) {
-                *acc += v;
-            }
-        }
-        let inv = 1.0 / list.len() as f32;
-        for acc in row.iter_mut() {
-            *acc *= inv;
-        }
-    }
-    out
-}
 
 fn type_slot(ty: NodeType) -> usize {
     match ty {
@@ -51,6 +23,41 @@ fn type_slot(ty: NodeType) -> usize {
     }
 }
 
+/// Macro-averaged validation accuracy over pre-update diffusion states:
+/// one batched row gather plus one head matmul per entity type, instead
+/// of one tape variable per validation item. Bit-identical to scoring
+/// each item alone because both the gather and the head are
+/// row-independent.
+fn validation_accuracy(
+    network: &Network,
+    states: &[Matrix; 3],
+    val_items: &[(NodeType, usize, usize)],
+) -> f64 {
+    let mut rows: [Vec<Option<usize>>; 3] = Default::default();
+    let mut targets: [Vec<usize>; 3] = Default::default();
+    for &(ty, idx, target) in val_items {
+        let slot = type_slot(ty);
+        rows[slot].push(Some(idx));
+        targets[slot].push(target);
+    }
+    let (mut acc_sum, mut types_present) = (0.0f64, 0usize);
+    for slot in 0..3 {
+        if rows[slot].is_empty() {
+            continue;
+        }
+        let sel = fd_tensor::gather_rows(&states[slot], &rows[slot]);
+        let logits = network.heads[slot].forward_matrix(&network.params, &sel);
+        let correct = targets[slot]
+            .iter()
+            .enumerate()
+            .filter(|&(k, &target)| logits.row_argmax(k).index == target)
+            .count();
+        acc_sum += correct as f64 / rows[slot].len() as f64;
+        types_present += 1;
+    }
+    acc_sum / types_present.max(1) as f64
+}
+
 /// Per-epoch training diagnostics.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrainReport {
@@ -58,6 +65,10 @@ pub struct TrainReport {
     pub losses: Vec<f32>,
     /// Pre-clip global gradient norm per epoch.
     pub grad_norms: Vec<f32>,
+    /// Wall-clock milliseconds per epoch (absent in reports saved before
+    /// this field existed).
+    #[serde(default)]
+    pub epoch_ms: Vec<f64>,
 }
 
 /// The assembled network: parameter store plus the per-type components.
@@ -175,6 +186,62 @@ impl Network {
         states
     }
 
+    /// Tape-recorded batched twin of [`Network::forward_states`]: one
+    /// `count x hidden` variable per node type instead of one variable
+    /// per node, so a whole epoch records `O(rounds)` tape nodes per
+    /// type rather than `O(nodes)`. Row `i` of each state is
+    /// bit-identical to the per-node tape value for node `i`: the HFLU
+    /// batch encoder replays the per-node schedule exactly, the batched
+    /// neighbour mean replays `Tape::mean_n`'s arithmetic, and the GDU
+    /// is row-independent. Every matmul inside routes through the
+    /// blocked/parallel kernels, so `FD_THREADS` now speeds up training,
+    /// not just inference.
+    pub fn forward_states_batched(
+        &self,
+        config: &FakeDetectorConfig,
+        bind: &Binding<'_>,
+        ctx: &ExperimentContext<'_>,
+    ) -> [Var; 3] {
+        let tape = bind.tape();
+        let graph = &ctx.corpus.graph;
+        let counts = [graph.n_articles(), graph.n_creators(), graph.n_subjects()];
+        let hidden = config.gdu_hidden;
+        let feats: [Var; 3] =
+            [0, 1, 2].map(|slot| self.hflu[slot].encode_batch_tape(bind, ctx, counts[slot]));
+
+        // Adjacency in dense row-list form, shared by every round's
+        // gather/mean ops (the tape holds `Rc` clones, not copies).
+        let subjects_of_article: Rc<Vec<Vec<usize>>> =
+            Rc::new((0..counts[0]).map(|a| graph.subjects_of_article(a).to_vec()).collect());
+        let articles_of_creator: Rc<Vec<Vec<usize>>> =
+            Rc::new((0..counts[1]).map(|u| graph.articles_of_creator(u).to_vec()).collect());
+        let articles_of_subject: Rc<Vec<Vec<usize>>> =
+            Rc::new((0..counts[2]).map(|s| graph.articles_of_subject(s).to_vec()).collect());
+        let author: Vec<Option<usize>> = (0..counts[0]).map(|a| graph.author_of(a)).collect();
+
+        let zeros: [Var; 3] = counts.map(|n| tape.leaf(Matrix::zeros(n, hidden)));
+        let mut states = zeros;
+        let rounds = config.diffusion_rounds.max(1);
+        for _round in 0..rounds {
+            states = if config.use_diffusion {
+                let z_articles = tape.mean_rows(states[2], Rc::clone(&subjects_of_article));
+                let t_articles = tape.gather_rows(states[1], &author);
+                let z_creators = tape.mean_rows(states[0], Rc::clone(&articles_of_creator));
+                let z_subjects = tape.mean_rows(states[0], Rc::clone(&articles_of_subject));
+                [
+                    self.gdu[0].forward(bind, feats[0], z_articles, t_articles, config.use_gates),
+                    self.gdu[1].forward(bind, feats[1], z_creators, zeros[1], config.use_gates),
+                    self.gdu[2].forward(bind, feats[2], z_subjects, zeros[2], config.use_gates),
+                ]
+            } else {
+                [0, 1, 2].map(|slot| {
+                    self.gdu[slot].forward(bind, feats[slot], zeros[slot], zeros[slot], config.use_gates)
+                })
+            };
+        }
+        states
+    }
+
     /// Tape-free batched twin of [`Network::forward_states`]: one
     /// `count x hidden` state matrix per node type instead of per-node
     /// tape variables. Row `i` of each matrix is bit-identical to the
@@ -213,7 +280,7 @@ impl Network {
                 let (z, t_in) = if !config.use_diffusion {
                     (Matrix::zeros(counts[slot], hidden), Matrix::zeros(counts[slot], hidden))
                 } else if slot == 0 {
-                    let z = gather_mean(&states[2], counts[0], hidden, |a| {
+                    let z = fd_tensor::mean_rows(&states[2], counts[0], |a| {
                         graph.subjects_of_article(a)
                     });
                     let mut t_in = Matrix::zeros(counts[0], hidden);
@@ -224,7 +291,7 @@ impl Network {
                     }
                     (z, t_in)
                 } else {
-                    let z = gather_mean(&states[0], counts[slot], hidden, |i| {
+                    let z = fd_tensor::mean_rows(&states[0], counts[slot], |i| {
                         if slot == 1 {
                             graph.articles_of_creator(i)
                         } else {
@@ -323,38 +390,109 @@ impl FakeDetector {
         let (val_items, fit_items) = items.split_at(n_val);
         assert!(!fit_items.is_empty(), "FakeDetector: empty training set");
 
+        // Batched-loss assembly, fixed across epochs: which state row
+        // each fit item reads (per type), and where its logits row lands
+        // in the type-stacked matrix, so the batched cross-entropy can
+        // sum per-item terms in exactly the per-node (shuffled) order —
+        // that left-to-right association is the bit-comparability
+        // contract between the two training paths.
+        let mut fit_rows: [Vec<Option<usize>>; 3] = Default::default();
+        let mut targets: Vec<usize> = Vec::with_capacity(fit_items.len());
+        let mut within_slot: Vec<usize> = Vec::with_capacity(fit_items.len());
+        for &(ty, idx, target) in fit_items {
+            let slot = type_slot(ty);
+            within_slot.push(fit_rows[slot].len());
+            fit_rows[slot].push(Some(idx));
+            targets.push(target);
+        }
+        let offsets = {
+            let mut off = [0usize; 3];
+            let mut acc = 0;
+            for (o, rows) in off.iter_mut().zip(&fit_rows) {
+                *o = acc;
+                acc += rows.len();
+            }
+            off
+        };
+        let stack_order: Vec<Option<usize>> = fit_items
+            .iter()
+            .zip(&within_slot)
+            .map(|(&(ty, _, _), &w)| Some(offsets[type_slot(ty)] + w))
+            .collect();
+
         let mut best: Option<(f64, Params)> = None;
         let mut since_best = 0usize;
+        // One arena for every epoch: after the first epoch its capacity
+        // settles at that epoch's node count, so later resets neither
+        // reallocate nor re-zero.
+        let tape = Tape::with_capacity(1 << 10);
         for epoch in 0..cfg.epochs {
             let epoch_start = std::time::Instant::now();
             let _epoch_span = fd_obs::span("epoch");
-            let tape = Tape::with_capacity(1 << 16);
+            tape.reset();
             let binding = Binding::new(&tape, &network.params);
-            let states = network.forward_states(cfg, &binding, ctx);
+            let want_slot_losses = fd_obs::enabled(fd_obs::Level::Info);
 
-            // The paper's objective: L(T_n) + L(T_u) + L(T_s) + α L_reg.
-            let mut losses: Vec<Var> = Vec::with_capacity(fit_items.len() + 1);
-            for &(ty, idx, target) in fit_items {
-                let slot = type_slot(ty);
-                let logits = network.heads[slot].forward(&binding, states[slot][idx]);
-                losses.push(tape.softmax_cross_entropy(logits, target));
-            }
-            if cfg.reg_alpha > 0.0 && !network.reg_ids.is_empty() {
-                let reg = binding.l2_term(&network.reg_ids);
-                losses.push(tape.scale(reg, cfg.reg_alpha));
-            }
-            let loss = tape.sum_n(&losses);
-            tape.backward(loss);
-            let mut grads = binding.grads();
-            let norm = clip_global_norm(&mut grads, cfg.clip);
-            let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
-
-            // Per-entity-type loss decomposition, computed only when
-            // someone is listening: it re-reads one tape value per
-            // training item. `losses[i]` pairs with `fit_items[i]`; the
-            // optional trailing reg term falls off the zip.
-            let slot_losses: Option<[f64; 3]> =
-                fd_obs::enabled(fd_obs::Level::Info).then(|| {
+            // The paper's objective: L(T_n) + L(T_u) + L(T_s) + α L_reg,
+            // recorded either as one matrix-valued graph per node type
+            // (batched) or one tape variable per node (reference).
+            let (loss, slot_losses, val_states) = if cfg.batched_training {
+                let states = network.forward_states_batched(cfg, &binding, ctx);
+                let mut stacked: Option<Var> = None;
+                for slot in 0..3 {
+                    if fit_rows[slot].is_empty() {
+                        continue;
+                    }
+                    let sel = tape.gather_rows(states[slot], &fit_rows[slot]);
+                    let logits = network.heads[slot].forward(&binding, sel);
+                    stacked = Some(match stacked {
+                        Some(s) => tape.concat_rows(s, logits),
+                        None => logits,
+                    });
+                }
+                let stacked = stacked.expect("non-empty training set");
+                let ordered = tape.gather_rows(stacked, &stack_order);
+                let ce = tape.softmax_cross_entropy_rows(ordered, &targets);
+                let loss = if cfg.reg_alpha > 0.0 && !network.reg_ids.is_empty() {
+                    let reg = binding.l2_term(&network.reg_ids);
+                    tape.add(ce, tape.scale(reg, cfg.reg_alpha))
+                } else {
+                    ce
+                };
+                // Per-entity-type loss decomposition, recomputed from the
+                // cached logits only when someone is listening.
+                let slot_losses: Option<[f64; 3]> = want_slot_losses.then(|| {
+                    tape.with_value(ordered, |logits| {
+                        let mut sums = [0.0f64; 3];
+                        for (k, &(ty, _, _)) in fit_items.iter().enumerate() {
+                            let mut row = logits.row(k).to_vec();
+                            fd_tensor::softmax_in_place(&mut row);
+                            sums[type_slot(ty)] += f64::from(-row[targets[k]].max(1e-12).ln());
+                        }
+                        sums
+                    })
+                });
+                // Validation reads the pre-update states straight off the
+                // tape; no per-item validation variables are recorded.
+                let val_states = (n_val > 0)
+                    .then(|| [tape.value(states[0]), tape.value(states[1]), tape.value(states[2])]);
+                (loss, slot_losses, val_states)
+            } else {
+                let states = network.forward_states(cfg, &binding, ctx);
+                let mut losses: Vec<Var> = Vec::with_capacity(fit_items.len() + 1);
+                for &(ty, idx, target) in fit_items {
+                    let slot = type_slot(ty);
+                    let logits = network.heads[slot].forward(&binding, states[slot][idx]);
+                    losses.push(tape.softmax_cross_entropy(logits, target));
+                }
+                if cfg.reg_alpha > 0.0 && !network.reg_ids.is_empty() {
+                    let reg = binding.l2_term(&network.reg_ids);
+                    losses.push(tape.scale(reg, cfg.reg_alpha));
+                }
+                let loss = tape.sum_n(&losses);
+                // `losses[i]` pairs with `fit_items[i]`; the optional
+                // trailing reg term falls off the zip.
+                let slot_losses: Option<[f64; 3]> = want_slot_losses.then(|| {
                     let mut sums = [0.0f64; 3];
                     for (&(ty, _, _), &item_loss) in fit_items.iter().zip(&losses) {
                         sums[type_slot(ty)] +=
@@ -362,30 +500,23 @@ impl FakeDetector {
                     }
                     sums
                 });
-            let mut epoch_val_acc: Option<f64> = None;
+                // Tape-free recompute of the same pre-update states keeps
+                // per-item validation variables off the training tape.
+                let val_states = (n_val > 0).then(|| network.forward_states_matrix(cfg, ctx));
+                (loss, slot_losses, val_states)
+            };
+
+            tape.backward(loss);
+            let mut grads = binding.grads();
+            let norm = clip_global_norm(&mut grads, cfg.clip);
+            let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
 
             // Validation accuracy from the pre-update forward pass,
             // macro-averaged over entity types so the article-heavy
             // validation pool does not drown out creators/subjects.
-            if n_val > 0 {
-                let mut correct = [0usize; 3];
-                let mut total = [0usize; 3];
-                for &(ty, idx, target) in val_items {
-                    let slot = type_slot(ty);
-                    let logits = network.heads[slot].forward(&binding, states[slot][idx]);
-                    total[slot] += 1;
-                    if tape.with_value(logits, |m| m.row_argmax(0).index) == target {
-                        correct[slot] += 1;
-                    }
-                }
-                let (mut acc_sum, mut types_present) = (0.0f64, 0usize);
-                for slot in 0..3 {
-                    if total[slot] > 0 {
-                        acc_sum += correct[slot] as f64 / total[slot] as f64;
-                        types_present += 1;
-                    }
-                }
-                let acc = acc_sum / types_present.max(1) as f64;
+            let mut epoch_val_acc: Option<f64> = None;
+            if let Some(states) = &val_states {
+                let acc = validation_accuracy(&network, states, val_items);
                 epoch_val_acc = Some(acc);
                 if best.as_ref().is_none_or(|(b, _)| acc > *b) {
                     best = Some((acc, network.params_snapshot()));
@@ -396,13 +527,13 @@ impl FakeDetector {
             }
 
             drop(binding);
-            drop(tape);
             optimizer.apply(&mut network.params, &grads);
             report.losses.push(loss_value);
             report.grad_norms.push(norm);
 
             epochs_run.inc();
             let epoch_elapsed = epoch_start.elapsed().as_secs_f64();
+            report.epoch_ms.push(epoch_elapsed * 1e3);
             epoch_us.record(epoch_elapsed * 1e6);
             fd_obs::gauge("train.loss").set(f64::from(loss_value));
             fd_obs::gauge("train.grad_norm").set(f64::from(norm));
@@ -485,6 +616,222 @@ mod tests {
         };
         let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
         Fixture { corpus, tokenized, explicit, train }
+    }
+
+    fn make_ctx(f: &Fixture, seed: u64) -> ExperimentContext<'_> {
+        ExperimentContext {
+            corpus: &f.corpus,
+            tokenized: &f.tokenized,
+            explicit: &f.explicit,
+            train: &f.train,
+            mode: LabelMode::Binary,
+            seed,
+        }
+    }
+
+    /// One training-objective evaluation (forward + backward, no update):
+    /// the batched matrix path or the per-node reference path, over the
+    /// unshuffled train items. Returns the scalar loss and the gradients.
+    fn epoch_grads(
+        config: &FakeDetectorConfig,
+        ctx: &ExperimentContext<'_>,
+        batched: bool,
+    ) -> (f32, Vec<(fd_nn::ParamId, Matrix)>) {
+        let dims = NetworkDims {
+            vocab: ctx.tokenized.vocab.id_space(),
+            explicit_dim: ctx.explicit.dim,
+            n_classes: ctx.n_classes(),
+        };
+        let network = Network::build(config, dims, Params::new(), 21);
+        let tape = Tape::new();
+        let binding = Binding::new(&tape, &network.params);
+        let items = ctx.train_items();
+        let loss = if batched {
+            let states = network.forward_states_batched(config, &binding, ctx);
+            let mut fit_rows: [Vec<Option<usize>>; 3] = Default::default();
+            let mut targets = Vec::new();
+            let mut within = Vec::new();
+            for &(ty, idx, target) in &items {
+                let slot = type_slot(ty);
+                within.push(fit_rows[slot].len());
+                fit_rows[slot].push(Some(idx));
+                targets.push(target);
+            }
+            let offsets = [0, fit_rows[0].len(), fit_rows[0].len() + fit_rows[1].len()];
+            let order: Vec<Option<usize>> = items
+                .iter()
+                .zip(&within)
+                .map(|(&(ty, _, _), &w)| Some(offsets[type_slot(ty)] + w))
+                .collect();
+            let mut stacked: Option<Var> = None;
+            for slot in 0..3 {
+                if fit_rows[slot].is_empty() {
+                    continue;
+                }
+                let sel = tape.gather_rows(states[slot], &fit_rows[slot]);
+                let logits = network.heads[slot].forward(&binding, sel);
+                stacked = Some(match stacked {
+                    Some(s) => tape.concat_rows(s, logits),
+                    None => logits,
+                });
+            }
+            let ordered = tape.gather_rows(stacked.unwrap(), &order);
+            let ce = tape.softmax_cross_entropy_rows(ordered, &targets);
+            let reg = binding.l2_term(&network.reg_ids);
+            tape.add(ce, tape.scale(reg, config.reg_alpha))
+        } else {
+            let states = network.forward_states(config, &binding, ctx);
+            let mut losses: Vec<Var> = Vec::new();
+            for &(ty, idx, target) in &items {
+                let slot = type_slot(ty);
+                let logits = network.heads[slot].forward(&binding, states[slot][idx]);
+                losses.push(tape.softmax_cross_entropy(logits, target));
+            }
+            let reg = binding.l2_term(&network.reg_ids);
+            losses.push(tape.scale(reg, config.reg_alpha));
+            tape.sum_n(&losses)
+        };
+        tape.backward(loss);
+        let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
+        (loss_value, binding.grads())
+    }
+
+    fn assert_grads_close(
+        a: &[(fd_nn::ParamId, Matrix)],
+        b: &[(fd_nn::ParamId, Matrix)],
+        rtol: f32,
+        atol: f32,
+    ) {
+        assert_eq!(a.len(), b.len(), "gradient count mismatch");
+        for ((id_a, ga), (id_b, gb)) in a.iter().zip(b) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(ga.shape(), gb.shape());
+            for (r, (x, y)) in ga.as_slice().iter().zip(gb.as_slice()).enumerate() {
+                let tol = atol + rtol * x.abs().max(y.abs());
+                assert!(
+                    (x - y).abs() <= tol,
+                    "grad mismatch for param {} at flat index {r}: {x} vs {y} (tol {tol})",
+                    id_a.index()
+                );
+            }
+        }
+    }
+
+    /// Tentpole contract: the batched epoch's loss is bit-equal to the
+    /// per-node tape's, and every parameter gradient agrees within
+    /// floating-point reassociation tolerance.
+    #[test]
+    fn batched_epoch_matches_per_node_loss_and_gradients() {
+        let f = fixture();
+        let ctx = make_ctx(&f, 13);
+        let config = FakeDetectorConfig::default();
+        let (loss_ref, grads_ref) = epoch_grads(&config, &ctx, false);
+        let (loss_bat, grads_bat) = epoch_grads(&config, &ctx, true);
+        assert_eq!(
+            loss_ref.to_bits(),
+            loss_bat.to_bits(),
+            "loss must be bit-comparable: {loss_ref} vs {loss_bat}"
+        );
+        assert_grads_close(&grads_bat, &grads_ref, 1e-4, 1e-6);
+    }
+
+    /// The batched epoch's gradients must not depend on the thread
+    /// count: `FD_THREADS` changes wall-clock only.
+    #[test]
+    fn batched_gradients_are_bitwise_thread_invariant() {
+        let f = fixture();
+        let ctx = make_ctx(&f, 13);
+        let config = FakeDetectorConfig::default();
+        let run = |threads| {
+            fd_tensor::parallel::with_thread_count(threads, || epoch_grads(&config, &ctx, true))
+        };
+        let (loss_1, grads_1) = run(1);
+        let (loss_4, grads_4) = run(4);
+        assert_eq!(loss_1.to_bits(), loss_4.to_bits());
+        for ((id_a, ga), (id_b, gb)) in grads_1.iter().zip(&grads_4) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(ga.as_slice(), gb.as_slice(), "param {} grads", id_a.index());
+        }
+    }
+
+    /// The batched tape states must be bitwise identical to both the
+    /// per-node tape states and the tape-free matrix states.
+    #[test]
+    fn forward_states_batched_is_bitwise_identical_to_tape_and_matrix() {
+        let f = fixture();
+        let ctx = make_ctx(&f, 13);
+        let config = FakeDetectorConfig::default();
+        let dims = NetworkDims {
+            vocab: ctx.tokenized.vocab.id_space(),
+            explicit_dim: ctx.explicit.dim,
+            n_classes: ctx.n_classes(),
+        };
+        let network = Network::build(&config, dims, Params::new(), 21);
+
+        let tape = Tape::with_capacity(1 << 16);
+        let binding = Binding::new(&tape, &network.params);
+        let per_node = network.forward_states(&config, &binding, &ctx);
+        let batched = network.forward_states_batched(&config, &binding, &ctx);
+        let matrix = network.forward_states_matrix(&config, &ctx);
+
+        for slot in 0..3 {
+            tape.with_value(batched[slot], |bat| {
+                assert_eq!(bat.rows(), per_node[slot].len());
+                assert_eq!(bat.as_slice(), matrix[slot].as_slice(), "slot {slot} vs matrix");
+                for (i, &var) in per_node[slot].iter().enumerate() {
+                    tape.with_value(var, |m| {
+                        assert_eq!(m.row(0), bat.row(i), "slot {slot}, node {i}");
+                    });
+                }
+            });
+        }
+    }
+
+    // Parity must hold across ablations, graph shapes and seeds —
+    // including graphs where some articles have no subjects/author and
+    // the gate/diffusion switches reroute the GDU inputs.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn batched_parity_across_seeds_and_ablations(
+            seed in 0u64..50,
+            use_diffusion in proptest::prelude::any::<bool>(),
+            use_gates in proptest::prelude::any::<bool>(),
+            rounds in 1usize..3,
+        ) {
+            let corpus = generate(&GeneratorConfig::politifact().scaled(0.008), seed);
+            let tokenized = TokenizedCorpus::build(&corpus, 10, 2000);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let train = TrainSets {
+                articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+                creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+                subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+            };
+            let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 30);
+            let f = Fixture { corpus, tokenized, explicit, train };
+            let ctx = make_ctx(&f, seed ^ 0xc0ffee);
+            let config = FakeDetectorConfig {
+                use_diffusion,
+                use_gates,
+                diffusion_rounds: rounds,
+                ..FakeDetectorConfig::default()
+            };
+            let (loss_ref, grads_ref) = epoch_grads(&config, &ctx, false);
+            let (loss_bat, grads_bat) = epoch_grads(&config, &ctx, true);
+            proptest::prop_assert_eq!(
+                loss_ref.to_bits(),
+                loss_bat.to_bits(),
+                "loss {} vs {} (seed {}, diffusion {}, gates {}, rounds {})",
+                loss_ref,
+                loss_bat,
+                seed,
+                use_diffusion,
+                use_gates,
+                rounds
+            );
+            assert_grads_close(&grads_bat, &grads_ref, 1e-4, 1e-6);
+        }
     }
 
     /// The batched forward must reproduce the tape forward *bitwise*,

@@ -80,6 +80,39 @@ fn batched_predict_matches_per_node_without_diffusion() {
     assert_parity(quick(|c| c.use_diffusion = false));
 }
 
+/// Training with the batched epoch graph must reproduce the per-node
+/// reference run end to end on a seeded smoke config: bit-equal first
+/// loss, the same early-stopping epoch, and matching final predictions.
+#[test]
+fn batched_training_reproduces_per_node_early_stopping() {
+    let f = fixture();
+    let c = ctx(&f);
+    let config = FakeDetectorConfig {
+        epochs: 12,
+        validation_fraction: 0.3,
+        patience: 2,
+        batched_training: false,
+        ..FakeDetectorConfig::default()
+    };
+    let reference = FakeDetector::new(config.clone()).fit(&c);
+    let batched =
+        FakeDetector::new(FakeDetectorConfig { batched_training: true, ..config }).fit(&c);
+    let (ref_report, bat_report) = (reference.report(), batched.report());
+    assert_eq!(
+        ref_report.losses[0].to_bits(),
+        bat_report.losses[0].to_bits(),
+        "first-epoch loss diverged: {} vs {}",
+        ref_report.losses[0],
+        bat_report.losses[0]
+    );
+    assert_eq!(
+        ref_report.losses.len(),
+        bat_report.losses.len(),
+        "early stopping fired at different epochs"
+    );
+    assert_eq!(reference.predict(&c), batched.predict(&c));
+}
+
 #[test]
 fn batched_outputs_invariant_under_thread_count() {
     let f = fixture();

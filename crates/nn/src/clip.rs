@@ -6,19 +6,28 @@ use crate::params::ParamId;
 use fd_tensor::Matrix;
 
 /// Euclidean norm over all gradients jointly.
+///
+/// Per-tensor squared norms are computed across `FD_THREADS` (each
+/// tensor reduced sequentially by one thread) and then summed serially
+/// in gradient order, so the result is bit-identical for any thread
+/// count.
 pub fn global_norm(grads: &[(ParamId, Matrix)]) -> f32 {
-    grads
-        .iter()
-        .map(|(_, g)| {
-            let n = g.frobenius_norm();
-            n * n
-        })
-        .sum::<f32>()
-        .sqrt()
+    let work = grads.iter().map(|(_, g)| g.len()).sum::<usize>() / grads.len().max(1);
+    fd_tensor::parallel::par_map(grads.len(), work, |i| {
+        let n = grads[i].1.frobenius_norm();
+        n * n
+    })
+    .into_iter()
+    .sum::<f32>()
+    .sqrt()
 }
 
 /// Scales all gradients so their joint norm is at most `max_norm`.
 /// Returns the pre-clip norm.
+///
+/// The rescale fans per-tensor work across `FD_THREADS`; each tensor is
+/// scaled element-wise by one thread, so clipping stays bit-identical
+/// for any thread count.
 ///
 /// # Panics
 /// Panics when `max_norm` is not positive.
@@ -27,9 +36,10 @@ pub fn clip_global_norm(grads: &mut [(ParamId, Matrix)], max_norm: f32) -> f32 {
     let norm = global_norm(grads);
     if norm > max_norm && norm.is_finite() {
         let scale = max_norm / norm;
-        for (_, g) in grads.iter_mut() {
+        let work = grads.iter().map(|(_, g)| g.len()).sum::<usize>() / grads.len().max(1);
+        fd_tensor::parallel::par_for_each(grads, work, |(_, g)| {
             g.map_in_place(|v| v * scale);
-        }
+        });
     }
     norm
 }
@@ -91,5 +101,27 @@ mod tests {
     #[test]
     fn empty_gradient_list_is_zero_norm() {
         assert_eq!(global_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn clip_is_bit_identical_across_thread_counts() {
+        let build = || {
+            (0..7)
+                .map(|k| (param(k), Matrix::from_fn(16, 16, |r, c| ((r * 16 + c + k) as f32).cos() * 3.0)))
+                .collect::<Vec<_>>()
+        };
+        let run = |threads: usize| {
+            fd_tensor::parallel::with_thread_count(threads, || {
+                let mut g = build();
+                let norm = clip_global_norm(&mut g, 1.5);
+                (norm, g)
+            })
+        };
+        let (norm1, g1) = run(1);
+        let (norm4, g4) = run(4);
+        assert_eq!(norm1.to_bits(), norm4.to_bits());
+        for ((_, a), (_, b)) in g1.iter().zip(&g4) {
+            assert_eq!(a.as_slice(), b.as_slice(), "clip must not depend on FD_THREADS");
+        }
     }
 }

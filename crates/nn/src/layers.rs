@@ -2,7 +2,7 @@
 //! encoder shared by the RNN baseline and HFLU.
 
 use crate::{Binding, ParamId, Params};
-use fd_autograd::Var;
+use fd_autograd::{RowAccum, Var};
 use fd_tensor::{xavier_uniform, Matrix};
 use rand::Rng;
 
@@ -310,6 +310,67 @@ impl GruEncoder {
         self.fusion.forward_matrix(params, &sum).map(fd_tensor::stable_sigmoid)
     }
 
+    /// Tape-recorded batched twin of [`GruEncoder::encode`]: encodes all
+    /// `sequences` in one pass, returning an `n x out_dim` [`Var`] whose
+    /// row `i` is bit-identical to `encode(bind, sequences[i])` — and
+    /// whose backward pass produces the same parameter gradients as the
+    /// per-node tape would, because every batched op's adjoint reduces in
+    /// the same order the per-node ops do.
+    ///
+    /// The virtual-step schedule mirrors [`GruEncoder::encode_batch`]:
+    /// finished rows keep gathering their last token (the stale-`x`
+    /// convention) but their `h_next` row is discarded by the row mask,
+    /// so no gradient flows through the stale lookup.
+    pub fn encode_batch_tape(&self, bind: &Binding, sequences: &[&[usize]]) -> Var {
+        let t = bind.tape();
+        let n = sequences.len();
+        let hidden = self.gru.hidden_dim();
+        let tokens: Vec<Vec<usize>> = sequences
+            .iter()
+            .map(|s| s.iter().copied().filter(|&tok| tok != self.pad_id).collect())
+            .collect();
+        let steps = tokens.iter().map(Vec::len).max().unwrap_or(0);
+
+        let table = bind.var(self.embedding.table);
+        let mut h = t.leaf(Matrix::zeros(n, hidden));
+        let mut sum = t.leaf(Matrix::zeros(n, hidden));
+        for step in 0..steps {
+            let idx: Vec<Option<usize>> = tokens
+                .iter()
+                .map(|toks| {
+                    let &tok = toks.get(step.min(toks.len().wrapping_sub(1)))?;
+                    assert!(
+                        tok < self.embedding.vocab(),
+                        "GruEncoder::encode_batch_tape: token {tok} >= vocab {}",
+                        self.embedding.vocab()
+                    );
+                    Some(tok)
+                })
+                .collect();
+            let x = t.gather_rows(table, &idx);
+            let h_next = self.gru.step(bind, x, h);
+            let active: Vec<bool> = tokens.iter().map(|toks| step < toks.len()).collect();
+            h = t.mask_rows(h_next, h, &active);
+            let phase: Vec<RowAccum> = tokens
+                .iter()
+                .map(|toks| {
+                    if step >= toks.len() {
+                        RowAccum::Skip
+                    } else if step == 0 {
+                        RowAccum::Start
+                    } else {
+                        RowAccum::Add
+                    }
+                })
+                .collect();
+            sum = t.accum_rows(sum, h_next, &phase);
+        }
+        // Rows with no real tokens pool the zero state, matching the
+        // per-node fallback.
+        let fused = self.fusion.forward(bind, sum);
+        t.sigmoid(fused)
+    }
+
     /// Output width of [`GruEncoder::encode`].
     pub fn out_dim(&self) -> usize {
         self.fusion.out_dim()
@@ -447,6 +508,47 @@ mod tests {
         let ab = enc.encode(&bind, &[1, 2, 3, 4]);
         let ba = enc.encode(&bind, &[4, 3, 2, 1]);
         assert_ne!(tape.value(ab), tape.value(ba));
+    }
+
+    #[test]
+    fn encode_batch_tape_matches_per_node_values_and_grads() {
+        let mut params = Params::new();
+        let mut r = rng();
+        let enc = GruEncoder::new(&mut params, "enc", 20, 4, 6, 8, 0, &mut r);
+        // Mixed lengths, PAD runs, one empty, one PAD-only sequence.
+        let seqs: [&[usize]; 5] = [&[3, 7, 0, 12], &[5], &[], &[0, 0], &[9, 1, 2, 2, 14]];
+
+        // Per-node reference: encode each row alone, sum of square norms.
+        let tape_ref = Tape::new();
+        let bind_ref = Binding::new(&tape_ref, &params);
+        let rows: Vec<_> = seqs.iter().map(|s| enc.encode(&bind_ref, s)).collect();
+        let norms: Vec<_> = rows.iter().map(|&v| tape_ref.square_norm(v)).collect();
+        let loss_ref = tape_ref.sum_n(&norms);
+        tape_ref.backward(loss_ref);
+        let grads_ref = bind_ref.grads();
+
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &params);
+        let batched = enc.encode_batch_tape(&bind, &seqs);
+        assert_eq!(tape.shape(batched), (5, 8));
+        for (i, &row) in rows.iter().enumerate() {
+            assert_eq!(
+                tape_ref.value(row).row(0),
+                tape.with_value(batched, |m| m.row(i).to_vec()),
+                "row {i} must be bit-identical to the per-node encode"
+            );
+        }
+        // Tape-free batch path agrees bitwise too.
+        assert_eq!(tape.value(batched), enc.encode_batch(&params, &seqs));
+
+        let loss = tape.square_norm(batched);
+        tape.backward(loss);
+        let grads = bind.grads();
+        assert_eq!(grads.len(), grads_ref.len());
+        for ((id_a, ga), (id_b, gb)) in grads.iter().zip(&grads_ref) {
+            assert_eq!(id_a, id_b);
+            fd_tensor::assert_close(ga, gb, 1e-4);
+        }
     }
 
     #[test]

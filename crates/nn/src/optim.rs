@@ -86,6 +86,12 @@ impl Optimizer for Sgd {
 }
 
 /// Adam (Kingma & Ba 2015) with bias correction.
+///
+/// Moment state is kept in dense vectors indexed by [`ParamId::index`]
+/// (not a map) so one update step can hand each thread a disjoint
+/// `(param, m, v, grad)` tuple. Every tensor's own update runs
+/// sequentially on one thread, so the result is bit-identical for any
+/// `FD_THREADS` value.
 #[derive(Debug)]
 pub struct Adam {
     lr: f32,
@@ -93,14 +99,14 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     step: u64,
-    m: HashMap<usize, Matrix>,
-    v: HashMap<usize, Matrix>,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
 }
 
 impl Adam {
     /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: HashMap::new(), v: HashMap::new() }
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: Vec::new(), v: Vec::new() }
     }
 
     /// Overrides the exponential-decay coefficients.
@@ -117,25 +123,48 @@ impl Optimizer for Adam {
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let Some(max_idx) = grads.iter().map(|(id, _)| id.index()).max() else {
+            return;
+        };
+        let width = params.len().max(max_idx + 1);
+        if self.m.len() < width {
+            self.m.resize_with(width, || None);
+            self.v.resize_with(width, || None);
+        }
+        let mut gradient_of: Vec<Option<&Matrix>> = vec![None; width];
         for (id, g) in grads {
-            let m = self
-                .m
-                .entry(id.index())
-                .or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
-            let v = self
-                .v
-                .entry(id.index())
-                .or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
+            gradient_of[id.index()] = Some(g);
+            for slot in [&mut self.m[id.index()], &mut self.v[id.index()]] {
+                if slot.is_none() {
+                    *slot = Some(Matrix::zeros(g.rows(), g.cols()));
+                }
+            }
+        }
+        let scalars: usize = grads.iter().map(|(_, g)| g.len()).sum();
+        let mut tasks: Vec<(&mut Matrix, &mut Matrix, &mut Matrix, &Matrix)> = params
+            .values_mut()
+            .iter_mut()
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+            .enumerate()
+            .filter_map(|(i, ((p, m), v))| {
+                let g = gradient_of[i]?;
+                Some((p, m.as_mut().expect("moment ensured above"), v.as_mut().expect("moment ensured above"), g))
+            })
+            .collect();
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        // ~10 flops per scalar; average tensor size gates the fork.
+        let work = scalars / tasks.len().max(1) * 10;
+        fd_tensor::parallel::par_for_each(&mut tasks, work, |(p, m, v, g)| {
             for ((mi, vi), &gi) in m
                 .as_mut_slice()
                 .iter_mut()
                 .zip(v.as_mut_slice())
                 .zip(g.as_slice())
             {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                *mi = beta1 * *mi + (1.0 - beta1) * gi;
+                *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
             }
-            let p = params.value_mut(*id);
             for ((pi, &mi), &vi) in p
                 .as_mut_slice()
                 .iter_mut()
@@ -144,9 +173,9 @@ impl Optimizer for Adam {
             {
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                *pi -= lr * m_hat / (v_hat.sqrt() + eps);
             }
-        }
+        });
     }
 
     fn set_lr(&mut self, lr: f32) {
@@ -275,6 +304,38 @@ mod tests {
         }
         assert!((params.value(a)[(0, 0)] - 1.0).abs() < 0.1);
         assert!((params.value(b)[(0, 0)] - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn adam_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            fd_tensor::parallel::with_thread_count(threads, || {
+                let mut params = Params::new();
+                let ids: Vec<_> = (0..6)
+                    .map(|k| {
+                        params.get_or_insert(&format!("w{k}"), || {
+                            Matrix::from_fn(8, 8, |r, c| ((r * 8 + c + k) as f32).sin())
+                        })
+                    })
+                    .collect();
+                let mut opt = Adam::new(0.05);
+                for step in 0..5 {
+                    let grads: Vec<_> = ids
+                        .iter()
+                        // Skip one tensor on even steps: intermittent
+                        // grads must stay intermittent under threading.
+                        .filter(|id| step % 2 == 1 || id.index() != 3)
+                        .map(|&id| (id, params.value(id).scale(0.1)))
+                        .collect();
+                    opt.apply(&mut params, &grads);
+                }
+                ids.iter().map(|&id| params.value(id).clone()).collect::<Vec<_>>()
+            })
+        };
+        let (a, b) = (run(1), run(4));
+        for (ma, mb) in a.iter().zip(&b) {
+            assert_eq!(ma.as_slice(), mb.as_slice(), "updates must not depend on FD_THREADS");
+        }
     }
 
     #[test]

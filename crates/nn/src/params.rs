@@ -72,6 +72,13 @@ impl Params {
         &mut self.values[id.0]
     }
 
+    /// All values, mutably, in [`ParamId::index`] order. Lets optimisers
+    /// build disjoint per-tensor `&mut` views and fan updates across
+    /// threads instead of going through one lookup per id.
+    pub fn values_mut(&mut self) -> &mut [Matrix] {
+        &mut self.values
+    }
+
     /// Number of parameters (matrices, not scalars).
     pub fn len(&self) -> usize {
         self.values.len()

@@ -1,0 +1,165 @@
+//! Row gather / scatter kernels for graph-structured batching.
+//!
+//! These are the tensor-level primitives behind the batched training
+//! graph: selecting per-node rows out of a `count x hidden` state matrix
+//! (head inputs, author states, embedding lookups) and averaging
+//! neighbour rows (the diffusion aggregator). The backward directions are
+//! the matching scatter-adds.
+//!
+//! All four kernels iterate rows in index order with a fixed inner
+//! element order, so their output is deterministic and — for the
+//! gather/mean forwards — row `i` is bitwise what a per-node computation
+//! of that row alone produces.
+
+use crate::Matrix;
+
+/// Gathers `rows[i]` of `src` into row `i` of the result; `None` entries
+/// yield a zero row (the "no neighbour on this port" case).
+///
+/// # Panics
+/// Panics when an index is out of range.
+pub fn gather_rows(src: &Matrix, rows: &[Option<usize>]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), src.cols());
+    for (i, &r) in rows.iter().enumerate() {
+        if let Some(r) = r {
+            assert!(r < src.rows(), "gather_rows: row {r} out of {} rows", src.rows());
+            out.row_mut(i).copy_from_slice(src.row(r));
+        }
+    }
+    out
+}
+
+/// Adjoint of [`gather_rows`]: adds row `i` of `src` into row `rows[i]`
+/// of `dst`; `None` entries contribute nothing. Repeated indices
+/// accumulate, which is exactly the gradient of a repeated gather.
+///
+/// # Panics
+/// Panics on an index out of range or a row-count/width mismatch.
+pub fn scatter_add_rows(dst: &mut Matrix, rows: &[Option<usize>], src: &Matrix) {
+    assert_eq!(src.rows(), rows.len(), "scatter_add_rows: row-count mismatch");
+    assert_eq!(dst.cols(), src.cols(), "scatter_add_rows: width mismatch");
+    for (i, &r) in rows.iter().enumerate() {
+        if let Some(r) = r {
+            assert!(r < dst.rows(), "scatter_add_rows: row {r} out of {} rows", dst.rows());
+            for (acc, &v) in dst.row_mut(r).iter_mut().zip(src.row(i)) {
+                *acc += v;
+            }
+        }
+    }
+}
+
+/// Row-wise neighbour mean over `src`: row `i` of the result is the mean
+/// of the `lists(i)` rows of `src`, replaying the tape aggregator's
+/// (`mean_n`) arithmetic exactly — start from the first listed row, `+=`
+/// the rest in list order, then multiply by `1/len`. Empty lists yield a
+/// zero row, matching the tape path's zero-leaf fallback.
+pub fn mean_rows<'a>(
+    src: &Matrix,
+    n: usize,
+    lists: impl Fn(usize) -> &'a [usize],
+) -> Matrix {
+    let mut out = Matrix::zeros(n, src.cols());
+    for i in 0..n {
+        let list = lists(i);
+        let Some((&first, rest)) = list.split_first() else { continue };
+        let row = out.row_mut(i);
+        row.copy_from_slice(src.row(first));
+        for &j in rest {
+            for (acc, &v) in row.iter_mut().zip(src.row(j)) {
+                *acc += v;
+            }
+        }
+        let inv = 1.0 / list.len() as f32;
+        for acc in row.iter_mut() {
+            *acc *= inv;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`mean_rows`]: for every output row `i`, adds
+/// `g.row(i) / lists(i).len()` into each listed row of `dst` — the same
+/// per-member share `mean_n`'s backward distributes.
+///
+/// # Panics
+/// Panics when a listed index is out of range.
+pub fn scatter_add_mean_rows<'a>(
+    dst: &mut Matrix,
+    g: &Matrix,
+    lists: impl Fn(usize) -> &'a [usize],
+) {
+    assert_eq!(dst.cols(), g.cols(), "scatter_add_mean_rows: width mismatch");
+    for i in 0..g.rows() {
+        let list = lists(i);
+        if list.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / list.len() as f32;
+        for &j in list {
+            assert!(j < dst.rows(), "scatter_add_mean_rows: row {j} out of {} rows", dst.rows());
+            for (acc, &v) in dst.row_mut(j).iter_mut().zip(g.row(i)) {
+                *acc += v * inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])
+    }
+
+    #[test]
+    fn gather_copies_and_zeroes() {
+        let out = gather_rows(&src(), &[Some(2), None, Some(0), Some(2)]);
+        let expect =
+            Matrix::from_rows(&[&[5.0, 6.0], &[0.0, 0.0], &[1.0, 2.0], &[5.0, 6.0]]);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 3 rows")]
+    fn gather_rejects_out_of_range() {
+        let _ = gather_rows(&src(), &[Some(3)]);
+    }
+
+    #[test]
+    fn scatter_accumulates_repeats() {
+        let mut dst = Matrix::zeros(3, 2);
+        let g = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[4.0, 4.0]]);
+        scatter_add_rows(&mut dst, &[Some(1), None, Some(1)], &g);
+        let expect = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0], &[0.0, 0.0]]);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mean_rows_matches_manual_mean_and_zeroes_empties() {
+        let lists: Vec<Vec<usize>> = vec![vec![0, 2], vec![], vec![1]];
+        let out = mean_rows(&src(), 3, |i| &lists[i]);
+        let expect = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[3.0, 4.0]]);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn scatter_mean_distributes_share() {
+        let lists: Vec<Vec<usize>> = vec![vec![0, 2], vec![2]];
+        let g = Matrix::from_rows(&[&[2.0, 4.0], &[1.0, 1.0]]);
+        let mut dst = Matrix::zeros(3, 2);
+        scatter_add_mean_rows(&mut dst, &g, |i| &lists[i]);
+        let expect = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0], &[2.0, 3.0]]);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrips_identity_lists() {
+        let s = src();
+        let rows: Vec<Option<usize>> = (0..3).map(Some).collect();
+        let g = gather_rows(&s, &rows);
+        let mut dst = Matrix::zeros(3, 2);
+        scatter_add_rows(&mut dst, &rows, &g);
+        assert_eq!(dst, s);
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 mod checked;
+mod gather;
 mod init;
 mod matrix;
 mod ops;
@@ -38,6 +39,7 @@ mod reduce;
 mod stable;
 
 pub use checked::DimMismatch;
+pub use gather::{gather_rows, mean_rows, scatter_add_mean_rows, scatter_add_rows};
 pub use init::{he_normal, uniform_in, xavier_uniform};
 pub use matrix::{Matrix, ShapeError};
 pub use reduce::{argmax_slice, ArgMax};

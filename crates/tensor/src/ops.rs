@@ -429,6 +429,20 @@ impl Matrix {
         Matrix::from_vec(self.rows() + other.rows(), self.cols(), data)
     }
 
+    /// Copies rows `[start, start + count)` into a new matrix (one
+    /// contiguous memcpy in row-major storage).
+    pub fn slice_rows(&self, start: usize, count: usize) -> Matrix {
+        assert!(
+            start + count <= self.rows(),
+            "slice_rows: [{start}, {}) out of {} rows",
+            start + count,
+            self.rows()
+        );
+        let cols = self.cols();
+        let data = self.as_slice()[start * cols..(start + count) * cols].to_vec();
+        Matrix::from_vec(count, cols, data)
+    }
+
     /// Copies columns `[start, start + width)` into a new matrix.
     pub fn slice_cols(&self, start: usize, width: usize) -> Matrix {
         assert!(

@@ -174,6 +174,42 @@ pub fn par_map<T: Send>(len: usize, work_per_item: usize, f: impl Fn(usize) -> T
     })
 }
 
+/// In-place parallel sweep over a mutable slice: each item is handed to
+/// `f` exactly once, with the slice split into contiguous chunks across
+/// threads. Items are updated independently (disjoint `&mut`), and each
+/// item's own update runs sequentially on one thread, so the result is
+/// bit-identical for any thread count — this is how the optimiser and
+/// the gradient clipper fan per-tensor work across `FD_THREADS`.
+pub fn par_for_each<T: Send>(items: &mut [T], work_per_item: usize, f: impl Fn(&mut T) + Sync) {
+    let len = items.len();
+    let threads = decide_threads(len, work_per_item);
+    let (serial, parallel) = dispatch_counters();
+    if threads <= 1 {
+        serial.inc();
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    parallel.inc();
+    let shard_us = shard_hist();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = items;
+        for range in split_rows(len, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            scope.spawn(move || {
+                let start = Instant::now();
+                for item in chunk.iter_mut() {
+                    f(item);
+                }
+                shard_us.record(start.elapsed().as_secs_f64() * 1e6);
+            });
+        }
+    });
+}
+
 fn decide_threads(items: usize, work_per_item: usize) -> usize {
     let threads = current_threads().min(items.max(1));
     if threads <= 1 {

@@ -1,14 +1,22 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_tensor.json at the repo root: times the seed-era
-# naive tensor kernels against the blocked serial kernels and the
-# row-parallel path (FD_THREADS=4), plus a full model inference step
-# (per-node tape replay vs batched tape-free forward).
+# Regenerates the benchmark artifacts at the repo root:
 #
-# Usage: scripts/bench.sh [output.json]
+# * BENCH_tensor.json — seed-era naive tensor kernels vs the blocked
+#   serial kernels and the row-parallel path (FD_THREADS=4), plus a
+#   full model inference step (per-node tape replay vs batched
+#   tape-free forward).
+# * BENCH_train.json — full training epochs at Table-1 scale: the
+#   per-node reference tape vs the batched matrix-level graph at
+#   FD_THREADS 1 and 4.
+#
+# Usage: scripts/bench.sh [tensor_out.json] [train_out.json] [train_scale]
 #
 # Numbers are medians of repeated runs but still machine-dependent;
 # compare ratios within one file, not times across machines.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_tensor.json}"
-cargo run --release -p fd-bench --bin report -- tensor "$out"
+tensor_out="${1:-BENCH_tensor.json}"
+train_out="${2:-BENCH_train.json}"
+train_scale="${3:-1.0}"
+cargo run --release -p fd-bench --bin report -- tensor "$tensor_out"
+cargo run --release -p fd-bench --bin report -- train "$train_out" "$train_scale"

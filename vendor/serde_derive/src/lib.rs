@@ -5,14 +5,22 @@
 //! item's `TokenStream` is walked by hand and the impl is emitted as a
 //! formatted string parsed back into tokens. Supports exactly the two
 //! shapes this workspace serialises — named-field structs (with
-//! `#[serde(skip)]`) and unit-variant enums — and panics with a clear
-//! message on anything else, at compile time.
+//! `#[serde(skip)]`, `#[serde(default)]` and `#[serde(default = "path")]`)
+//! and unit-variant enums — and panics with a clear message on anything
+//! else, at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` is bare `default` (use `Default::default()`);
+    /// `Some(Some(path))` is `default = "path"` (call `path()`).
+    default: Option<Option<String>>,
+}
+
 struct Field {
     name: String,
-    skip: bool,
+    attrs: FieldAttrs,
 }
 
 enum Shape {
@@ -20,10 +28,11 @@ enum Shape {
     Enum { name: String, variants: Vec<String> },
 }
 
-/// Consumes leading `#[...]` attributes, returning whether any was
-/// `#[serde(..., skip, ...)]`.
-fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut skip = false;
+/// Consumes leading `#[...]` attributes, collecting any
+/// `#[serde(skip)]` / `#[serde(default)]` / `#[serde(default = "path")]`
+/// markers.
+fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs { skip: false, default: None };
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -32,9 +41,39 @@ fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
                     if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
                     {
                         if let Some(TokenTree::Group(args)) = inner.get(1) {
-                            skip |= args.stream().into_iter().any(|t| {
-                                matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")
-                            });
+                            let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+                            let mut k = 0;
+                            while k < arg_tokens.len() {
+                                match &arg_tokens[k] {
+                                    TokenTree::Ident(id) if id.to_string() == "skip" => {
+                                        attrs.skip = true;
+                                    }
+                                    TokenTree::Ident(id) if id.to_string() == "default" => {
+                                        let eq = matches!(
+                                            arg_tokens.get(k + 1),
+                                            Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                        );
+                                        if eq {
+                                            match arg_tokens.get(k + 2) {
+                                                Some(TokenTree::Literal(lit)) => {
+                                                    let path =
+                                                        lit.to_string().trim_matches('"').to_string();
+                                                    attrs.default = Some(Some(path));
+                                                    k += 2;
+                                                }
+                                                other => panic!(
+                                                    "serde_derive stand-in: `default =` must be \
+                                                     followed by a string literal, found {other:?}"
+                                                ),
+                                            }
+                                        } else {
+                                            attrs.default = Some(None);
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
                         }
                     }
                     i += 2;
@@ -45,7 +84,7 @@ fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
             _ => break,
         }
     }
-    (i, skip)
+    (i, attrs)
 }
 
 /// Consumes a visibility modifier (`pub`, `pub(crate)`, ...), if present.
@@ -121,7 +160,7 @@ fn parse_item(input: TokenStream) -> Shape {
             let fields = split_on_commas(body)
                 .into_iter()
                 .map(|chunk| {
-                    let (mut j, skip) = eat_attributes(&chunk, 0);
+                    let (mut j, attrs) = eat_attributes(&chunk, 0);
                     j = eat_visibility(&chunk, j);
                     let field_name = match chunk.get(j) {
                         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -136,7 +175,7 @@ fn parse_item(input: TokenStream) -> Shape {
                              (`{field_name}` has no `:`)"
                         );
                     }
-                    Field { name: field_name, skip }
+                    Field { name: field_name, attrs }
                 })
                 .collect();
             Shape::Struct { name, fields }
@@ -171,7 +210,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let entries: String = fields
                 .iter()
-                .filter(|f| !f.skip)
+                .filter(|f| !f.attrs.skip)
                 .map(|f| {
                     format!(
                         "(\"{0}\".to_string(), ::serde::Serialize::serialize_content(&self.{0})),",
@@ -211,8 +250,23 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    if f.skip {
+                    if f.attrs.skip {
                         format!("{}: ::std::default::Default::default(),", f.name)
+                    } else if let Some(default) = &f.attrs.default {
+                        // Absent field falls back instead of erroring —
+                        // how new fields stay loadable from old JSON.
+                        let fallback = match default {
+                            Some(path) => format!("{path}()"),
+                            None => "::std::default::Default::default()".to_string(),
+                        };
+                        format!(
+                            "{0}: match ::serde::content_get(map, \"{0}\") {{\
+                                 ::std::option::Option::Some(c) => \
+                                     ::serde::Deserialize::deserialize_content(c)?,\
+                                 ::std::option::Option::None => {fallback},\
+                             }},",
+                            f.name
+                        )
                     } else {
                         format!(
                             "{0}: ::serde::Deserialize::deserialize_content(\
