@@ -5,11 +5,11 @@
 //! | `Svm` | explicit BoW features only | [`svm`] |
 //! | `Rnn` | latent GRU features only | [`rnn`] |
 //! | `DeepWalk` | graph structure (walks + skip-gram) | [`deepwalk`] |
-//! | `Line` | graph structure (1st/2nd-order proximity) | [`line`] |
+//! | `Line` | graph structure (1st/2nd-order proximity) | [`mod@line`] |
 //! | `Propagation` | graph structure (label propagation) | [`propagation`] |
 //!
 //! All methods implement [`CredibilityModel`]: one `fit_predict` call
-//! trains on the [`TrainSets`] and returns predicted class indices for
+//! trains on the [`TrainSets`](fd_data::TrainSets) and returns predicted class indices for
 //! *every* entity; the experiment runner scores the test subsets.
 
 mod embeddings;

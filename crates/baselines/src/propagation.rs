@@ -1,5 +1,5 @@
 //! Heterogeneous label propagation — the paper's structure-only baseline
-//! [29]. Credibility scores (normalised to [0, 1]) diffuse along
+//! \[29\]. Credibility scores (normalised to \[0, 1\]) diffuse along
 //! authorship and topic links with link-type-specific mixing weights;
 //! training nodes are clamped to their ground truth every sweep and final
 //! scores are rounded back to labels.

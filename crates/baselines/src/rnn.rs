@@ -1,4 +1,4 @@
-//! The RNN baseline [42]: latent GRU features only, no explicit features
+//! The RNN baseline \[42\]: latent GRU features only, no explicit features
 //! and no graph. A single shared GRU encoder reads every entity's token
 //! sequence; per-type soft-max heads produce the credibility predictions
 //! ("the latent feature vectors will be fused to predict the news

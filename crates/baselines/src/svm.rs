@@ -1,4 +1,4 @@
-//! Linear multi-class SVM — the paper's explicit-feature baseline [8],
+//! Linear multi-class SVM — the paper's explicit-feature baseline \[8\],
 //! and the downstream classifier for the DeepWalk/LINE embeddings.
 //!
 //! One-vs-rest linear SVMs trained by SGD on the L2-regularised hinge

@@ -13,6 +13,13 @@
 //!   times full training epochs at Table-1 scale (default `scale` 1.0) —
 //!   the per-node reference tape vs the batched matrix-level graph at
 //!   `FD_THREADS` 1 and 4 — and writes `BENCH_train.json`.
+//! * `cargo run --release -p fd-bench --bin report -- serve [out.json] [clients] [per_client]`
+//!   trains a small model, starts the fd-serve HTTP server in-process,
+//!   drives it with concurrent keep-alive clients (default 32 × 12
+//!   requests), verifies every response is bitwise-identical to the
+//!   sequential reference pass, and writes throughput, latency
+//!   percentiles and the observed batch-size histogram to
+//!   `BENCH_serve.json`.
 
 use fd_metrics::{MetricKind, SweepResults};
 use fd_obs::{event, Level};
@@ -31,6 +38,18 @@ fn main() {
                 .map(|s| s.parse().unwrap_or_else(|e| panic!("bad scale `{s}`: {e}")))
                 .unwrap_or(1.0);
             train::write_report(&out, scale);
+        }
+        Some(mode) if mode == "serve" => {
+            let out = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
+            let clients: usize = args
+                .next()
+                .map(|s| s.parse().unwrap_or_else(|e| panic!("bad clients `{s}`: {e}")))
+                .unwrap_or(32);
+            let per_client: usize = args
+                .next()
+                .map(|s| s.parse().unwrap_or_else(|e| panic!("bad per_client `{s}`: {e}")))
+                .unwrap_or(12);
+            serve::write_report(&out, clients, per_client);
         }
         dir => markdown_report(&dir.unwrap_or_else(|| "results".into())),
     }
@@ -178,6 +197,213 @@ mod train {
             "median_batched_parallel_4t_epoch_ms": round2(four_t),
             "speedup_batched_serial_vs_per_node": round2(per_node / serial),
             "speedup_batched_4t_vs_per_node": round2(per_node / four_t),
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+        fd_obs::event(fd_obs::Level::Info, "report.wrote", &[("path", out_path.into())]);
+    }
+}
+
+mod serve {
+    //! The `serve` mode: an end-to-end load benchmark of the fd-serve
+    //! HTTP server. Trains a small model, starts the server on an
+    //! ephemeral port, sends every request once sequentially to build a
+    //! reference, then replays them from `clients` concurrent keep-alive
+    //! connections. Responses must match the reference byte for byte —
+    //! the micro-batching path is bitwise-deterministic, so any drift is
+    //! a bug and the benchmark panics (which makes `scripts/bench.sh`
+    //! fail loudly).
+
+    use fd_core::{FakeDetector, FakeDetectorConfig};
+    use fd_data::{
+        generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
+        TokenizedCorpus, TrainSets,
+    };
+    use fd_serve::{HttpClient, ServeConfig, ServeModel, Server};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn round2(v: f64) -> f64 {
+        (v * 100.0).round() / 100.0
+    }
+
+    /// Nearest-rank percentile of an already-sorted sample.
+    fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+        let idx = ((p / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
+        sorted_ms[idx]
+    }
+
+    /// A deterministic request body for request `i`, cycling node
+    /// neighbours through the corpus so batches mix all three slots.
+    fn request_body(i: usize, creators: usize, subjects: usize) -> String {
+        let text = format!(
+            "breaking statement {i} disputes the official budget and health care numbers"
+        );
+        format!(
+            "{{\"text\":\"{text}\",\"creator\":{},\"subjects\":[{}]}}",
+            i % creators,
+            i % subjects
+        )
+    }
+
+    /// Trains a small model and wraps it in a serving handle.
+    fn build_model() -> ServeModel {
+        let seed = 42;
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.02), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 10, &mut rng).fold(0).0,
+        };
+        let (explicit_dim, seq_len, max_vocab) = (60, 12, 6000);
+        let tokenized = TokenizedCorpus::build(&corpus, seq_len, max_vocab);
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, explicit_dim);
+        let ctx = ExperimentContext {
+            corpus: &corpus,
+            tokenized: &tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed,
+        };
+        let config = FakeDetectorConfig {
+            epochs: 2,
+            validation_fraction: 0.0,
+            ..FakeDetectorConfig::default()
+        };
+        let trained = FakeDetector::new(config).fit(&ctx);
+        drop((tokenized, explicit));
+        ServeModel::new(
+            corpus,
+            trained,
+            train,
+            LabelMode::Binary,
+            explicit_dim,
+            seq_len,
+            max_vocab,
+        )
+    }
+
+    pub fn write_report(out_path: &str, clients: usize, per_client: usize) {
+        assert!(clients >= 1 && per_client >= 1, "need at least one client and request");
+        let model = build_model();
+        let (articles, creators, subjects) = model.corpus_sizes();
+        let config = ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() };
+        let server = Server::start(Arc::new(model), &config).expect("start server");
+        let addr = server.local_addr().to_string();
+
+        let total = clients * per_client;
+        let bodies: Vec<String> =
+            (0..total).map(|i| request_body(i, creators, subjects)).collect();
+
+        // Sequential reference pass: one connection, one request at a
+        // time, so every request is scored in a batch of size 1.
+        let mut reference = Vec::with_capacity(total);
+        {
+            let mut client = HttpClient::connect(&addr).expect("connect");
+            client.set_timeout(Duration::from_secs(30)).expect("timeout");
+            for body in &bodies {
+                let (status, response) = client.post("/v1/predict", body).expect("post");
+                assert_eq!(status, 200, "sequential reference request failed: {response}");
+                reference.push(response);
+            }
+        }
+
+        // Concurrent load: the same requests from `clients` keep-alive
+        // connections at once.
+        let loaded = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let slice: Vec<(usize, String)> = (c * per_client..(c + 1) * per_client)
+                    .map(|i| (i, bodies[i].clone()))
+                    .collect();
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(&addr).expect("connect");
+                    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+                    slice
+                        .into_iter()
+                        .map(|(i, body)| {
+                            let sent = Instant::now();
+                            let (status, response) =
+                                client.post("/v1/predict", &body).expect("post");
+                            (i, status, response, sent.elapsed().as_secs_f64() * 1e3)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut latencies_ms = Vec::with_capacity(total);
+        for worker in workers {
+            for (i, status, response, ms) in worker.join().expect("client thread") {
+                assert_eq!(status, 200, "request {i} failed under load: {response}");
+                assert_eq!(
+                    response, reference[i],
+                    "request {i}: batched response differs from sequential reference"
+                );
+                latencies_ms.push(ms);
+            }
+        }
+        let wall_s = loaded.elapsed().as_secs_f64();
+
+        let draining = Instant::now();
+        server.shutdown();
+        let shutdown_ms = draining.elapsed().as_secs_f64() * 1e3;
+
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // First registration wins in fd-obs, and the server registered
+        // these before any request ran, so the placeholder bounds here
+        // never take effect.
+        let batch_hist = fd_obs::histogram("serve.batch_size", &[1.0]);
+        let wait_hist = fd_obs::histogram("serve.queue_wait_us", &[1.0]);
+        let batch_count = batch_hist.count().max(1) as f64;
+
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.serve",
+            &[
+                ("clients", clients.into()),
+                ("total_requests", total.into()),
+                ("throughput_rps", (total as f64 / wall_s).into()),
+                ("p99_ms", percentile(&latencies_ms, 99.0).into()),
+            ],
+        );
+        let corpus_json = serde_json::json!({
+            "articles": articles,
+            "creators": creators,
+            "subjects": subjects,
+        });
+        let latency_json = serde_json::json!({
+            "p50": round2(percentile(&latencies_ms, 50.0)),
+            "p90": round2(percentile(&latencies_ms, 90.0)),
+            "p99": round2(percentile(&latencies_ms, 99.0)),
+            "max": round2(percentile(&latencies_ms, 100.0)),
+        });
+        let batch_json = serde_json::json!({
+            "bounds": batch_hist.bounds().to_vec(),
+            "buckets": batch_hist.bucket_counts(),
+            "batches": batch_hist.count(),
+            "mean": round2(batch_hist.sum() / batch_count),
+        });
+        let report = serde_json::json!({
+            "generator": "cargo run --release -p fd-bench --bin report -- serve",
+            "machine_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "corpus": corpus_json,
+            "max_batch": config.max_batch,
+            "max_delay_ms": config.max_delay_ms,
+            "clients": clients,
+            "requests_per_client": per_client,
+            "total_requests": total,
+            "wall_s": round2(wall_s),
+            "throughput_rps": round2(total as f64 / wall_s),
+            "latency_ms": latency_json,
+            "batch_size": batch_json,
+            "queue_wait_us_mean": round2(wait_hist.sum() / wait_hist.count().max(1) as f64),
+            "bitwise_identical_to_sequential": true,
+            "graceful_shutdown_ms": round2(shutdown_ms),
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));

@@ -79,6 +79,32 @@ impl Hflu {
         }
     }
 
+    /// Tape-free batched twin of [`Hflu::encode_raw`]: encodes `n`
+    /// out-of-corpus entities at once from their raw inputs — an
+    /// `n x explicit_dim` feature matrix plus one token-id sequence per
+    /// row. Row `i` is bit-identical to the tape value of
+    /// `encode_raw(bind, explicit_rows.row(i), sequences[i])`: the GRU
+    /// batch encoder replays the per-node schedule exactly and the
+    /// explicit half is copied verbatim, so batching requests together
+    /// never changes any individual answer. This is the entry point of
+    /// the serving layer's micro-batched inductive scoring.
+    pub fn encode_raw_batch(
+        &self,
+        params: &Params,
+        explicit_rows: Matrix,
+        sequences: &[&[usize]],
+    ) -> Matrix {
+        debug_assert_eq!(explicit_rows.rows(), sequences.len(), "HFLU raw batch mismatch");
+        let explicit = self.use_explicit.then_some(explicit_rows);
+        let latent = self.encoder.as_ref().map(|enc| enc.encode_batch(params, sequences));
+        match (explicit, latent) {
+            (Some(e), Some(l)) => e.concat_cols(&l),
+            (Some(e), None) => e,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("config validation forbids both halves off"),
+        }
+    }
+
     /// Tape-free batched twin of [`Hflu::encode`]: encodes entities
     /// `0..count` of this node type at once, one `out_dim` row each.
     /// Row `i` is bit-identical to the tape value of `encode(bind, ctx, i)`.

@@ -38,4 +38,12 @@ pub use config::FakeDetectorConfig;
 pub use gdu::GduCell;
 pub use hflu::Hflu;
 pub use model::{FakeDetector, TrainReport};
-pub use trained::TrainedFakeDetector;
+pub use trained::{ScoreRequest, TrainedFakeDetector};
+
+/// A [`TrainedFakeDetector`] is a plain-data weight store, so one
+/// instance can be shared across serving threads behind an `Arc`;
+/// the serving layer's batcher thread relies on this.
+const _ASSERT_TRAINED_IS_SHAREABLE: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TrainedFakeDetector>()
+};

@@ -357,6 +357,31 @@ impl FakeDetector {
     /// returns the trained model (weights + diagnostics), usable for
     /// transductive prediction, inductive new-article scoring and
     /// (de)serialisation.
+    ///
+    /// ```
+    /// use fd_core::{FakeDetector, FakeDetectorConfig};
+    /// # use fd_data::{generate, CvSplits, ExplicitFeatures, GeneratorConfig,
+    /// #               ExperimentContext, LabelMode, TokenizedCorpus, TrainSets};
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// # let corpus = generate(&GeneratorConfig::politifact().scaled(0.008), 7);
+    /// # let tokenized = TokenizedCorpus::build(&corpus, 8, 1500);
+    /// # let mut rng = StdRng::seed_from_u64(1);
+    /// # let train = TrainSets {
+    /// #     articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+    /// #     creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+    /// #     subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+    /// # };
+    /// # let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 20);
+    /// # let ctx = ExperimentContext {
+    /// #     corpus: &corpus, tokenized: &tokenized, explicit: &explicit,
+    /// #     train: &train, mode: LabelMode::Binary, seed: 1,
+    /// # };
+    /// let config = FakeDetectorConfig { epochs: 1, ..FakeDetectorConfig::default() };
+    /// let trained = FakeDetector::new(config).fit(&ctx);
+    /// assert_eq!(trained.report().losses.len(), 1);
+    /// let predictions = trained.predict(&ctx);
+    /// assert_eq!(predictions.articles.len(), ctx.corpus.articles.len());
+    /// ```
     pub fn fit(&self, ctx: &ExperimentContext<'_>) -> TrainedFakeDetector {
         let cfg = &self.config;
         // fit runs a handful of times per process, so registry lookups

@@ -21,6 +21,56 @@ fn batch_size(ctx: &ExperimentContext<'_>) -> usize {
     ctx.corpus.articles.len() + ctx.corpus.creators.len() + ctx.corpus.subjects.len()
 }
 
+fn type_slot(ty: NodeType) -> usize {
+    match ty {
+        NodeType::Article => 0,
+        NodeType::Creator => 1,
+        NodeType::Subject => 2,
+    }
+}
+
+/// One inductive scoring request: the text of an entity that is *not*
+/// in the corpus, plus the corpus indices of its neighbours in the
+/// News-HSN. This is the unit of work the serving layer micro-batches.
+///
+/// Which neighbour fields apply depends on `node_type`:
+///
+/// * [`NodeType::Article`] — `creator` (its author) and `subjects`
+///   (topics it indicates); `articles` must be empty.
+/// * [`NodeType::Creator`] / [`NodeType::Subject`] — `articles` (the
+///   articles it wrote / that indicate it); `creator` and `subjects`
+///   must be unset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRequest {
+    /// Which entity type the new node is.
+    pub node_type: NodeType,
+    /// Raw text (statement, profile or topic description).
+    pub text: String,
+    /// Authoring creator index (articles only).
+    pub creator: Option<usize>,
+    /// Indicated subject indices (articles only).
+    pub subjects: Vec<usize>,
+    /// Neighbouring article indices (creators and subjects only).
+    pub articles: Vec<usize>,
+}
+
+impl ScoreRequest {
+    /// A request for a new article with the given neighbours.
+    pub fn article(text: impl Into<String>, creator: Option<usize>, subjects: Vec<usize>) -> Self {
+        Self { node_type: NodeType::Article, text: text.into(), creator, subjects, articles: Vec::new() }
+    }
+
+    /// A request for a new creator with the given authored articles.
+    pub fn creator(text: impl Into<String>, articles: Vec<usize>) -> Self {
+        Self { node_type: NodeType::Creator, text: text.into(), creator: None, subjects: Vec::new(), articles }
+    }
+
+    /// A request for a new subject with the given indicating articles.
+    pub fn subject(text: impl Into<String>, articles: Vec<usize>) -> Self {
+        Self { node_type: NodeType::Subject, text: text.into(), creator: None, subjects: Vec::new(), articles }
+    }
+}
+
 /// The weights and metadata of a fitted model.
 pub struct TrainedFakeDetector {
     config: FakeDetectorConfig,
@@ -133,6 +183,34 @@ impl TrainedFakeDetector {
     /// Per-class probabilities for every entity, type-slot indexed
     /// (articles, creators, subjects). Uses the batched forward pass;
     /// probabilities are bit-identical to the per-node tape path.
+    ///
+    /// ```
+    /// # use fd_core::{FakeDetector, FakeDetectorConfig};
+    /// # use fd_data::{generate, CvSplits, ExplicitFeatures, GeneratorConfig,
+    /// #               ExperimentContext, LabelMode, TokenizedCorpus, TrainSets};
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// # let corpus = generate(&GeneratorConfig::politifact().scaled(0.008), 7);
+    /// # let tokenized = TokenizedCorpus::build(&corpus, 8, 1500);
+    /// # let mut rng = StdRng::seed_from_u64(1);
+    /// # let train = TrainSets {
+    /// #     articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+    /// #     creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+    /// #     subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+    /// # };
+    /// # let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 20);
+    /// # let ctx = ExperimentContext {
+    /// #     corpus: &corpus, tokenized: &tokenized, explicit: &explicit,
+    /// #     train: &train, mode: LabelMode::Binary, seed: 1,
+    /// # };
+    /// # let config = FakeDetectorConfig { epochs: 1, ..FakeDetectorConfig::default() };
+    /// let trained = FakeDetector::new(config).fit(&ctx);
+    /// let [articles, _creators, _subjects] = trained.predict_proba(&ctx);
+    /// // Each row is a probability distribution over the classes.
+    /// for row in &articles {
+    ///     assert_eq!(row.len(), LabelMode::Binary.n_classes());
+    ///     assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    /// }
+    /// ```
     pub fn predict_proba(&self, ctx: &ExperimentContext<'_>) -> [Vec<Vec<f32>>; 3] {
         self.check_ctx(ctx);
         let latency =
@@ -157,6 +235,157 @@ impl TrainedFakeDetector {
                 .collect();
         }
         out
+    }
+
+    /// The corpus's diffused GDU states, one `count x hidden` matrix per
+    /// node type (articles, creators, subjects). These depend only on
+    /// the trained weights and the corpus, so a serving process computes
+    /// them once at startup and reuses them for every inductive request;
+    /// they are the neighbour-state inputs [`TrainedFakeDetector::score_batch`]
+    /// reads. Bit-identical to the per-node tape states.
+    pub fn diffused_states(&self, ctx: &ExperimentContext<'_>) -> [fd_tensor::Matrix; 3] {
+        self.check_ctx(ctx);
+        self.network.forward_states_matrix(&self.config, ctx)
+    }
+
+    /// Checks a [`ScoreRequest`]'s neighbour indices against the corpus
+    /// without running the model — the serving layer rejects bad
+    /// requests with a 4xx *before* they reach the shared batch queue.
+    pub fn validate_request(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        req: &ScoreRequest,
+    ) -> Result<(), String> {
+        let (n_articles, n_creators, n_subjects) = (
+            ctx.corpus.articles.len(),
+            ctx.corpus.creators.len(),
+            ctx.corpus.subjects.len(),
+        );
+        match req.node_type {
+            NodeType::Article => {
+                if !req.articles.is_empty() {
+                    return Err("article requests take creator/subjects, not articles".into());
+                }
+                if let Some(u) = req.creator {
+                    if u >= n_creators {
+                        return Err(format!("creator {u} out of range (corpus has {n_creators})"));
+                    }
+                }
+                if let Some(&s) = req.subjects.iter().find(|&&s| s >= n_subjects) {
+                    return Err(format!("subject {s} out of range (corpus has {n_subjects})"));
+                }
+            }
+            NodeType::Creator | NodeType::Subject => {
+                if req.creator.is_some() || !req.subjects.is_empty() {
+                    return Err(format!(
+                        "{:?} requests take articles, not creator/subjects",
+                        req.node_type
+                    ));
+                }
+                if let Some(&a) = req.articles.iter().find(|&&a| a >= n_articles) {
+                    return Err(format!("article {a} out of range (corpus has {n_articles})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// **Micro-batched** inductive scoring: featurises every request's
+    /// text, groups requests by node type, and runs one matrix-level
+    /// forward per type — HFLU batch encode, one GDU step against the
+    /// precomputed corpus `states` (see
+    /// [`TrainedFakeDetector::diffused_states`]), one head matmul —
+    /// instead of one full pass per request. Returns per-class
+    /// probabilities in request order.
+    ///
+    /// **Batching never changes an answer**: row `i` of every op here is
+    /// independent of the other rows, so the probabilities for a request
+    /// are bit-identical whether it is scored alone, with any companions,
+    /// or through [`TrainedFakeDetector::score_new_article`]. That
+    /// invariant is what lets the serving layer batch opportunistically
+    /// under load without becoming nondeterministic.
+    ///
+    /// Returns `Err` (never panics) when a request fails
+    /// [`TrainedFakeDetector::validate_request`].
+    pub fn score_batch(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        states: &[fd_tensor::Matrix; 3],
+        requests: &[ScoreRequest],
+    ) -> Result<Vec<Vec<f32>>, String> {
+        self.check_ctx(ctx);
+        for (i, req) in requests.iter().enumerate() {
+            self.validate_request(ctx, req).map_err(|e| format!("request {i}: {e}"))?;
+        }
+        fd_obs::counter("infer.score_batch_calls").inc();
+        fd_obs::counter("infer.score_batch_items").add(requests.len() as u64);
+
+        let hidden = self.config.gdu_hidden;
+        let tokenizer = Tokenizer::default();
+        let mut by_slot: [Vec<usize>; 3] = Default::default();
+        for (i, req) in requests.iter().enumerate() {
+            by_slot[type_slot(req.node_type)].push(i);
+        }
+
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); requests.len()];
+        for (slot, members) in by_slot.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let n = members.len();
+            let ty = NodeType::ALL[slot];
+            let mut explicit_rows = fd_tensor::Matrix::zeros(n, ctx.explicit.dim);
+            let mut sequences: Vec<Vec<usize>> = Vec::with_capacity(n);
+            // Neighbour lists for the mean port (z) and the gathered
+            // creator row for the direct port (t, articles only).
+            let mut z_lists: Vec<&[usize]> = Vec::with_capacity(n);
+            let mut t_rows: Vec<Option<usize>> = Vec::with_capacity(n);
+            for (k, &ri) in members.iter().enumerate() {
+                let req = &requests[ri];
+                let tokens = tokenizer.tokenize(&req.text);
+                explicit_rows
+                    .row_mut(k)
+                    .copy_from_slice(ctx.explicit.featurise_tokens(ty, &tokens).row(0));
+                sequences.push(encode_sequence(&tokens, &ctx.tokenized.vocab, ctx.tokenized.seq_len));
+                if self.config.use_diffusion {
+                    z_lists.push(if slot == 0 { &req.subjects } else { &req.articles });
+                    t_rows.push(if slot == 0 { req.creator } else { None });
+                } else {
+                    z_lists.push(&[]);
+                    t_rows.push(None);
+                }
+            }
+            let seq_refs: Vec<&[usize]> = sequences.iter().map(Vec::as_slice).collect();
+            let x = self.network.hflu[slot].encode_raw_batch(
+                &self.network.params,
+                explicit_rows,
+                &seq_refs,
+            );
+            // Articles aggregate subject states and read their creator's
+            // state; creators/subjects aggregate article states — the
+            // same wiring as one diffusion round of the full graph.
+            let z_src = if slot == 0 { &states[2] } else { &states[0] };
+            let z = fd_tensor::mean_rows(z_src, n, |k| z_lists[k]);
+            let t_in = if slot == 0 {
+                fd_tensor::gather_rows(&states[1], &t_rows)
+            } else {
+                fd_tensor::Matrix::zeros(n, hidden)
+            };
+            let h = self.network.gdu[slot].forward_matrix(
+                &self.network.params,
+                &x,
+                &z,
+                &t_in,
+                self.config.use_gates,
+            );
+            let logits = self.network.heads[slot].forward_matrix(&self.network.params, &h);
+            for (k, &ri) in members.iter().enumerate() {
+                let mut probs = logits.row(k).to_vec();
+                softmax_in_place(&mut probs);
+                out[ri] = probs;
+            }
+        }
+        Ok(out)
     }
 
     /// **Inductive** scoring of an article that is *not* in the corpus:
@@ -224,6 +453,30 @@ impl TrainedFakeDetector {
     }
 
     /// Restores a model saved with [`TrainedFakeDetector::to_json`].
+    ///
+    /// ```
+    /// use fd_core::{FakeDetector, FakeDetectorConfig, TrainedFakeDetector};
+    /// # use fd_data::{generate, CvSplits, ExplicitFeatures, GeneratorConfig,
+    /// #               ExperimentContext, LabelMode, TokenizedCorpus, TrainSets};
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// # let corpus = generate(&GeneratorConfig::politifact().scaled(0.008), 7);
+    /// # let tokenized = TokenizedCorpus::build(&corpus, 8, 1500);
+    /// # let mut rng = StdRng::seed_from_u64(1);
+    /// # let train = TrainSets {
+    /// #     articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+    /// #     creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+    /// #     subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+    /// # };
+    /// # let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 20);
+    /// # let ctx = ExperimentContext {
+    /// #     corpus: &corpus, tokenized: &tokenized, explicit: &explicit,
+    /// #     train: &train, mode: LabelMode::Binary, seed: 1,
+    /// # };
+    /// let config = FakeDetectorConfig { epochs: 1, ..FakeDetectorConfig::default() };
+    /// let trained = FakeDetector::new(config).fit(&ctx);
+    /// let restored = TrainedFakeDetector::from_json(&trained.to_json()).unwrap();
+    /// assert_eq!(restored.predict(&ctx), trained.predict(&ctx));
+    /// ```
     pub fn from_json(json: &str) -> Result<Self, String> {
         let saved: SavedModel = serde_json::from_str(json).map_err(|e| e.to_string())?;
         let params = Params::from_json(&saved.params_json).map_err(|e| e.to_string())?;
@@ -244,5 +497,174 @@ impl TrainedFakeDetector {
             network,
             report: saved.report,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FakeDetector;
+    use fd_data::{
+        generate, CvSplits, ExplicitFeatures, GeneratorConfig, LabelMode, TokenizedCorpus,
+        TrainSets,
+    };
+    use rand::{rngs::StdRng, SeedableRng};
+
+    struct Fixture {
+        corpus: fd_data::Corpus,
+        tokenized: TokenizedCorpus,
+        explicit: ExplicitFeatures,
+        train: TrainSets,
+    }
+
+    fn fixture() -> Fixture {
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), 11);
+        let tokenized = TokenizedCorpus::build(&corpus, 12, 3000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+        };
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+        Fixture { corpus, tokenized, explicit, train }
+    }
+
+    fn make_ctx(f: &Fixture) -> ExperimentContext<'_> {
+        ExperimentContext {
+            corpus: &f.corpus,
+            tokenized: &f.tokenized,
+            explicit: &f.explicit,
+            train: &f.train,
+            mode: LabelMode::Binary,
+            seed: 9,
+        }
+    }
+
+    fn quick_train(ctx: &ExperimentContext<'_>) -> TrainedFakeDetector {
+        let config = crate::FakeDetectorConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            ..crate::FakeDetectorConfig::default()
+        };
+        FakeDetector::new(config).fit(ctx)
+    }
+
+    fn sample_requests(f: &Fixture) -> Vec<ScoreRequest> {
+        let graph = &f.corpus.graph;
+        vec![
+            ScoreRequest::article(
+                f.corpus.articles[0].text.clone(),
+                graph.author_of(0),
+                graph.subjects_of_article(0).to_vec(),
+            ),
+            ScoreRequest::article("breaking claims about the economy".to_string(), None, vec![]),
+            ScoreRequest::creator(
+                f.corpus.creators[1].profile.clone(),
+                graph.articles_of_creator(1).to_vec(),
+            ),
+            ScoreRequest::subject(
+                f.corpus.subjects[0].description.clone(),
+                graph.articles_of_subject(0).to_vec(),
+            ),
+            ScoreRequest::article(
+                "senate votes on the new healthcare bill".to_string(),
+                Some(2),
+                vec![0, 1],
+            ),
+        ]
+    }
+
+    /// The serving contract: scoring a request inside any batch is
+    /// bitwise identical to scoring it alone.
+    #[test]
+    fn score_batch_is_bitwise_identical_to_singletons() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = quick_train(&ctx);
+        let states = trained.diffused_states(&ctx);
+        let requests = sample_requests(&f);
+
+        let together = trained.score_batch(&ctx, &states, &requests).unwrap();
+        for (i, req) in requests.iter().enumerate() {
+            let alone =
+                trained.score_batch(&ctx, &states, std::slice::from_ref(req)).unwrap();
+            let (a, b) = (&alone[0], &together[i]);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "request {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// The batched article path must agree bitwise with the original
+    /// per-request tape path (`score_new_article`).
+    #[test]
+    fn score_batch_matches_score_new_article_bitwise() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = quick_train(&ctx);
+        let states = trained.diffused_states(&ctx);
+
+        let cases = [
+            ("new claims about medicare spending", Some(1), vec![0, 2]),
+            ("no neighbours at all", None, vec![]),
+            ("only subjects", None, vec![1]),
+        ];
+        for (text, creator, subjects) in cases {
+            let reference = trained.score_new_article(&ctx, text, creator, &subjects);
+            let req = ScoreRequest::article(text, creator, subjects.clone());
+            let batched = trained.score_batch(&ctx, &states, &[req]).unwrap();
+            assert_eq!(reference.len(), batched[0].len());
+            for (x, y) in reference.iter().zip(&batched[0]) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{text}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// Bad neighbour indices come back as `Err`, never a panic, and name
+    /// the offending request.
+    #[test]
+    fn score_batch_rejects_bad_requests() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = quick_train(&ctx);
+        let states = trained.diffused_states(&ctx);
+
+        let out_of_range = ScoreRequest::article("x", Some(usize::MAX), vec![]);
+        let err = trained.score_batch(&ctx, &states, &[out_of_range]).unwrap_err();
+        assert!(err.contains("request 0"), "{err}");
+        assert!(err.contains("out of range"), "{err}");
+
+        let misdirected = ScoreRequest {
+            node_type: fd_graph::NodeType::Creator,
+            text: "x".into(),
+            creator: Some(0),
+            subjects: vec![],
+            articles: vec![],
+        };
+        let err = trained.score_batch(&ctx, &states, &[misdirected]).unwrap_err();
+        assert!(err.contains("articles"), "{err}");
+    }
+
+    /// `score_batch` must be invariant to `FD_THREADS`.
+    #[test]
+    fn score_batch_is_thread_invariant() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = quick_train(&ctx);
+        let requests = sample_requests(&f);
+        let run = |threads: usize| {
+            fd_tensor::parallel::with_thread_count(threads, || {
+                let states = trained.diffused_states(&ctx);
+                trained.score_batch(&ctx, &states, &requests).unwrap()
+            })
+        };
+        let (one, four) = (run(1), run(4));
+        for (a, b) in one.iter().zip(&four) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

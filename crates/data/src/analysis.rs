@@ -80,7 +80,7 @@ pub fn subject_tallies(corpus: &Corpus) -> Vec<SubjectTally> {
 }
 
 /// The 6-class label histogram of one creator's articles, in
-/// [`Credibility::ALL`] order — one pie of Fig 1(e)/(f).
+/// [`Credibility::ALL`](crate::Credibility::ALL) order — one pie of Fig 1(e)/(f).
 pub fn creator_tally(corpus: &Corpus, creator: usize) -> [usize; 6] {
     let mut histogram = [0usize; 6];
     for &a in corpus.graph.articles_of_creator(creator) {

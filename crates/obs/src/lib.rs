@@ -20,6 +20,27 @@
 //!    `snapshot()`. Registration takes a mutex; recording is atomic
 //!    ops only, cheap enough for per-kernel-call hooks.
 //!
+//! Registry handles are `&'static` and creation is idempotent (first
+//! registration's bucket bounds win), so call sites just name what they
+//! record:
+//!
+//! ```
+//! let scored = fd_obs::counter("doc.items_scored");
+//! scored.add(3);
+//! assert!(fd_obs::counter("doc.items_scored").get() >= 3);
+//!
+//! fd_obs::gauge("doc.queue_depth").set(7.0);
+//!
+//! let latency = fd_obs::histogram("doc.latency_us", &fd_obs::exponential_buckets(50.0, 4.0, 8));
+//! {
+//!     let _timer = fd_obs::span_timed("doc.work", latency); // records on drop
+//! }
+//! assert!(latency.count() >= 1);
+//!
+//! // Everything registered so far, as deterministic JSON.
+//! assert!(fd_obs::snapshot().contains("doc.latency_us"));
+//! ```
+//!
 //! The JSON string escaper the logger uses is exported
 //! ([`escape_json`], [`push_json_string`]) so other crates that
 //! hand-roll JSON (e.g. `fd-metrics` result series) share one correct

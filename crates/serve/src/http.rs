@@ -1,0 +1,354 @@
+//! A minimal HTTP/1.1 implementation over `std::net` — just enough
+//! surface for the credibility-inference API: request-head parsing with
+//! hard size caps, `Content-Length` bodies, keep-alive, and a blocking
+//! client used by the tests and the load generator.
+//!
+//! Everything here is defensive: malformed input produces a typed
+//! [`HttpError`] that the server maps to a 4xx response; nothing panics
+//! on wire data.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …(uppercase as received).
+    pub method: String,
+    /// The request target, e.g. `/v1/predict`.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request.
+    Closed,
+    /// Reading timed out (the caller decides whether to retry).
+    TimedOut,
+    /// Transport failure.
+    Io(io::Error),
+    /// The request head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared `Content-Length` exceeded the server's body cap.
+    BodyTooLarge(usize),
+    /// The bytes did not parse as HTTP/1.x.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::TimedOut => write!(f, "read timed out"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge(cap) => write!(f, "request body exceeds {cap} bytes"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::TimedOut,
+            io::ErrorKind::UnexpectedEof => HttpError::Closed,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Reads one request from `stream`. `max_body` caps the accepted
+/// `Content-Length`; larger declarations return
+/// [`HttpError::BodyTooLarge`] without draining the body.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(stream)?;
+    let text = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("head not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().filter(|m| !m.is_empty()).ok_or(HttpError::Malformed("no method"))?;
+    let path = parts.next().ok_or(HttpError::Malformed("no path"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge(max_body));
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads until the `\r\n\r\n` head terminator, leaving the stream
+/// positioned at the body. Reads byte-by-byte through a small state
+/// machine: request heads are tiny and this keeps the body bytes out of
+/// any look-ahead buffer.
+fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut matched = 0usize; // prefix length of b"\r\n\r\n" seen
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return if head.is_empty() { Err(HttpError::Closed) } else {
+                Err(HttpError::Malformed("connection closed mid-head"))
+            };
+        }
+        head.push(byte[0]);
+        matched = match (matched, byte[0]) {
+            (0, b'\r') | (2, b'\r') => matched + 1,
+            (1, b'\n') | (3, b'\n') => matched + 1,
+            (_, b'\r') => 1,
+            _ => 0,
+        };
+        if matched == 4 {
+            head.truncate(head.len() - 4);
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+    }
+}
+
+/// Writes a JSON response. `keep_alive` controls the `Connection`
+/// header; the caller closes the stream when it is `false`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The standard reason phrase for the statuses this server emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+/// A blocking keep-alive HTTP client, used by the integration tests and
+/// the `report serve` load generator. One client drives one connection;
+/// for concurrent load, create one client per thread.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sets the response-read timeout.
+    pub fn set_timeout(&mut self, timeout: std::time::Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Sends `GET path` and returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.roundtrip(&format!("GET {path} HTTP/1.1\r\nhost: fd-serve\r\n\r\n"))
+    }
+
+    /// Sends `POST path` with a JSON body and returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.roundtrip(&format!(
+            "POST {path} HTTP/1.1\r\nhost: fd-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    }
+
+    /// Sends raw bytes (for malformed-input tests) and reads a response.
+    pub fn raw(&mut self, bytes: &[u8]) -> io::Result<(u16, String)> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn roundtrip(&mut self, request: &str) -> io::Result<(u16, String)> {
+        self.stream.write_all(request.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let head = {
+            let mut head = Vec::with_capacity(256);
+            let mut matched = 0usize;
+            let mut byte = [0u8; 1];
+            loop {
+                let n = self.stream.read(&mut byte)?;
+                if n == 0 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed mid-response"));
+                }
+                head.push(byte[0]);
+                matched = match (matched, byte[0]) {
+                    (0, b'\r') | (2, b'\r') => matched + 1,
+                    (1, b'\n') | (3, b'\n') => matched + 1,
+                    (_, b'\r') => 1,
+                    _ => 0,
+                };
+                if matched == 4 {
+                    head.truncate(head.len() - 4);
+                    break head;
+                }
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "response head too large"));
+                }
+            }
+        };
+        let text = String::from_utf8(head)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head not UTF-8"))?;
+        let mut lines = text.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body not UTF-8"))?;
+        Ok((status, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// Runs `read_request` against raw bytes sent over a real socket.
+    fn parse(bytes: &'static [u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(bytes).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/predict");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn honours_connection_close() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n", 1024).unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let err = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(1024)), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse(b"NOT AN HTTP REQUEST\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+        let err = parse(b"GET / SMTP/3\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        // A single giant header blows the head cap.
+        let bytes: &'static [u8] = Box::leak(
+            format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES + 1))
+                .into_bytes()
+                .into_boxed_slice(),
+        );
+        let err = parse(bytes, 1024).unwrap_err();
+        assert!(matches!(err, HttpError::HeadTooLarge), "{err}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Loading a trained bundle into a shareable serving handle.
+//!
+//! [`ServeModel`] owns everything a request needs — the corpus, the
+//! rebuilt feature pipeline, the trained weights, and the precomputed
+//! diffused states — so the server can score inductive requests with a
+//! single batched GDU step instead of replaying the whole graph pass
+//! per request. It is `Send + Sync` and lives behind an `Arc` shared
+//! by every handler thread and the batcher.
+
+use fd_core::{ScoreRequest, TrainedFakeDetector};
+use fd_data::{
+    Corpus, Credibility, ExperimentContext, ExplicitFeatures, LabelMode, TokenizedCorpus,
+    TrainSets,
+};
+use serde::{Deserialize, Serialize};
+
+/// The on-disk train bundle written by `fdctl train` and consumed by
+/// `fdctl predict|evaluate|score|serve`. Everything beyond the raw
+/// weights that is needed to rebuild the feature pipeline exactly:
+/// train indices (χ² statistics are train-only), feature width,
+/// sequence length, vocabulary cap, and label mode.
+#[derive(Serialize, Deserialize)]
+pub struct TrainBundle {
+    /// Serialized [`TrainedFakeDetector`] weights.
+    pub model_json: String,
+    /// Per-type training indices.
+    pub train: BundleSplit,
+    /// `"binary"` or `"multi"`.
+    pub mode: String,
+    /// χ² explicit-feature width per node type.
+    pub explicit_dim: usize,
+    /// Token-sequence truncation length.
+    pub seq_len: usize,
+    /// Vocabulary cap for the tokenizer.
+    pub max_vocab: usize,
+}
+
+/// Serializable mirror of [`TrainSets`].
+#[derive(Serialize, Deserialize)]
+pub struct BundleSplit {
+    /// Training article indices.
+    pub articles: Vec<usize>,
+    /// Training creator indices.
+    pub creators: Vec<usize>,
+    /// Training subject indices.
+    pub subjects: Vec<usize>,
+}
+
+impl From<TrainSets> for BundleSplit {
+    fn from(t: TrainSets) -> Self {
+        Self { articles: t.articles, creators: t.creators, subjects: t.subjects }
+    }
+}
+
+impl From<BundleSplit> for TrainSets {
+    fn from(b: BundleSplit) -> Self {
+        Self { articles: b.articles, creators: b.creators, subjects: b.subjects }
+    }
+}
+
+/// Parses `"binary"` / `"multi"` into a [`LabelMode`].
+pub fn parse_mode(raw: &str) -> Result<LabelMode, String> {
+    match raw {
+        "binary" => Ok(LabelMode::Binary),
+        "multi" => Ok(LabelMode::MultiClass),
+        other => Err(format!("mode must be binary or multi, got {other}")),
+    }
+}
+
+/// The label-mode name used on the wire for a [`LabelMode`].
+pub fn mode_name(mode: LabelMode) -> &'static str {
+    match mode {
+        LabelMode::Binary => "binary",
+        LabelMode::MultiClass => "multi",
+    }
+}
+
+/// A self-contained, thread-shareable serving handle: corpus + feature
+/// pipeline + trained weights + precomputed diffused states.
+pub struct ServeModel {
+    corpus: Corpus,
+    tokenized: TokenizedCorpus,
+    explicit: ExplicitFeatures,
+    train: TrainSets,
+    mode: LabelMode,
+    trained: TrainedFakeDetector,
+    states: [fd_tensor::Matrix; 3],
+}
+
+impl ServeModel {
+    /// Builds a serving handle from in-memory parts, rebuilding the
+    /// feature pipeline and precomputing the diffused corpus states.
+    pub fn new(
+        corpus: Corpus,
+        trained: TrainedFakeDetector,
+        train: TrainSets,
+        mode: LabelMode,
+        explicit_dim: usize,
+        seq_len: usize,
+        max_vocab: usize,
+    ) -> Self {
+        let tokenized = TokenizedCorpus::build(&corpus, seq_len, max_vocab);
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, explicit_dim);
+        let states = {
+            let ctx = ExperimentContext {
+                corpus: &corpus,
+                tokenized: &tokenized,
+                explicit: &explicit,
+                train: &train,
+                mode,
+                seed: 0,
+            };
+            let hist =
+                fd_obs::histogram("serve.warmup_us", &fd_obs::exponential_buckets(100.0, 4.0, 12));
+            let _timer = fd_obs::span_timed("serve.warmup", hist);
+            trained.diffused_states(&ctx)
+        };
+        Self { corpus, tokenized, explicit, train, mode, trained, states }
+    }
+
+    /// Builds a serving handle from a corpus and a serialized
+    /// [`TrainBundle`].
+    pub fn from_bundle_json(corpus: Corpus, bundle_json: &str) -> Result<Self, String> {
+        let bundle: TrainBundle =
+            serde_json::from_str(bundle_json).map_err(|e| format!("bundle: {e}"))?;
+        let trained = TrainedFakeDetector::from_json(&bundle.model_json)?;
+        let mode = parse_mode(&bundle.mode)?;
+        Ok(Self::new(
+            corpus,
+            trained,
+            bundle.train.into(),
+            mode,
+            bundle.explicit_dim,
+            bundle.seq_len,
+            bundle.max_vocab,
+        ))
+    }
+
+    /// Reads the corpus and bundle files and builds a serving handle.
+    pub fn load(corpus_path: &str, bundle_path: &str) -> Result<Self, String> {
+        let corpus_json =
+            std::fs::read_to_string(corpus_path).map_err(|e| format!("{corpus_path}: {e}"))?;
+        let corpus = Corpus::from_json(&corpus_json)?;
+        let bundle_json =
+            std::fs::read_to_string(bundle_path).map_err(|e| format!("{bundle_path}: {e}"))?;
+        Self::from_bundle_json(corpus, &bundle_json)
+    }
+
+    fn ctx(&self) -> ExperimentContext<'_> {
+        ExperimentContext {
+            corpus: &self.corpus,
+            tokenized: &self.tokenized,
+            explicit: &self.explicit,
+            train: &self.train,
+            mode: self.mode,
+            seed: 0,
+        }
+    }
+
+    /// Checks a request against the corpus (neighbour indices in range,
+    /// neighbour kinds appropriate for the node type) without scoring.
+    pub fn validate(&self, request: &ScoreRequest) -> Result<(), String> {
+        self.trained.validate_request(&self.ctx(), request)
+    }
+
+    /// Scores a batch of requests in one matrix pass. Results are
+    /// bitwise-identical to scoring each request alone.
+    pub fn score(&self, requests: &[ScoreRequest]) -> Result<Vec<Vec<f32>>, String> {
+        self.trained.score_batch(&self.ctx(), &self.states, requests)
+    }
+
+    /// The label mode the model was trained under.
+    pub fn mode(&self) -> LabelMode {
+        self.mode
+    }
+
+    /// Class names, index-aligned with the probability vectors.
+    pub fn class_labels(&self) -> Vec<&'static str> {
+        match self.mode {
+            LabelMode::Binary => vec!["fake", "credible"],
+            LabelMode::MultiClass => Credibility::ALL.iter().map(|l| l.name()).collect(),
+        }
+    }
+
+    /// Corpus sizes as (articles, creators, subjects) — reported by
+    /// `/healthz` so operators can sanity-check what got loaded.
+    pub fn corpus_sizes(&self) -> (usize, usize, usize) {
+        (self.corpus.articles.len(), self.corpus.creators.len(), self.corpus.subjects.len())
+    }
+}

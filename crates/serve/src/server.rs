@@ -1,0 +1,524 @@
+//! The HTTP server: accept loop, per-connection handlers, routing, and
+//! graceful shutdown.
+//!
+//! Each connection gets a handler thread that parses requests and
+//! enqueues scoring jobs on the shared [`BatchQueue`]; one batcher
+//! thread drains the queue and runs batched matrix passes over the
+//! shared [`ServeModel`]. Handler threads poll the shutdown flag
+//! between requests (via a short read timeout), so
+//! [`Server::shutdown`] completes every in-flight request, drains the
+//! queue, and only then tears the threads down.
+
+use crate::batch::{BatchQueue, EnqueueError};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::model::{mode_name, ServeModel};
+use fd_core::ScoreRequest;
+use fd_graph::NodeType;
+use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often idle connection handlers wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Tunables for [`Server::start`]. The defaults match the documented
+/// `fdctl serve` defaults (see OPERATIONS.md).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port 0 picks a free port
+    /// (query it with [`Server::local_addr`]).
+    pub addr: String,
+    /// Largest batch the batcher scores in one matrix pass.
+    pub max_batch: usize,
+    /// Longest a queued request waits for co-batching company before a
+    /// partial batch is dispatched.
+    pub max_delay_ms: u64,
+    /// Queued-job bound; beyond it new requests get 429.
+    pub queue_bound: usize,
+    /// Per-request deadline from enqueue to scored result (504 past it).
+    pub request_timeout_ms: u64,
+    /// Largest accepted request body (413 past it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            max_batch: 32,
+            max_delay_ms: 2,
+            queue_bound: 1024,
+            request_timeout_ms: 10_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaves the threads running detached; call `shutdown` for a clean,
+/// draining stop.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+/// Clonable remote control for a [`Server`]; lets a signal watcher ask
+/// for shutdown without owning the server.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Flips the shutdown flag and wakes the accept loop. Idempotent;
+    /// the actual draining happens in [`Server::shutdown`].
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A throwaway connection unblocks the accept() call so it can
+        // observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the accept loop and the batcher.
+    pub fn start(model: Arc<ServeModel>, config: &ServeConfig) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let queue = Arc::new(BatchQueue::new(
+            config.queue_bound,
+            config.max_batch,
+            Duration::from_millis(config.max_delay_ms),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let model = Arc::clone(&model);
+            std::thread::spawn(move || batcher_loop(&queue, &model))
+        };
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::spawn(move || accept_loop(listener, model, queue, stop, config))
+        };
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "serve.start",
+            &[("addr", fd_obs::Value::Str(addr.to_string()))],
+        );
+        Ok(Self { addr, queue, stop, accept: Some(accept), batcher: Some(batcher) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clonable handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { addr: self.addr, stop: Arc::clone(&self.stop) }
+    }
+
+    /// Graceful stop: stop accepting, flush the queue (already-enqueued
+    /// jobs are scored and answered immediately, without waiting out the
+    /// co-batching window; requests arriving after this point get 503),
+    /// then join the handlers and finally the batcher. The queue must be
+    /// shut down *before* the handlers are joined — handlers waiting on
+    /// a queued result would otherwise block the join until the batching
+    /// window expired.
+    pub fn shutdown(mut self) {
+        self.shutdown_handle().request_shutdown();
+        self.queue.shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        fd_obs::event(fd_obs::Level::Info, "serve.stop", &[]);
+    }
+}
+
+/// Scores batches until the queue shuts down and drains.
+fn batcher_loop(queue: &BatchQueue, model: &ServeModel) {
+    let size_hist = fd_obs::histogram("serve.batch_size", &fd_obs::exponential_buckets(1.0, 2.0, 9));
+    let wait_hist =
+        fd_obs::histogram("serve.queue_wait_us", &fd_obs::exponential_buckets(50.0, 4.0, 10));
+    let score_hist =
+        fd_obs::histogram("serve.batch_score_us", &fd_obs::exponential_buckets(100.0, 4.0, 12));
+    while let Some(batch) = queue.next_batch() {
+        size_hist.record(batch.requests.len() as f64);
+        wait_hist.record(batch.oldest_wait.as_secs_f64() * 1e6);
+        let scored = {
+            let _timer = fd_obs::span_timed("serve.batch_score", score_hist);
+            model.score(&batch.requests)
+        };
+        match scored {
+            // Send failures mean the handler gave up (timeout / dead
+            // connection); the result is simply dropped.
+            Ok(rows) => {
+                for (row, reply) in rows.into_iter().zip(&batch.replies) {
+                    let _ = reply.send(Ok(row));
+                }
+            }
+            Err(e) => {
+                fd_obs::counter("serve.batch_errors").inc();
+                for reply in &batch.replies {
+                    let _ = reply.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Accepts connections until shutdown, then joins every handler thread
+/// so in-flight requests complete before `Server::shutdown` proceeds.
+fn accept_loop(
+    listener: TcpListener,
+    model: Arc<ServeModel>,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    config: ServeConfig,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        fd_obs::counter("serve.connections").inc();
+        let model = Arc::clone(&model);
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let config = config.clone();
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(stream, &model, &queue, &stop, &config)
+        }));
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, an
+/// unrecoverable parse error occurs, or shutdown is requested.
+fn handle_connection(
+    mut stream: TcpStream,
+    model: &ServeModel,
+    queue: &BatchQueue,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let latency_hist =
+        fd_obs::histogram("serve.request_us", &fd_obs::exponential_buckets(50.0, 4.0, 12));
+    loop {
+        let request = match read_request(&mut stream, config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::TimedOut) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return,
+            // The connection state is unknown after these; respond and
+            // close rather than trying to resynchronise.
+            Err(e @ (HttpError::HeadTooLarge | HttpError::BodyTooLarge(_))) => {
+                respond_error(&mut stream, 413, &e.to_string());
+                return;
+            }
+            Err(e @ HttpError::Malformed(_)) => {
+                respond_error(&mut stream, 400, &e.to_string());
+                return;
+            }
+        };
+        fd_obs::counter("serve.requests").inc();
+        let started = Instant::now();
+        let (status, body) = route(model, queue, config, &request);
+        latency_hist.record(started.elapsed().as_secs_f64() * 1e6);
+        if status >= 500 {
+            fd_obs::counter("serve.responses_5xx").inc();
+        } else if status >= 400 {
+            fd_obs::counter("serve.responses_4xx").inc();
+        } else {
+            fd_obs::counter("serve.responses_2xx").inc();
+        }
+        let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+        if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    fd_obs::counter("serve.responses_4xx").inc();
+    let _ = write_response(stream, status, &error_body(message), false);
+}
+
+/// One entity to score, as it appears on the wire.
+#[derive(Deserialize)]
+struct WireRequest {
+    /// `article` (default), `creator`, or `subject`.
+    #[serde(default = "default_node_type")]
+    node_type: String,
+    text: String,
+    #[serde(default)]
+    creator: Option<usize>,
+    #[serde(default)]
+    subjects: Vec<usize>,
+    #[serde(default)]
+    articles: Vec<usize>,
+}
+
+fn default_node_type() -> String {
+    "article".into()
+}
+
+#[derive(Deserialize)]
+struct WireBatch {
+    requests: Vec<WireRequest>,
+}
+
+#[derive(Serialize)]
+struct PredictResponse {
+    mode: String,
+    labels: Vec<String>,
+    probabilities: Vec<f32>,
+}
+
+#[derive(Serialize)]
+struct BatchResponse {
+    mode: String,
+    labels: Vec<String>,
+    results: Vec<Vec<f32>>,
+}
+
+#[derive(Serialize)]
+struct Health {
+    status: String,
+    mode: String,
+    articles: usize,
+    creators: usize,
+    subjects: usize,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: String,
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&ErrorBody { error: message.to_string() })
+        .unwrap_or_else(|_| "{}".into())
+}
+
+fn owned_labels(model: &ServeModel) -> Vec<String> {
+    model.class_labels().into_iter().map(str::to_string).collect()
+}
+
+impl WireRequest {
+    fn into_score_request(self) -> Result<ScoreRequest, String> {
+        let node_type = match self.node_type.as_str() {
+            "article" => NodeType::Article,
+            "creator" => NodeType::Creator,
+            "subject" => NodeType::Subject,
+            other => return Err(format!("node_type must be article|creator|subject, got {other}")),
+        };
+        Ok(ScoreRequest {
+            node_type,
+            text: self.text,
+            creator: self.creator,
+            subjects: self.subjects,
+            articles: self.articles,
+        })
+    }
+}
+
+/// Dispatches one parsed request to its endpoint; returns status + JSON
+/// body. Never panics on request content.
+fn route(
+    model: &ServeModel,
+    queue: &BatchQueue,
+    config: &ServeConfig,
+    request: &Request,
+) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let (articles, creators, subjects) = model.corpus_sizes();
+            let health = Health {
+                status: "ok".into(),
+                mode: mode_name(model.mode()).into(),
+                articles,
+                creators,
+                subjects,
+            };
+            (200, serde_json::to_string(&health).unwrap_or_else(|_| "{}".into()))
+        }
+        ("GET", "/metrics") => (200, fd_obs::snapshot()),
+        ("POST", "/v1/predict") => predict_one(model, queue, config, &request.body),
+        ("POST", "/v1/predict_batch") => predict_batch(model, queue, config, &request.body),
+        (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/predict_batch") => {
+            (405, error_body("method not allowed"))
+        }
+        (_, path) => (404, error_body(&format!("no such endpoint: {path}"))),
+    }
+}
+
+fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::from_str(text).map_err(|e| format!("invalid request body: {e}"))
+}
+
+/// Maps an enqueue rejection to its HTTP response.
+fn enqueue_failure(err: EnqueueError) -> (u16, String) {
+    match err {
+        EnqueueError::Full => (429, error_body("queue full, retry later")),
+        EnqueueError::ShuttingDown => (503, error_body("server is shutting down")),
+    }
+}
+
+fn predict_one(
+    model: &ServeModel,
+    queue: &BatchQueue,
+    config: &ServeConfig,
+    body: &[u8],
+) -> (u16, String) {
+    let wire: WireRequest = match parse_body(body) {
+        Ok(wire) => wire,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let score_request = match wire.into_score_request() {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e)),
+    };
+    // Validate before enqueueing so the batcher only ever sees
+    // well-formed jobs and bad requests fail fast with a 400.
+    if let Err(e) = model.validate(&score_request) {
+        return (400, error_body(&e));
+    }
+    let receiver = match queue.enqueue(score_request) {
+        Ok(rx) => rx,
+        Err(e) => return enqueue_failure(e),
+    };
+    match receiver.recv_timeout(Duration::from_millis(config.request_timeout_ms)) {
+        Ok(Ok(probabilities)) => {
+            let response = PredictResponse {
+                mode: mode_name(model.mode()).into(),
+                labels: owned_labels(model),
+                probabilities,
+            };
+            (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+        }
+        Ok(Err(e)) => (500, error_body(&e)),
+        Err(RecvTimeoutError::Timeout) => {
+            fd_obs::counter("serve.request_timeouts").inc();
+            (504, error_body("scoring deadline exceeded"))
+        }
+        Err(RecvTimeoutError::Disconnected) => (500, error_body("batcher unavailable")),
+    }
+}
+
+fn predict_batch(
+    model: &ServeModel,
+    queue: &BatchQueue,
+    config: &ServeConfig,
+    body: &[u8],
+) -> (u16, String) {
+    let wire: WireBatch = match parse_body(body) {
+        Ok(wire) => wire,
+        Err(e) => return (400, error_body(&e)),
+    };
+    let mut score_requests = Vec::with_capacity(wire.requests.len());
+    for (i, item) in wire.requests.into_iter().enumerate() {
+        let score_request = match item.into_score_request() {
+            Ok(r) => r,
+            Err(e) => return (400, error_body(&format!("request {i}: {e}"))),
+        };
+        if let Err(e) = model.validate(&score_request) {
+            return (400, error_body(&format!("request {i}: {e}")));
+        }
+        score_requests.push(score_request);
+    }
+    let mut receivers = Vec::with_capacity(score_requests.len());
+    for score_request in score_requests {
+        match queue.enqueue(score_request) {
+            Ok(rx) => receivers.push(rx),
+            // Earlier items of this batch stay queued; their results are
+            // dropped by the batcher when it finds the receivers dead.
+            Err(e) => return enqueue_failure(e),
+        }
+    }
+    // One deadline for the whole batch, not per item.
+    let deadline = Instant::now() + Duration::from_millis(config.request_timeout_ms);
+    let mut results = Vec::with_capacity(receivers.len());
+    for receiver in receivers {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match receiver.recv_timeout(remaining) {
+            Ok(Ok(probabilities)) => results.push(probabilities),
+            Ok(Err(e)) => return (500, error_body(&e)),
+            Err(RecvTimeoutError::Timeout) => {
+                fd_obs::counter("serve.request_timeouts").inc();
+                return (504, error_body("scoring deadline exceeded"));
+            }
+            Err(RecvTimeoutError::Disconnected) => return (500, error_body("batcher unavailable")),
+        }
+    }
+    let response = BatchResponse {
+        mode: mode_name(model.mode()).into(),
+        labels: owned_labels(model),
+        results,
+    };
+    (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that set a process-wide flag,
+/// readable via [`signal_received`]. Uses the libc `signal(2)` symbol
+/// directly so no crate dependency is needed; the handler only touches
+/// an atomic, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn mark(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, mark as extern "C" fn(i32) as usize);
+        signal(SIGTERM, mark as extern "C" fn(i32) as usize);
+    }
+}
+
+/// No-op off Unix; `fdctl serve` then only stops when killed.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since
+/// [`install_signal_handlers`].
+pub fn signal_received() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}

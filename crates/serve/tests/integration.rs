@@ -1,0 +1,248 @@
+//! End-to-end tests against a live server on localhost: concurrent
+//! clients must get bitwise-identical answers to sequential scoring,
+//! hostile input must map to 4xx (never a crash), and graceful
+//! shutdown must complete in-flight requests.
+
+use fd_core::{FakeDetector, FakeDetectorConfig};
+use fd_data::{
+    generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
+    TokenizedCorpus, TrainSets,
+};
+use fd_serve::{HttpClient, ServeConfig, ServeModel, Server};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One tiny trained model shared by every test (training dominates the
+/// suite's runtime; serving itself is cheap).
+fn model() -> Arc<ServeModel> {
+    static MODEL: OnceLock<Arc<ServeModel>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let seed = 7;
+            let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let train = TrainSets {
+                articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+                creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+                subjects: CvSplits::new(corpus.subjects.len(), 10, &mut rng).fold(0).0,
+            };
+            let (explicit_dim, seq_len, max_vocab) = (30, 8, 2000);
+            let tokenized = TokenizedCorpus::build(&corpus, seq_len, max_vocab);
+            let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, explicit_dim);
+            let ctx = ExperimentContext {
+                corpus: &corpus,
+                tokenized: &tokenized,
+                explicit: &explicit,
+                train: &train,
+                mode: LabelMode::Binary,
+                seed,
+            };
+            let config = FakeDetectorConfig {
+                epochs: 1,
+                validation_fraction: 0.0,
+                ..FakeDetectorConfig::default()
+            };
+            let trained = FakeDetector::new(config).fit(&ctx);
+            drop((tokenized, explicit));
+            Arc::new(ServeModel::new(
+                corpus,
+                trained,
+                train,
+                LabelMode::Binary,
+                explicit_dim,
+                seq_len,
+                max_vocab,
+            ))
+        })
+        .clone()
+}
+
+fn start(config: &ServeConfig) -> (Server, String) {
+    let server = Server::start(model(), config).expect("start server");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn ephemeral() -> ServeConfig {
+    ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() }
+}
+
+fn client(addr: &str) -> HttpClient {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+    client
+}
+
+fn body_for(i: usize) -> String {
+    let (_, creators, subjects) = model().corpus_sizes();
+    format!(
+        "{{\"text\":\"claim {i} about the budget deficit and medicare\",\"creator\":{},\"subjects\":[{}]}}",
+        i % creators,
+        i % subjects
+    )
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_responses() {
+    let (server, addr) = start(&ephemeral());
+    let (clients, per_client) = (8, 6);
+    let total = clients * per_client;
+    let bodies: Vec<String> = (0..total).map(body_for).collect();
+
+    // Sequential reference: every request scored alone.
+    let mut sequential = client(&addr);
+    let reference: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let (status, response) = sequential.post("/v1/predict", b).expect("post");
+            assert_eq!(status, 200, "{response}");
+            response
+        })
+        .collect();
+
+    // The same requests, concurrently, co-batched by the server.
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let chunk: Vec<(usize, String)> = (c * per_client..(c + 1) * per_client)
+                .map(|i| (i, bodies[i].clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = client(&addr);
+                chunk
+                    .into_iter()
+                    .map(|(i, body)| (i, client.post("/v1/predict", &body).expect("post")))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for worker in workers {
+        for (i, (status, response)) in worker.join().expect("client thread") {
+            assert_eq!(status, 200, "request {i}: {response}");
+            assert_eq!(response, reference[i], "request {i}: batched response drifted");
+        }
+    }
+
+    // predict_batch agrees with predict: same probabilities, grouped.
+    let batch_body = format!(
+        "{{\"requests\":[{}]}}",
+        bodies[..3].join(",")
+    );
+    let (status, response) = client(&addr).post("/v1/predict_batch", &batch_body).expect("post");
+    assert_eq!(status, 200, "{response}");
+    for single in &reference[..3] {
+        let probs = single
+            .split("\"probabilities\":")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .expect("probabilities in single response");
+        assert!(
+            response.contains(probs),
+            "batch response missing probabilities {probs}: {response}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hostile_input_gets_4xx_and_never_kills_the_server() {
+    let config = ServeConfig { max_body_bytes: 2048, ..ephemeral() };
+    let (server, addr) = start(&config);
+
+    // Malformed JSON.
+    let (status, response) = client(&addr).post("/v1/predict", "not json").expect("post");
+    assert_eq!(status, 400, "{response}");
+    // Valid JSON, missing required field.
+    let (status, _) = client(&addr).post("/v1/predict", "{\"creator\":1}").expect("post");
+    assert_eq!(status, 400);
+    // Unknown node type.
+    let (status, _) = client(&addr)
+        .post("/v1/predict", "{\"node_type\":\"moderator\",\"text\":\"x\"}")
+        .expect("post");
+    assert_eq!(status, 400);
+    // Neighbour index out of range.
+    let (status, response) = client(&addr)
+        .post("/v1/predict", "{\"text\":\"x\",\"creator\":999999}")
+        .expect("post");
+    assert_eq!(status, 400, "{response}");
+    // Wrong neighbour kind for the node type.
+    let (status, _) = client(&addr)
+        .post("/v1/predict", "{\"text\":\"x\",\"articles\":[0]}")
+        .expect("post");
+    assert_eq!(status, 400);
+    // Oversized body.
+    let huge = format!("{{\"text\":\"{}\"}}", "y".repeat(4096));
+    let (status, _) = client(&addr).post("/v1/predict", &huge).expect("post");
+    assert_eq!(status, 413);
+    // Not HTTP at all.
+    let (status, _) = client(&addr).raw(b"SING TO ME MUSE\r\n\r\n").expect("raw");
+    assert_eq!(status, 400);
+    // Unknown path / wrong method.
+    let (status, _) = client(&addr).get("/v2/oracle").expect("get");
+    assert_eq!(status, 404);
+    let (status, _) = client(&addr)
+        .raw(b"DELETE /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+        .expect("raw");
+    assert_eq!(status, 405);
+
+    // After all of that the server still answers.
+    let (status, response) = client(&addr).get("/healthz").expect("get");
+    assert_eq!(status, 200);
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(0)).expect("post");
+    assert_eq!(status, 200, "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_reports_serve_counters() {
+    let (server, addr) = start(&ephemeral());
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(1)).expect("post");
+    assert_eq!(status, 200, "{response}");
+    let (status, snapshot) = client(&addr).get("/metrics").expect("get");
+    assert_eq!(status, 200);
+    for key in ["serve.requests", "serve.batch_size", "serve.request_us", "serve.queue_depth"] {
+        assert!(snapshot.contains(key), "metrics snapshot missing {key}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_requests() {
+    // A long co-batching window, so a lone request sits in the queue
+    // until shutdown flushes it — well before the window expires.
+    let config = ServeConfig { max_delay_ms: 5000, ..ephemeral() };
+    let (server, addr) = start(&config);
+
+    let reference = {
+        // Scored via a throwaway server with a normal window, to know
+        // the expected answer independently of the drain path.
+        let (fast, fast_addr) = start(&ephemeral());
+        let (status, response) = client(&fast_addr).post("/v1/predict", &body_for(2)).expect("post");
+        assert_eq!(status, 200, "{response}");
+        fast.shutdown();
+        response
+    };
+
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = client(&addr);
+            let sent = Instant::now();
+            let result = client.post("/v1/predict", &body_for(2)).expect("post");
+            (result, sent.elapsed())
+        })
+    };
+    // Let the request reach the queue, then shut down underneath it.
+    std::thread::sleep(Duration::from_millis(300));
+    server.shutdown();
+    let ((status, response), waited) = in_flight.join().expect("in-flight client");
+    assert_eq!(status, 200, "in-flight request must be answered, got: {response}");
+    assert_eq!(response, reference, "drained response drifted");
+    assert!(
+        waited < Duration::from_millis(4500),
+        "shutdown must flush the queue, not wait out the {}ms window (took {waited:?})",
+        5000
+    );
+}

@@ -2,8 +2,8 @@
 //!
 //! This crate is the numerical substrate of the FakeDetector reproduction.
 //! It provides a single owned matrix type, [`Matrix`], together with the
-//! linear-algebra kernels the autograd engine ([`fd-autograd`]) and the
-//! neural-network layers ([`fd-nn`]) are built from: matrix products,
+//! linear-algebra kernels the autograd engine (`fd-autograd`) and the
+//! neural-network layers (`fd-nn`) are built from: matrix products,
 //! element-wise arithmetic, reductions, numerically stable soft-max /
 //! log-sum-exp, and seeded weight initialisers.
 //!

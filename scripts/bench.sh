@@ -8,8 +8,15 @@
 # * BENCH_train.json — full training epochs at Table-1 scale: the
 #   per-node reference tape vs the batched matrix-level graph at
 #   FD_THREADS 1 and 4.
+# * BENCH_serve.json — the fd-serve HTTP load benchmark: 32 concurrent
+#   keep-alive clients against the in-process server, with every
+#   response verified bitwise against a sequential reference pass.
 #
 # Usage: scripts/bench.sh [tensor_out.json] [train_out.json] [train_scale]
+#
+# Any failing report subcommand (including a bitwise-determinism
+# violation in the serve benchmark, which panics) aborts the script
+# with a non-zero exit and names the step that failed.
 #
 # Numbers are medians of repeated runs but still machine-dependent;
 # compare ratios within one file, not times across machines.
@@ -18,5 +25,19 @@ cd "$(dirname "$0")/.."
 tensor_out="${1:-BENCH_tensor.json}"
 train_out="${2:-BENCH_train.json}"
 train_scale="${3:-1.0}"
-cargo run --release -p fd-bench --bin report -- tensor "$tensor_out"
-cargo run --release -p fd-bench --bin report -- train "$train_out" "$train_scale"
+serve_out="${4:-BENCH_serve.json}"
+
+run_report() {
+    step="$1"
+    shift
+    echo "==> report $step" >&2
+    if ! cargo run --release -p fd-bench --bin report -- "$@"; then
+        echo "bench.sh: report $step FAILED" >&2
+        exit 1
+    fi
+}
+
+run_report tensor tensor "$tensor_out"
+run_report train train "$train_out" "$train_scale"
+run_report serve serve "$serve_out" 32 12
+echo "==> wrote $tensor_out $train_out $serve_out" >&2

@@ -6,41 +6,27 @@
 //! fdctl predict  --corpus corpus.json --model model.json [--out predictions.json]
 //! fdctl evaluate --corpus corpus.json --model model.json
 //! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
+//! fdctl serve    --corpus corpus.json --model model.json [--addr 127.0.0.1:7878] [--max-batch 32] [--max-delay-ms 2]
 //! fdctl analyze  --corpus corpus.json
 //! ```
 //!
-//! The train bundle embeds everything needed to rebuild the feature
-//! pipeline (train indices, feature width, sequence length, label mode),
-//! so `predict`/`score` only need the corpus file and the bundle.
+//! The train bundle ([`TrainBundle`], shared with `fd-serve`) embeds
+//! everything needed to rebuild the feature pipeline (train indices,
+//! feature width, sequence length, label mode), so `predict`/`score`/
+//! `serve` only need the corpus file and the bundle. `serve` flags and
+//! env vars are documented in OPERATIONS.md.
 
 use fakedetector::prelude::*;
+use fakedetector::serve::{parse_mode, BundleSplit, ServeConfig, ServeModel, Server, TrainBundle};
 use rand::{rngs::StdRng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::process::ExitCode;
-
-/// Everything `train` persists beyond the raw weights.
-#[derive(Serialize, Deserialize)]
-struct Bundle {
-    model_json: String,
-    train: BundleTrain,
-    mode: String,
-    explicit_dim: usize,
-    seq_len: usize,
-    max_vocab: usize,
-}
-
-#[derive(Serialize, Deserialize)]
-struct BundleTrain {
-    articles: Vec<usize>,
-    creators: Vec<usize>,
-    subjects: Vec<usize>,
-}
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: fdctl <generate|train|predict|evaluate|score|analyze|obs> [options]");
+        eprintln!("usage: fdctl <generate|train|predict|evaluate|score|serve|analyze|obs> [options]");
         return ExitCode::FAILURE;
     };
     let opts = parse_options(&args[1..]);
@@ -50,6 +36,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "score" => cmd_score(&opts),
+        "serve" => cmd_serve(&opts),
         "analyze" => cmd_analyze(&opts),
         "obs" => cmd_obs(&opts),
         other => Err(format!("unknown command {other}")),
@@ -127,14 +114,6 @@ fn pipeline(
     (tokenized, explicit)
 }
 
-fn parse_mode(raw: &str) -> Result<LabelMode, String> {
-    match raw {
-        "binary" => Ok(LabelMode::Binary),
-        "multi" => Ok(LabelMode::MultiClass),
-        other => Err(format!("--mode must be binary or multi, got {other}")),
-    }
-}
-
 fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let corpus = load_corpus(opts)?;
     let out = required(opts, "out")?;
@@ -181,14 +160,14 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         trained.report().losses.last().unwrap()
     );
 
-    let bundle = Bundle {
+    let bundle = TrainBundle {
         model_json: trained.to_json(),
-        train: BundleTrain {
+        train: BundleSplit {
             articles: train.articles,
             creators: train.creators,
             subjects: train.subjects,
         },
-        mode: if mode == LabelMode::Binary { "binary" } else { "multi" }.into(),
+        mode: fakedetector::serve::mode_name(mode).into(),
         explicit_dim,
         seq_len,
         max_vocab,
@@ -219,13 +198,9 @@ fn load_bundle(
 > {
     let path = required(opts, "model")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let bundle: Bundle = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let bundle: TrainBundle = serde_json::from_str(&json).map_err(|e| e.to_string())?;
     let trained = fakedetector::core::TrainedFakeDetector::from_json(&bundle.model_json)?;
-    let train = TrainSets {
-        articles: bundle.train.articles,
-        creators: bundle.train.creators,
-        subjects: bundle.train.subjects,
-    };
+    let train: TrainSets = bundle.train.into();
     let mode = parse_mode(&bundle.mode)?;
     let (tokenized, explicit) =
         pipeline(corpus, &train, bundle.explicit_dim, bundle.seq_len, bundle.max_vocab);
@@ -345,6 +320,50 @@ fn cmd_score(opts: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// Starts the inference server and blocks until SIGINT/SIGTERM, then
+/// shuts down gracefully (drains the batching queue, completes every
+/// in-flight request). All flags and the endpoint schemas are
+/// documented in OPERATIONS.md.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus_path = required(opts, "corpus")?;
+    let model_path = required(opts, "model")?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: opts.get("addr").cloned().unwrap_or(defaults.addr),
+        max_batch: opt_parse(opts, "max-batch", defaults.max_batch)?,
+        max_delay_ms: opt_parse(opts, "max-delay-ms", defaults.max_delay_ms)?,
+        queue_bound: opt_parse(opts, "queue-bound", defaults.queue_bound)?,
+        request_timeout_ms: opt_parse(opts, "request-timeout-ms", defaults.request_timeout_ms)?,
+        max_body_bytes: opt_parse(opts, "max-body-bytes", defaults.max_body_bytes)?,
+    };
+    if config.max_batch == 0 || config.queue_bound == 0 {
+        return Err("--max-batch and --queue-bound must be at least 1".into());
+    }
+
+    eprintln!("loading {corpus_path} + {model_path}…");
+    let model = Arc::new(ServeModel::load(corpus_path, model_path)?);
+    let (articles, creators, subjects) = model.corpus_sizes();
+    eprintln!("corpus: {articles} articles / {creators} creators / {subjects} subjects");
+
+    fakedetector::serve::install_signal_handlers();
+    let server = Server::start(model, &config).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "listening on {} (max_batch {}, max_delay {}ms, queue bound {})",
+        server.local_addr(),
+        config.max_batch,
+        config.max_delay_ms,
+        config.queue_bound
+    );
+    eprintln!("endpoints: POST /v1/predict, POST /v1/predict_batch, GET /healthz, GET /metrics");
+    while !fakedetector::serve::signal_received() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("signal received, draining…");
+    server.shutdown();
+    eprintln!("stopped");
     Ok(())
 }
 

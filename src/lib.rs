@@ -48,6 +48,9 @@ pub use fd_baselines as baselines;
 /// HFLU, GDU and the deep diffusive network.
 pub use fd_core as core;
 
+/// HTTP inference server with dynamic micro-batching (`fdctl serve`).
+pub use fd_serve as serve;
+
 /// The names almost every user of the library needs.
 pub mod prelude {
     pub use fd_baselines::{
