@@ -1,0 +1,186 @@
+//! Seeded fault injection, driven by the `FD_FAULT` environment
+//! variable.
+//!
+//! Faults are *deterministic*: each kind fires on a specific occurrence
+//! counted from process start (the "nth" in the spec), so a failing
+//! crash/recovery test replays identically. The grammar is a
+//! comma-separated list of `kind:arg` terms:
+//!
+//! | spec | effect |
+//! |------|--------|
+//! | `io-error:N` | the Nth checkpoint I/O operation (1-based) fails with an injected `std::io::Error` |
+//! | `torn-write:N` | the Nth checkpoint save writes only half the bytes, fsyncs, and renames anyway — simulating a crash between `write` and completion that the per-section CRC must catch |
+//! | `slow-batch:MS` | every serve batch sleeps `MS` milliseconds before scoring |
+//! | `panic-batch:N` | the Nth serve batch panics inside the scoring closure |
+//! | `kill-after-ckpt:E` | `std::process::abort()` immediately after the checkpoint for epoch `E` is durably on disk — a deterministic SIGKILL stand-in |
+//!
+//! Example: `FD_FAULT=torn-write:2,io-error:5`.
+//!
+//! Process-global state keeps the hooks zero-cost when `FD_FAULT` is
+//! unset (one atomic-free mutex lock per checkpoint save / serve
+//! batch, nothing on hot paths). Tests that share a process use
+//! [`set_spec`] to install a spec directly instead of racing on the
+//! environment.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Parsed `FD_FAULT` specification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// 1-based index of the checkpoint I/O operation that fails.
+    pub io_error_nth: Option<u64>,
+    /// 1-based index of the checkpoint save that is torn.
+    pub torn_write_nth: Option<u64>,
+    /// Delay injected before scoring every serve batch.
+    pub slow_batch_ms: Option<u64>,
+    /// 1-based index of the serve batch that panics.
+    pub panic_batch_nth: Option<u64>,
+    /// Epoch after whose durable checkpoint the process aborts.
+    pub kill_after_ckpt_epoch: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Parses the `FD_FAULT` grammar. Empty input yields the inert
+    /// default spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = FaultSpec::default();
+        for term in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, arg) = term
+                .split_once(':')
+                .ok_or_else(|| format!("FD_FAULT term {term:?} is not kind:arg"))?;
+            let value: u64 = arg
+                .trim()
+                .parse()
+                .map_err(|_| format!("FD_FAULT term {term:?}: {arg:?} is not a number"))?;
+            match kind.trim() {
+                "io-error" => out.io_error_nth = Some(value),
+                "torn-write" => out.torn_write_nth = Some(value),
+                "slow-batch" => out.slow_batch_ms = Some(value),
+                "panic-batch" => out.panic_batch_nth = Some(value),
+                "kill-after-ckpt" => out.kill_after_ckpt_epoch = Some(value),
+                other => return Err(format!("FD_FAULT: unknown fault kind {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    spec: FaultSpec,
+    io_ops: u64,
+    saves: u64,
+    batches: u64,
+}
+
+fn state() -> &'static Mutex<FaultState> {
+    static STATE: OnceLock<Mutex<FaultState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let spec = match std::env::var("FD_FAULT") {
+            Ok(raw) => FaultSpec::parse(&raw).unwrap_or_else(|why| {
+                // A malformed spec must not silently disable the fault
+                // the operator asked for — fail loudly at first use.
+                panic!("{why}");
+            }),
+            Err(_) => FaultSpec::default(),
+        };
+        Mutex::new(FaultState { spec, ..FaultState::default() })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, FaultState> {
+    // A panic while holding this lock (e.g. panic-batch firing inside a
+    // caller that re-enters) must not wedge every later hook.
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs `spec` directly, bypassing `FD_FAULT`, and resets all
+/// occurrence counters. `None` clears fault injection. Intended for
+/// in-process tests; subprocess tests should set the environment
+/// variable instead.
+pub fn set_spec(spec: Option<FaultSpec>) {
+    let mut st = lock();
+    st.spec = spec.unwrap_or_default();
+    st.io_ops = 0;
+    st.saves = 0;
+    st.batches = 0;
+}
+
+/// Counts a checkpoint I/O operation; returns the injected error if
+/// this is the operation `io-error:N` targets.
+pub fn io_error(site: &str) -> Option<std::io::Error> {
+    let mut st = lock();
+    st.spec.io_error_nth?;
+    st.io_ops += 1;
+    if Some(st.io_ops) == st.spec.io_error_nth {
+        Some(std::io::Error::other(format!("FD_FAULT io-error injected at {site}")))
+    } else {
+        None
+    }
+}
+
+/// Counts a checkpoint save; returns `true` if this save should be
+/// torn (written truncated but renamed into place).
+pub fn torn_write() -> bool {
+    let mut st = lock();
+    if st.spec.torn_write_nth.is_none() {
+        return false;
+    }
+    st.saves += 1;
+    Some(st.saves) == st.spec.torn_write_nth
+}
+
+/// The injected per-batch scoring delay, if `slow-batch` is active.
+pub fn slow_batch() -> Option<std::time::Duration> {
+    lock().spec.slow_batch_ms.map(std::time::Duration::from_millis)
+}
+
+/// Counts a serve batch; returns `true` if this batch should panic.
+pub fn panic_batch() -> bool {
+    let mut st = lock();
+    if st.spec.panic_batch_nth.is_none() {
+        return false;
+    }
+    st.batches += 1;
+    Some(st.batches) == st.spec.panic_batch_nth
+}
+
+/// Whether the process should abort now that the checkpoint for
+/// `epoch` is durable. The caller is expected to invoke
+/// `std::process::abort()` — kept out of this function so it stays
+/// testable.
+pub fn kill_after_ckpt(epoch: u64) -> bool {
+    lock().spec.kill_after_ckpt_epoch == Some(epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let spec = FaultSpec::parse("io-error:3, torn-write:1,slow-batch:25,panic-batch:2,kill-after-ckpt:7").unwrap();
+        assert_eq!(spec.io_error_nth, Some(3));
+        assert_eq!(spec.torn_write_nth, Some(1));
+        assert_eq!(spec.slow_batch_ms, Some(25));
+        assert_eq!(spec.panic_batch_nth, Some(2));
+        assert_eq!(spec.kill_after_ckpt_epoch, Some(7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("io-error").is_err());
+        assert!(FaultSpec::parse("io-error:x").is_err());
+        assert!(FaultSpec::parse("rm-rf:1").is_err());
+    }
+
+    #[test]
+    fn parse_empty_is_inert() {
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+        assert_eq!(FaultSpec::parse("  ").unwrap(), FaultSpec::default());
+    }
+
+    // Counter behaviour is covered by the store integration tests via
+    // set_spec; exercising the global singleton here would race with
+    // them under the parallel test runner.
+}

@@ -1,0 +1,518 @@
+//! The versioned binary checkpoint format.
+//!
+//! A checkpoint file is a header plus a list of named sections, each
+//! carrying its own CRC-32:
+//!
+//! ```text
+//! magic    b"FDCK"
+//! version  u32 LE            (currently 1)
+//! count    u32 LE            number of sections
+//! section* name_len u32 LE | name UTF-8 | payload_len u64 LE |
+//!          crc32 u32 LE     | payload bytes
+//! ```
+//!
+//! The per-section CRC-32 covers the section *name* followed by the
+//! payload, so a flipped bit anywhere in a section — including one
+//! that would rename it into an ignorable unknown section — fails the
+//! checksum.
+//!
+//! All integers are little-endian; all floating-point payloads are
+//! little-endian IEEE-754 `f64` words. The training state is `f32`
+//! in memory — widening to `f64` is exact and narrowing back is exact
+//! for values that came from `f32`, so a round-trip through the file is
+//! bit-identical. That is the foundation of the bitwise-resume
+//! invariant: kill-at-epoch-k + resume replays the exact weights the
+//! uninterrupted run had at epoch k.
+//!
+//! Decoding is fully defensive: every read is bounds-checked, section
+//! payloads are checksummed before they are interpreted, and any
+//! mismatch (flipped byte, truncated tail, wrong magic) surfaces as
+//! [`CkptError::Corrupt`] — the rotation store reacts by falling back
+//! to the previous good file.
+
+use crate::crc32::crc32_parts;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 4] = *b"FDCK";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Hard cap on a single section payload (1 GiB) — rejects absurd
+/// lengths from corrupt headers before any allocation happens.
+const MAX_SECTION_BYTES: u64 = 1 << 30;
+
+/// Why a checkpoint could not be written or read.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure (including injected `FD_FAULT` io-errors).
+    Io(std::io::Error),
+    /// The bytes are not a valid checkpoint: bad magic, unsupported
+    /// version, checksum mismatch, truncation, or malformed payload.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CkptError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// One named tensor: shape plus row-major values.
+///
+/// Values live as `f64` here regardless of the in-memory precision of
+/// the training stack; converting `f32 -> f64 -> f32` is lossless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorEntry {
+    /// Parameter name (the `fd_nn::Params` registry name).
+    pub name: String,
+    /// Row count.
+    pub rows: u32,
+    /// Column count.
+    pub cols: u32,
+    /// Row-major values, `rows * cols` long.
+    pub data: Vec<f64>,
+}
+
+impl TensorEntry {
+    /// A tensor entry from an `f32` slice (exact widening).
+    pub fn from_f32(name: &str, rows: usize, cols: usize, values: &[f32]) -> Self {
+        assert_eq!(values.len(), rows * cols, "TensorEntry: shape/data mismatch for {name}");
+        Self {
+            name: name.to_string(),
+            rows: rows as u32,
+            cols: cols as u32,
+            data: values.iter().map(|&v| f64::from(v)).collect(),
+        }
+    }
+
+    /// The values narrowed back to `f32` (exact for values written by
+    /// [`TensorEntry::from_f32`]).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(|&v| v as f32).collect()
+    }
+}
+
+/// Everything `FakeDetector::fit` needs to continue a run as if it had
+/// never stopped: weights, Adam moments and step, the epoch cursor,
+/// the loss/grad-norm history, the early-stopping state, and enough
+/// metadata to refuse resuming into a different experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainCheckpoint {
+    /// Epochs completed (the resume cursor): the weights below are the
+    /// state *entering* epoch `epoch`.
+    pub epoch: u64,
+    /// Adam step count (bias-correction exponent).
+    pub opt_step: u64,
+    /// Current learning rate — differs from the configured one after
+    /// divergence-guard halvings.
+    pub lr: f64,
+    /// Experiment seed the run was started with.
+    pub seed: u64,
+    /// Vocabulary id-space the network was built for.
+    pub vocab: u64,
+    /// Explicit-feature width the network was built for.
+    pub explicit_dim: u64,
+    /// Class count the network was built for.
+    pub n_classes: u64,
+    /// Epochs since the best validation accuracy (early stopping).
+    pub since_best: u64,
+    /// Divergence-guard LR halvings applied so far.
+    pub lr_halvings: u64,
+    /// Best validation accuracy so far, when early stopping is on.
+    pub best_acc: Option<f64>,
+    /// Opaque fingerprint of the training configuration; resume refuses
+    /// a checkpoint whose fingerprint differs from the live run's.
+    pub config_fingerprint: String,
+    /// Per-epoch training losses up to the cursor.
+    pub losses: Vec<f64>,
+    /// Per-epoch pre-clip gradient norms up to the cursor.
+    pub grad_norms: Vec<f64>,
+    /// Model weights.
+    pub params: Vec<TensorEntry>,
+    /// Adam first moments, name-aligned with `params` entries that have
+    /// received gradients.
+    pub opt_m: Vec<TensorEntry>,
+    /// Adam second moments.
+    pub opt_v: Vec<TensorEntry>,
+    /// Early-stopping best-weights snapshot (empty when `best_acc` is
+    /// `None`).
+    pub best_params: Vec<TensorEntry>,
+}
+
+// ---------------------------------------------------------------------
+// Little-endian byte plumbing.
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| CkptError::Corrupt(format!("truncated while reading {what}")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self, what: &str) -> Result<u8, CkptError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self, what: &str) -> Result<f64, CkptError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+    fn str(&mut self, what: &str) -> Result<String, CkptError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CkptError::Corrupt(format!("{what} is not UTF-8")))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section encode/decode.
+
+/// A raw section: name + payload bytes, as stored on disk.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (`meta`, `history`, `params`, `adam.m`, `adam.v`,
+    /// `best`).
+    pub name: String,
+    /// Payload bytes (already checksummed).
+    pub payload: Vec<u8>,
+}
+
+fn encode_tensors(tensors: &[TensorEntry]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(tensors.len() as u32);
+    for t in tensors {
+        w.str(&t.name);
+        w.u32(t.rows);
+        w.u32(t.cols);
+        for &v in &t.data {
+            w.f64(v);
+        }
+    }
+    w.buf
+}
+
+fn decode_tensors(payload: &[u8], section: &str) -> Result<Vec<TensorEntry>, CkptError> {
+    let mut r = Reader::new(payload);
+    let count = r.u32(section)? as usize;
+    let mut out = Vec::with_capacity(count.min(4096));
+    for i in 0..count {
+        let what = format!("{section}[{i}]");
+        let name = r.str(&what)?;
+        let rows = r.u32(&what)?;
+        let cols = r.u32(&what)?;
+        let n = (rows as u64)
+            .checked_mul(cols as u64)
+            .filter(|&n| n * 8 <= MAX_SECTION_BYTES)
+            .ok_or_else(|| CkptError::Corrupt(format!("{what}: absurd shape {rows}x{cols}")))?
+            as usize;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f64(&what)?);
+        }
+        out.push(TensorEntry { name, rows, cols, data });
+    }
+    if !r.done() {
+        return Err(CkptError::Corrupt(format!("{section}: trailing bytes")));
+    }
+    Ok(out)
+}
+
+impl TrainCheckpoint {
+    /// Serialises to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = Writer::new();
+        meta.u64(self.epoch);
+        meta.u64(self.opt_step);
+        meta.f64(self.lr);
+        meta.u64(self.seed);
+        meta.u64(self.vocab);
+        meta.u64(self.explicit_dim);
+        meta.u64(self.n_classes);
+        meta.u64(self.since_best);
+        meta.u64(self.lr_halvings);
+        meta.u8(u8::from(self.best_acc.is_some()));
+        meta.f64(self.best_acc.unwrap_or(0.0));
+        meta.str(&self.config_fingerprint);
+
+        let mut history = Writer::new();
+        history.u32(self.losses.len() as u32);
+        for &l in &self.losses {
+            history.f64(l);
+        }
+        history.u32(self.grad_norms.len() as u32);
+        for &g in &self.grad_norms {
+            history.f64(g);
+        }
+
+        let mut sections = vec![
+            Section { name: "meta".into(), payload: meta.buf },
+            Section { name: "history".into(), payload: history.buf },
+            Section { name: "params".into(), payload: encode_tensors(&self.params) },
+            Section { name: "adam.m".into(), payload: encode_tensors(&self.opt_m) },
+            Section { name: "adam.v".into(), payload: encode_tensors(&self.opt_v) },
+        ];
+        if self.best_acc.is_some() {
+            sections.push(Section { name: "best".into(), payload: encode_tensors(&self.best_params) });
+        }
+
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(VERSION);
+        w.u32(sections.len() as u32);
+        for s in &sections {
+            w.str(&s.name);
+            w.u64(s.payload.len() as u64);
+            w.u32(crc32_parts(&[s.name.as_bytes(), &s.payload]));
+            w.bytes(&s.payload);
+        }
+        w.buf
+    }
+
+    /// Parses and checksum-verifies the on-disk byte format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let sections = read_sections(bytes)?;
+        let mut ckpt = TrainCheckpoint::default();
+        let mut saw = std::collections::HashSet::new();
+        for section in &sections {
+            if !saw.insert(section.name.clone()) {
+                return Err(CkptError::Corrupt(format!("duplicate section {:?}", section.name)));
+            }
+            match section.name.as_str() {
+                "meta" => {
+                    let mut r = Reader::new(&section.payload);
+                    ckpt.epoch = r.u64("meta.epoch")?;
+                    ckpt.opt_step = r.u64("meta.opt_step")?;
+                    ckpt.lr = r.f64("meta.lr")?;
+                    ckpt.seed = r.u64("meta.seed")?;
+                    ckpt.vocab = r.u64("meta.vocab")?;
+                    ckpt.explicit_dim = r.u64("meta.explicit_dim")?;
+                    ckpt.n_classes = r.u64("meta.n_classes")?;
+                    ckpt.since_best = r.u64("meta.since_best")?;
+                    ckpt.lr_halvings = r.u64("meta.lr_halvings")?;
+                    let has_best = r.u8("meta.best_flag")? != 0;
+                    let best_acc = r.f64("meta.best_acc")?;
+                    ckpt.best_acc = has_best.then_some(best_acc);
+                    ckpt.config_fingerprint = r.str("meta.fingerprint")?;
+                    if !r.done() {
+                        return Err(CkptError::Corrupt("meta: trailing bytes".into()));
+                    }
+                }
+                "history" => {
+                    let mut r = Reader::new(&section.payload);
+                    let n = r.u32("history.losses")? as usize;
+                    ckpt.losses = (0..n)
+                        .map(|_| r.f64("history.losses"))
+                        .collect::<Result<_, _>>()?;
+                    let m = r.u32("history.grad_norms")? as usize;
+                    ckpt.grad_norms = (0..m)
+                        .map(|_| r.f64("history.grad_norms"))
+                        .collect::<Result<_, _>>()?;
+                    if !r.done() {
+                        return Err(CkptError::Corrupt("history: trailing bytes".into()));
+                    }
+                }
+                "params" => ckpt.params = decode_tensors(&section.payload, "params")?,
+                "adam.m" => ckpt.opt_m = decode_tensors(&section.payload, "adam.m")?,
+                "adam.v" => ckpt.opt_v = decode_tensors(&section.payload, "adam.v")?,
+                "best" => ckpt.best_params = decode_tensors(&section.payload, "best")?,
+                // Unknown sections from a future minor revision are
+                // skipped (their CRC was still verified).
+                _ => {}
+            }
+        }
+        if !saw.contains("meta") || !saw.contains("params") {
+            return Err(CkptError::Corrupt("missing required sections (meta, params)".into()));
+        }
+        Ok(ckpt)
+    }
+}
+
+/// Parses the header and section table, verifying every section CRC.
+pub fn read_sections(bytes: &[u8]) -> Result<Vec<Section>, CkptError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(CkptError::Corrupt(format!("bad magic {magic:02x?}")));
+    }
+    let version = r.u32("version")?;
+    if version != VERSION {
+        return Err(CkptError::Corrupt(format!("unsupported version {version}")));
+    }
+    let count = r.u32("section count")? as usize;
+    let mut sections = Vec::with_capacity(count.min(64));
+    for i in 0..count {
+        let what = format!("section {i}");
+        let name = r.str(&what)?;
+        let len = r.u64(&what)?;
+        if len > MAX_SECTION_BYTES {
+            return Err(CkptError::Corrupt(format!("{what} ({name}): absurd length {len}")));
+        }
+        let stored_crc = r.u32(&what)?;
+        let payload = r.take(len as usize, &what)?;
+        let actual_crc = crc32_parts(&[name.as_bytes(), payload]);
+        if actual_crc != stored_crc {
+            return Err(CkptError::Corrupt(format!(
+                "section {name:?}: checksum mismatch (stored {stored_crc:08x}, actual {actual_crc:08x})"
+            )));
+        }
+        sections.push(Section { name, payload: payload.to_vec() });
+    }
+    if !r.done() {
+        return Err(CkptError::Corrupt("trailing bytes after last section".into()));
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 7,
+            opt_step: 7,
+            lr: 0.03,
+            seed: 42,
+            vocab: 6000,
+            explicit_dim: 60,
+            n_classes: 2,
+            since_best: 3,
+            lr_halvings: 1,
+            best_acc: Some(0.8125),
+            config_fingerprint: "cfg-v1".into(),
+            losses: vec![1.5, 1.25, 1.0],
+            grad_norms: vec![3.0, 2.5, 2.0],
+            params: vec![
+                TensorEntry::from_f32("head.w", 2, 3, &[1.0, -2.5, 0.5, f32::MIN_POSITIVE, 0.0, 3.25]),
+                TensorEntry::from_f32("head.b", 1, 3, &[0.0, 1e-38, -1e30]),
+            ],
+            opt_m: vec![TensorEntry::from_f32("head.w", 2, 3, &[0.1; 6])],
+            opt_v: vec![TensorEntry::from_f32("head.w", 2, 3, &[0.01; 6])],
+            best_params: vec![TensorEntry::from_f32("head.w", 2, 3, &[9.0; 6])],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ckpt = sample();
+        let restored = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored, ckpt);
+    }
+
+    #[test]
+    fn f32_widening_roundtrip_is_bit_exact() {
+        let values: Vec<f32> =
+            vec![0.0, -0.0, 1.0, f32::MIN_POSITIVE, f32::MAX, 1e-42 /* subnormal */, -3.75];
+        let entry = TensorEntry::from_f32("t", 1, values.len(), &values);
+        let back = entry.to_f32();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} did not survive the f64 round-trip");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let bytes = sample().to_bytes();
+        // Flip one byte inside the last section's payload (the header
+        // region would fail structurally; the payload must fail by CRC).
+        let mut corrupt = bytes.clone();
+        let target = corrupt.len() - 3;
+        corrupt[target] ^= 0x40;
+        let err = TrainCheckpoint::from_bytes(&corrupt).unwrap_err();
+        assert!(matches!(err, CkptError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncated_tail_is_detected() {
+        let bytes = sample().to_bytes();
+        for keep in [0, 3, 8, bytes.len() / 2, bytes.len() - 1] {
+            let err = TrainCheckpoint::from_bytes(&bytes[..keep]).unwrap_err();
+            assert!(matches!(err, CkptError::Corrupt(_)), "keep={keep}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(TrainCheckpoint::from_bytes(&bytes).is_err());
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        let err = TrainCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn no_best_section_when_no_early_stopping() {
+        let mut ckpt = sample();
+        ckpt.best_acc = None;
+        ckpt.best_params.clear();
+        let sections = read_sections(&ckpt.to_bytes()).unwrap();
+        assert!(sections.iter().all(|s| s.name != "best"));
+        let restored = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored, ckpt);
+    }
+}

@@ -1,0 +1,293 @@
+//! `fd-ckpt` — durable, crash-safe binary checkpoints for FakeDetector
+//! training and serving.
+//!
+//! Dependency-free (std only). Three layers:
+//!
+//! - [`mod@format`]: the versioned sectioned byte format
+//!   ([`TrainCheckpoint`] ↔ bytes) with per-section CRC-32 and exact
+//!   `f32`↔`f64` round-trips, so a resumed run is bitwise-identical to
+//!   an uninterrupted one.
+//! - [`store`]: a rotation-managed directory ([`CheckpointStore`]) with
+//!   temp-file + fsync + atomic-rename writes and corrupt-fallback
+//!   loading.
+//! - [`fault`]: deterministic `FD_FAULT` fault injection (io-error,
+//!   torn-write, slow-batch, panic-batch, kill-after-ckpt) driving the
+//!   crash/recovery test suite.
+//!
+//! The [`inspect`] helper backs `fdctl ckpt inspect`: it reports the
+//! header, epoch cursor, and each section's stored vs actual checksum
+//! without requiring the whole file to be valid.
+
+pub mod crc32;
+pub mod fault;
+pub mod format;
+pub mod store;
+
+pub use format::{CkptError, Section, TensorEntry, TrainCheckpoint, MAGIC, VERSION};
+pub use store::{load_file, CheckpointStore, Loaded};
+
+/// Checksum status of one section as seen by [`inspect`].
+#[derive(Debug, Clone)]
+pub struct SectionReport {
+    /// Section name.
+    pub name: String,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 stored in the file.
+    pub stored_crc: u32,
+    /// CRC-32 recomputed over the payload actually present.
+    pub actual_crc: u32,
+    /// `stored_crc == actual_crc` and the payload was fully present.
+    pub valid: bool,
+}
+
+/// What [`inspect`] learned about a checkpoint file.
+#[derive(Debug, Clone)]
+pub struct InspectReport {
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Format version from the header, if the header parsed.
+    pub version: Option<u32>,
+    /// Per-section checksum results (best effort on damaged files).
+    pub sections: Vec<SectionReport>,
+    /// Decoded metadata when the file is fully valid.
+    pub meta: Option<InspectMeta>,
+    /// `None` when the file is fully valid, otherwise why it is not.
+    pub error: Option<String>,
+}
+
+/// Cursor/meta summary of a valid checkpoint.
+#[derive(Debug, Clone)]
+pub struct InspectMeta {
+    /// Epochs completed (resume cursor).
+    pub epoch: u64,
+    /// Adam step count.
+    pub opt_step: u64,
+    /// Learning rate in effect.
+    pub lr: f64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Divergence-guard LR halvings applied.
+    pub lr_halvings: u64,
+    /// Best validation accuracy, when early stopping was active.
+    pub best_acc: Option<f64>,
+    /// Parameter tensor count.
+    pub n_params: usize,
+    /// Total parameter element count.
+    pub n_elements: usize,
+    /// Config fingerprint recorded at save time.
+    pub config_fingerprint: String,
+}
+
+impl InspectReport {
+    /// Whether every section verified and the checkpoint decoded.
+    pub fn valid(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Renders the operator-facing text used by `fdctl ckpt inspect`.
+    pub fn render(&self, path: &std::path::Path) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(out, "checkpoint: {}", path.display());
+        let _ = writeln!(out, "  size:     {} bytes", self.file_len);
+        match self.version {
+            Some(v) => {
+                let _ = writeln!(out, "  format:   FDCK v{v}");
+            }
+            None => {
+                let _ = writeln!(out, "  format:   unreadable header");
+            }
+        }
+        if let Some(meta) = &self.meta {
+            let _ = writeln!(out, "  epoch:    {} (resume cursor)", meta.epoch);
+            let _ = writeln!(out, "  opt step: {}", meta.opt_step);
+            let _ = writeln!(out, "  lr:       {} ({} halvings)", meta.lr, meta.lr_halvings);
+            let _ = writeln!(out, "  seed:     {}", meta.seed);
+            match meta.best_acc {
+                Some(acc) => {
+                    let _ = writeln!(out, "  best acc: {acc:.4}");
+                }
+                None => {
+                    let _ = writeln!(out, "  best acc: n/a (early stopping off)");
+                }
+            }
+            let _ = writeln!(out, "  params:   {} tensors, {} elements", meta.n_params, meta.n_elements);
+            let _ = writeln!(out, "  config:   {}", meta.config_fingerprint);
+        }
+        let _ = writeln!(out, "  sections:");
+        for s in &self.sections {
+            let status = if s.valid { "ok" } else { "CORRUPT" };
+            let _ = writeln!(
+                out,
+                "    {:<10} {:>10} bytes  crc32 {:08x} (actual {:08x})  {status}",
+                s.name, s.len, s.stored_crc, s.actual_crc
+            );
+        }
+        match &self.error {
+            None => {
+                let _ = writeln!(out, "  status:   VALID");
+            }
+            Some(why) => {
+                let _ = writeln!(out, "  status:   INVALID — {why}");
+            }
+        }
+        out
+    }
+}
+
+/// Examines a checkpoint file, tolerating damage: even when the file
+/// fails verification, the report carries whatever header and section
+/// information could be recovered so an operator can see *where* it
+/// broke.
+pub fn inspect(path: &std::path::Path) -> Result<InspectReport, CkptError> {
+    let bytes = std::fs::read(path)?;
+    let mut report = InspectReport {
+        file_len: bytes.len() as u64,
+        version: None,
+        sections: Vec::new(),
+        meta: None,
+        error: None,
+    };
+
+    // Walk the container by hand so a bad section doesn't hide the
+    // good ones before it.
+    if bytes.len() < 12 || bytes[..4] != MAGIC {
+        report.error = Some("bad magic (not an FDCK checkpoint)".into());
+        return Ok(report);
+    }
+    report.version = Some(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")));
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let mut pos = 12usize;
+    let mut structural_error: Option<String> = None;
+    for i in 0..count {
+        let header = (|| -> Option<(String, u64, u32, usize)> {
+            let name_len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            let name_end = pos.checked_add(4)?.checked_add(name_len)?;
+            let name = String::from_utf8(bytes.get(pos + 4..name_end)?.to_vec()).ok()?;
+            let len = u64::from_le_bytes(bytes.get(name_end..name_end + 8)?.try_into().ok()?);
+            let crc = u32::from_le_bytes(bytes.get(name_end + 8..name_end + 12)?.try_into().ok()?);
+            Some((name, len, crc, name_end + 12))
+        })();
+        let Some((name, len, stored_crc, payload_start)) = header else {
+            structural_error = Some(format!("truncated in section {i} header"));
+            break;
+        };
+        let payload_end = payload_start.saturating_add(len as usize);
+        let payload = bytes.get(payload_start..payload_end).unwrap_or(&bytes[payload_start.min(bytes.len())..]);
+        let actual_crc = crc32::crc32_parts(&[name.as_bytes(), payload]);
+        let complete = payload.len() as u64 == len;
+        report.sections.push(SectionReport {
+            name,
+            len,
+            stored_crc,
+            actual_crc,
+            valid: complete && actual_crc == stored_crc,
+        });
+        if !complete {
+            structural_error = Some(format!("truncated in section {i} payload"));
+            break;
+        }
+        pos = payload_end;
+    }
+
+    // Authoritative validity comes from the real decoder.
+    match TrainCheckpoint::from_bytes(&bytes) {
+        Ok(ckpt) => {
+            report.meta = Some(InspectMeta {
+                epoch: ckpt.epoch,
+                opt_step: ckpt.opt_step,
+                lr: ckpt.lr,
+                seed: ckpt.seed,
+                lr_halvings: ckpt.lr_halvings,
+                best_acc: ckpt.best_acc,
+                n_params: ckpt.params.len(),
+                n_elements: ckpt.params.iter().map(|t| t.data.len()).sum(),
+                config_fingerprint: ckpt.config_fingerprint,
+            });
+        }
+        Err(why) => {
+            report.error = Some(structural_error.unwrap_or_else(|| why.to_string()));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 12,
+            opt_step: 12,
+            lr: 0.015,
+            seed: 9,
+            lr_halvings: 1,
+            best_acc: Some(0.75),
+            config_fingerprint: "fp-test".into(),
+            params: vec![TensorEntry::from_f32("w", 2, 2, &[1.0, 2.0, 3.0, 4.0])],
+            best_params: vec![TensorEntry::from_f32("w", 2, 2, &[1.0, 2.0, 3.0, 4.0])],
+            ..TrainCheckpoint::default()
+        }
+    }
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fd-ckpt-inspect-{tag}-{}.fdck", std::process::id()))
+    }
+
+    #[test]
+    fn inspect_valid_file() {
+        let path = tmpfile("valid");
+        std::fs::write(&path, sample().to_bytes()).unwrap();
+        let report = inspect(&path).unwrap();
+        assert!(report.valid(), "{:?}", report.error);
+        assert_eq!(report.version, Some(VERSION));
+        let meta = report.meta.as_ref().unwrap();
+        assert_eq!(meta.epoch, 12);
+        assert_eq!(meta.n_params, 1);
+        assert_eq!(meta.n_elements, 4);
+        assert!(report.sections.iter().all(|s| s.valid));
+        let rendered = report.render(&path);
+        assert!(rendered.contains("VALID"));
+        assert!(rendered.contains("epoch:    12"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_flipped_byte_pinpoints_section() {
+        let path = tmpfile("flip");
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = inspect(&path).unwrap();
+        assert!(!report.valid());
+        let bad: Vec<_> = report.sections.iter().filter(|s| !s.valid).collect();
+        assert_eq!(bad.len(), 1, "exactly the damaged section should flag");
+        assert!(report.render(&path).contains("INVALID"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_truncated_file_reports_partial_sections() {
+        let path = tmpfile("trunc");
+        let bytes = sample().to_bytes();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let report = inspect(&path).unwrap();
+        assert!(!report.valid());
+        assert!(report.error.as_ref().unwrap().contains("truncated"), "{:?}", report.error);
+        assert!(!report.sections.is_empty(), "leading sections should still be listed");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_non_checkpoint_file() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let report = inspect(&path).unwrap();
+        assert!(!report.valid());
+        assert!(report.error.as_ref().unwrap().contains("magic"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

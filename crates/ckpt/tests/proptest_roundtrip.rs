@@ -1,0 +1,181 @@
+//! Property tests for the checkpoint format: `checkpoint -> bytes ->
+//! checkpoint` must be bit-exact across random seeds and tensor
+//! shapes, and any single flipped byte or truncated tail must fail a
+//! checksum (and, at store level, trigger fallback to the previous
+//! good file).
+
+use fd_ckpt::{CheckpointStore, CkptError, TensorEntry, TrainCheckpoint};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Builds a checkpoint whose every field is derived from `seed`,
+/// including denormal/negative-zero/extreme `f32` values, so the
+/// round-trip property covers the awkward corners of the value space.
+fn checkpoint_from_seed(seed: u64, n_tensors: usize, max_dim: usize) -> TrainCheckpoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tensor = |tag: &str, i: usize| {
+        let rows = rng.gen_range(1..=max_dim);
+        let cols = rng.gen_range(1..=max_dim);
+        let values: Vec<f32> = (0..rows * cols)
+            .map(|j| match j % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::MIN_POSITIVE / 2.0, // subnormal
+                3 => f32::MAX * rng.gen_range(0.1..1.0),
+                4 => -rng.gen_range(0.0f32..1e-30),
+                _ => rng.gen_range(-10.0f32..10.0),
+            })
+            .collect();
+        TensorEntry::from_f32(&format!("{tag}.{i}"), rows, cols, &values)
+    };
+    let n_hist = seed as usize % 9;
+    TrainCheckpoint {
+        epoch: seed % 1000,
+        opt_step: seed % 997,
+        lr: 0.03 / (1 + seed % 5) as f64,
+        seed,
+        vocab: 100 + seed % 50,
+        explicit_dim: seed % 64,
+        n_classes: 2 + seed % 3,
+        since_best: seed % 17,
+        lr_halvings: seed % 4,
+        best_acc: if seed.is_multiple_of(2) { Some((seed % 100) as f64 / 100.0) } else { None },
+        config_fingerprint: format!("fp-{seed}"),
+        losses: (0..n_hist).map(|i| (i as f64).exp2().recip()).collect(),
+        grad_norms: (0..n_hist).map(|i| i as f64 + 0.5).collect(),
+        params: (0..n_tensors).map(|i| tensor("p", i)).collect(),
+        opt_m: (0..n_tensors).map(|i| tensor("p", i)).collect(),
+        opt_v: (0..n_tensors).map(|i| tensor("p", i)).collect(),
+        best_params: if seed.is_multiple_of(2) { (0..n_tensors).map(|i| tensor("p", i)).collect() } else { Vec::new() },
+    }
+}
+
+/// Bitwise equality: `PartialEq` on f64 treats `-0.0 == 0.0`, so
+/// compare the raw bit patterns too.
+fn assert_bit_exact(a: &TrainCheckpoint, b: &TrainCheckpoint) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a, b);
+    for (ta, tb) in a.params.iter().chain(&a.best_params).zip(b.params.iter().chain(&b.best_params)) {
+        for (va, vb) in ta.data.iter().zip(&tb.data) {
+            prop_assert_eq!(va.to_bits(), vb.to_bits(), "value bits differ in {}", ta.name);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_is_bit_exact(seed in 0u64..1_000_000, n_tensors in 1usize..6, max_dim in 1usize..12) {
+        let ckpt = checkpoint_from_seed(seed, n_tensors, max_dim);
+        let bytes = ckpt.to_bytes();
+        let restored = match TrainCheckpoint::from_bytes(&bytes) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::Fail(format!("decode failed: {e}"))),
+        };
+        assert_bit_exact(&ckpt, &restored)?;
+        // Re-encoding the restored checkpoint reproduces the bytes:
+        // encoding is deterministic, which the CI byte-diff relies on.
+        prop_assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn f32_narrowing_recovers_original_bits(seed in 0u64..1_000_000, dim in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f32> = (0..dim * dim)
+            .map(|j| if j % 3 == 0 { -0.0 } else { rng.gen_range(-1e30f32..1e30) })
+            .collect();
+        let entry = TensorEntry::from_f32("t", dim, dim, &values);
+        let decoded = TrainCheckpoint::from_bytes(
+            &TrainCheckpoint { params: vec![entry], config_fingerprint: "fp".into(), ..TrainCheckpoint::default() }.to_bytes(),
+        ).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        let back = decoded.params[0].to_f32();
+        for (orig, got) in values.iter().zip(&back) {
+            prop_assert_eq!(orig.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected(seed in 0u64..100_000, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let ckpt = checkpoint_from_seed(seed, 2, 6);
+        let bytes = ckpt.to_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        // Either the parse rejects the damage, or (if the flip landed
+        // in a stored-CRC field... no: then the CRC comparison fails;
+        // every byte is covered by structure or checksum) — a flip must
+        // NEVER yield a successfully-decoded different checkpoint.
+        match TrainCheckpoint::from_bytes(&corrupt) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // The only acceptable success: flip was in a section
+                // name of an *unknown* section — impossible here since
+                // names are checked — or decoded state identical, which
+                // can't happen for a bit flip. Fail loudly.
+                prop_assert!(false, "flipped byte {pos} bit {bit} decoded silently: {:?} vs {:?}", decoded.epoch, ckpt.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_detected(seed in 0u64..100_000, keep_frac in 0.0f64..1.0) {
+        let ckpt = checkpoint_from_seed(seed, 2, 6);
+        let bytes = ckpt.to_bytes();
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(TrainCheckpoint::from_bytes(&bytes[..keep]).is_err(),
+            "truncation to {keep}/{} bytes went undetected", bytes.len());
+    }
+}
+
+#[test]
+fn store_falls_back_past_randomly_corrupted_latest() {
+    let dir = std::env::temp_dir().join(format!("fd-ckpt-proptest-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir, 5).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+
+    for round in 0..10u64 {
+        let good = checkpoint_from_seed(round, 2, 5);
+        let good_path = store.save(&good).unwrap();
+        let bad = checkpoint_from_seed(round + 1000, 2, 5);
+        let bad_ckpt = TrainCheckpoint { epoch: good.epoch + 1000, ..bad };
+        let bad_path = store.save(&bad_ckpt).unwrap();
+
+        // Corrupt the newest file at a random position.
+        let mut bytes = std::fs::read(&bad_path).unwrap();
+        let pos = rng.gen_range(0..bytes.len());
+        bytes[pos] ^= 1 << rng.gen_range(0..8u8);
+        std::fs::write(&bad_path, &bytes).unwrap();
+
+        let loaded = store.load_latest().unwrap().expect("good file remains");
+        assert_eq!(loaded.checkpoint.epoch, good.epoch, "round {round}: fallback target");
+        assert_eq!(loaded.path, good_path, "round {round}");
+        assert_eq!(loaded.skipped.len(), 1, "round {round}");
+
+        // Clean slate per round.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_messages_distinguish_corruption_kinds() {
+    let ckpt = checkpoint_from_seed(3, 1, 3);
+    let bytes = ckpt.to_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[1] = b'Z';
+    let err = TrainCheckpoint::from_bytes(&bad_magic).unwrap_err();
+    assert!(err.to_string().contains("magic"), "{err}");
+
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x10;
+    let err = TrainCheckpoint::from_bytes(&flipped).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    let err = TrainCheckpoint::from_bytes(&bytes[..10]).unwrap_err();
+    assert!(matches!(err, CkptError::Corrupt(_)), "{err}");
+}

@@ -1,0 +1,248 @@
+//! Bridging `fd-core` training state to the `fd-ckpt` on-disk format:
+//! options for checkpointed/resumable fits, plus the conversions
+//! between [`Params`]/[`AdamState`] and `fd_ckpt`'s plain tensor
+//! entries.
+//!
+//! Everything here is lossless: weights are `f32` in memory and `f64`
+//! on disk (exact widening both ways), so restoring a checkpoint and
+//! continuing reproduces an uninterrupted run bit for bit.
+
+use crate::config::FakeDetectorConfig;
+use crate::model::NetworkDims;
+use fd_ckpt::{TensorEntry, TrainCheckpoint};
+use fd_nn::{AdamState, Params};
+use fd_tensor::Matrix;
+
+/// Durability/recovery options for [`crate::FakeDetector::fit_with`].
+#[derive(Debug, Clone, Default)]
+pub struct FitOptions {
+    /// Directory to write checkpoints into; `None` disables
+    /// checkpointing (the in-memory divergence guard still runs).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Save a checkpoint every N completed epochs (0 behaves as 1).
+    pub checkpoint_every: usize,
+    /// How many checkpoint files to keep (min 2, so a corrupt latest
+    /// always has a fallback).
+    pub checkpoint_keep: usize,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`
+    /// instead of starting at epoch 0. A no-op when the directory holds
+    /// no checkpoint yet.
+    pub resume: bool,
+}
+
+impl FitOptions {
+    /// Checkpoint to `dir` every `every` epochs.
+    pub fn checkpointed(dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        Self {
+            checkpoint_dir: Some(dir.into()),
+            checkpoint_every: every,
+            checkpoint_keep: 3,
+            resume: false,
+        }
+    }
+
+    /// Enables resuming from the newest valid checkpoint.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Effective save cadence (a configured 0 means every epoch).
+    pub(crate) fn every(&self) -> usize {
+        self.checkpoint_every.max(1)
+    }
+}
+
+/// Opaque fingerprint of everything that must match between the run
+/// that wrote a checkpoint and the run resuming from it. `epochs` is
+/// deliberately excluded: extending a finished run with more epochs is
+/// a supported use of `--resume`.
+pub(crate) fn config_fingerprint(config: &FakeDetectorConfig) -> String {
+    let mut c = config.clone();
+    c.epochs = 0;
+    serde_json::to_string(&c).expect("config serialisation cannot fail")
+}
+
+/// Every parameter as a checkpoint tensor entry, in [`Params`]
+/// insertion order (deterministic: `Network::build` registers
+/// parameters in a fixed sequence).
+pub(crate) fn params_to_entries(params: &Params) -> Vec<TensorEntry> {
+    params
+        .iter()
+        .map(|(_, name, value)| {
+            TensorEntry::from_f32(name, value.rows(), value.cols(), value.as_slice())
+        })
+        .collect()
+}
+
+/// Overwrites `params` values from checkpoint entries. Requires exact
+/// coverage — same names, same shapes, nothing missing or extra —
+/// since any mismatch means the checkpoint belongs to a different
+/// model configuration.
+pub(crate) fn restore_params(params: &mut Params, entries: &[TensorEntry]) -> Result<(), String> {
+    if entries.len() != params.len() {
+        return Err(format!(
+            "checkpoint has {} parameter tensors, model has {}",
+            entries.len(),
+            params.len()
+        ));
+    }
+    for entry in entries {
+        let id = params
+            .id_of(&entry.name)
+            .ok_or_else(|| format!("checkpoint names unknown parameter {:?}", entry.name))?;
+        let current = params.value(id);
+        if (current.rows() as u32, current.cols() as u32) != (entry.rows, entry.cols) {
+            return Err(format!(
+                "checkpoint tensor {:?} is {}x{}, model expects {}x{}",
+                entry.name,
+                entry.rows,
+                entry.cols,
+                current.rows(),
+                current.cols()
+            ));
+        }
+        *params.value_mut(id) =
+            Matrix::from_vec(entry.rows as usize, entry.cols as usize, entry.to_f32());
+    }
+    Ok(())
+}
+
+/// Splits an [`AdamState`] into checkpoint entry lists (first moments,
+/// second moments).
+pub(crate) fn adam_to_entries(state: &AdamState) -> (Vec<TensorEntry>, Vec<TensorEntry>) {
+    let side = |moments: &[(String, Matrix)]| {
+        moments
+            .iter()
+            .map(|(name, m)| TensorEntry::from_f32(name, m.rows(), m.cols(), m.as_slice()))
+            .collect()
+    };
+    (side(&state.m), side(&state.v))
+}
+
+/// Reassembles an [`AdamState`] from checkpoint entry lists.
+pub(crate) fn adam_from_entries(
+    step: u64,
+    m: &[TensorEntry],
+    v: &[TensorEntry],
+) -> Result<AdamState, String> {
+    let side = |entries: &[TensorEntry]| -> Result<Vec<(String, Matrix)>, String> {
+        entries
+            .iter()
+            .map(|e| {
+                let rows = e.rows as usize;
+                let cols = e.cols as usize;
+                if e.data.len() != rows * cols {
+                    return Err(format!("optimizer tensor {:?} has inconsistent shape", e.name));
+                }
+                Ok((e.name.clone(), Matrix::from_vec(rows, cols, e.to_f32())))
+            })
+            .collect()
+    };
+    Ok(AdamState { step, m: side(m)?, v: side(v)? })
+}
+
+/// Verifies a loaded checkpoint belongs to this exact experiment:
+/// same structural dimensions, same derived seed, same configuration
+/// fingerprint (epochs aside).
+pub(crate) fn verify_compatible(
+    ckpt: &TrainCheckpoint,
+    dims: NetworkDims,
+    seed: u64,
+    fingerprint: &str,
+) -> Result<(), String> {
+    if (ckpt.vocab, ckpt.explicit_dim, ckpt.n_classes)
+        != (dims.vocab as u64, dims.explicit_dim as u64, dims.n_classes as u64)
+    {
+        return Err(format!(
+            "checkpoint dimensions (vocab {}, explicit {}, classes {}) do not match the run \
+             (vocab {}, explicit {}, classes {})",
+            ckpt.vocab, ckpt.explicit_dim, ckpt.n_classes,
+            dims.vocab, dims.explicit_dim, dims.n_classes
+        ));
+    }
+    if ckpt.seed != seed {
+        return Err(format!(
+            "checkpoint was written by a run with a different seed ({} vs {})",
+            ckpt.seed, seed
+        ));
+    }
+    if ckpt.config_fingerprint != fingerprint {
+        return Err(
+            "checkpoint was written under a different model configuration \
+             (hyper-parameters/ablations differ)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_roundtrip_is_bit_exact() {
+        let mut params = Params::new();
+        params.get_or_insert("a", || Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 * 0.7 - 1.0));
+        params.get_or_insert("b", || Matrix::from_fn(1, 4, |_, c| -(c as f32) * 1e-20));
+        let entries = params_to_entries(&params);
+
+        let mut restored = params.clone();
+        // Scribble over the values, then restore.
+        for (id, _, _) in params.iter() {
+            restored.value_mut(id).map_in_place(|_| 42.0);
+        }
+        restore_params(&mut restored, &entries).unwrap();
+        for ((_, _, a), (_, _, b)) in params.iter().zip(restored.iter()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_params_rejects_mismatches() {
+        let mut params = Params::new();
+        params.get_or_insert("w", || Matrix::zeros(2, 2));
+        // Wrong count.
+        assert!(restore_params(&mut params.clone(), &[]).is_err());
+        // Wrong name.
+        let wrong_name = vec![TensorEntry::from_f32("other", 2, 2, &[0.0; 4])];
+        assert!(restore_params(&mut params.clone(), &wrong_name).is_err());
+        // Wrong shape.
+        let wrong_shape = vec![TensorEntry::from_f32("w", 1, 4, &[0.0; 4])];
+        let err = restore_params(&mut params.clone(), &wrong_shape).unwrap_err();
+        assert!(err.contains("1x4"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_ignores_epochs_only() {
+        let base = FakeDetectorConfig::default();
+        let more_epochs = FakeDetectorConfig { epochs: base.epochs * 2, ..base.clone() };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&more_epochs));
+        let different_lr = FakeDetectorConfig { lr: base.lr * 2.0, ..base.clone() };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&different_lr));
+        let ablated = FakeDetectorConfig { use_gates: false, ..base.clone() };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&ablated));
+    }
+
+    #[test]
+    fn verify_compatible_distinguishes_each_field() {
+        let dims = NetworkDims { vocab: 100, explicit_dim: 10, n_classes: 2 };
+        let fp = "fp".to_string();
+        let ckpt = TrainCheckpoint {
+            vocab: 100,
+            explicit_dim: 10,
+            n_classes: 2,
+            seed: 7,
+            config_fingerprint: fp.clone(),
+            ..TrainCheckpoint::default()
+        };
+        assert!(verify_compatible(&ckpt, dims, 7, &fp).is_ok());
+        assert!(verify_compatible(&ckpt, dims, 8, &fp).unwrap_err().contains("seed"));
+        assert!(verify_compatible(&ckpt, dims, 7, "other").unwrap_err().contains("configuration"));
+        let other_dims = NetworkDims { vocab: 101, ..dims };
+        assert!(verify_compatible(&ckpt, other_dims, 7, &fp).unwrap_err().contains("dimensions"));
+    }
+}

@@ -28,12 +28,14 @@
 //! let predictions = model.fit_predict(&ctx());
 //! ```
 
+mod checkpoint;
 mod config;
 mod gdu;
 mod hflu;
 mod model;
 mod trained;
 
+pub use checkpoint::FitOptions;
 pub use config::FakeDetectorConfig;
 pub use gdu::GduCell;
 pub use hflu::Hflu;

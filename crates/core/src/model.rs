@@ -1,12 +1,13 @@
 //! The deep diffusive network: HFLU + GDU per node type, unrolled
 //! diffusion over the News-HSN, joint training (Section 4.3).
 
+use crate::checkpoint::{self, FitOptions};
 use crate::trained::TrainedFakeDetector;
 use crate::{FakeDetectorConfig, GduCell, Hflu};
 use fd_autograd::{Tape, Var};
 use fd_data::{CredibilityModel, ExperimentContext, Predictions};
 use fd_graph::NodeType;
-use fd_nn::{clip_global_norm, Adam, Binding, Linear, Optimizer, ParamId, Params};
+use fd_nn::{clip_global_norm, Adam, AdamState, Binding, Linear, Optimizer, ParamId, Params};
 use fd_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +15,14 @@ use std::rc::Rc;
 
 /// Seed-mixing constant for the internal validation split.
 const VAL_SPLIT_MIX: u64 = 0x7a11_da7e;
+
+/// How many times the divergence guard may halve the learning rate
+/// before giving up and returning the last good weights.
+const MAX_LR_HALVINGS: u32 = 6;
+
+/// Without a checkpoint store the divergence guard still needs a
+/// rollback target; refresh it every this many epochs.
+const GUARD_EVERY: usize = 10;
 
 fn type_slot(ty: NodeType) -> usize {
     match ty {
@@ -66,9 +75,106 @@ pub struct TrainReport {
     /// Pre-clip global gradient norm per epoch.
     pub grad_norms: Vec<f32>,
     /// Wall-clock milliseconds per epoch (absent in reports saved before
-    /// this field existed).
+    /// this field existed). Epochs replayed from a checkpoint resume
+    /// are recorded as 0.0 — wall-clock history is deliberately *not*
+    /// part of the durable state, so checkpoint files stay
+    /// byte-comparable across runs.
     #[serde(default)]
     pub epoch_ms: Vec<f64>,
+    /// Times the divergence guard fired: a non-finite loss or gradient
+    /// norm rolled training back to the last good snapshot with a
+    /// halved learning rate. Not persisted in checkpoints (resumed
+    /// reports restart the count).
+    #[serde(default)]
+    pub divergence_rollbacks: u32,
+}
+
+/// The divergence guard's rollback target: a full copy of the mutable
+/// training state, taken at checkpoint cadence. Rolling back *several*
+/// epochs matters: training is deterministic in the weights, so
+/// re-running only the failed epoch with the same state would replay
+/// the same non-finite loss — the halved learning rate must get some
+/// epochs of different trajectory to steer away from the blow-up.
+struct GuardSnapshot {
+    epoch: usize,
+    params: Params,
+    opt: AdamState,
+    best: Option<(f64, Params)>,
+    since_best: usize,
+    n_hist: usize,
+}
+
+impl GuardSnapshot {
+    fn capture(
+        epoch: usize,
+        network: &Network,
+        optimizer: &Adam,
+        best: &Option<(f64, Params)>,
+        since_best: usize,
+        report: &TrainReport,
+    ) -> Self {
+        Self {
+            epoch,
+            params: network.params_snapshot(),
+            opt: optimizer.export_state(&network.params),
+            best: best.clone(),
+            since_best,
+            n_hist: report.losses.len(),
+        }
+    }
+}
+
+/// Builds the durable checkpoint for the state *entering* epoch
+/// `epoch_done` and writes it through the store's atomic-rename
+/// protocol.
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint(
+    store: &fd_ckpt::CheckpointStore,
+    epoch_done: usize,
+    network: &Network,
+    optimizer: &Adam,
+    report: &TrainReport,
+    best: &Option<(f64, Params)>,
+    since_best: usize,
+    lr_halvings: u32,
+    seed: u64,
+    dims: NetworkDims,
+    fingerprint: &str,
+) -> Result<std::path::PathBuf, String> {
+    let state = optimizer.export_state(&network.params);
+    let (opt_m, opt_v) = checkpoint::adam_to_entries(&state);
+    let ckpt = fd_ckpt::TrainCheckpoint {
+        epoch: epoch_done as u64,
+        opt_step: state.step,
+        lr: f64::from(optimizer.lr()),
+        seed,
+        vocab: dims.vocab as u64,
+        explicit_dim: dims.explicit_dim as u64,
+        n_classes: dims.n_classes as u64,
+        since_best: since_best as u64,
+        lr_halvings: u64::from(lr_halvings),
+        best_acc: best.as_ref().map(|(acc, _)| *acc),
+        config_fingerprint: fingerprint.to_string(),
+        losses: report.losses.iter().map(|&l| f64::from(l)).collect(),
+        grad_norms: report.grad_norms.iter().map(|&g| f64::from(g)).collect(),
+        params: checkpoint::params_to_entries(&network.params),
+        opt_m,
+        opt_v,
+        best_params: best
+            .as_ref()
+            .map(|(_, p)| checkpoint::params_to_entries(p))
+            .unwrap_or_default(),
+    };
+    let path = store
+        .save(&ckpt)
+        .map_err(|e| format!("checkpoint save at epoch {epoch_done} failed: {e}"))?;
+    fd_obs::counter("ckpt.saves").inc();
+    fd_obs::event(
+        fd_obs::Level::Debug,
+        "ckpt.saved",
+        &[("epoch", epoch_done.into()), ("path", path.display().to_string().into())],
+    );
+    Ok(path)
 }
 
 /// The assembled network: parameter store plus the per-type components.
@@ -383,6 +489,35 @@ impl FakeDetector {
     /// assert_eq!(predictions.articles.len(), ctx.corpus.articles.len());
     /// ```
     pub fn fit(&self, ctx: &ExperimentContext<'_>) -> TrainedFakeDetector {
+        self.fit_with(ctx, &FitOptions::default())
+            .expect("fit without checkpointing cannot fail")
+    }
+
+    /// [`FakeDetector::fit`] with durability options: periodic
+    /// crash-safe checkpoints, resume from the newest valid checkpoint,
+    /// and (with or without a checkpoint directory) a divergence guard
+    /// that rolls training back to the last good snapshot with a halved
+    /// learning rate when an epoch produces a non-finite loss or
+    /// gradient norm, instead of letting NaNs poison the weights.
+    ///
+    /// **Bitwise-resume invariant**: a run killed after any durable
+    /// checkpoint and restarted with [`FitOptions::resume`] finishes
+    /// with weights bit-identical to the uninterrupted run. Everything
+    /// the epoch loop depends on is either deterministic in
+    /// `(config, seed)` — network init, validation split, forward and
+    /// backward order — or captured in the checkpoint: weights, Adam
+    /// moments and step, loss history, early-stopping state, and
+    /// learning-rate halvings.
+    ///
+    /// Fails on checkpoint I/O errors, on a resume against an
+    /// incompatible checkpoint (different configuration, dimensions or
+    /// seed), or when every file in the checkpoint directory is
+    /// corrupt.
+    pub fn fit_with(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        options: &FitOptions,
+    ) -> Result<TrainedFakeDetector, String> {
         let cfg = &self.config;
         // fit runs a handful of times per process, so registry lookups
         // here are off the hot path; the epoch loop reuses the handles.
@@ -400,6 +535,16 @@ impl FakeDetector {
         let mut network = Network::build(cfg, dims, Params::new(), seed);
         let mut optimizer = Adam::new(cfg.lr);
         let mut report = TrainReport::default();
+
+        let fingerprint = checkpoint::config_fingerprint(cfg);
+        let store = match &options.checkpoint_dir {
+            Some(dir) => Some(
+                fd_ckpt::CheckpointStore::open(dir, options.checkpoint_keep.max(2)).map_err(
+                    |e| format!("cannot open checkpoint directory {}: {e}", dir.display()),
+                )?,
+            ),
+            None => None,
+        };
 
         // Hold out a slice of the training entities for early stopping;
         // validation logits fall out of the same forward pass for free.
@@ -447,11 +592,75 @@ impl FakeDetector {
 
         let mut best: Option<(f64, Params)> = None;
         let mut since_best = 0usize;
+        let mut lr_halvings: u32 = 0;
+        let mut start_epoch = 0usize;
+        if options.resume {
+            if let Some(store) = &store {
+                let loaded =
+                    store.load_latest().map_err(|e| format!("cannot resume: {e}"))?;
+                if let Some(loaded) = loaded {
+                    let at = |e: String| format!("cannot resume from {}: {e}", loaded.path.display());
+                    for (path, why) in &loaded.skipped {
+                        fd_obs::event(
+                            fd_obs::Level::Error,
+                            "ckpt.skipped_corrupt",
+                            &[
+                                ("path", path.display().to_string().into()),
+                                ("error", why.clone().into()),
+                            ],
+                        );
+                    }
+                    let ckpt = &loaded.checkpoint;
+                    checkpoint::verify_compatible(ckpt, dims, seed, &fingerprint).map_err(&at)?;
+                    checkpoint::restore_params(&mut network.params, &ckpt.params).map_err(&at)?;
+                    let state =
+                        checkpoint::adam_from_entries(ckpt.opt_step, &ckpt.opt_m, &ckpt.opt_v)
+                            .map_err(&at)?;
+                    optimizer.restore_state(&network.params, &state).map_err(&at)?;
+                    optimizer.set_lr(ckpt.lr as f32);
+                    lr_halvings = ckpt.lr_halvings as u32;
+                    report.losses = ckpt.losses.iter().map(|&l| l as f32).collect();
+                    report.grad_norms = ckpt.grad_norms.iter().map(|&g| g as f32).collect();
+                    // Wall-clock history is not durable state; replayed
+                    // epochs read as 0 ms.
+                    report.epoch_ms = vec![0.0; report.losses.len()];
+                    since_best = ckpt.since_best as usize;
+                    if let Some(acc) = ckpt.best_acc {
+                        let mut best_params = network.params_snapshot();
+                        checkpoint::restore_params(&mut best_params, &ckpt.best_params)
+                            .map_err(&at)?;
+                        best = Some((acc, best_params));
+                    }
+                    start_epoch = ckpt.epoch as usize;
+                    fd_obs::counter("ckpt.resumes").inc();
+                    fd_obs::event(
+                        fd_obs::Level::Info,
+                        "ckpt.resumed",
+                        &[
+                            ("path", loaded.path.display().to_string().into()),
+                            ("epoch", start_epoch.into()),
+                            ("skipped_corrupt", loaded.skipped.len().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        // The divergence guard's rollback target. Captured at checkpoint
+        // cadence (or every GUARD_EVERY epochs without a store), never
+        // every epoch — see `GuardSnapshot`.
+        let mut guard =
+            GuardSnapshot::capture(start_epoch, &network, &optimizer, &best, since_best, &report);
         // One arena for every epoch: after the first epoch its capacity
         // settles at that epoch's node count, so later resets neither
         // reallocate nor re-zero.
         let tape = Tape::with_capacity(1 << 10);
-        for epoch in 0..cfg.epochs {
+        let mut epoch = start_epoch;
+        while epoch < cfg.epochs {
+            // Early stopping, checked at the loop head so a run resumed
+            // from its final checkpoint does not train an extra epoch.
+            if n_val > 0 && since_best >= cfg.patience {
+                break;
+            }
             let epoch_start = std::time::Instant::now();
             let _epoch_span = fd_obs::span("epoch");
             tape.reset();
@@ -536,6 +745,49 @@ impl FakeDetector {
             let norm = clip_global_norm(&mut grads, cfg.clip);
             let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
 
+            // Divergence guard: a non-finite loss or gradient norm means
+            // this step (and possibly a few before it) blew up. Clipping
+            // deliberately leaves non-finite gradients untouched (see
+            // `clip_global_norm`), so applying them would poison every
+            // weight. Roll back to the last snapshot and retry from
+            // there with a halved learning rate.
+            if !loss_value.is_finite() || !norm.is_finite() {
+                drop(binding);
+                report.divergence_rollbacks += 1;
+                fd_obs::counter("train.divergence_rollbacks").inc();
+                network.params = guard.params.clone();
+                optimizer
+                    .restore_state(&network.params, &guard.opt)
+                    .expect("guard snapshot always matches the live network");
+                best = guard.best.clone();
+                since_best = guard.since_best;
+                report.losses.truncate(guard.n_hist);
+                report.grad_norms.truncate(guard.n_hist);
+                report.epoch_ms.truncate(guard.n_hist);
+                epoch = guard.epoch;
+                if lr_halvings >= MAX_LR_HALVINGS {
+                    fd_obs::event(
+                        fd_obs::Level::Error,
+                        "train.diverged",
+                        &[("epoch", epoch.into()), ("lr", optimizer.lr().into())],
+                    );
+                    break;
+                }
+                let halved = optimizer.lr() * 0.5;
+                optimizer.set_lr(halved);
+                lr_halvings += 1;
+                fd_obs::event(
+                    fd_obs::Level::Error,
+                    "train.divergence_rollback",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("lr", halved.into()),
+                        ("lr_halvings", lr_halvings.into()),
+                    ],
+                );
+                continue;
+            }
+
             // Validation accuracy from the pre-update forward pass,
             // macro-averaged over entity types so the article-heavy
             // validation pool does not drown out creators/subjects.
@@ -562,7 +814,7 @@ impl FakeDetector {
             epoch_us.record(epoch_elapsed * 1e6);
             fd_obs::gauge("train.loss").set(f64::from(loss_value));
             fd_obs::gauge("train.grad_norm").set(f64::from(norm));
-            fd_obs::gauge("train.lr").set(f64::from(cfg.lr));
+            fd_obs::gauge("train.lr").set(f64::from(optimizer.lr()));
             if let Some([la, lc, ls]) = slot_losses {
                 let mut fields: Vec<(&str, fd_obs::Value)> = vec![
                     ("epoch", epoch.into()),
@@ -571,7 +823,7 @@ impl FakeDetector {
                     ("loss_creators", lc.into()),
                     ("loss_subjects", ls.into()),
                     ("grad_norm", norm.into()),
-                    ("lr", cfg.lr.into()),
+                    ("lr", optimizer.lr().into()),
                     ("epoch_ms", (epoch_elapsed * 1e3).into()),
                 ];
                 if let Some(acc) = epoch_val_acc {
@@ -580,15 +832,58 @@ impl FakeDetector {
                 fd_obs::event(fd_obs::Level::Info, "train.epoch", &fields);
             }
 
-            if n_val > 0 && since_best >= cfg.patience {
-                break;
+            epoch += 1;
+            // Durable checkpoint at the configured cadence, and always
+            // at the final epoch (count exhausted or early stop) so a
+            // finished run leaves its end state on disk.
+            let stopping =
+                epoch == cfg.epochs || (n_val > 0 && since_best >= cfg.patience);
+            if let Some(store) = &store {
+                if epoch.is_multiple_of(options.every()) || stopping {
+                    save_checkpoint(
+                        store,
+                        epoch,
+                        &network,
+                        &optimizer,
+                        &report,
+                        &best,
+                        since_best,
+                        lr_halvings,
+                        seed,
+                        dims,
+                        &fingerprint,
+                    )?;
+                    guard = GuardSnapshot::capture(
+                        epoch,
+                        &network,
+                        &optimizer,
+                        &best,
+                        since_best,
+                        &report,
+                    );
+                    // Deterministic crash injection for recovery tests:
+                    // dies *after* the durable save, exactly where a real
+                    // SIGKILL would leave a resumable run.
+                    if fd_ckpt::fault::kill_after_ckpt(epoch as u64) {
+                        std::process::abort();
+                    }
+                }
+            } else if epoch.is_multiple_of(GUARD_EVERY) {
+                guard = GuardSnapshot::capture(
+                    epoch,
+                    &network,
+                    &optimizer,
+                    &best,
+                    since_best,
+                    &report,
+                );
             }
         }
         if let Some((_, best_params)) = best {
             network.params = best_params;
         }
 
-        TrainedFakeDetector::from_parts(self.config.clone(), dims, seed, network, report)
+        Ok(TrainedFakeDetector::from_parts(self.config.clone(), dims, seed, network, report))
     }
 
     /// Trains and predicts, also returning the loss curve — used by the

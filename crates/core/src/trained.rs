@@ -111,6 +111,14 @@ impl TrainedFakeDetector {
         &self.config
     }
 
+    /// JSON rendering of the raw weights alone (no config/report
+    /// envelope). Two models trained along bit-identical trajectories —
+    /// e.g. an uninterrupted run vs. a crash-and-resume of the same run
+    /// — produce equal strings; the recovery tests assert exactly that.
+    pub fn params_json(&self) -> String {
+        self.network.params.to_json()
+    }
+
     /// Checks that a context matches the dimensions this model was
     /// trained for; all prediction entry points call this.
     fn check_ctx(&self, ctx: &ExperimentContext<'_>) {

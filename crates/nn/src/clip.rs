@@ -25,6 +25,14 @@ pub fn global_norm(grads: &[(ParamId, Matrix)]) -> f32 {
 /// Scales all gradients so their joint norm is at most `max_norm`.
 /// Returns the pre-clip norm.
 ///
+/// A non-finite norm (NaN or ±∞ — an exploded or poisoned backward
+/// pass) is deliberately **not** "clipped": scaling by `max_norm / NaN`
+/// would turn every gradient into NaN and the subsequent optimiser step
+/// would poison the weights. The gradients are left untouched and the
+/// non-finite norm is returned — callers (`FakeDetector::fit`'s
+/// divergence guard) must check `norm.is_finite()` and skip the step /
+/// roll back instead of applying it.
+///
 /// The rescale fans per-tensor work across `FD_THREADS`; each tensor is
 /// scaled element-wise by one thread, so clipping stays bit-identical
 /// for any thread count.
@@ -94,8 +102,27 @@ mod tests {
         // A NaN norm must not scale every gradient to NaN; the caller can
         // then detect and skip the step.
         let mut g = grads(&[&[f32::NAN], &[1.0]]);
-        clip_global_norm(&mut g, 1.0);
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!(norm.is_nan(), "caller must see the NaN norm to trigger its divergence guard");
         assert_eq!(g[1].1[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn clip_reports_infinite_norm_without_scaling() {
+        // Overflowed (±∞) gradients: same contract as NaN — report, do
+        // not scale. max/∞ would zero every finite gradient and the
+        // infinite ones would become NaN (∞ · 0).
+        let mut g = grads(&[&[f32::INFINITY], &[2.0]]);
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!(norm.is_infinite(), "caller must see the infinite norm");
+        assert_eq!(g[1].1[(0, 0)], 2.0, "finite gradients must survive untouched");
+
+        // Large-but-finite values that overflow the squared-sum also
+        // report infinity rather than fabricating a scale.
+        let mut g = grads(&[&[f32::MAX], &[f32::MAX]]);
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!(norm.is_infinite());
+        assert_eq!(g[0].1[(0, 0)], f32::MAX);
     }
 
     #[test]

@@ -48,6 +48,6 @@ mod schedule;
 pub use binding::Binding;
 pub use clip::{clip_global_norm, global_norm};
 pub use layers::{Embedding, GruCell, GruEncoder, Linear};
-pub use optim::{AdaGrad, Adam, Optimizer, Sgd};
+pub use optim::{AdaGrad, Adam, AdamState, Optimizer, Sgd};
 pub use params::{ParamId, Params};
 pub use schedule::Schedule;

@@ -116,6 +116,75 @@ impl Adam {
         self.beta2 = beta2;
         self
     }
+
+    /// Update steps taken so far (the bias-correction exponent).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Snapshots the optimiser state for checkpointing. Moments are
+    /// keyed by parameter *name* (resolved through `params`) rather
+    /// than raw index, so a restore into a freshly rebuilt network is
+    /// robust as long as parameter names match.
+    pub fn export_state(&self, params: &Params) -> AdamState {
+        let moments = |side: &[Option<Matrix>]| {
+            side.iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    let m = slot.as_ref()?;
+                    // Dense state can be wider than the param store if a
+                    // gradient arrived for an id the store since forgot;
+                    // that cannot happen in practice (ids come from the
+                    // store), so the lookup is infallible here.
+                    Some((params.name(ParamId(i)).to_string(), m.clone()))
+                })
+                .collect()
+        };
+        AdamState { step: self.step, m: moments(&self.m), v: moments(&self.v) }
+    }
+
+    /// Restores state captured by [`Adam::export_state`], replacing any
+    /// moments accumulated so far. Fails if a snapshot entry names a
+    /// parameter `params` does not have, or shapes disagree — both mean
+    /// the checkpoint belongs to a different model configuration.
+    pub fn restore_state(&mut self, params: &Params, state: &AdamState) -> Result<(), String> {
+        let mut m: Vec<Option<Matrix>> = vec![None; params.len()];
+        let mut v: Vec<Option<Matrix>> = vec![None; params.len()];
+        for (side, slots) in [(&state.m, &mut m), (&state.v, &mut v)] {
+            for (name, mat) in side {
+                let id = params
+                    .id_of(name)
+                    .ok_or_else(|| format!("optimizer state names unknown parameter {name:?}"))?;
+                let p = params.value(id);
+                if (p.rows(), p.cols()) != (mat.rows(), mat.cols()) {
+                    return Err(format!(
+                        "optimizer state for {name:?} has shape {}x{}, parameter is {}x{}",
+                        mat.rows(), mat.cols(), p.rows(), p.cols()
+                    ));
+                }
+                slots[id.index()] = Some(mat.clone());
+            }
+        }
+        self.m = m;
+        self.v = v;
+        self.step = state.step;
+        Ok(())
+    }
+}
+
+/// Serialisable snapshot of an [`Adam`] instance's mutable state:
+/// the step counter plus first/second moments keyed by parameter name.
+/// Produced by [`Adam::export_state`], consumed by
+/// [`Adam::restore_state`]; the checkpoint layer persists it so a
+/// resumed run continues the exact optimiser trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Update steps taken.
+    pub step: u64,
+    /// First moments, `(param name, moment matrix)`.
+    pub m: Vec<(String, Matrix)>,
+    /// Second moments.
+    pub v: Vec<(String, Matrix)>,
 }
 
 impl Optimizer for Adam {
@@ -336,6 +405,93 @@ mod tests {
         for (ma, mb) in a.iter().zip(&b) {
             assert_eq!(ma.as_slice(), mb.as_slice(), "updates must not depend on FD_THREADS");
         }
+    }
+
+    /// Deterministic pseudo-gradient for the state round-trip tests.
+    fn fake_grad(id: ParamId, params: &Params, step: usize) -> (ParamId, Matrix) {
+        let w = params.value(id);
+        let g = Matrix::from_fn(w.rows(), w.cols(), |r, c| {
+            (w[(r, c)] + (step as f32 + 1.0).recip()) * 0.5
+        });
+        (id, g)
+    }
+
+    #[test]
+    fn adam_state_roundtrip_continues_bitwise() {
+        let build = || {
+            let mut params = Params::new();
+            let a = params.get_or_insert("a", || Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.3 - 0.5));
+            let b = params.get_or_insert("b", || Matrix::from_fn(1, 4, |_, c| c as f32 * 0.1));
+            (params, a, b)
+        };
+
+        // Control: 10 uninterrupted steps.
+        let (mut params, a, b) = build();
+        let mut opt = Adam::new(0.05);
+        for step in 0..10 {
+            let grads = vec![fake_grad(a, &params, step), fake_grad(b, &params, step)];
+            opt.apply(&mut params, &grads);
+        }
+        let control: Vec<Matrix> = vec![params.value(a).clone(), params.value(b).clone()];
+
+        // Interrupted: snapshot at step 5, restore into a *fresh* Adam
+        // over a fresh param store seeded with the step-5 weights.
+        let (mut params, a, b) = build();
+        let mut opt = Adam::new(0.05);
+        for step in 0..5 {
+            let grads = vec![fake_grad(a, &params, step), fake_grad(b, &params, step)];
+            opt.apply(&mut params, &grads);
+        }
+        let state = opt.export_state(&params);
+        assert_eq!(state.step, 5);
+
+        let mut opt2 = Adam::new(0.05);
+        opt2.restore_state(&params, &state).unwrap();
+        for step in 5..10 {
+            let grads = vec![fake_grad(a, &params, step), fake_grad(b, &params, step)];
+            opt2.apply(&mut params, &grads);
+        }
+        for (got, want) in [params.value(a), params.value(b)].iter().zip(&control) {
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "resume must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn adam_restore_rejects_mismatched_state() {
+        let mut params = Params::new();
+        let id = params.get_or_insert("w", || Matrix::zeros(2, 2));
+        let mut opt = Adam::new(0.1);
+        opt.apply(&mut params, &[(id, Matrix::ones(2, 2))]);
+        let state = opt.export_state(&params);
+
+        // Unknown parameter name.
+        let mut other = Params::new();
+        other.get_or_insert("different", || Matrix::zeros(2, 2));
+        assert!(Adam::new(0.1).restore_state(&other, &state).is_err());
+
+        // Shape mismatch.
+        let mut reshaped = Params::new();
+        reshaped.get_or_insert("w", || Matrix::zeros(3, 3));
+        let err = Adam::new(0.1).restore_state(&reshaped, &state).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn adam_export_skips_parameters_without_gradients() {
+        let mut params = Params::new();
+        let a = params.get_or_insert("a", || Matrix::zeros(1, 1));
+        params.get_or_insert("never_touched", || Matrix::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        opt.apply(&mut params, &[(a, Matrix::ones(1, 1))]);
+        let state = opt.export_state(&params);
+        assert_eq!(state.m.len(), 1);
+        assert_eq!(state.m[0].0, "a");
+        // And restoring it leaves the untouched slot untouched.
+        let mut opt2 = Adam::new(0.1);
+        opt2.restore_state(&params, &state).unwrap();
+        assert_eq!(opt2.step_count(), 1);
     }
 
     #[test]

@@ -66,6 +66,20 @@ pub struct Batch {
 }
 
 impl BatchQueue {
+    /// Locks the queue state, recovering from a poisoned mutex. A panic
+    /// in some other thread while it held the lock poisons the mutex,
+    /// but `State` is only ever mutated by single `push_back`/`drain`
+    /// calls that cannot leave it half-updated — so the data is intact
+    /// and recovering the guard is sound. Propagating the poison
+    /// instead would cascade one contained panic into an abort of every
+    /// handler thread and the batcher.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| {
+            fd_obs::counter("serve.lock_poison_recovered").inc();
+            poisoned.into_inner()
+        })
+    }
+
     /// An empty queue. `bound` caps waiting jobs, `max_batch` caps the
     /// jobs drained per batch, and `max_delay` caps how long the batcher
     /// waits past the oldest job's arrival before dispatching a partial
@@ -88,7 +102,7 @@ impl BatchQueue {
     pub fn enqueue(&self, request: ScoreRequest) -> Result<Receiver<ScoreResult>, EnqueueError> {
         let (tx, rx) = sync_channel(1);
         {
-            let mut st = self.state.lock().expect("batch queue poisoned");
+            let mut st = self.lock();
             if st.shutdown {
                 return Err(EnqueueError::ShuttingDown);
             }
@@ -106,7 +120,7 @@ impl BatchQueue {
     /// Signals shutdown: no new jobs are accepted, and the batcher
     /// exits once the queue is drained.
     pub fn shutdown(&self) {
-        self.state.lock().expect("batch queue poisoned").shutdown = true;
+        self.lock().shutdown = true;
         self.arrival.notify_all();
     }
 
@@ -116,45 +130,48 @@ impl BatchQueue {
     /// oldest job has waited `max_delay`, or shutdown begins (drain
     /// without further delay).
     pub fn next_batch(&self) -> Option<Batch> {
-        let mut st = self.state.lock().expect("batch queue poisoned");
-        loop {
-            if st.queue.is_empty() {
-                if st.shutdown {
-                    return None;
-                }
-                st = self.arrival.wait(st).expect("batch queue poisoned");
-                continue;
-            }
-            // A batch exists; wait for it to fill or for the delay to
-            // lapse. Shutdown flushes immediately.
-            let deadline = st.queue.front().expect("non-empty").enqueued + self.max_delay;
-            while st.queue.len() < self.max_batch && !st.shutdown {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (next, timeout) = self
-                    .arrival
-                    .wait_timeout(st, deadline - now)
-                    .expect("batch queue poisoned");
-                st = next;
-                if timeout.timed_out() {
-                    break;
+        let mut st = self.lock();
+        let front_arrival = loop {
+            match st.queue.front() {
+                Some(job) => break job.enqueued,
+                None if st.shutdown => return None,
+                None => {
+                    st = self
+                        .arrival
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
             }
-            let take = st.queue.len().min(self.max_batch);
+        };
+        // A batch exists; wait for it to fill or for the delay to
+        // lapse. Shutdown flushes immediately.
+        let deadline = front_arrival + self.max_delay;
+        while st.queue.len() < self.max_batch && !st.shutdown {
             let now = Instant::now();
-            let mut requests = Vec::with_capacity(take);
-            let mut replies = Vec::with_capacity(take);
-            let mut oldest_wait = Duration::ZERO;
-            for job in st.queue.drain(..take) {
-                oldest_wait = oldest_wait.max(now.duration_since(job.enqueued));
-                requests.push(job.request);
-                replies.push(job.reply);
+            if now >= deadline {
+                break;
             }
-            fd_obs::gauge("serve.queue_depth").set(st.queue.len() as f64);
-            return Some(Batch { requests, replies, oldest_wait });
+            let (next, timeout) = self
+                .arrival
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = next;
+            if timeout.timed_out() {
+                break;
+            }
         }
+        let take = st.queue.len().min(self.max_batch);
+        let now = Instant::now();
+        let mut requests = Vec::with_capacity(take);
+        let mut replies = Vec::with_capacity(take);
+        let mut oldest_wait = Duration::ZERO;
+        for job in st.queue.drain(..take) {
+            oldest_wait = oldest_wait.max(now.duration_since(job.enqueued));
+            requests.push(job.request);
+            replies.push(job.reply);
+        }
+        fd_obs::gauge("serve.queue_depth").set(st.queue.len() as f64);
+        Some(Batch { requests, replies, oldest_wait })
     }
 }
 
@@ -225,6 +242,28 @@ mod tests {
         assert_eq!(batch.requests[0].text, "in-flight");
         // …then the batcher is told to exit.
         assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        // A thread panicking while holding the state lock must not take
+        // the whole server down with it: later enqueues and drains
+        // recover the (still consistent) state instead of cascading the
+        // panic.
+        let q = Arc::new(BatchQueue::new(4, 2, Duration::from_millis(1)));
+        let poisoner = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let _guard = q.lock();
+                panic!("injected panic while holding the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner thread must have panicked");
+        q.enqueue(req("after-poison")).unwrap();
+        let batch = q.next_batch().unwrap();
+        assert_eq!(batch.requests[0].text, "after-poison");
+        q.shutdown();
+        assert!(q.next_batch().is_none(), "shutdown still works on a recovered lock");
     }
 
     #[test]

@@ -46,5 +46,6 @@ pub use batch::{Batch, BatchQueue, EnqueueError, ScoreResult};
 pub use http::{HttpClient, HttpError, Request};
 pub use model::{mode_name, parse_mode, BundleSplit, ServeModel, TrainBundle};
 pub use server::{
-    install_signal_handlers, signal_received, ServeConfig, Server, ShutdownHandle,
+    install_signal_handlers, signal_received, take_reload_request, ModelSlot, ServeConfig, Server,
+    ShutdownHandle,
 };

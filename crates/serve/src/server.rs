@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -58,12 +58,45 @@ impl Default for ServeConfig {
     }
 }
 
+/// An atomically swappable model handle for zero-downtime reloads.
+///
+/// Readers clone the inner `Arc` under a momentary read lock; a reload
+/// replaces it under a write lock. Requests that already cloned the old
+/// `Arc` keep scoring against it until they finish — a swap never drops
+/// or corrupts an in-flight request, it only changes which model *new*
+/// work picks up. The old model is freed when its last request
+/// completes.
+pub struct ModelSlot {
+    current: RwLock<Arc<ServeModel>>,
+}
+
+impl ModelSlot {
+    /// A slot serving `model`.
+    pub fn new(model: Arc<ServeModel>) -> Self {
+        Self { current: RwLock::new(model) }
+    }
+
+    /// The model new work should score against.
+    pub fn get(&self) -> Arc<ServeModel> {
+        // An Arc clone cannot leave the slot half-written, so a poison
+        // (panicking reader) is recoverable.
+        self.current.read().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
+    }
+
+    /// Atomically replaces the served model; returns the previous one.
+    pub fn swap(&self, model: Arc<ServeModel>) -> Arc<ServeModel> {
+        let mut slot = self.current.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+        std::mem::replace(&mut *slot, model)
+    }
+}
+
 /// A running server. Dropping it without calling [`Server::shutdown`]
 /// leaves the threads running detached; call `shutdown` for a clean,
 /// draining stop.
 pub struct Server {
     addr: SocketAddr,
     queue: Arc<BatchQueue>,
+    slot: Arc<ModelSlot>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
@@ -105,24 +138,34 @@ impl Server {
             Duration::from_millis(config.max_delay_ms),
         ));
         let stop = Arc::new(AtomicBool::new(false));
+        let slot = Arc::new(ModelSlot::new(model));
 
         let batcher = {
             let queue = Arc::clone(&queue);
-            let model = Arc::clone(&model);
-            std::thread::spawn(move || batcher_loop(&queue, &model))
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || batcher_loop(&queue, &slot))
         };
         let accept = {
             let queue = Arc::clone(&queue);
+            let slot = Arc::clone(&slot);
             let stop = Arc::clone(&stop);
             let config = config.clone();
-            std::thread::spawn(move || accept_loop(listener, model, queue, stop, config))
+            std::thread::spawn(move || accept_loop(listener, slot, queue, stop, config))
         };
         fd_obs::event(
             fd_obs::Level::Info,
             "serve.start",
             &[("addr", fd_obs::Value::Str(addr.to_string()))],
         );
-        Ok(Self { addr, queue, stop, accept: Some(accept), batcher: Some(batcher) })
+        Ok(Self { addr, queue, slot, stop, accept: Some(accept), batcher: Some(batcher) })
+    }
+
+    /// Hot-swaps the served model without dropping in-flight requests
+    /// (see [`ModelSlot`]); `fdctl serve` calls this on `SIGHUP`.
+    pub fn swap_model(&self, model: Arc<ServeModel>) {
+        let _old = self.slot.swap(model);
+        fd_obs::counter("serve.reloads").inc();
+        fd_obs::event(fd_obs::Level::Info, "serve.reload", &[]);
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -155,8 +198,11 @@ impl Server {
     }
 }
 
-/// Scores batches until the queue shuts down and drains.
-fn batcher_loop(queue: &BatchQueue, model: &ServeModel) {
+/// Scores batches until the queue shuts down and drains. The batcher is
+/// a singleton — if it dies, every future request times out — so a
+/// panic during scoring is contained per batch: the batch's requests
+/// get a 500 and the loop keeps serving.
+fn batcher_loop(queue: &BatchQueue, slot: &ModelSlot) {
     let size_hist = fd_obs::histogram("serve.batch_size", &fd_obs::exponential_buckets(1.0, 2.0, 9));
     let wait_hist =
         fd_obs::histogram("serve.queue_wait_us", &fd_obs::exponential_buckets(50.0, 4.0, 10));
@@ -165,22 +211,39 @@ fn batcher_loop(queue: &BatchQueue, model: &ServeModel) {
     while let Some(batch) = queue.next_batch() {
         size_hist.record(batch.requests.len() as f64);
         wait_hist.record(batch.oldest_wait.as_secs_f64() * 1e6);
-        let scored = {
+        // The model is re-read per batch, so a hot reload takes effect
+        // on the very next batch while this one finishes on the Arc it
+        // already holds.
+        let model = slot.get();
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(delay) = fd_ckpt::fault::slow_batch() {
+                std::thread::sleep(delay);
+            }
+            if fd_ckpt::fault::panic_batch() {
+                panic!("injected batch panic (FD_FAULT=panic-batch)");
+            }
             let _timer = fd_obs::span_timed("serve.batch_score", score_hist);
             model.score(&batch.requests)
-        };
+        }));
         match scored {
             // Send failures mean the handler gave up (timeout / dead
             // connection); the result is simply dropped.
-            Ok(rows) => {
+            Ok(Ok(rows)) => {
                 for (row, reply) in rows.into_iter().zip(&batch.replies) {
                     let _ = reply.send(Ok(row));
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 fd_obs::counter("serve.batch_errors").inc();
                 for reply in &batch.replies {
                     let _ = reply.send(Err(e.clone()));
+                }
+            }
+            Err(_) => {
+                fd_obs::counter("serve.batch_panics").inc();
+                fd_obs::event(fd_obs::Level::Error, "serve.batch_panic", &[]);
+                for reply in &batch.replies {
+                    let _ = reply.send(Err("internal error: scoring panicked".to_string()));
                 }
             }
         }
@@ -191,7 +254,7 @@ fn batcher_loop(queue: &BatchQueue, model: &ServeModel) {
 /// so in-flight requests complete before `Server::shutdown` proceeds.
 fn accept_loop(
     listener: TcpListener,
-    model: Arc<ServeModel>,
+    slot: Arc<ModelSlot>,
     queue: Arc<BatchQueue>,
     stop: Arc<AtomicBool>,
     config: ServeConfig,
@@ -203,12 +266,12 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         fd_obs::counter("serve.connections").inc();
-        let model = Arc::clone(&model);
+        let slot = Arc::clone(&slot);
         let queue = Arc::clone(&queue);
         let stop = Arc::clone(&stop);
         let config = config.clone();
         handlers.push(std::thread::spawn(move || {
-            handle_connection(stream, &model, &queue, &stop, &config)
+            handle_connection(stream, &slot, &queue, &stop, &config)
         }));
         handlers.retain(|h| !h.is_finished());
     }
@@ -221,7 +284,7 @@ fn accept_loop(
 /// unrecoverable parse error occurs, or shutdown is requested.
 fn handle_connection(
     mut stream: TcpStream,
-    model: &ServeModel,
+    slot: &ModelSlot,
     queue: &BatchQueue,
     stop: &AtomicBool,
     config: &ServeConfig,
@@ -254,7 +317,20 @@ fn handle_connection(
         };
         fd_obs::counter("serve.requests").inc();
         let started = Instant::now();
-        let (status, body) = route(model, queue, config, &request);
+        // Each request pins the model that was current when it arrived;
+        // a concurrent hot reload affects only later requests. Panics
+        // inside routing map to a 500 on this connection instead of
+        // silently dropping it mid-response.
+        let model = slot.get();
+        let (status, body) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(&model, queue, config, &request)
+            }))
+            .unwrap_or_else(|_| {
+                fd_obs::counter("serve.handler_panics").inc();
+                fd_obs::event(fd_obs::Level::Error, "serve.handler_panic", &[]);
+                (500, error_body("internal error"))
+            });
         latency_hist.record(started.elapsed().as_secs_f64() * 1e6);
         if status >= 500 {
             fd_obs::counter("serve.responses_5xx").inc();
@@ -492,22 +568,28 @@ fn predict_batch(
 }
 
 /// Installs `SIGINT`/`SIGTERM` handlers that set a process-wide flag,
-/// readable via [`signal_received`]. Uses the libc `signal(2)` symbol
-/// directly so no crate dependency is needed; the handler only touches
-/// an atomic, which is async-signal-safe.
+/// readable via [`signal_received`], plus a `SIGHUP` handler that sets
+/// a reload flag readable via [`take_reload_request`]. Uses the libc
+/// `signal(2)` symbol directly so no crate dependency is needed; the
+/// handlers only touch atomics, which is async-signal-safe.
 #[cfg(unix)]
 pub fn install_signal_handlers() {
     extern "C" fn mark(_signum: i32) {
         SIGNALLED.store(true, Ordering::SeqCst);
     }
+    extern "C" fn mark_reload(_signum: i32) {
+        RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+    }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     unsafe {
         signal(SIGINT, mark as extern "C" fn(i32) as usize);
         signal(SIGTERM, mark as extern "C" fn(i32) as usize);
+        signal(SIGHUP, mark_reload as extern "C" fn(i32) as usize);
     }
 }
 
@@ -516,9 +598,18 @@ pub fn install_signal_handlers() {
 pub fn install_signal_handlers() {}
 
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 /// Whether a termination signal has arrived since
 /// [`install_signal_handlers`].
 pub fn signal_received() -> bool {
     SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Consumes a pending `SIGHUP` reload request: true exactly once per
+/// signal. The `fdctl serve` supervision loop polls this and responds
+/// by reloading the bundle from disk and calling
+/// [`Server::swap_model`].
+pub fn take_reload_request() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::SeqCst)
 }

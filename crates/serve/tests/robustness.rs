@@ -1,0 +1,204 @@
+//! Fault-injected serving tests: hot reload under sustained load must
+//! drop zero requests, and an injected panic inside the batcher must
+//! map to 500s for that batch only — the server keeps serving.
+
+use fd_core::{FakeDetector, FakeDetectorConfig};
+use fd_data::{
+    generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
+    TokenizedCorpus, TrainSets,
+};
+use fd_serve::{HttpClient, ServeConfig, ServeModel, Server};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Two tiny trained models over the same corpus — distinguishable by
+/// their probability outputs, so reload tests can tell which model
+/// answered.
+fn models() -> (Arc<ServeModel>, Arc<ServeModel>) {
+    static MODELS: OnceLock<(Arc<ServeModel>, Arc<ServeModel>)> = OnceLock::new();
+    MODELS
+        .get_or_init(|| {
+            let seed = 7;
+            let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let train = TrainSets {
+                articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+                creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+                subjects: CvSplits::new(corpus.subjects.len(), 10, &mut rng).fold(0).0,
+            };
+            let (explicit_dim, seq_len, max_vocab) = (30, 8, 2000);
+            let tokenized = TokenizedCorpus::build(&corpus, seq_len, max_vocab);
+            let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, explicit_dim);
+            let ctx = ExperimentContext {
+                corpus: &corpus,
+                tokenized: &tokenized,
+                explicit: &explicit,
+                train: &train,
+                mode: LabelMode::Binary,
+                seed,
+            };
+            let build = |epochs: usize| {
+                let config = FakeDetectorConfig {
+                    epochs,
+                    validation_fraction: 0.0,
+                    ..FakeDetectorConfig::default()
+                };
+                FakeDetector::new(config).fit(&ctx)
+            };
+            let (a, b) = (build(1), build(3));
+            drop((tokenized, explicit));
+            let wrap = |trained| {
+                Arc::new(ServeModel::new(
+                    corpus.clone(),
+                    trained,
+                    train.clone(),
+                    LabelMode::Binary,
+                    explicit_dim,
+                    seq_len,
+                    max_vocab,
+                ))
+            };
+            (wrap(a), wrap(b))
+        })
+        .clone()
+}
+
+fn client(addr: &str) -> HttpClient {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+    client
+}
+
+fn body_for(i: usize) -> String {
+    let (_, creators, subjects) = models().0.corpus_sizes();
+    format!(
+        "{{\"text\":\"claim {i} about the budget deficit and medicare\",\"creator\":{},\"subjects\":[{}]}}",
+        i % creators,
+        i % subjects
+    )
+}
+
+fn ephemeral() -> ServeConfig {
+    ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() }
+}
+
+/// FD_FAULT state is process-global; serialise the tests that touch it.
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn hot_reload_under_load_drops_no_requests() {
+    // Not a fault test itself, but the fault spec is process-global and
+    // a concurrently-running fault test would poison this server too.
+    let _guard = fault_lock();
+    let (model_a, model_b) = models();
+    let server = Server::start(Arc::clone(&model_a), &ephemeral()).expect("start");
+    let addr = server.local_addr().to_string();
+
+    // Reference answers from each model, taken single-threaded.
+    let reference_a = {
+        let (status, response) = client(&addr).post("/v1/predict", &body_for(0)).expect("post");
+        assert_eq!(status, 200, "{response}");
+        response
+    };
+    server.swap_model(Arc::clone(&model_b));
+    let reference_b = {
+        let (status, response) = client(&addr).post("/v1/predict", &body_for(0)).expect("post");
+        assert_eq!(status, 200, "{response}");
+        response
+    };
+    assert_ne!(reference_a, reference_b, "test models must be distinguishable");
+    server.swap_model(Arc::clone(&model_a));
+
+    // Hammer one request shape from several clients while the model is
+    // swapped back and forth underneath them. Every response must be a
+    // 200 matching one of the two models — nothing dropped, nothing
+    // torn between the two.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = client(&addr);
+                let body = body_for(0);
+                let mut count = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let (status, response) = client.post("/v1/predict", &body).expect("post");
+                    assert_eq!(status, 200, "in-flight request failed during reload: {response}");
+                    count += 1;
+                }
+                count
+            })
+        })
+        .collect();
+    for i in 0..20 {
+        std::thread::sleep(Duration::from_millis(10));
+        let next = if i % 2 == 0 { &model_b } else { &model_a };
+        server.swap_model(Arc::clone(next));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let total: usize = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    assert!(total > 0, "load generator never completed a request");
+
+    // And the server is still healthy on the final model.
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(0)).expect("post");
+    assert_eq!(status, 200);
+    assert_eq!(response, reference_a, "final model is model_a");
+    server.shutdown();
+}
+
+#[test]
+fn injected_batch_panic_maps_to_500_and_server_survives() {
+    let _guard = fault_lock();
+    let (model, _) = models();
+    let server = Server::start(model, &ephemeral()).expect("start");
+    let addr = server.local_addr().to_string();
+
+    // Warm request so the panic hits an established, healthy server.
+    let (status, _) = client(&addr).post("/v1/predict", &body_for(1)).expect("post");
+    assert_eq!(status, 200);
+
+    // The next scored batch panics inside the batcher thread.
+    fd_ckpt::fault::set_spec(Some(
+        fd_ckpt::fault::FaultSpec::parse("panic-batch:1").expect("spec"),
+    ));
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(1)).expect("post");
+    assert_eq!(status, 500, "panicked batch must answer 500, got: {response}");
+    assert!(response.contains("internal error"), "{response}");
+
+    // The batcher thread survived the panic: scoring still works.
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(1)).expect("post");
+    assert_eq!(status, 200, "server must keep serving after a batch panic: {response}");
+
+    fd_ckpt::fault::set_spec(None);
+    server.shutdown();
+}
+
+#[test]
+fn injected_slow_batch_trips_request_deadline() {
+    let _guard = fault_lock();
+    let (model, _) = models();
+    // Tight deadline, so the injected delay reliably exceeds it.
+    let config = ServeConfig { request_timeout_ms: 200, ..ephemeral() };
+    let server = Server::start(model, &config).expect("start");
+    let addr = server.local_addr().to_string();
+
+    fd_ckpt::fault::set_spec(Some(
+        fd_ckpt::fault::FaultSpec::parse("slow-batch:800").expect("spec"),
+    ));
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(2)).expect("post");
+    assert_eq!(status, 504, "slow batch must trip the deadline, got: {response}");
+    fd_ckpt::fault::set_spec(None);
+
+    // Deadline misses don't wedge the server: once the batcher finishes
+    // its injected nap, scoring is back to normal.
+    std::thread::sleep(Duration::from_millis(900));
+    let (status, response) = client(&addr).post("/v1/predict", &body_for(2)).expect("post");
+    assert_eq!(status, 200, "{response}");
+    server.shutdown();
+}

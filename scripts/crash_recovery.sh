@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Crash/recovery drill for the durable-checkpoint path:
+#
+# 1. Train a control run to completion with per-epoch checkpoints.
+# 2. Launch the same run again and SIGKILL it (kill -9, no cleanup
+#    handlers) as soon as its first checkpoint file appears on disk —
+#    the kill can land mid-epoch or even mid-checkpoint-write; the
+#    temp-file + fsync + rename protocol must leave a valid newest-or-
+#    previous checkpoint either way.
+# 3. Resume the killed run with `--resume` and the identical arguments.
+# 4. Byte-compare the final checkpoint of the resumed run against the
+#    control run (`cmp`): the bitwise-resume invariant says they are
+#    identical, not merely close.
+# 5. Gate both files through `fdctl ckpt inspect` (non-zero exit on
+#    any section-CRC or header failure).
+#
+# Usage: scripts/crash_recovery.sh [epochs] [scale]
+#
+# Exits non-zero, naming the step, on any violation.
+set -eu
+cd "$(dirname "$0")/.."
+epochs="${1:-10}"
+scale="${2:-0.02}"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/fd-crash-XXXXXX")"
+trap 'rm -rf "$work"' EXIT INT TERM
+
+echo "==> build fdctl (release)" >&2
+cargo build --release --bin fdctl
+fdctl=target/release/fdctl
+
+echo "==> generate corpus (scale $scale)" >&2
+"$fdctl" generate --scale "$scale" --seed 7 --out "$work/corpus.json"
+
+train() {
+    # $1 = bundle path, $2 = checkpoint dir, then extra flags.
+    out="$1"; dir="$2"; shift 2
+    "$fdctl" train --corpus "$work/corpus.json" --out "$out" \
+        --epochs "$epochs" --seed 42 --mode binary \
+        --checkpoint-dir "$dir" --checkpoint-every 1 "$@"
+}
+
+echo "==> control run ($epochs epochs, checkpoint every epoch)" >&2
+train "$work/control.json" "$work/ckpt-control"
+
+echo "==> crash run: SIGKILL after the first checkpoint lands" >&2
+# Background the binary itself (not the train() function — that would
+# fork a subshell, and kill -9 on the subshell would orphan a still-
+# running fdctl that keeps writing checkpoints).
+"$fdctl" train --corpus "$work/corpus.json" --out "$work/crash.json" \
+    --epochs "$epochs" --seed 42 --mode binary \
+    --checkpoint-dir "$work/ckpt-crash" --checkpoint-every 1 &
+pid=$!
+while [ -z "$(find "$work/ckpt-crash" -name '*.fdck' 2>/dev/null | head -1)" ]; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "crash_recovery.sh: training exited before it could be killed" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$pid"
+wait "$pid" 2>/dev/null && {
+    echo "crash_recovery.sh: run survived SIGKILL?" >&2
+    exit 1
+}
+[ -e "$work/crash.json" ] && {
+    echo "crash_recovery.sh: killed run finished before the kill; nothing was exercised" >&2
+    exit 1
+}
+echo "==> killed mid-run; surviving checkpoints:" >&2
+ls "$work/ckpt-crash" >&2
+
+echo "==> resume the killed run" >&2
+train "$work/crash.json" "$work/ckpt-crash" --resume
+
+latest() {
+    find "$1" -name '*.fdck' | sort | tail -1
+}
+control_final="$(latest "$work/ckpt-control")"
+crash_final="$(latest "$work/ckpt-crash")"
+echo "==> byte-diff $control_final vs $crash_final" >&2
+[ "$(basename "$control_final")" = "$(basename "$crash_final")" ] || {
+    echo "crash_recovery.sh: runs ended at different epochs" >&2
+    exit 1
+}
+if ! cmp "$control_final" "$crash_final"; then
+    echo "crash_recovery.sh: resumed run diverged bitwise from the control run" >&2
+    exit 1
+fi
+
+echo "==> verify both with fdctl ckpt inspect" >&2
+"$fdctl" ckpt inspect "$control_final"
+"$fdctl" ckpt inspect "$crash_final"
+echo "==> crash/recovery drill passed" >&2

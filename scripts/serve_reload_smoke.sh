@@ -1,0 +1,114 @@
+#!/usr/bin/env sh
+# SIGHUP hot-reload smoke for `fdctl serve`:
+#
+# 1. Train two distinguishable bundles (1 epoch vs 3 epochs) over the
+#    same corpus.
+# 2. Serve bundle A, then keep a client hammering /v1/predict while the
+#    bundle file is swapped on disk and the server is SIGHUP'd several
+#    times.
+# 3. Every response across every reload must be HTTP 200 — the atomic
+#    model swap means in-flight requests finish on whichever model they
+#    started with and nothing is dropped.
+# 4. The server log must show each reload completing, and a final
+#    request must succeed on the last-loaded model.
+#
+# Usage: scripts/serve_reload_smoke.sh [reloads]
+#
+# Exits non-zero, naming the step, on any violation.
+set -eu
+cd "$(dirname "$0")/.."
+reloads="${1:-6}"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/fd-reload-XXXXXX")"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> build fdctl (release)" >&2
+cargo build --release --bin fdctl
+fdctl=target/release/fdctl
+
+echo "==> generate corpus + train two bundles" >&2
+"$fdctl" generate --scale 0.02 --seed 7 --out "$work/corpus.json"
+"$fdctl" train --corpus "$work/corpus.json" --out "$work/bundle_a.json" \
+    --epochs 1 --seed 42 --mode binary
+"$fdctl" train --corpus "$work/corpus.json" --out "$work/bundle_b.json" \
+    --epochs 3 --seed 42 --mode binary
+cp "$work/bundle_a.json" "$work/model.json"
+
+echo "==> start fdctl serve on an ephemeral port" >&2
+"$fdctl" serve --corpus "$work/corpus.json" --model "$work/model.json" \
+    --addr 127.0.0.1:0 >"$work/serve.log" 2>&1 &
+server_pid=$!
+addr=""
+tries=0
+while [ -z "$addr" ]; do
+    addr="$(sed -n 's/^listening on \([0-9.:]*\).*/\1/p' "$work/serve.log" | head -1)"
+    [ -n "$addr" ] && break
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ] || ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve_reload_smoke.sh: server never came up" >&2
+        cat "$work/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "==> serving on $addr (pid $server_pid)" >&2
+body='{"text":"claim about the budget deficit and medicare","creator":0,"subjects":[0]}'
+
+probe() {
+    curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -d "$body" "http://$addr/v1/predict"
+}
+[ "$(probe)" = "200" ] || {
+    echo "serve_reload_smoke.sh: warm-up request failed" >&2
+    exit 1
+}
+
+echo "==> hammer /v1/predict while reloading $reloads times" >&2
+: >"$work/codes.txt"
+(
+    while [ ! -e "$work/stop" ]; do
+        probe >>"$work/codes.txt"
+        printf '\n' >>"$work/codes.txt"
+    done
+) &
+load_pid=$!
+i=0
+while [ "$i" -lt "$reloads" ]; do
+    if [ $((i % 2)) -eq 0 ]; then src="bundle_b.json"; else src="bundle_a.json"; fi
+    cp "$work/$src" "$work/model.json"
+    kill -HUP "$server_pid"
+    sleep 0.3
+    i=$((i + 1))
+done
+touch "$work/stop"
+wait "$load_pid"
+
+total="$(wc -l <"$work/codes.txt")"
+bad="$(grep -cv '^200$' "$work/codes.txt" || true)"
+echo "==> $total requests across $reloads reloads, $bad non-200" >&2
+[ "$total" -gt 0 ] || {
+    echo "serve_reload_smoke.sh: load generator made no requests" >&2
+    exit 1
+}
+[ "$bad" -eq 0 ] || {
+    echo "serve_reload_smoke.sh: $bad request(s) failed during reload" >&2
+    exit 1
+}
+completed="$(grep -c 'reload complete' "$work/serve.log" || true)"
+[ "$completed" -eq "$reloads" ] || {
+    echo "serve_reload_smoke.sh: expected $reloads completed reloads, saw $completed" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+}
+
+echo "==> graceful shutdown" >&2
+kill -TERM "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "==> reload smoke passed" >&2

@@ -3,12 +3,18 @@
 //! ```sh
 //! fdctl generate --scale 0.05 --seed 42 --out corpus.json
 //! fdctl train    --corpus corpus.json --out model.json [--mode binary|multi] [--theta 0.5] [--epochs 60]
+//!                [--checkpoint-dir ckpts/] [--checkpoint-every 5] [--checkpoint-keep 3] [--resume]
 //! fdctl predict  --corpus corpus.json --model model.json [--out predictions.json]
 //! fdctl evaluate --corpus corpus.json --model model.json
 //! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
 //! fdctl serve    --corpus corpus.json --model model.json [--addr 127.0.0.1:7878] [--max-batch 32] [--max-delay-ms 2]
+//! fdctl ckpt     inspect ckpts/ckpt-00000005.fdck
 //! fdctl analyze  --corpus corpus.json
 //! ```
+//!
+//! `serve` reloads the bundle from disk on `SIGHUP` without dropping
+//! in-flight requests; `train --checkpoint-dir … --resume` continues a
+//! killed run bit-exactly (see OPERATIONS.md, "Checkpoints & recovery").
 //!
 //! The train bundle ([`TrainBundle`], shared with `fd-serve`) embeds
 //! everything needed to rebuild the feature pipeline (train indices,
@@ -26,20 +32,26 @@ use std::sync::Arc;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: fdctl <generate|train|predict|evaluate|score|serve|analyze|obs> [options]");
+        eprintln!(
+            "usage: fdctl <generate|train|predict|evaluate|score|serve|ckpt|analyze|obs> [options]"
+        );
         return ExitCode::FAILURE;
     };
-    let opts = parse_options(&args[1..]);
-    let result = match command.as_str() {
-        "generate" => cmd_generate(&opts),
-        "train" => cmd_train(&opts),
-        "predict" => cmd_predict(&opts),
-        "evaluate" => cmd_evaluate(&opts),
-        "score" => cmd_score(&opts),
-        "serve" => cmd_serve(&opts),
-        "analyze" => cmd_analyze(&opts),
-        "obs" => cmd_obs(&opts),
-        other => Err(format!("unknown command {other}")),
+    let result = if command == "ckpt" {
+        cmd_ckpt(&args[1..])
+    } else {
+        let opts = parse_options(&args[1..]);
+        match command.as_str() {
+            "generate" => cmd_generate(&opts),
+            "train" => cmd_train(&opts),
+            "predict" => cmd_predict(&opts),
+            "evaluate" => cmd_evaluate(&opts),
+            "score" => cmd_score(&opts),
+            "serve" => cmd_serve(&opts),
+            "analyze" => cmd_analyze(&opts),
+            "obs" => cmd_obs(&opts),
+            other => Err(format!("unknown command {other}")),
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -115,6 +127,15 @@ fn pipeline(
 }
 
 fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let fit_options = fakedetector::core::FitOptions {
+        checkpoint_dir: opts.get("checkpoint-dir").map(std::path::PathBuf::from),
+        checkpoint_every: opt_parse(opts, "checkpoint-every", 5)?,
+        checkpoint_keep: opt_parse(opts, "checkpoint-keep", 3)?,
+        resume: opts.contains_key("resume"),
+    };
+    if fit_options.resume && fit_options.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
     let corpus = load_corpus(opts)?;
     let out = required(opts, "out")?;
     let mode = parse_mode(opts.get("mode").map(String::as_str).unwrap_or("binary"))?;
@@ -152,8 +173,17 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         train.creators.len(),
         train.subjects.len()
     );
+    if let Some(dir) = &fit_options.checkpoint_dir {
+        eprintln!(
+            "checkpointing to {} every {} epoch(s), keeping {}{}",
+            dir.display(),
+            fit_options.checkpoint_every.max(1),
+            fit_options.checkpoint_keep.max(2),
+            if fit_options.resume { ", resuming from the newest valid checkpoint" } else { "" }
+        );
+    }
     let config = FakeDetectorConfig { epochs, ..FakeDetectorConfig::default() };
-    let trained = FakeDetector::new(config).fit(&ctx);
+    let trained = FakeDetector::new(config).fit_with(&ctx, &fit_options)?;
     eprintln!(
         "loss {:.2} -> {:.2}",
         trained.report().losses.first().unwrap(),
@@ -358,13 +388,50 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         config.queue_bound
     );
     eprintln!("endpoints: POST /v1/predict, POST /v1/predict_batch, GET /healthz, GET /metrics");
+    eprintln!("SIGHUP reloads {model_path} without dropping in-flight requests");
     while !fakedetector::serve::signal_received() {
+        if fakedetector::serve::take_reload_request() {
+            // Load the new bundle fully before swapping; a bad file on
+            // disk must leave the old model serving untouched.
+            eprintln!("SIGHUP: reloading {corpus_path} + {model_path}…");
+            match ServeModel::load(corpus_path, model_path) {
+                Ok(new_model) => {
+                    server.swap_model(Arc::new(new_model));
+                    eprintln!("reload complete");
+                }
+                Err(e) => eprintln!("reload failed, keeping the current model: {e}"),
+            }
+        }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     eprintln!("signal received, draining…");
     server.shutdown();
     eprintln!("stopped");
     Ok(())
+}
+
+/// `fdctl ckpt inspect <file>`: prints the checkpoint header, epoch
+/// cursor, per-section checksums, and overall validity. Exits non-zero
+/// when the file fails verification, so scripts can gate on it.
+fn cmd_ckpt(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("inspect") => {
+            let [_, path] = args else {
+                return Err("usage: fdctl ckpt inspect <file.fdck>".into());
+            };
+            let path = std::path::Path::new(path);
+            let report = fakedetector::ckpt::inspect(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            print!("{}", report.render(path));
+            if report.valid() {
+                Ok(())
+            } else {
+                Err("checkpoint failed verification".into())
+            }
+        }
+        Some(other) => Err(format!("unknown ckpt subcommand {other} (expected: inspect)")),
+        None => Err("usage: fdctl ckpt inspect <file.fdck>".into()),
+    }
 }
 
 fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {

@@ -48,6 +48,9 @@ pub use fd_baselines as baselines;
 /// HFLU, GDU and the deep diffusive network.
 pub use fd_core as core;
 
+/// Durable checkpoints: crash-safe save/restore + fault injection.
+pub use fd_ckpt as ckpt;
+
 /// HTTP inference server with dynamic micro-batching (`fdctl serve`).
 pub use fd_serve as serve;
 

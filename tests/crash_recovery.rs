@@ -1,0 +1,144 @@
+//! Crash/recovery integration tests through the compiled `fdctl`
+//! binary: a training run killed (deterministically, via
+//! `FD_FAULT=kill-after-ckpt`) right after a durable checkpoint and
+//! restarted with `--resume` must finish with a final checkpoint that
+//! is byte-for-byte identical to an uninterrupted control run. Also
+//! covers `fdctl ckpt inspect` on valid and corrupted files.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fdctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fdctl"))
+}
+
+fn tmp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdctl-crash-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn train_cmd(corpus: &Path, out: &Path, ckpt_dir: &Path, epochs: &str) -> Command {
+    let mut cmd = fdctl();
+    cmd.arg("train")
+        .arg("--corpus")
+        .arg(corpus)
+        .arg("--out")
+        .arg(out)
+        .args(["--epochs", epochs, "--mode", "binary", "--checkpoint-every", "1"])
+        .arg("--checkpoint-dir")
+        .arg(ckpt_dir);
+    cmd
+}
+
+/// Newest checkpoint file in a directory, by epoch-encoded name.
+fn latest_ckpt(dir: &Path) -> PathBuf {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read checkpoint dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "fdck"))
+        .collect();
+    files.sort();
+    files.pop().unwrap_or_else(|| panic!("no checkpoints in {}", dir.display()))
+}
+
+#[test]
+fn killed_training_resumes_to_bitwise_identical_checkpoint() {
+    let root = tmp_root();
+    let corpus = root.join("corpus.json");
+    let out = fdctl()
+        .args(["generate", "--scale", "0.012", "--seed", "7", "--out"])
+        .arg(&corpus)
+        .output()
+        .expect("run fdctl generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Control: 4 epochs straight through.
+    let control_dir = root.join("ckpt-control");
+    let out = train_cmd(&corpus, &root.join("control.json"), &control_dir, "4")
+        .output()
+        .expect("run control train");
+    assert!(out.status.success(), "control train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Crash run: FD_FAULT aborts the process right after epoch 2's
+    // checkpoint is durably on disk — a deterministic SIGKILL.
+    let crash_dir = root.join("ckpt-crash");
+    let crash_model = root.join("crash.json");
+    let out = train_cmd(&corpus, &crash_model, &crash_dir, "4")
+        .env("FD_FAULT", "kill-after-ckpt:2")
+        .output()
+        .expect("run crashing train");
+    assert!(!out.status.success(), "the faulted run must die, not complete");
+    assert!(!crash_model.exists(), "a killed run must not have written its bundle");
+    let survived = latest_ckpt(&crash_dir);
+    assert!(
+        survived.file_name().is_some_and(|n| n == "ckpt-00000002.fdck"),
+        "expected the epoch-2 checkpoint to be the newest survivor, found {}",
+        survived.display()
+    );
+
+    // Resume from the wreckage with the same arguments.
+    let out = train_cmd(&corpus, &crash_model, &crash_dir, "4")
+        .arg("--resume")
+        .output()
+        .expect("run resumed train");
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(crash_model.exists());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("resuming from the newest valid checkpoint"),
+        "resume should announce itself: {stderr}"
+    );
+
+    // The recovery guarantee: both runs end in the same durable state,
+    // byte for byte.
+    let control_final = latest_ckpt(&control_dir);
+    let resumed_final = latest_ckpt(&crash_dir);
+    assert_eq!(control_final.file_name(), resumed_final.file_name());
+    let control_bytes = std::fs::read(&control_final).expect("read control checkpoint");
+    let resumed_bytes = std::fs::read(&resumed_final).expect("read resumed checkpoint");
+    assert_eq!(
+        control_bytes, resumed_bytes,
+        "final checkpoints must be byte-identical after crash + resume"
+    );
+
+    // `ckpt inspect` verifies the file and reports the epoch cursor.
+    let out = fdctl()
+        .args(["ckpt", "inspect"])
+        .arg(&resumed_final)
+        .output()
+        .expect("run ckpt inspect");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "inspect failed on a valid file: {stdout}");
+    assert!(stdout.contains("VALID"), "inspect output: {stdout}");
+    assert!(stdout.contains("epoch"), "inspect output: {stdout}");
+
+    // Corrupt one byte mid-file: inspect must flag it and exit nonzero.
+    let corrupted = root.join("corrupted.fdck");
+    let mut bytes = control_bytes;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&corrupted, &bytes).expect("write corrupted file");
+    let out = fdctl()
+        .args(["ckpt", "inspect"])
+        .arg(&corrupted)
+        .output()
+        .expect("run ckpt inspect on corrupted file");
+    assert!(!out.status.success(), "inspect must fail on a corrupted checkpoint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INVALID"), "inspect output: {stdout}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_flag_requires_checkpoint_dir() {
+    let out = fdctl()
+        .args(["train", "--corpus", "/nonexistent.json", "--out", "/tmp/x.json", "--resume"])
+        .output()
+        .expect("run fdctl train");
+    assert!(!out.status.success());
+    // The flag contract is checked before any file I/O.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--resume needs --checkpoint-dir"), "{stderr}");
+}
