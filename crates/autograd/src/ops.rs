@@ -166,12 +166,16 @@ impl Tape {
         )
     }
 
-    /// Scalar `Σ xᵢ²`, the L2 regularisation term.
+    /// Scalar `Σ xᵢ²`, the L2 regularisation term. Reduced over the
+    /// deterministic tree in `fd_tensor::parallel`, so the value is
+    /// bit-identical at any `FD_THREADS`; both training paths call this
+    /// same op for the regulariser, so their losses stay comparable
+    /// bit-for-bit.
     pub fn square_norm(&self, a: Var) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
             let x = &nodes[a.0 as usize].value;
-            Matrix::filled(1, 1, x.as_slice().iter().map(|&v| v * v).sum())
+            Matrix::filled(1, 1, fd_tensor::parallel::tree_sum_squares(x.as_slice()))
         };
         self.push(value, Op::SquareNorm(a))
     }
@@ -216,7 +220,9 @@ impl Tape {
     pub fn mean_rows(&self, src: Var, lists: Rc<Vec<Vec<usize>>>) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            let l = &lists;
+            // Borrow the slice out of the Rc so the closure is Sync and
+            // the kernel may fan rows across threads.
+            let l: &[Vec<usize>] = &lists;
             fd_tensor::mean_rows(&nodes[src.0 as usize].value, l.len(), |i| l[i].as_slice())
         };
         self.push(value, Op::MeanRows { src, lists })
@@ -460,10 +466,11 @@ pub(crate) fn propagate(nodes: &mut [Node], i: usize, g: &Matrix, op: &Op) {
             if slot.is_none() {
                 *slot = Some(Matrix::zeros(r, c));
             }
+            let l: &[Vec<usize>] = lists;
             fd_tensor::scatter_add_mean_rows(
                 slot.as_mut().expect("just initialised"),
                 g,
-                |i| lists[i].as_slice(),
+                |i| l[i].as_slice(),
             );
         }
         Op::ConcatRows(a, b) => {

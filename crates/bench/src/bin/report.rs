@@ -55,6 +55,38 @@ fn main() {
     }
 }
 
+/// The FD_THREADS widths every scaling sweep runs at. Index 0 must be
+/// the serial width (it is the speedup baseline) and the list must
+/// contain 4 (the legacy `*_4t` keys read it back out).
+const SWEEP_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Renders a `[(threads, ms)]` sweep as the `thread_scaling` object:
+/// per-width median milliseconds and speedup over the 1-thread run.
+fn scaling_curve(sweep: &[(usize, f64)]) -> serde_json::Value {
+    let serial_ms = sweep[0].1;
+    serde_json::Value::from_content(serde::Content::Map(
+        sweep
+            .iter()
+            .map(|&(threads, ms)| {
+                let point = serde_json::json!({
+                    "ms": (ms * 100.0).round() / 100.0,
+                    "speedup_vs_1t": (serial_ms / ms * 100.0).round() / 100.0,
+                });
+                (threads.to_string(), point.as_content().clone())
+            })
+            .collect(),
+    ))
+}
+
+/// `available_parallelism()` as actually observed by this run — the
+/// hardware half of the provenance header every BENCH_*.json carries.
+/// Without it (plus the resolved width and SIMD tier), a flat scaling
+/// curve on a 1-core container is indistinguishable from a runtime
+/// regression.
+fn machine_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn markdown_report(dir: &str) {
     for experiment in ["fig4", "fig5", "ablation"] {
         for entity in ["articles", "creators", "subjects"] {
@@ -129,13 +161,13 @@ mod train {
     }
 
     /// Fits `epochs` full-graph steps and returns the per-epoch
-    /// wall-clock milliseconds the trainer recorded.
+    /// wall-clock milliseconds and loss curve the trainer recorded.
     fn epoch_times(
         ctx: &ExperimentContext<'_>,
         epochs: usize,
         batched: bool,
         threads: usize,
-    ) -> Vec<f64> {
+    ) -> (Vec<f64>, Vec<f32>) {
         let config = FakeDetectorConfig {
             epochs,
             validation_fraction: 0.0,
@@ -143,7 +175,9 @@ mod train {
             ..FakeDetectorConfig::default()
         };
         parallel::with_thread_count(threads, || {
-            FakeDetector::new(config).fit(ctx).report().epoch_ms.clone()
+            let trained = FakeDetector::new(config).fit(ctx);
+            let report = trained.report();
+            (report.epoch_ms.clone(), report.losses.clone())
         })
     }
 
@@ -162,11 +196,35 @@ mod train {
         };
 
         let epochs = 3;
-        let per_node_ms = epoch_times(&ctx, epochs, false, 1);
-        let batched_serial_ms = epoch_times(&ctx, epochs, true, 1);
-        let batched_4t_ms = epoch_times(&ctx, epochs, true, 4);
-        let (per_node, serial, four_t) =
-            (median(&per_node_ms), median(&batched_serial_ms), median(&batched_4t_ms));
+        let (per_node_ms, _) = epoch_times(&ctx, epochs, false, 1);
+
+        // FD_THREADS sweep over the batched trainer. Identical loss
+        // curves at every width are the deterministic-runtime contract;
+        // a benchmark that traded answers for speed must fail loudly.
+        let mut sweep = Vec::new();
+        let mut serial_losses: Option<Vec<f32>> = None;
+        for &threads in &super::SWEEP_WIDTHS {
+            let (ms, losses) = epoch_times(&ctx, epochs, true, threads);
+            match &serial_losses {
+                None => serial_losses = Some(losses),
+                Some(reference) => {
+                    let drift = reference
+                        .iter()
+                        .zip(&losses)
+                        .any(|(a, b)| a.to_bits() != b.to_bits())
+                        || reference.len() != losses.len();
+                    assert!(
+                        !drift,
+                        "loss curve at FD_THREADS={threads} is not bit-identical to serial"
+                    );
+                }
+            }
+            sweep.push((threads, median(&ms), ms));
+        }
+        let batched_serial_ms = sweep[0].2.clone();
+        let batched_4t_ms = sweep[2].2.clone();
+        let scaling: Vec<(usize, f64)> = sweep.iter().map(|&(t, m, _)| (t, m)).collect();
+        let (per_node, serial, four_t) = (median(&per_node_ms), scaling[0].1, scaling[2].1);
 
         fd_obs::event(
             fd_obs::Level::Info,
@@ -180,8 +238,10 @@ mod train {
         );
         let report = serde_json::json!({
             "generator": "cargo run --release -p fd-bench --bin report -- train",
-            "machine_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "machine_threads": super::machine_threads(),
             "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "fd_threads_resolved": parallel::current_threads(),
+            "simd_level": fd_tensor::simd_level().name(),
             "scale": scale,
             "articles": prepared.corpus.articles.len(),
             "creators": prepared.corpus.creators.len(),
@@ -197,6 +257,8 @@ mod train {
             "median_batched_parallel_4t_epoch_ms": round2(four_t),
             "speedup_batched_serial_vs_per_node": round2(per_node / serial),
             "speedup_batched_4t_vs_per_node": round2(per_node / four_t),
+            "thread_scaling": super::scaling_curve(&scaling),
+            "losses_bit_identical_across_widths": true,
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
@@ -214,12 +276,13 @@ mod serve {
     //! a bug and the benchmark panics (which makes `scripts/bench.sh`
     //! fail loudly).
 
-    use fd_core::{FakeDetector, FakeDetectorConfig};
+    use fd_core::{FakeDetector, FakeDetectorConfig, ScoreRequest, TrainedFakeDetector};
     use fd_data::{
         generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
         TokenizedCorpus, TrainSets,
     };
-    use fd_serve::{HttpClient, ServeConfig, ServeModel, Server};
+    use fd_serve::{HttpClient, Precision, ServeConfig, ServeModel, Server};
+    use fd_tensor::parallel;
     use rand::{rngs::StdRng, SeedableRng};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -247,8 +310,10 @@ mod serve {
         )
     }
 
-    /// Trains a small model and wraps it in a serving handle.
-    fn build_model() -> ServeModel {
+    /// Trains a small model once and wraps the same weights in one
+    /// serving handle per precision (the int8 twin is built from a JSON
+    /// round-trip of the f32 weights, exactly as a reload would).
+    fn build_models() -> (ServeModel, ServeModel) {
         let seed = 42;
         let corpus = generate(&GeneratorConfig::politifact().scaled(0.02), seed);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -275,21 +340,97 @@ mod serve {
         };
         let trained = FakeDetector::new(config).fit(&ctx);
         drop((tokenized, explicit));
-        ServeModel::new(
-            corpus,
+        let twin = TrainedFakeDetector::from_json(&trained.to_json()).expect("weights round-trip");
+        let f32_model = ServeModel::new(
+            corpus.clone(),
             trained,
-            train,
+            train.clone(),
             LabelMode::Binary,
             explicit_dim,
             seq_len,
             max_vocab,
-        )
+        );
+        let int8_model =
+            ServeModel::new(corpus, twin, train, LabelMode::Binary, explicit_dim, seq_len, max_vocab)
+                .with_precision(Precision::Int8);
+        (f32_model, int8_model)
+    }
+
+    /// Direct (in-process, no HTTP) scoring comparison: an FD_THREADS
+    /// sweep of the f32 batch scorer plus f32-vs-int8 throughput and
+    /// the measured parity numbers the docs quote.
+    fn precision_section(
+        f32_model: &ServeModel,
+        int8_model: &ServeModel,
+        creators: usize,
+        subjects: usize,
+    ) -> serde_json::Value {
+        let requests: Vec<ScoreRequest> = (0..64)
+            .map(|i| {
+                ScoreRequest::article(
+                    format!("statement {i} disputes the official budget and health numbers"),
+                    Some(i % creators),
+                    vec![i % subjects],
+                )
+            })
+            .collect();
+
+        let median_batch_ms = |model: &ServeModel| {
+            let mut samples: Vec<f64> = (0..5)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(model.score(&requests).expect("score"));
+                    start.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            samples[samples.len() / 2]
+        };
+
+        let sweep: Vec<(usize, f64)> = super::SWEEP_WIDTHS
+            .iter()
+            .map(|&t| (t, parallel::with_thread_count(t, || median_batch_ms(f32_model))))
+            .collect();
+
+        let f32_ms = sweep[0].1;
+        let int8_ms = parallel::with_thread_count(1, || median_batch_ms(int8_model));
+
+        let exact = f32_model.score(&requests).expect("f32 scores");
+        let quant = int8_model.score(&requests).expect("int8 scores");
+        let mut max_abs_delta = 0.0f32;
+        let mut labels_match = true;
+        for (e, q) in exact.iter().zip(&quant) {
+            for (a, b) in e.iter().zip(q) {
+                max_abs_delta = max_abs_delta.max((a - b).abs());
+            }
+            let argmax = |p: &[f32]| {
+                p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(j, _)| j)
+            };
+            labels_match &= argmax(e) == argmax(q);
+        }
+        assert!(labels_match, "int8 serving path flipped a label vs f32");
+        assert!(max_abs_delta <= 4e-3, "int8 parity gate violated: max |Δ| {max_abs_delta}");
+
+        let rps = |ms: f64| (requests.len() as f64 / (ms / 1e3) * 100.0).round() / 100.0;
+        serde_json::json!({
+            "requests_per_batch": requests.len(),
+            "thread_scaling": super::scaling_curve(&sweep),
+            "f32_batch_ms": round2(f32_ms),
+            "int8_batch_ms": round2(int8_ms),
+            "f32_throughput_rps": rps(f32_ms),
+            "int8_throughput_rps": rps(int8_ms),
+            "int8_speedup_vs_f32": round2(f32_ms / int8_ms),
+            "int8_max_abs_delta": max_abs_delta,
+            "int8_labels_match": labels_match,
+        })
     }
 
     pub fn write_report(out_path: &str, clients: usize, per_client: usize) {
         assert!(clients >= 1 && per_client >= 1, "need at least one client and request");
-        let model = build_model();
+        let (model, int8_model) = build_models();
         let (articles, creators, subjects) = model.corpus_sizes();
+        let precision_json = precision_section(&model, &int8_model, creators, subjects);
+        drop(int8_model);
         let config = ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() };
         let server = Server::start(Arc::new(model), &config).expect("start server");
         let addr = server.local_addr().to_string();
@@ -389,8 +530,10 @@ mod serve {
         });
         let report = serde_json::json!({
             "generator": "cargo run --release -p fd-bench --bin report -- serve",
-            "machine_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "machine_threads": super::machine_threads(),
             "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "fd_threads_resolved": parallel::current_threads(),
+            "simd_level": fd_tensor::simd_level().name(),
             "corpus": corpus_json,
             "max_batch": config.max_batch,
             "max_delay_ms": config.max_delay_ms,
@@ -404,6 +547,7 @@ mod serve {
             "queue_wait_us_mean": round2(wait_hist.sum() / wait_hist.count().max(1) as f64),
             "bitwise_identical_to_sequential": true,
             "graceful_shutdown_ms": round2(shutdown_ms),
+            "precision": precision_json,
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
@@ -448,9 +592,12 @@ mod tensor {
         let b = uniform_in(size, size, -1.0, 1.0, &mut rng);
 
         let naive_ms = median_ms(runs, || naive(&a, &b));
-        let blocked_serial_ms =
-            parallel::with_thread_count(1, || median_ms(runs, || blocked(&a, &b)));
-        let blocked_4t_ms = parallel::with_thread_count(4, || median_ms(runs, || blocked(&a, &b)));
+        let sweep: Vec<(usize, f64)> = super::SWEEP_WIDTHS
+            .iter()
+            .map(|&t| (t, parallel::with_thread_count(t, || median_ms(runs, || blocked(&a, &b)))))
+            .collect();
+        let blocked_serial_ms = sweep[0].1;
+        let blocked_4t_ms = sweep[2].1;
 
         fd_obs::event(
             fd_obs::Level::Info,
@@ -470,6 +617,7 @@ mod tensor {
             "blocked_parallel_4t_ms": round2(blocked_4t_ms),
             "speedup_blocked_serial_vs_naive": round2(naive_ms / blocked_serial_ms),
             "speedup_parallel_4t_vs_naive": round2(naive_ms / blocked_4t_ms),
+            "thread_scaling": super::scaling_curve(&sweep),
         })
     }
 
@@ -498,10 +646,12 @@ mod tensor {
         let corpus = &prepared.corpus;
 
         let per_node_ms = median_ms(3, || trained.predict_per_node(&ctx));
-        let batched_serial_ms =
-            parallel::with_thread_count(1, || median_ms(3, || trained.predict(&ctx)));
-        let batched_4t_ms =
-            parallel::with_thread_count(4, || median_ms(3, || trained.predict(&ctx)));
+        let sweep: Vec<(usize, f64)> = super::SWEEP_WIDTHS
+            .iter()
+            .map(|&t| (t, parallel::with_thread_count(t, || median_ms(3, || trained.predict(&ctx)))))
+            .collect();
+        let batched_serial_ms = sweep[0].1;
+        let batched_4t_ms = sweep[2].1;
         fd_obs::event(
             fd_obs::Level::Info,
             "bench.model_predict",
@@ -519,14 +669,17 @@ mod tensor {
             "batched_parallel_4t_ms": round2(batched_4t_ms),
             "speedup_batched_serial_vs_per_node": round2(per_node_ms / batched_serial_ms),
             "speedup_batched_4t_vs_per_node": round2(per_node_ms / batched_4t_ms),
+            "thread_scaling": super::scaling_curve(&sweep),
         })
     }
 
     pub fn write_report(out_path: &str) {
         let report = serde_json::json!({
             "generator": "cargo run --release -p fd-bench --bin report -- tensor",
-            "machine_threads": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "machine_threads": super::machine_threads(),
             "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "fd_threads_resolved": parallel::current_threads(),
+            "simd_level": fd_tensor::simd_level().name(),
             "matmul": kernel_section("matmul", 512, 5, Matrix::matmul_naive, Matrix::matmul),
             "transpose_matmul": kernel_section(
                 "transpose_matmul",

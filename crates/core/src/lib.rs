@@ -37,10 +37,10 @@ mod trained;
 
 pub use checkpoint::FitOptions;
 pub use config::FakeDetectorConfig;
-pub use gdu::GduCell;
+pub use gdu::{GduCell, QuantGdu};
 pub use hflu::Hflu;
 pub use model::{FakeDetector, TrainReport};
-pub use trained::{ScoreRequest, TrainedFakeDetector};
+pub use trained::{QuantModel, ScoreRequest, TrainedFakeDetector};
 
 /// A [`TrainedFakeDetector`] is a plain-data weight store, so one
 /// instance can be shared across serving threads behind an `Arc`;

@@ -1,0 +1,174 @@
+//! Accuracy-parity gate for the int8 serving path (`QuantModel`).
+//!
+//! The quantized scorer is only allowed to ship while it stays within
+//! tight agreement of the exact f32 reference on a seeded corpus:
+//! max |Δscore| ≤ 4e-3 (measured ~2e-3; int8 weight rounding through
+//! five stacked GDU matmuls sits above the 1e-3 bound that the exact
+//! `--precision f32` path meets with delta 0) and *identical* arg-max
+//! labels for every request. These tests are that gate — loosening
+//! them is a product decision, not a test fix.
+
+use fd_core::{FakeDetector, FakeDetectorConfig, ScoreRequest, TrainedFakeDetector};
+use fd_data::{
+    generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
+    TokenizedCorpus, TrainSets,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+struct Fixture {
+    corpus: fd_data::Corpus,
+    tokenized: TokenizedCorpus,
+    explicit: ExplicitFeatures,
+    train: TrainSets,
+}
+
+fn fixture() -> Fixture {
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.012), 55);
+    let tokenized = TokenizedCorpus::build(&corpus, 10, 4000);
+    let mut rng = StdRng::seed_from_u64(2);
+    let train = TrainSets {
+        articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+        creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+        subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+    };
+    let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+    Fixture { corpus, tokenized, explicit, train }
+}
+
+fn ctx(f: &Fixture) -> ExperimentContext<'_> {
+    ExperimentContext {
+        corpus: &f.corpus,
+        tokenized: &f.tokenized,
+        explicit: &f.explicit,
+        train: &f.train,
+        mode: LabelMode::Binary,
+        seed: 9,
+    }
+}
+
+fn quick_fit(f: &Fixture) -> TrainedFakeDetector {
+    let c = ctx(f);
+    FakeDetector::new(FakeDetectorConfig { epochs: 6, ..Default::default() }).fit(&c)
+}
+
+/// A mixed batch covering all three node types and several neighbour
+/// shapes, built from a fixed word pool so the run is fully seeded.
+fn seeded_requests(f: &Fixture) -> Vec<ScoreRequest> {
+    let pool = [
+        "federal budget report shows unemployment decline percent census",
+        "obamacare hoax conspiracy rigged fraud banned secret takeover",
+        "governor signed education funding bill legislature session vote",
+        "shocking truth they hide miracle cure exposed scandal cover",
+        "state revenue tax audit analysis fiscal committee statement",
+    ];
+    let n_articles = f.corpus.articles.len();
+    let n_creators = f.corpus.creators.len();
+    let n_subjects = f.corpus.subjects.len();
+    let mut reqs = Vec::new();
+    for (i, text) in pool.iter().enumerate() {
+        reqs.push(ScoreRequest::article(
+            *text,
+            Some(i % n_creators),
+            vec![i % n_subjects, (i + 1) % n_subjects],
+        ));
+        reqs.push(ScoreRequest::creator(*text, vec![i % n_articles, (i + 2) % n_articles]));
+        reqs.push(ScoreRequest::subject(*text, vec![(i + 1) % n_articles]));
+    }
+    reqs
+}
+
+#[test]
+fn quantized_scores_match_reference_within_tolerance() {
+    let f = fixture();
+    let c = ctx(&f);
+    let trained = quick_fit(&f);
+    let states = trained.diffused_states(&c);
+    let quant = trained.quantize();
+    let reqs = seeded_requests(&f);
+
+    let exact = trained.score_batch(&c, &states, &reqs).expect("exact batch");
+    let quantized = trained.score_batch_quant(&c, &states, &reqs, &quant).expect("quant batch");
+    assert_eq!(exact.len(), quantized.len());
+
+    let mut max_delta = 0.0f32;
+    for (i, (e, q)) in exact.iter().zip(&quantized).enumerate() {
+        assert_eq!(e.len(), q.len(), "request {i}");
+        let sum: f32 = q.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "request {i}: quant scores sum to {sum}");
+        for (a, b) in e.iter().zip(q) {
+            max_delta = max_delta.max((a - b).abs());
+        }
+        let argmax = |p: &[f32]| if p[1] > p[0] { 1 } else { 0 };
+        assert_eq!(argmax(e), argmax(q), "request {i}: label flipped under int8");
+    }
+    assert!(max_delta <= 4e-3, "max |Δscore| {max_delta} exceeds the 4e-3 parity gate");
+}
+
+#[test]
+fn quantized_scoring_is_thread_invariant() {
+    let f = fixture();
+    let c = ctx(&f);
+    let trained = quick_fit(&f);
+    let states = trained.diffused_states(&c);
+    let quant = trained.quantize();
+    let reqs = seeded_requests(&f);
+
+    let reference = fd_tensor::parallel::with_thread_count(1, || {
+        trained.score_batch_quant(&c, &states, &reqs, &quant).expect("1 thread")
+    });
+    for threads in [2, 3, 8] {
+        let got = fd_tensor::parallel::with_thread_count(threads, || {
+            trained.score_batch_quant(&c, &states, &reqs, &quant).expect("n threads")
+        });
+        for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+            for (a, b) in r.iter().zip(g) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "request {i}: int8 path drifted at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_batching_is_order_and_composition_invariant() {
+    // The exact path promises "batching never changes an answer"; the
+    // int8 path must keep that promise (integer accumulation is
+    // order-independent, and each row is scaled independently).
+    let f = fixture();
+    let c = ctx(&f);
+    let trained = quick_fit(&f);
+    let states = trained.diffused_states(&c);
+    let quant = trained.quantize();
+    let reqs = seeded_requests(&f);
+
+    let together = trained.score_batch_quant(&c, &states, &reqs, &quant).expect("batch");
+    for (i, req) in reqs.iter().enumerate() {
+        let alone = trained
+            .score_batch_quant(&c, &states, std::slice::from_ref(req), &quant)
+            .expect("single");
+        for (a, b) in together[i].iter().zip(&alone[0]) {
+            assert_eq!(a.to_bits(), b.to_bits(), "request {i} differs alone vs batched");
+        }
+    }
+}
+
+#[test]
+fn quantize_survives_json_roundtrip_of_the_source_model() {
+    // Serving rebuilds the QuantModel from a deserialised bundle; the
+    // twin must be a pure function of the stored weights.
+    let f = fixture();
+    let c = ctx(&f);
+    let trained = quick_fit(&f);
+    let restored = TrainedFakeDetector::from_json(&trained.to_json()).expect("roundtrip");
+    let states = trained.diffused_states(&c);
+    let reqs = seeded_requests(&f);
+
+    let a = trained.score_batch_quant(&c, &states, &reqs, &trained.quantize()).expect("orig");
+    let b = restored.score_batch_quant(&c, &states, &reqs, &restored.quantize()).expect("restored");
+    for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

@@ -8,9 +8,9 @@ use fd_tensor::Matrix;
 /// Euclidean norm over all gradients jointly.
 ///
 /// Per-tensor squared norms are computed across `FD_THREADS` (each
-/// tensor reduced sequentially by one thread) and then summed serially
-/// in gradient order, so the result is bit-identical for any thread
-/// count.
+/// tensor reduced over `fd_tensor::parallel`'s fixed-shape tree, whose
+/// result depends only on the data) and then summed serially in
+/// gradient order, so the result is bit-identical for any thread count.
 pub fn global_norm(grads: &[(ParamId, Matrix)]) -> f32 {
     let work = grads.iter().map(|(_, g)| g.len()).sum::<usize>() / grads.len().max(1);
     fd_tensor::parallel::par_map(grads.len(), work, |i| {
@@ -132,9 +132,11 @@ mod tests {
 
     #[test]
     fn clip_is_bit_identical_across_thread_counts() {
+        // Tensors larger than one reduction-tree chunk (4096 elements),
+        // so the tree actually has interior nodes to keep deterministic.
         let build = || {
             (0..7)
-                .map(|k| (param(k), Matrix::from_fn(16, 16, |r, c| ((r * 16 + c + k) as f32).cos() * 3.0)))
+                .map(|k| (param(k), Matrix::from_fn(80, 80, |r, c| ((r * 80 + c + k) as f32).cos() * 3.0)))
                 .collect::<Vec<_>>()
         };
         let run = |threads: usize| {
@@ -145,10 +147,12 @@ mod tests {
             })
         };
         let (norm1, g1) = run(1);
-        let (norm4, g4) = run(4);
-        assert_eq!(norm1.to_bits(), norm4.to_bits());
-        for ((_, a), (_, b)) in g1.iter().zip(&g4) {
-            assert_eq!(a.as_slice(), b.as_slice(), "clip must not depend on FD_THREADS");
+        for threads in [2usize, 3, 4, 8] {
+            let (norm_t, g_t) = run(threads);
+            assert_eq!(norm1.to_bits(), norm_t.to_bits(), "norm, threads = {threads}");
+            for ((_, a), (_, b)) in g1.iter().zip(&g_t) {
+                assert_eq!(a.as_slice(), b.as_slice(), "clip must not depend on FD_THREADS");
+            }
         }
     }
 }

@@ -44,7 +44,7 @@ pub mod server;
 
 pub use batch::{Batch, BatchQueue, EnqueueError, ScoreResult};
 pub use http::{HttpClient, HttpError, Request};
-pub use model::{mode_name, parse_mode, BundleSplit, ServeModel, TrainBundle};
+pub use model::{mode_name, parse_mode, BundleSplit, Precision, ServeModel, TrainBundle};
 pub use server::{
     install_signal_handlers, signal_received, take_reload_request, ModelSlot, ServeConfig, Server,
     ShutdownHandle,

@@ -7,7 +7,7 @@
 //! per request. It is `Send + Sync` and lives behind an `Arc` shared
 //! by every handler thread and the batcher.
 
-use fd_core::{ScoreRequest, TrainedFakeDetector};
+use fd_core::{QuantModel, ScoreRequest, TrainedFakeDetector};
 use fd_data::{
     Corpus, Credibility, ExperimentContext, ExplicitFeatures, LabelMode, TokenizedCorpus,
     TrainSets,
@@ -75,6 +75,55 @@ pub fn mode_name(mode: LabelMode) -> &'static str {
     }
 }
 
+/// Numeric precision of the serving forward pass, selected by
+/// `fdctl serve --precision`.
+///
+/// * [`Precision::F32`] (default) — the exact native path: bit-identical
+///   to training-time inference and to `fdctl score`.
+/// * [`Precision::Int8`] — int8 weights with 16-bit activation
+///   quantization for the GDU step and classification head; gated by
+///   the parity suite at max |Δscore| ≤ 4e-3 and identical arg-max
+///   labels vs f32. Featurisation, diffused states and softmax stay
+///   f32.
+///
+/// Training is always full precision; this knob only affects
+/// [`ServeModel::score`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Exact f32 — the reference numerics of the whole repo.
+    F32,
+    /// Int8-weight quantized forward (W8A16).
+    Int8,
+}
+
+impl Precision {
+    /// Parses a `--precision` value. `f64` is rejected with an
+    /// explanation rather than silently aliased: this stack trains and
+    /// serves in f32, so f32 *is* the exact reference and there is no
+    /// wider path to fall back to.
+    pub fn parse(raw: &str) -> Result<Precision, String> {
+        match raw {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            "f64" => Err(
+                "precision f64 is not available: the model trains and serves in f32, \
+                 so f32 is already the exact reference (use f32, or int8 for the \
+                 quantized path)"
+                    .into(),
+            ),
+            other => Err(format!("precision must be f32 or int8, got {other}")),
+        }
+    }
+
+    /// The wire/flag name (`"f32"` / `"int8"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
 /// A self-contained, thread-shareable serving handle: corpus + feature
 /// pipeline + trained weights + precomputed diffused states.
 pub struct ServeModel {
@@ -85,6 +134,11 @@ pub struct ServeModel {
     mode: LabelMode,
     trained: TrainedFakeDetector,
     states: [fd_tensor::Matrix; 3],
+    precision: Precision,
+    /// Prebuilt int8 twin — `Some` exactly when `precision` is
+    /// [`Precision::Int8`], so the quantization cost is paid once at
+    /// load, never per request.
+    quant: Option<QuantModel>,
 }
 
 impl ServeModel {
@@ -115,7 +169,29 @@ impl ServeModel {
             let _timer = fd_obs::span_timed("serve.warmup", hist);
             trained.diffused_states(&ctx)
         };
-        Self { corpus, tokenized, explicit, train, mode, trained, states }
+        Self {
+            corpus,
+            tokenized,
+            explicit,
+            train,
+            mode,
+            trained,
+            states,
+            precision: Precision::F32,
+            quant: None,
+        }
+    }
+
+    /// Switches the serving forward pass to `precision`, building the
+    /// int8 twin when needed. Consumes and returns `self` so loading
+    /// reads as `ServeModel::new(..).with_precision(p)`.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self.quant = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(self.trained.quantize()),
+        };
+        self
     }
 
     /// Builds a serving handle from a corpus and a serialized
@@ -138,12 +214,23 @@ impl ServeModel {
 
     /// Reads the corpus and bundle files and builds a serving handle.
     pub fn load(corpus_path: &str, bundle_path: &str) -> Result<Self, String> {
+        Self::load_with_precision(corpus_path, bundle_path, Precision::F32)
+    }
+
+    /// [`ServeModel::load`] with an explicit serving precision — the
+    /// entry point `fdctl serve --precision` uses (including across
+    /// SIGHUP reloads, which keep the flag's value).
+    pub fn load_with_precision(
+        corpus_path: &str,
+        bundle_path: &str,
+        precision: Precision,
+    ) -> Result<Self, String> {
         let corpus_json =
             std::fs::read_to_string(corpus_path).map_err(|e| format!("{corpus_path}: {e}"))?;
         let corpus = Corpus::from_json(&corpus_json)?;
         let bundle_json =
             std::fs::read_to_string(bundle_path).map_err(|e| format!("{bundle_path}: {e}"))?;
-        Self::from_bundle_json(corpus, &bundle_json)
+        Ok(Self::from_bundle_json(corpus, &bundle_json)?.with_precision(precision))
     }
 
     fn ctx(&self) -> ExperimentContext<'_> {
@@ -163,10 +250,22 @@ impl ServeModel {
         self.trained.validate_request(&self.ctx(), request)
     }
 
-    /// Scores a batch of requests in one matrix pass. Results are
-    /// bitwise-identical to scoring each request alone.
+    /// Scores a batch of requests in one matrix pass through the
+    /// configured [`Precision`]. Results are bitwise-identical to
+    /// scoring each request alone — on the int8 path too, since its
+    /// integer accumulation is row-independent.
     pub fn score(&self, requests: &[ScoreRequest]) -> Result<Vec<Vec<f32>>, String> {
-        self.trained.score_batch(&self.ctx(), &self.states, requests)
+        match &self.quant {
+            None => self.trained.score_batch(&self.ctx(), &self.states, requests),
+            Some(quant) => {
+                self.trained.score_batch_quant(&self.ctx(), &self.states, requests, quant)
+            }
+        }
+    }
+
+    /// The precision the forward pass runs at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The label mode the model was trained under.

@@ -393,6 +393,7 @@ struct BatchResponse {
 struct Health {
     status: String,
     mode: String,
+    precision: String,
     articles: usize,
     creators: usize,
     subjects: usize,
@@ -444,6 +445,7 @@ fn route(
             let health = Health {
                 status: "ok".into(),
                 mode: mode_name(model.mode()).into(),
+                precision: model.precision().name().into(),
                 articles,
                 creators,
                 subjects,

@@ -3,59 +3,75 @@
 //! hostile input must map to 4xx (never a crash), and graceful
 //! shutdown must complete in-flight requests.
 
-use fd_core::{FakeDetector, FakeDetectorConfig};
+use fd_core::{FakeDetector, FakeDetectorConfig, TrainedFakeDetector};
 use fd_data::{
-    generate, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
+    generate, Corpus, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig, LabelMode,
     TokenizedCorpus, TrainSets,
 };
-use fd_serve::{HttpClient, ServeConfig, ServeModel, Server};
+use fd_serve::{HttpClient, Precision, ServeConfig, ServeModel, Server};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// One tiny trained model shared by every test (training dominates the
-/// suite's runtime; serving itself is cheap).
+const EXPLICIT_DIM: usize = 30;
+const SEQ_LEN: usize = 8;
+const MAX_VOCAB: usize = 2000;
+
+/// One tiny training run shared by every test (training dominates the
+/// suite's runtime; serving itself is cheap). The trained weights are
+/// kept as JSON so both precision variants can be built from the same
+/// run.
+fn parts() -> &'static (Corpus, String, TrainSets) {
+    static PARTS: OnceLock<(Corpus, String, TrainSets)> = OnceLock::new();
+    PARTS.get_or_init(|| {
+        let seed = 7;
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 10, &mut rng).fold(0).0,
+        };
+        let tokenized = TokenizedCorpus::build(&corpus, SEQ_LEN, MAX_VOCAB);
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, EXPLICIT_DIM);
+        let ctx = ExperimentContext {
+            corpus: &corpus,
+            tokenized: &tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed,
+        };
+        let config = FakeDetectorConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            ..FakeDetectorConfig::default()
+        };
+        let trained = FakeDetector::new(config).fit(&ctx);
+        (corpus, trained.to_json(), train)
+    })
+}
+
+fn build_model(precision: Precision) -> Arc<ServeModel> {
+    let (corpus, trained_json, train) = parts();
+    let trained = TrainedFakeDetector::from_json(trained_json).expect("weights round-trip");
+    Arc::new(
+        ServeModel::new(
+            corpus.clone(),
+            trained,
+            train.clone(),
+            LabelMode::Binary,
+            EXPLICIT_DIM,
+            SEQ_LEN,
+            MAX_VOCAB,
+        )
+        .with_precision(precision),
+    )
+}
+
 fn model() -> Arc<ServeModel> {
     static MODEL: OnceLock<Arc<ServeModel>> = OnceLock::new();
-    MODEL
-        .get_or_init(|| {
-            let seed = 7;
-            let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), seed);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let train = TrainSets {
-                articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
-                creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
-                subjects: CvSplits::new(corpus.subjects.len(), 10, &mut rng).fold(0).0,
-            };
-            let (explicit_dim, seq_len, max_vocab) = (30, 8, 2000);
-            let tokenized = TokenizedCorpus::build(&corpus, seq_len, max_vocab);
-            let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, explicit_dim);
-            let ctx = ExperimentContext {
-                corpus: &corpus,
-                tokenized: &tokenized,
-                explicit: &explicit,
-                train: &train,
-                mode: LabelMode::Binary,
-                seed,
-            };
-            let config = FakeDetectorConfig {
-                epochs: 1,
-                validation_fraction: 0.0,
-                ..FakeDetectorConfig::default()
-            };
-            let trained = FakeDetector::new(config).fit(&ctx);
-            drop((tokenized, explicit));
-            Arc::new(ServeModel::new(
-                corpus,
-                trained,
-                train,
-                LabelMode::Binary,
-                explicit_dim,
-                seq_len,
-                max_vocab,
-            ))
-        })
-        .clone()
+    MODEL.get_or_init(|| build_model(Precision::F32)).clone()
 }
 
 fn start(config: &ServeConfig) -> (Server, String) {
@@ -245,4 +261,66 @@ fn graceful_shutdown_completes_in_flight_requests() {
         "shutdown must flush the queue, not wait out the {}ms window (took {waited:?})",
         5000
     );
+}
+
+/// Pulls the `"probabilities":[…]` array out of a predict response.
+fn parse_probabilities(response: &str) -> Vec<f32> {
+    response
+        .split("\"probabilities\":[")
+        .nth(1)
+        .and_then(|s| s.split(']').next())
+        .expect("probabilities in response")
+        .split(',')
+        .map(|v| v.trim().parse::<f32>().expect("float"))
+        .collect()
+}
+
+#[test]
+fn endpoint_round_trip_agrees_at_each_precision() {
+    // One server per precision, built from the same training run; the
+    // wire answers must agree within the quantization parity gate
+    // (identical arg-max labels, max |Δscore| ≤ 4e-3), and /healthz
+    // must report which path is live.
+    let f32_server = Server::start(model(), &ephemeral()).expect("start f32");
+    let int8_server =
+        Server::start(build_model(Precision::Int8), &ephemeral()).expect("start int8");
+    let f32_addr = f32_server.local_addr().to_string();
+    let int8_addr = int8_server.local_addr().to_string();
+
+    for (addr, name) in [(&f32_addr, "f32"), (&int8_addr, "int8")] {
+        let (status, health) = client(addr).get("/healthz").expect("get");
+        assert_eq!(status, 200, "{health}");
+        assert!(
+            health.contains(&format!("\"precision\":\"{name}\"")),
+            "healthz must report the serving precision: {health}"
+        );
+    }
+
+    // The f32 endpoint is the exact reference: bitwise-equal to direct
+    // in-process scoring (same JSON formatting path), so checking the
+    // int8 endpoint against it checks the whole wire round-trip.
+    for i in 0..8 {
+        let body = body_for(i);
+        let (status, exact) = client(&f32_addr).post("/v1/predict", &body).expect("post");
+        assert_eq!(status, 200, "{exact}");
+        let (status, quant) = client(&int8_addr).post("/v1/predict", &body).expect("post");
+        assert_eq!(status, 200, "{quant}");
+
+        let pe = parse_probabilities(&exact);
+        let pq = parse_probabilities(&quant);
+        assert_eq!(pe.len(), pq.len(), "request {i}");
+        let argmax = |p: &[f32]| {
+            p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(j, _)| j).unwrap()
+        };
+        assert_eq!(argmax(&pe), argmax(&pq), "request {i}: label flipped under int8");
+        for (a, b) in pe.iter().zip(&pq) {
+            assert!(
+                (a - b).abs() <= 4e-3,
+                "request {i}: |Δscore| {} exceeds the parity gate",
+                (a - b).abs()
+            );
+        }
+    }
+    f32_server.shutdown();
+    int8_server.shutdown();
 }

@@ -6,12 +6,20 @@
 //! neighbour rows (the diffusion aggregator). The backward directions are
 //! the matching scatter-adds.
 //!
-//! All four kernels iterate rows in index order with a fixed inner
+//! All four kernels process rows in index order with a fixed inner
 //! element order, so their output is deterministic and — for the
 //! gather/mean forwards — row `i` is bitwise what a per-node computation
 //! of that row alone produces.
+//!
+//! The scatter-adds parallelise by partitioning *destination* rows:
+//! every thread scans the full source index list but only writes rows
+//! inside its own contiguous destination partition. Within one
+//! destination row the contributions still accumulate in source index
+//! order, so the result is bitwise the serial kernel's at any
+//! `FD_THREADS` — a deterministic alternative to atomics or
+//! per-thread shadow buffers.
 
-use crate::Matrix;
+use crate::{parallel, Matrix};
 
 /// Gathers `rows[i]` of `src` into row `i` of the result; `None` entries
 /// yield a zero row (the "no neighbour on this port" case).
@@ -19,33 +27,53 @@ use crate::Matrix;
 /// # Panics
 /// Panics when an index is out of range.
 pub fn gather_rows(src: &Matrix, rows: &[Option<usize>]) -> Matrix {
-    let mut out = Matrix::zeros(rows.len(), src.cols());
-    for (i, &r) in rows.iter().enumerate() {
-        if let Some(r) = r {
-            assert!(r < src.rows(), "gather_rows: row {r} out of {} rows", src.rows());
-            out.row_mut(i).copy_from_slice(src.row(r));
-        }
+    for &r in rows.iter().flatten() {
+        assert!(r < src.rows(), "gather_rows: row {r} out of {} rows", src.rows());
     }
+    let cols = src.cols();
+    let mut out = Matrix::zeros(rows.len(), cols);
+    parallel::for_each_row_chunk(rows.len(), cols, cols, out.as_mut_slice(), |range, chunk| {
+        for (local, i) in range.enumerate() {
+            if let Some(r) = rows[i] {
+                chunk[local * cols..(local + 1) * cols].copy_from_slice(src.row(r));
+            }
+        }
+    });
     out
 }
 
 /// Adjoint of [`gather_rows`]: adds row `i` of `src` into row `rows[i]`
 /// of `dst`; `None` entries contribute nothing. Repeated indices
-/// accumulate, which is exactly the gradient of a repeated gather.
+/// accumulate in source index order, which is exactly the gradient of a
+/// repeated gather (and bit-identical at any thread count — see the
+/// module docs on destination partitioning).
 ///
 /// # Panics
 /// Panics on an index out of range or a row-count/width mismatch.
 pub fn scatter_add_rows(dst: &mut Matrix, rows: &[Option<usize>], src: &Matrix) {
     assert_eq!(src.rows(), rows.len(), "scatter_add_rows: row-count mismatch");
     assert_eq!(dst.cols(), src.cols(), "scatter_add_rows: width mismatch");
-    for (i, &r) in rows.iter().enumerate() {
-        if let Some(r) = r {
-            assert!(r < dst.rows(), "scatter_add_rows: row {r} out of {} rows", dst.rows());
-            for (acc, &v) in dst.row_mut(r).iter_mut().zip(src.row(i)) {
-                *acc += v;
+    for &r in rows.iter().flatten() {
+        assert!(r < dst.rows(), "scatter_add_rows: row {r} out of {} rows", dst.rows());
+    }
+    let cols = dst.cols();
+    let n_dst = dst.rows();
+    // Per destination row: its share of the adds plus its share of the
+    // index scan every thread repeats.
+    let work_per_row = (rows.len() * (cols + 2)) / n_dst.max(1) + 1;
+    parallel::for_each_row_chunk(n_dst, cols, work_per_row, dst.as_mut_slice(), |range, chunk| {
+        for (i, &r) in rows.iter().enumerate() {
+            if let Some(r) = r {
+                if !range.contains(&r) {
+                    continue;
+                }
+                let off = (r - range.start) * cols;
+                for (acc, &v) in chunk[off..off + cols].iter_mut().zip(src.row(i)) {
+                    *acc += v;
+                }
             }
         }
-    }
+    });
 }
 
 /// Row-wise neighbour mean over `src`: row `i` of the result is the mean
@@ -56,24 +84,27 @@ pub fn scatter_add_rows(dst: &mut Matrix, rows: &[Option<usize>], src: &Matrix) 
 pub fn mean_rows<'a>(
     src: &Matrix,
     n: usize,
-    lists: impl Fn(usize) -> &'a [usize],
+    lists: impl Fn(usize) -> &'a [usize] + Sync,
 ) -> Matrix {
-    let mut out = Matrix::zeros(n, src.cols());
-    for i in 0..n {
-        let list = lists(i);
-        let Some((&first, rest)) = list.split_first() else { continue };
-        let row = out.row_mut(i);
-        row.copy_from_slice(src.row(first));
-        for &j in rest {
-            for (acc, &v) in row.iter_mut().zip(src.row(j)) {
-                *acc += v;
+    let cols = src.cols();
+    let mut out = Matrix::zeros(n, cols);
+    parallel::for_each_row_chunk(n, cols, 4 * cols, out.as_mut_slice(), |range, chunk| {
+        for (local, i) in range.enumerate() {
+            let list = lists(i);
+            let Some((&first, rest)) = list.split_first() else { continue };
+            let row = &mut chunk[local * cols..(local + 1) * cols];
+            row.copy_from_slice(src.row(first));
+            for &j in rest {
+                for (acc, &v) in row.iter_mut().zip(src.row(j)) {
+                    *acc += v;
+                }
+            }
+            let inv = 1.0 / list.len() as f32;
+            for acc in row.iter_mut() {
+                *acc *= inv;
             }
         }
-        let inv = 1.0 / list.len() as f32;
-        for acc in row.iter_mut() {
-            *acc *= inv;
-        }
-    }
+    });
     out
 }
 
@@ -86,22 +117,35 @@ pub fn mean_rows<'a>(
 pub fn scatter_add_mean_rows<'a>(
     dst: &mut Matrix,
     g: &Matrix,
-    lists: impl Fn(usize) -> &'a [usize],
+    lists: impl Fn(usize) -> &'a [usize] + Sync,
 ) {
     assert_eq!(dst.cols(), g.cols(), "scatter_add_mean_rows: width mismatch");
     for i in 0..g.rows() {
-        let list = lists(i);
-        if list.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / list.len() as f32;
-        for &j in list {
+        for &j in lists(i) {
             assert!(j < dst.rows(), "scatter_add_mean_rows: row {j} out of {} rows", dst.rows());
-            for (acc, &v) in dst.row_mut(j).iter_mut().zip(g.row(i)) {
-                *acc += v * inv;
-            }
         }
     }
+    let cols = dst.cols();
+    let n_dst = dst.rows();
+    let work_per_row = (g.rows() * (cols + 2)) / n_dst.max(1) + 1;
+    parallel::for_each_row_chunk(n_dst, cols, work_per_row, dst.as_mut_slice(), |range, chunk| {
+        for i in 0..g.rows() {
+            let list = lists(i);
+            if list.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / list.len() as f32;
+            for &j in list {
+                if !range.contains(&j) {
+                    continue;
+                }
+                let off = (j - range.start) * cols;
+                for (acc, &v) in chunk[off..off + cols].iter_mut().zip(g.row(i)) {
+                    *acc += v * inv;
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -151,6 +195,35 @@ mod tests {
         scatter_add_mean_rows(&mut dst, &g, |i| &lists[i]);
         let expect = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0], &[2.0, 3.0]]);
         assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn scatter_adds_are_thread_invariant_at_scale() {
+        use crate::parallel::with_thread_count;
+        let (n_dst, cols, m) = (512, 64, 20_000);
+        let src = Matrix::from_fn(m, cols, |r, c| ((r * 13 + c * 7) as f32 * 0.173).sin());
+        let rows: Vec<Option<usize>> =
+            (0..m).map(|i| if i % 17 == 0 { None } else { Some((i * 31) % n_dst) }).collect();
+        let lists: Vec<Vec<usize>> =
+            (0..m).map(|i| ((i % 5)..(i % 5 + i % 4)).map(|j| (i * 7 + j) % n_dst).collect()).collect();
+        let reference = with_thread_count(1, || {
+            let mut dst = Matrix::zeros(n_dst, cols);
+            scatter_add_rows(&mut dst, &rows, &src);
+            let mut dst_mean = Matrix::zeros(n_dst, cols);
+            scatter_add_mean_rows(&mut dst_mean, &src, |i| &lists[i]);
+            (dst, dst_mean)
+        });
+        for threads in [2usize, 3, 8] {
+            let got = with_thread_count(threads, || {
+                let mut dst = Matrix::zeros(n_dst, cols);
+                scatter_add_rows(&mut dst, &rows, &src);
+                let mut dst_mean = Matrix::zeros(n_dst, cols);
+                scatter_add_mean_rows(&mut dst_mean, &src, |i| &lists[i]);
+                (dst, dst_mean)
+            });
+            assert_eq!(got.0, reference.0, "scatter_add_rows, threads = {threads}");
+            assert_eq!(got.1, reference.1, "scatter_add_mean_rows, threads = {threads}");
+        }
     }
 
     #[test]

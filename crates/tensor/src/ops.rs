@@ -16,14 +16,130 @@ use crate::{parallel, Matrix};
 use std::ops::Range;
 use std::sync::OnceLock;
 
-/// Which ISA path the panel dispatcher took, cached `&'static` handles
-/// (one relaxed atomic add per panel; see `fd_obs::counter`).
-fn panel_path_counters() -> (&'static fd_obs::Counter, &'static fd_obs::Counter) {
-    static HANDLES: OnceLock<(&'static fd_obs::Counter, &'static fd_obs::Counter)> =
-        OnceLock::new();
-    *HANDLES.get_or_init(|| {
-        (fd_obs::counter("tensor.matmul.panels_avx2"), fd_obs::counter("tensor.matmul.panels_scalar"))
+/// SIMD tier the matmul panel dispatcher can take. Ordered weakest to
+/// strongest so `min` clamps a requested level to what the CPU has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Baseline-ISA body; the portable fallback (NEON machines land
+    /// here and let the autovectorizer use their native vectors).
+    Scalar = 0,
+    /// AVX2 codegen of the same body — identical bits to `Scalar`.
+    Avx2 = 1,
+    /// AVX2 + explicit fused multiply-adds in the reduction.
+    Fma = 2,
+    /// AVX-512F codegen of the FMA body (512-bit vectors).
+    Avx512 = 3,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name, used by `FD_SIMD` and bench provenance.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Fma => "fma",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses an `FD_SIMD` value; `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdLevel::Scalar),
+            "avx2" => Some(SimdLevel::Avx2),
+            "fma" => Some(SimdLevel::Fma),
+            "avx512" | "avx512f" => Some(SimdLevel::Avx512),
+            _ => None,
+        }
+    }
+}
+
+/// Strongest level this CPU supports, probed once.
+fn detected_simd_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("fma") {
+                return SimdLevel::Avx512;
+            }
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return SimdLevel::Fma;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
     })
+}
+
+/// The process-wide SIMD level: the detected tier, optionally lowered
+/// (never raised) by the `FD_SIMD` environment variable. Resolved once,
+/// so every panel in a process — and every thread — takes the same
+/// path, which keeps results deterministic per machine.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let detected = detected_simd_level();
+        match std::env::var("FD_SIMD") {
+            Ok(v) => match SimdLevel::parse(&v) {
+                Some(requested) => requested.min(detected),
+                None => {
+                    eprintln!(
+                        "FD_SIMD={v}: unknown level (scalar|avx2|fma|avx512); using {}",
+                        detected.name()
+                    );
+                    detected
+                }
+            },
+            Err(_) => detected,
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread SIMD override for parity tests; `None` = process level.
+    static SIMD_OVERRIDE: std::cell::Cell<Option<SimdLevel>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The SIMD level panels on this thread will use right now.
+pub fn current_simd_level() -> SimdLevel {
+    match SIMD_OVERRIDE.with(std::cell::Cell::get) {
+        Some(level) => level.min(detected_simd_level()),
+        None => simd_level(),
+    }
+}
+
+/// Runs `f` with the panel SIMD level pinned (clamped to what the CPU
+/// supports) on the current thread, restoring the previous setting
+/// afterwards. The override does not propagate to pool workers, so
+/// tests comparing levels should pin `with_thread_count(1, ..)` too.
+pub fn with_simd_level<T>(level: SimdLevel, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<SimdLevel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SIMD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(SIMD_OVERRIDE.with(|o| o.replace(Some(level))));
+    f()
+}
+
+/// Which ISA path the panel dispatcher took, cached `&'static` handles
+/// (one relaxed atomic add per panel; see `fd_obs::counter`), indexed
+/// by [`SimdLevel`] discriminant.
+fn panel_counter(level: SimdLevel) -> &'static fd_obs::Counter {
+    static HANDLES: OnceLock<[&'static fd_obs::Counter; 4]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        [
+            fd_obs::counter("tensor.matmul.panels_scalar"),
+            fd_obs::counter("tensor.matmul.panels_avx2"),
+            fd_obs::counter("tensor.matmul.panels_fma"),
+            fd_obs::counter("tensor.matmul.panels_avx512"),
+        ]
+    })[level as usize]
 }
 
 fn matmul_calls() -> &'static fd_obs::Counter {
@@ -38,22 +154,35 @@ const ROW_TILE: usize = 8;
 /// `out[rows] += a[rows] · b`, the blocked panel kernel behind
 /// [`Matrix::matmul`]. `out` holds exactly the rows in `rows`.
 ///
-/// Dispatches once per panel: on x86-64 with AVX2 the same body is
-/// re-compiled with 256-bit vectors enabled (see
-/// [`matmul_panel_avx2`]); otherwise the baseline-ISA copy runs.
-/// Vector width never changes *which* scalar operations produce an
-/// output element or their order — rustc does not contract `a*b + c`
-/// into fused multiply-adds — so both paths return identical bits.
+/// Dispatches once per panel on the resolved [`SimdLevel`]:
+///
+/// * `Scalar` and `Avx2` run the non-contracted body (`FMA = false`) —
+///   vector width never changes *which* scalar operations produce an
+///   output element or their order, and rustc does not contract
+///   `a*b + c` on its own, so those two tiers return identical bits.
+/// * `Fma` and `Avx512` run the body with explicit `f32::mul_add`
+///   chains in the reduction. Fused rounding produces (slightly) more
+///   accurate but different bits than the scalar tiers. The level is
+///   resolved once per process and panels never depend on the thread
+///   that runs them, so results remain deterministic on a given
+///   machine and bit-identical at any `FD_THREADS`; `FD_SIMD=avx2`
+///   restores cross-machine byte equality when needed.
 fn matmul_panel(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    let level = current_simd_level();
+    panel_counter(level).inc();
     #[cfg(target_arch = "x86_64")]
-    if is_x86_feature_detected!("avx2") {
-        panel_path_counters().0.inc();
-        // SAFETY: the avx2 feature was just verified at runtime, and
-        // the wrapped body has no other safety requirements.
-        return unsafe { matmul_panel_avx2(a, b, rows, out) };
+    {
+        // SAFETY: `detected_simd_level` only reports tiers whose CPU
+        // features `is_x86_feature_detected!` verified, and overrides
+        // clamp to it; the wrapped bodies have no other requirements.
+        match level {
+            SimdLevel::Avx512 => return unsafe { matmul_panel_avx512(a, b, rows, out) },
+            SimdLevel::Fma => return unsafe { matmul_panel_fma(a, b, rows, out) },
+            SimdLevel::Avx2 => return unsafe { matmul_panel_avx2(a, b, rows, out) },
+            SimdLevel::Scalar => {}
+        }
     }
-    panel_path_counters().1.inc();
-    matmul_panel_body(a, b, rows, out)
+    matmul_panel_body::<false>(a, b, rows, out)
 }
 
 /// The panel body compiled with AVX2 codegen. `#[target_feature]`
@@ -63,7 +192,22 @@ fn matmul_panel(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn matmul_panel_avx2(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
-    matmul_panel_body(a, b, rows, out)
+    matmul_panel_body::<false>(a, b, rows, out)
+}
+
+/// The FMA body with AVX2 codegen: explicit `mul_add` chains become
+/// `vfmadd` instructions.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_panel_fma(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    matmul_panel_body::<true>(a, b, rows, out)
+}
+
+/// The FMA body with AVX-512F codegen (512-bit vectors, 32 registers).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx2,fma")]
+unsafe fn matmul_panel_avx512(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    matmul_panel_body::<true>(a, b, rows, out)
 }
 
 /// Cache-blocked matmul panel: [`ROW_TILE`]-row tiles, the `p`
@@ -73,9 +217,11 @@ unsafe fn matmul_panel_avx2(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mu
 /// `p` runs in ascending 4-wide blocks plus a scalar tail — a fixed
 /// order per output element, independent of tiling and of which
 /// thread runs the panel, which is what makes the parallel split
-/// bit-identical to the serial kernel.
+/// bit-identical to the serial kernel. With `FMA = true` the same
+/// fixed-order reduction uses `f32::mul_add` so `target_feature`
+/// wrappers can emit fused instructions.
 #[inline(always)]
-fn matmul_panel_body(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+fn matmul_panel_body<const FMA: bool>(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
     let (k, n) = (a.cols(), b.cols());
     let k4 = k & !3;
     let row0 = rows.start;
@@ -103,9 +249,22 @@ fn matmul_panel_body(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]
                 let (left, right) = out.split_at_mut((li + 1) * n);
                 let or0 = &mut left[li * n..];
                 let or1 = &mut right[..n];
-                for j in 0..n {
-                    or0[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
-                    or1[j] += y0 * b0[j] + y1 * b1[j] + y2 * b2[j] + y3 * b3[j];
+                if FMA {
+                    for j in 0..n {
+                        or0[j] = x3.mul_add(
+                            b3[j],
+                            x2.mul_add(b2[j], x1.mul_add(b1[j], x0.mul_add(b0[j], or0[j]))),
+                        );
+                        or1[j] = y3.mul_add(
+                            b3[j],
+                            y2.mul_add(b2[j], y1.mul_add(b1[j], y0.mul_add(b0[j], or1[j]))),
+                        );
+                    }
+                } else {
+                    for j in 0..n {
+                        or0[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                        or1[j] += y0 * b0[j] + y1 * b1[j] + y2 * b2[j] + y3 * b3[j];
+                    }
                 }
                 i += 2;
             }
@@ -114,8 +273,17 @@ fn matmul_panel_body(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]
                 let (x0, x1, x2, x3) = (ar[p], ar[p + 1], ar[p + 2], ar[p + 3]);
                 if !(x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0) {
                     let or = &mut out[(i - row0) * n..(i - row0 + 1) * n];
-                    for j in 0..n {
-                        or[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                    if FMA {
+                        for j in 0..n {
+                            or[j] = x3.mul_add(
+                                b3[j],
+                                x2.mul_add(b2[j], x1.mul_add(b1[j], x0.mul_add(b0[j], or[j]))),
+                            );
+                        }
+                    } else {
+                        for j in 0..n {
+                            or[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                        }
                     }
                 }
             }
@@ -128,8 +296,14 @@ fn matmul_panel_body(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]
                     continue;
                 }
                 let or = &mut out[(i - row0) * n..(i - row0 + 1) * n];
-                for j in 0..n {
-                    or[j] += a_ip * b_row[j];
+                if FMA {
+                    for j in 0..n {
+                        or[j] = a_ip.mul_add(b_row[j], or[j]);
+                    }
+                } else {
+                    for j in 0..n {
+                        or[j] += a_ip * b_row[j];
+                    }
                 }
             }
         }
@@ -462,11 +636,7 @@ impl Matrix {
     /// treated as flat).
     pub fn dot(&self, other: &Matrix) -> f32 {
         self.require_same_shape(other, "dot");
-        self.as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| a * b)
-            .sum()
+        parallel::tree_dot(self.as_slice(), other.as_slice())
     }
 
     /// Outer product of two row vectors: `selfᵀ · other` for `1 x m` and
@@ -617,5 +787,47 @@ mod tests {
         let mut ip = a();
         ip.map_in_place(|v| -v);
         assert_eq!(ip, a().scale(-1.0));
+    }
+
+    #[test]
+    fn simd_level_parse_and_names_round_trip() {
+        use crate::ops::SimdLevel;
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Fma, SimdLevel::Avx512] {
+            assert_eq!(SimdLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(SimdLevel::parse("AVX2 "), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::parse("sse9"), None);
+        // Clamp: a requested level never exceeds what the CPU has.
+        assert!(crate::ops::current_simd_level() <= super::detected_simd_level());
+    }
+
+    #[test]
+    fn avx2_panel_is_bit_identical_to_scalar() {
+        use crate::ops::{with_simd_level, SimdLevel};
+        let x = Matrix::from_fn(33, 29, |r, c| ((r * 31 + c * 7) as f32 * 0.193).sin());
+        let y = Matrix::from_fn(29, 17, |r, c| ((r * 13 + c * 3) as f32 * 0.457).cos());
+        crate::parallel::with_thread_count(1, || {
+            let scalar = with_simd_level(SimdLevel::Scalar, || x.matmul(&y));
+            let avx2 = with_simd_level(SimdLevel::Avx2, || x.matmul(&y));
+            assert_eq!(scalar, avx2, "non-contracted tiers must agree bitwise");
+        });
+    }
+
+    #[test]
+    fn fma_and_avx512_panels_match_scalar_within_tolerance() {
+        use crate::ops::{with_simd_level, SimdLevel};
+        let x = Matrix::from_fn(40, 64, |r, c| ((r * 17 + c * 5) as f32 * 0.071).sin());
+        let y = Matrix::from_fn(64, 24, |r, c| ((r * 3 + c * 11) as f32 * 0.113).cos());
+        crate::parallel::with_thread_count(1, || {
+            let scalar = with_simd_level(SimdLevel::Scalar, || x.matmul(&y));
+            for level in [SimdLevel::Fma, SimdLevel::Avx512] {
+                let fused = with_simd_level(level, || x.matmul(&y));
+                // Fused rounding differs from scalar, but only by a few
+                // ulps per element; and it must be run-to-run stable.
+                assert_close(&scalar, &fused, 1e-4);
+                let again = with_simd_level(level, || x.matmul(&y));
+                assert_eq!(fused, again, "{} panel must be deterministic", level.name());
+            }
+        });
     }
 }

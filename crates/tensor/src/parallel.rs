@@ -1,20 +1,42 @@
 //! Dependency-free deterministic parallelism for the tensor kernels.
 //!
-//! Built entirely on `std::thread::scope`: no pool crate, no work
-//! stealing, no atomics in the data path. Work is split into contiguous
-//! row ranges with deterministic split points, and every output row is
-//! written by exactly one thread running the same per-row kernel in the
-//! same iteration order. Results are therefore bit-identical for any
-//! thread count — `FD_THREADS=1` and `FD_THREADS=64` produce the same
-//! bytes — and the thread count only changes wall-clock time.
+//! Work is split into contiguous shards with deterministic split points,
+//! and every output element is written by exactly one thread running the
+//! same per-shard kernel in the same iteration order. Results are
+//! therefore bit-identical for any thread count — `FD_THREADS=1` and
+//! `FD_THREADS=64` produce the same bytes — and the thread count only
+//! changes wall-clock time.
+//!
+//! Shards execute on a lazily-grown persistent worker pool: a dispatch
+//! publishes one type-erased job, participants (the pool workers plus
+//! the dispatching caller) claim shard indices with a single
+//! `fetch_add`, and the caller blocks until the job drains. Claiming
+//! order is scheduling-dependent but can never affect output, because a
+//! shard's result depends only on its index. Nested or concurrent
+//! dispatch (a kernel that itself dispatches while the pool is busy)
+//! falls back to running serially on the calling thread, so the pool
+//! cannot deadlock. Compared to the earlier per-call
+//! `std::thread::scope` spawn, a dispatch costs a mutex hop and a
+//! condvar signal instead of thread creation.
+//!
+//! Reductions go through fixed-shape trees ([`tree_sum`] and friends):
+//! serial partial sums over fixed [`REDUCE_CHUNK`]-element chunks are
+//! combined in a data-independent pairwise order, so the sum of a
+//! million floats is bit-identical whether one thread or eight computed
+//! the partials. Inputs at or below one chunk reduce serially in
+//! element order — exactly the bits the pre-tree serial implementation
+//! produced, which keeps small-matrix results stable across versions.
 //!
 //! The global width is resolved once from the `FD_THREADS` environment
 //! variable (default: the machine's available parallelism). Tests pin a
 //! width for the current thread with [`with_thread_count`].
 
+use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Metric handles resolved once per process: registration takes a
@@ -28,8 +50,8 @@ fn dispatch_counters() -> (&'static fd_obs::Counter, &'static fd_obs::Counter) {
     })
 }
 
-/// Per-shard wall time in microseconds; only spawned shards record, so
-/// the serial fast path never reads the clock.
+/// Per-shard wall time in microseconds; only pool-dispatched shards
+/// record, so the serial fast path never reads the clock.
 fn shard_hist() -> &'static fd_obs::Histogram {
     static HANDLE: OnceLock<&'static fd_obs::Histogram> = OnceLock::new();
     HANDLE.get_or_init(|| {
@@ -38,11 +60,16 @@ fn shard_hist() -> &'static fd_obs::Histogram {
 }
 
 /// Minimum inner-loop operations a kernel must have, per thread, before
-/// forking pays for thread spawn and cache-line handoff; anything
-/// smaller runs serially on the calling thread. Tuned on the bench
-/// suite: spawn+join costs ~10µs, which a thread amortises once it
-/// carries a few hundred thousand multiply-adds.
+/// parallel dispatch pays for the handoff; anything smaller runs
+/// serially on the calling thread. The persistent pool made a dispatch
+/// much cheaper than the old per-call spawn (~10µs), but cache-line
+/// handoff still wants a few hundred thousand multiply-adds per shard.
 pub const MIN_WORK_PER_THREAD: usize = 1 << 18;
+
+/// Fixed chunk width (elements) for the deterministic reduction trees.
+/// Inputs at or below one chunk reduce serially in element order, which
+/// keeps small reductions bit-identical to the historical serial code.
+pub const REDUCE_CHUNK: usize = 4096;
 
 static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
 
@@ -102,6 +129,204 @@ fn split_rows(rows: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// Type-erased shard task: a borrowed closure with its lifetime erased
+/// into a raw pointer. Soundness: [`pool_run`] blocks until every shard
+/// has returned, so the pointee outlives every dereference; afterwards
+/// the pointer may dangle, but workers only touch the job's atomics once
+/// it is drained (raw pointers, unlike references, are allowed to
+/// dangle as long as they are not dereferenced).
+struct RawTask(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> RawTask {
+    let ptr: *const (dyn Fn(usize) + Sync + 'a) = task;
+    RawTask(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync + 'a), *const (dyn Fn(usize) + Sync + 'static)>(
+            ptr,
+        )
+    })
+}
+
+struct Job {
+    task: RawTask,
+    shards: usize,
+    /// Next unclaimed shard index. Claiming order varies with
+    /// scheduling, but shard `i` computes the same bytes on any thread,
+    /// so the output cannot observe it.
+    next: AtomicUsize,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+struct JobState {
+    /// Shards not yet finished; the dispatcher waits for zero.
+    pending: usize,
+    /// First panic payload from any shard, re-thrown on the dispatching
+    /// thread so a kernel panic behaves like it did under scoped spawn.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Job {
+    /// Claims and runs shards until none are left. Every participant —
+    /// pool workers and the dispatching caller — runs this same loop.
+    fn work(&self) {
+        let hist = shard_hist();
+        loop {
+            let shard = self.next.fetch_add(1, Ordering::Relaxed);
+            if shard >= self.shards {
+                return;
+            }
+            let start = Instant::now();
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                // Safety: `shard < shards`, so the dispatcher is still
+                // blocked in `wait` and the closure is alive.
+                (unsafe { &*self.task.0 })(shard)
+            }));
+            hist.record(start.elapsed().as_secs_f64() * 1e6);
+            let mut state = self.state.lock().unwrap();
+            if let Err(payload) = result {
+                state.panic.get_or_insert(payload);
+            }
+            state.pending -= 1;
+            if state.pending == 0 {
+                drop(state);
+                self.done.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut state = self.state.lock().unwrap();
+        while state.pending > 0 {
+            state = self.done.wait(state).unwrap();
+        }
+    }
+}
+
+struct Pool {
+    /// Publication slot: bumping `generation` under the lock tells
+    /// sleeping workers a new job is available.
+    slot: Mutex<Slot>,
+    wake: Condvar,
+    /// Held for the duration of one dispatch. `try_lock` failure means
+    /// the pool is already busy — a nested dispatch from inside a
+    /// kernel, or a concurrent dispatch from another thread — and the
+    /// caller runs its serial path instead of queueing. That fallback
+    /// is what makes nested dispatch deadlock-free.
+    busy: Mutex<()>,
+    /// Detached workers spawned so far; grows lazily, never shrinks.
+    workers: AtomicUsize,
+}
+
+struct Slot {
+    generation: u64,
+    job: Option<Arc<Job>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        slot: Mutex::new(Slot { generation: 0, job: None }),
+        wake: Condvar::new(),
+        busy: Mutex::new(()),
+        workers: AtomicUsize::new(0),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = pool.slot.lock().unwrap();
+            loop {
+                if slot.generation != seen {
+                    seen = slot.generation;
+                    if let Some(job) = slot.job.clone() {
+                        break job;
+                    }
+                }
+                slot = pool.wake.wait(slot).unwrap();
+            }
+        };
+        job.work();
+    }
+}
+
+/// Grows the detached worker set to `target` threads. Only the `busy`
+/// holder calls this, so the count cannot race. Spawn failure is
+/// tolerated: the dispatching caller always participates in the shard
+/// loop, so a job completes even with zero workers.
+fn ensure_workers(pool: &'static Pool, target: usize) {
+    let mut have = pool.workers.load(Ordering::Relaxed);
+    while have < target {
+        let spawned = std::thread::Builder::new()
+            .name(format!("fd-par-{have}"))
+            .spawn(move || worker_loop(pool));
+        if spawned.is_err() {
+            return;
+        }
+        have = pool.workers.fetch_add(1, Ordering::Relaxed) + 1;
+    }
+}
+
+/// Runs `task(shard)` for every shard in `0..shards` across the pool,
+/// with the caller participating. Returns `false` without running
+/// anything when the pool is unavailable (nested or concurrent
+/// dispatch), in which case the caller must run its serial path.
+fn pool_run(shards: usize, task: &(dyn Fn(usize) + Sync)) -> bool {
+    let pool = pool();
+    let Ok(_busy) = pool.busy.try_lock() else {
+        return false;
+    };
+    ensure_workers(pool, shards - 1);
+    let job = Arc::new(Job {
+        task: erase(task),
+        shards,
+        next: AtomicUsize::new(0),
+        state: Mutex::new(JobState { pending: shards, panic: None }),
+        done: Condvar::new(),
+    });
+    {
+        let mut slot = pool.slot.lock().unwrap();
+        slot.generation += 1;
+        slot.job = Some(job.clone());
+    }
+    pool.wake.notify_all();
+    job.work();
+    job.wait();
+    // Drop the pool's reference before the borrowed closure goes out of
+    // scope; late workers that still see the old generation only read
+    // the job's atomics, never the task pointer.
+    pool.slot.lock().unwrap().job = None;
+    let payload = job.state.lock().unwrap().panic.take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+    true
+}
+
+/// Raw-pointer wrapper that lets shard closures derive disjoint `&mut`
+/// chunks from a shard index. Safety rests on the dispatcher's
+/// claim-once guarantee (each shard index is handed to exactly one
+/// thread) plus the caller mapping shard indices to disjoint memory.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
 /// Row-parallel driver for kernels writing a dense `rows x row_width`
 /// output. `work_per_row` is the kernel's inner-op estimate for one row
 /// (e.g. `k * n` for matmul) and gates the serial fallback. The kernel
@@ -118,26 +343,28 @@ pub fn for_each_row_chunk(
     assert_eq!(out.len(), rows * row_width, "for_each_row_chunk: output size mismatch");
     let threads = decide_threads(rows, work_per_row);
     let (serial, parallel) = dispatch_counters();
-    if threads <= 1 {
-        serial.inc();
-        kernel(0..rows, out);
-        return;
-    }
-    parallel.inc();
-    let shard_us = shard_hist();
-    std::thread::scope(|scope| {
-        let kernel = &kernel;
-        let mut rest = out;
-        for range in split_rows(rows, threads) {
-            let (chunk, tail) = rest.split_at_mut(range.len() * row_width);
-            rest = tail;
-            scope.spawn(move || {
-                let start = Instant::now();
-                kernel(range, chunk);
-                shard_us.record(start.elapsed().as_secs_f64() * 1e6);
-            });
+    if threads > 1 {
+        let ranges: Vec<Range<usize>> = split_rows(rows, threads).collect();
+        let base = SendPtr(out.as_mut_ptr());
+        let task = |shard: usize| {
+            let range = ranges[shard].clone();
+            // Safety: ranges are disjoint and each shard index is
+            // claimed exactly once, so this slice is exclusive.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(range.start * row_width),
+                    range.len() * row_width,
+                )
+            };
+            kernel(range, chunk);
+        };
+        if pool_run(threads, &task) {
+            parallel.inc();
+            return;
         }
-    });
+    }
+    serial.inc();
+    kernel(0..rows, out);
 }
 
 /// Ordered parallel map: `f(0..len)` evaluated across threads, results
@@ -148,30 +375,27 @@ pub fn for_each_row_chunk(
 pub fn par_map<T: Send>(len: usize, work_per_item: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let threads = decide_threads(len, work_per_item);
     let (serial, parallel) = dispatch_counters();
-    if threads <= 1 {
-        serial.inc();
-        return (0..len).map(f).collect();
-    }
-    parallel.inc();
-    let shard_us = shard_hist();
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = split_rows(len, threads)
-            .map(|range| {
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    let shard = range.map(f).collect::<Vec<T>>();
-                    shard_us.record(start.elapsed().as_secs_f64() * 1e6);
-                    shard
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(len);
-        for handle in handles {
-            out.extend(handle.join().expect("par_map worker panicked"));
+    if threads > 1 {
+        let ranges: Vec<Range<usize>> = split_rows(len, threads).collect();
+        let mut shards: Vec<Vec<T>> = Vec::new();
+        shards.resize_with(threads, Vec::new);
+        let base = SendPtr(shards.as_mut_ptr());
+        let task = |shard: usize| {
+            let collected: Vec<T> = ranges[shard].clone().map(&f).collect();
+            // Safety: one writer per shard slot (claim-once).
+            unsafe { *base.get().add(shard) = collected };
+        };
+        if pool_run(threads, &task) {
+            parallel.inc();
+            let mut out = Vec::with_capacity(len);
+            for shard in shards {
+                out.extend(shard);
+            }
+            return out;
         }
-        out
-    })
+    }
+    serial.inc();
+    (0..len).map(f).collect()
 }
 
 /// In-place parallel sweep over a mutable slice: each item is handed to
@@ -184,30 +408,27 @@ pub fn par_for_each<T: Send>(items: &mut [T], work_per_item: usize, f: impl Fn(&
     let len = items.len();
     let threads = decide_threads(len, work_per_item);
     let (serial, parallel) = dispatch_counters();
-    if threads <= 1 {
-        serial.inc();
-        for item in items.iter_mut() {
-            f(item);
+    if threads > 1 {
+        let ranges: Vec<Range<usize>> = split_rows(len, threads).collect();
+        let base = SendPtr(items.as_mut_ptr());
+        let task = |shard: usize| {
+            let range = ranges[shard].clone();
+            // Safety: disjoint ranges, claim-once shard indices.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
+            for item in chunk.iter_mut() {
+                f(item);
+            }
+        };
+        if pool_run(threads, &task) {
+            parallel.inc();
+            return;
         }
-        return;
     }
-    parallel.inc();
-    let shard_us = shard_hist();
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest = items;
-        for range in split_rows(len, threads) {
-            let (chunk, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            scope.spawn(move || {
-                let start = Instant::now();
-                for item in chunk.iter_mut() {
-                    f(item);
-                }
-                shard_us.record(start.elapsed().as_secs_f64() * 1e6);
-            });
-        }
-    });
+    serial.inc();
+    for item in items.iter_mut() {
+        f(item);
+    }
 }
 
 fn decide_threads(items: usize, work_per_item: usize) -> usize {
@@ -217,12 +438,92 @@ fn decide_threads(items: usize, work_per_item: usize) -> usize {
     }
     let total_work = items.saturating_mul(work_per_item);
     if total_work / threads < MIN_WORK_PER_THREAD {
-        // Not enough work to amortise forking; shrink until each thread
-        // clears the bar (possibly all the way to serial).
+        // Not enough work to amortise the handoff; shrink until each
+        // thread clears the bar (possibly all the way to serial).
         (total_work / MIN_WORK_PER_THREAD).clamp(1, threads)
     } else {
         threads
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic tree reductions
+// ---------------------------------------------------------------------------
+
+/// Deterministic tree sum: serial partial sums over fixed
+/// [`REDUCE_CHUNK`]-element chunks, combined in a data-independent
+/// pairwise tree. The tree shape depends only on `xs.len()`, so the
+/// result is bit-identical at any thread count — chunks merely evaluate
+/// concurrently when the slice is large enough to clear the work floor.
+pub fn tree_sum(xs: &[f32]) -> f32 {
+    tree_reduce(xs, |chunk| chunk.iter().sum(), |a, b| a + b)
+}
+
+/// Deterministic tree sum of squares (the square of the Frobenius /
+/// Euclidean norm); same shape guarantees as [`tree_sum`].
+pub fn tree_sum_squares(xs: &[f32]) -> f32 {
+    tree_reduce(xs, |chunk| chunk.iter().map(|&v| v * v).sum(), |a, b| a + b)
+}
+
+/// Largest absolute value via the same fixed tree. `max` is insensitive
+/// to association, but the fixed shape keeps the parallel split — and
+/// `f32::max`'s NaN-ignoring semantics — deterministic too.
+pub fn tree_max_abs(xs: &[f32]) -> f32 {
+    tree_reduce(xs, |chunk| chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())), f32::max)
+}
+
+/// Deterministic tree dot product; same shape guarantees as
+/// [`tree_sum`].
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn tree_dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "tree_dot: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let chunks = a.len().div_ceil(REDUCE_CHUNK);
+    let partials = par_map(chunks, REDUCE_CHUNK, |i| {
+        let lo = i * REDUCE_CHUNK;
+        let hi = (lo + REDUCE_CHUNK).min(a.len());
+        a[lo..hi].iter().zip(&b[lo..hi]).map(|(&x, &y)| x * y).sum::<f32>()
+    });
+    combine_tree(partials, |x, y| x + y)
+}
+
+fn tree_reduce(
+    xs: &[f32],
+    chunk_eval: impl Fn(&[f32]) -> f32 + Sync,
+    combine: impl Fn(f32, f32) -> f32,
+) -> f32 {
+    if xs.is_empty() {
+        return chunk_eval(xs);
+    }
+    let chunks = xs.len().div_ceil(REDUCE_CHUNK);
+    let partials = par_map(chunks, REDUCE_CHUNK, |i| {
+        let lo = i * REDUCE_CHUNK;
+        let hi = (lo + REDUCE_CHUNK).min(xs.len());
+        chunk_eval(&xs[lo..hi])
+    });
+    combine_tree(partials, combine)
+}
+
+/// Combines partials in a fixed pairwise binary tree: adjacent pairs
+/// fold into the next level until one value remains. The association
+/// depends only on `partials.len()`, never on scheduling.
+fn combine_tree(mut partials: Vec<f32>, combine: impl Fn(f32, f32) -> f32) -> f32 {
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => combine(a, b),
+                None => a,
+            });
+        }
+        partials = next;
+    }
+    partials[0]
 }
 
 #[cfg(test)]
@@ -303,5 +604,107 @@ mod tests {
             assert!(range.is_empty() && chunk.is_empty());
         });
         assert!(par_map(0, 1 << 30, |i| i).is_empty());
+    }
+
+    #[test]
+    fn nested_dispatch_falls_back_to_serial_and_completes() {
+        let out = with_thread_count(4, || {
+            par_map(8, MIN_WORK_PER_THREAD, |i| {
+                // Inner dispatch runs while the pool is busy with the
+                // outer job: must fall back to serial, never deadlock.
+                par_map(4, MIN_WORK_PER_THREAD, move |j| i * 10 + j)
+            })
+        });
+        let expect: Vec<Vec<usize>> =
+            (0..8).map(|i| (0..4).map(|j| i * 10 + j).collect()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_many_threads_is_safe() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    with_thread_count(4, || {
+                        (0..16)
+                            .map(|_| par_map(64, MIN_WORK_PER_THREAD, move |i| t * 1000 + i))
+                            .collect::<Vec<_>>()
+                    })
+                })
+            })
+            .collect();
+        for (t, handle) in handles.into_iter().enumerate() {
+            let expect: Vec<usize> = (0..64).map(|i| t * 1000 + i).collect();
+            for run in handle.join().expect("dispatch thread panicked") {
+                assert_eq!(run, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_count(4, || {
+                let mut out = vec![0.0f32; 64];
+                for_each_row_chunk(64, 1, MIN_WORK_PER_THREAD, &mut out, |range, _| {
+                    let _ = range;
+                    panic!("kernel boom");
+                });
+            });
+        });
+        assert!(caught.is_err(), "kernel panic reaches the dispatching caller");
+        // The pool must still dispatch correctly after a panicked job.
+        let serial: Vec<usize> = (0..101).map(|i| i * 3).collect();
+        let parallel = with_thread_count(4, || par_map(101, MIN_WORK_PER_THREAD, |i| i * 3));
+        assert_eq!(parallel, serial);
+    }
+
+    /// Deterministic but irregular test values that exercise rounding.
+    fn noisy(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37).sin() * ((i % 97) as f32 - 48.0)).collect()
+    }
+
+    #[test]
+    fn tree_sum_small_input_matches_serial_bits() {
+        // One chunk or less: the tree degenerates to the exact serial
+        // left-to-right sum the old implementation used.
+        for n in [0usize, 1, 100, REDUCE_CHUNK] {
+            let xs = noisy(n);
+            assert_eq!(tree_sum(&xs), xs.iter().sum::<f32>(), "n = {n}");
+            assert_eq!(
+                tree_sum_squares(&xs),
+                xs.iter().map(|&v| v * v).sum::<f32>(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_reductions_are_thread_invariant() {
+        // Crosses several chunk boundaries, including a partial tail.
+        let xs = noisy(3 * REDUCE_CHUNK + 17);
+        let ys = noisy(3 * REDUCE_CHUNK + 17);
+        let reference = with_thread_count(1, || {
+            (tree_sum(&xs), tree_sum_squares(&xs), tree_max_abs(&xs), tree_dot(&xs, &ys))
+        });
+        for threads in [2usize, 3, 8] {
+            let got = with_thread_count(threads, || {
+                (tree_sum(&xs), tree_sum_squares(&xs), tree_max_abs(&xs), tree_dot(&xs, &ys))
+            });
+            assert_eq!(got.0.to_bits(), reference.0.to_bits(), "sum, threads = {threads}");
+            assert_eq!(got.1.to_bits(), reference.1.to_bits(), "sumsq, threads = {threads}");
+            assert_eq!(got.2.to_bits(), reference.2.to_bits(), "max, threads = {threads}");
+            assert_eq!(got.3.to_bits(), reference.3.to_bits(), "dot, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn combine_tree_shape_is_fixed_pairwise() {
+        // ((1+2)+(3+4)) + 5 for five partials — spot-check the shape by
+        // tagging partials with disjoint powers of two.
+        let got = combine_tree(vec![1.0, 2.0, 4.0, 8.0, 16.0], |a, b| a + b);
+        assert_eq!(got, 31.0);
+        let got = combine_tree(vec![3.5], |_, _| unreachable!());
+        assert_eq!(got, 3.5);
     }
 }

@@ -1,0 +1,189 @@
+//! Int8 weight quantization for the reduced-precision serving path.
+//!
+//! A [`QuantMatrix`] stores a weight matrix as signed 8-bit integers
+//! with one f32 scale per *output column* (`amax(col) / 127`, the
+//! symmetric per-channel scheme). Activations are quantized on the fly
+//! to 16 bits with one dynamic scale per input row (W8A16: the weights
+//! carry the memory-footprint win, the wider activations keep the
+//! rounding error dominated by weight rounding alone — pure W8A8
+//! roughly doubled the end-to-end score delta). The inner product then
+//! runs entirely in integer arithmetic: each `i8 × i16` product is
+//! exact in `i32` and the sums accumulate exactly in `i64`, so the
+//! accumulation is associative and the result is bit-identical at any
+//! `FD_THREADS` *by construction* — no reduction tree needed. Only the
+//! two f32 multiplies at the edges (row scale × column scale × integer
+//! accumulator) round.
+//!
+//! Training never touches this module; it exists for `ServeModel`'s
+//! opt-in `--precision int8` forward path, which is gated by the
+//! score-parity tests in `fd-core` and `fd-serve`.
+
+use crate::{parallel, Matrix};
+
+/// A `k x n` weight matrix quantized to int8 with per-column scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    /// Row-major `rows x cols` int8 weights.
+    q: Vec<i8>,
+    /// Dequantization scale per output column: `amax(col) / 127`, or 0
+    /// for an all-zero column.
+    col_scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantMatrix {
+    /// Quantizes `w` symmetrically per column: `q = round(w / scale)`
+    /// clamped to `[-127, 127]` with `scale = amax(col) / 127`.
+    pub fn from_matrix(w: &Matrix) -> QuantMatrix {
+        let (rows, cols) = (w.rows(), w.cols());
+        let mut amax = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (m, &v) in amax.iter_mut().zip(w.row(r)) {
+                *m = m.max(v.abs());
+            }
+        }
+        let col_scales: Vec<f32> =
+            amax.iter().map(|&m| if m > 0.0 { m / 127.0 } else { 0.0 }).collect();
+        let inv: Vec<f32> =
+            col_scales.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 }).collect();
+        let mut q = vec![0i8; rows * cols];
+        for r in 0..rows {
+            for (c, &v) in w.row(r).iter().enumerate() {
+                q[r * cols + c] = (v * inv[c]).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantMatrix { q, col_scales, rows, cols }
+    }
+
+    /// Input dimension (`k`) the quantized weights expect.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Output dimension (`n`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `x · self` for f32 activations `x` (`m x k`): each activation
+    /// row gets a dynamic symmetric 16-bit scale (`amax(row) / 32767`),
+    /// each `i8 × i16` product is exact in `i32`, and the sums
+    /// accumulate exactly in `i64` before the two scales dequantize the
+    /// result. Rows run in parallel through the deterministic row
+    /// driver; the integer accumulation makes the output bit-identical
+    /// at any thread count.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_quant(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.rows,
+            "matmul_quant: inner dimensions differ, {}x{} vs {}x{}",
+            x.rows(),
+            x.cols(),
+            self.rows,
+            self.cols
+        );
+        let (m, k, n) = (x.rows(), self.rows, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        parallel::for_each_row_chunk(m, n, k * (n + 2), out.as_mut_slice(), |range, chunk| {
+            let mut qx = vec![0i16; k];
+            let mut acc = vec![0i64; n];
+            for (local, i) in range.enumerate() {
+                let xr = x.row(i);
+                let amax = xr.iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+                if amax == 0.0 {
+                    // Output row is already zero.
+                    continue;
+                }
+                let sx = amax / 32767.0;
+                let inv_sx = 32767.0 / amax;
+                for (qv, &v) in qx.iter_mut().zip(xr) {
+                    *qv = (v * inv_sx).round().clamp(-32767.0, 32767.0) as i16;
+                }
+                acc.fill(0);
+                for (p, &qv) in qx.iter().enumerate() {
+                    if qv == 0 {
+                        continue;
+                    }
+                    let qv = qv as i32;
+                    let w_row = &self.q[p * n..(p + 1) * n];
+                    for (a, &w) in acc.iter_mut().zip(w_row) {
+                        *a += (qv * w as i32) as i64;
+                    }
+                }
+                let out_row = &mut chunk[local * n..(local + 1) * n];
+                for ((o, &a), &s) in out_row.iter_mut().zip(&acc).zip(&self.col_scales) {
+                    *o = sx * s * a as f32;
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_thread_count;
+
+    fn weights(k: usize, n: usize) -> Matrix {
+        Matrix::from_fn(k, n, |r, c| ((r * 7 + c * 13) as f32 * 0.137).sin() * 0.4)
+    }
+
+    fn acts(m: usize, k: usize) -> Matrix {
+        Matrix::from_fn(m, k, |r, c| ((r * 3 + c * 5) as f32 * 0.211).cos())
+    }
+
+    #[test]
+    fn quant_matmul_tracks_f32_reference() {
+        let w = weights(48, 12);
+        let x = acts(9, 48);
+        let exact = x.matmul(&w);
+        let quant = QuantMatrix::from_matrix(&w).matmul_quant(&x);
+        // Int8 weight rounding over ~unit-range data (activations carry
+        // 16 bits): a few parts in 1e3.
+        let scale = exact.max_abs().max(1.0);
+        for r in 0..exact.rows() {
+            for c in 0..exact.cols() {
+                let delta = (exact[(r, c)] - quant[(r, c)]).abs();
+                assert!(delta <= 2e-2 * scale, "({r},{c}): {delta} too far");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_matmul_is_thread_invariant() {
+        let w = QuantMatrix::from_matrix(&weights(64, 20));
+        let x = acts(50, 64);
+        let reference = with_thread_count(1, || w.matmul_quant(&x));
+        for threads in [2usize, 3, 8] {
+            let got = with_thread_count(threads, || w.matmul_quant(&x));
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_inputs_and_columns_stay_exact() {
+        let mut w = weights(8, 4);
+        for r in 0..8 {
+            w.row_mut(r)[2] = 0.0; // all-zero column -> scale 0
+        }
+        let q = QuantMatrix::from_matrix(&w);
+        let x = Matrix::zeros(3, 8);
+        let out = q.matmul_quant(&x);
+        assert_eq!(out, Matrix::zeros(3, 4), "zero activations give exactly zero");
+        let out = q.matmul_quant(&acts(3, 8));
+        for r in 0..3 {
+            assert_eq!(out[(r, 2)], 0.0, "zero weight column gives exactly zero");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn shape_mismatch_panics() {
+        let _ = QuantMatrix::from_matrix(&weights(4, 4)).matmul_quant(&acts(2, 5));
+    }
+}

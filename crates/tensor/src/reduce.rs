@@ -28,9 +28,13 @@ pub fn argmax_slice(values: &[f32]) -> ArgMax {
 }
 
 impl Matrix {
-    /// Sum of all entries.
+    /// Sum of all entries via the deterministic reduction tree: the
+    /// result depends only on the data (bit-identical at any
+    /// `FD_THREADS`), and matrices of at most
+    /// [`crate::parallel::REDUCE_CHUNK`] entries sum in plain element
+    /// order.
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        crate::parallel::tree_sum(self.as_slice())
     }
 
     /// Mean of all entries.
@@ -67,14 +71,16 @@ impl Matrix {
         self.col_sums().scale(1.0 / self.rows() as f32)
     }
 
-    /// Frobenius norm (Euclidean norm of the flattened entries).
+    /// Frobenius norm (Euclidean norm of the flattened entries),
+    /// computed over the deterministic reduction tree like [`Matrix::sum`].
     pub fn frobenius_norm(&self) -> f32 {
-        self.as_slice().iter().map(|&v| v * v).sum::<f32>().sqrt()
+        crate::parallel::tree_sum_squares(self.as_slice()).sqrt()
     }
 
-    /// Largest absolute entry; 0 for an empty matrix.
+    /// Largest absolute entry; 0 for an empty matrix. Tree-reduced for
+    /// the same thread-count invariance as [`Matrix::sum`].
     pub fn max_abs(&self) -> f32 {
-        self.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+        crate::parallel::tree_max_abs(self.as_slice())
     }
 
     /// Arg-max of row `r`.

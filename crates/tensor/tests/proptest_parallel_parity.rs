@@ -103,6 +103,97 @@ proptest! {
     }
 }
 
+/// Vector sizes that straddle `REDUCE_CHUNK`: the serial-identical
+/// small regime, exactly one chunk, and multi-chunk shapes where the
+/// fixed pairwise combine tree actually has depth.
+fn reduce_lens() -> impl Strategy<Value = usize> {
+    (0usize..4, 0usize..130).prop_map(|(band, jitter)| match band {
+        0 => jitter,                  // serial-identical small regime
+        1 => 4095 + jitter % 3,      // straddles one REDUCE_CHUNK
+        2 => 8190 + jitter % 10,     // two chunks, one combine level
+        _ => 20000 + jitter * 4,     // multi-level combine tree
+    })
+}
+
+fn vector(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = fd_tensor::uniform_in(1, len.max(1), -3.0, 3.0, &mut rng);
+    if len == 0 { Vec::new() } else { m.as_slice().to_vec() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ISSUE's headline invariant: tree reductions (sum, squared
+    /// norm behind grad-clip, max_abs, dot) are bit-identical across
+    /// FD_THREADS ∈ {1,2,3,8}, including a non-power-of-two width.
+    #[test]
+    fn tree_reductions_bit_identical_across_thread_counts(len in reduce_lens(), seed in any::<u64>()) {
+        use fd_tensor::parallel::{tree_dot, tree_max_abs, tree_sum, tree_sum_squares};
+        let xs = vector(len, seed);
+        let ys = vector(len, seed.wrapping_add(1));
+        let reference = with_thread_count(1, || {
+            (tree_sum(&xs), tree_sum_squares(&xs), tree_max_abs(&xs), tree_dot(&xs, &ys))
+        });
+        for threads in [2usize, 3, 8] {
+            let got = with_thread_count(threads, || {
+                (tree_sum(&xs), tree_sum_squares(&xs), tree_max_abs(&xs), tree_dot(&xs, &ys))
+            });
+            prop_assert_eq!(reference.0.to_bits(), got.0.to_bits(), "sum at {} threads", threads);
+            prop_assert_eq!(reference.1.to_bits(), got.1.to_bits(), "sum_squares at {} threads", threads);
+            prop_assert_eq!(reference.2.to_bits(), got.2.to_bits(), "max_abs at {} threads", threads);
+            prop_assert_eq!(reference.3.to_bits(), got.3.to_bits(), "dot at {} threads", threads);
+        }
+    }
+
+    /// Matrix-level reductions route through the same trees; sweep the
+    /// public API too so a future reroute can't silently lose parity.
+    #[test]
+    fn matrix_reductions_bit_identical_across_thread_counts(
+        (m, k, _n) in dims3(), seed in any::<u64>()
+    ) {
+        let a = deterministic(m.max(1) * 7, k * 5, seed);
+        let reference = with_thread_count(1, || (a.sum(), a.frobenius_norm(), a.max_abs()));
+        for threads in [2usize, 3, 8] {
+            let got = with_thread_count(threads, || (a.sum(), a.frobenius_norm(), a.max_abs()));
+            prop_assert_eq!(reference.0.to_bits(), got.0.to_bits(), "sum at {} threads", threads);
+            prop_assert_eq!(reference.1.to_bits(), got.1.to_bits(), "norm at {} threads", threads);
+            prop_assert_eq!(reference.2.to_bits(), got.2.to_bits(), "max_abs at {} threads", threads);
+        }
+    }
+
+    /// The destination-partitioned scatter-add (gather_rows backward)
+    /// is bit-identical at any width for arbitrary index patterns,
+    /// including repeated and skewed destinations.
+    #[test]
+    fn scatter_add_bit_identical_across_thread_counts(
+        n_dst in 1usize..40,
+        m in 0usize..300,
+        cols in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Option<usize>> = (0..m)
+            .map(|_| if rng.gen_range(0..8) == 0 { None } else { Some(rng.gen_range(0..n_dst)) })
+            .collect();
+        let grad = deterministic(m, cols, seed.wrapping_add(9));
+        let reference = with_thread_count(1, || {
+            let mut dst = Matrix::zeros(n_dst, cols);
+            fd_tensor::scatter_add_rows(&mut dst, &rows, &grad);
+            dst
+        });
+        for threads in [2usize, 3, 8] {
+            let got = with_thread_count(threads, || {
+                let mut dst = Matrix::zeros(n_dst, cols);
+                fd_tensor::scatter_add_rows(&mut dst, &rows, &grad);
+                dst
+            });
+            assert_bit_identical(&reference, &got, "scatter_add_rows under FD_THREADS");
+        }
+    }
+}
+
 /// The parallel driver actually forks above its serial-fallback
 /// threshold; make sure bit-parity holds there too, not just on the
 /// small shapes the proptests sweep.

@@ -6,11 +6,15 @@
 #   full model inference step (per-node tape replay vs batched
 #   tape-free forward).
 # * BENCH_train.json — full training epochs at Table-1 scale: the
-#   per-node reference tape vs the batched matrix-level graph at
-#   FD_THREADS 1 and 4.
+#   per-node reference tape vs the batched matrix-level graph across
+#   FD_THREADS {1,2,4,8} (losses must be bit-identical at every width).
 # * BENCH_serve.json — the fd-serve HTTP load benchmark: 32 concurrent
 #   keep-alive clients against the in-process server, with every
-#   response verified bitwise against a sequential reference pass.
+#   response verified bitwise against a sequential reference pass,
+#   plus the direct f32-vs-int8 scoring comparison and its parity gate.
+#
+# Every file's header records machine_threads, the FD_THREADS request,
+# the resolved runtime width, and the detected SIMD level.
 #
 # Usage: scripts/bench.sh [tensor_out.json] [train_out.json] [train_scale]
 #
@@ -40,4 +44,32 @@ run_report() {
 run_report tensor tensor "$tensor_out"
 run_report train train "$train_out" "$train_scale"
 run_report serve serve "$serve_out" 32 12
+
+# Scaling smoke: threads must actually pay. On a multi-core machine the
+# batched 4-thread epoch must be at least 1.15x faster than batched
+# serial, or the persistent-pool runtime has regressed. On a 1-core
+# machine there is nothing to win, so skip with a loud notice instead
+# of reporting a meaningless ratio.
+json_number() {
+    # Pulls `"key": 123.45` out of a pretty-printed JSON file.
+    sed -n "s/^.*\"$2\": *\([0-9.][0-9.]*\).*$/\1/p" "$1" | head -n 1
+}
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -le 1 ]; then
+    echo "bench.sh: NOTICE: available_parallelism is 1, skipping the 4-thread scaling smoke" >&2
+else
+    serial_ms="$(json_number "$train_out" median_batched_serial_epoch_ms)"
+    four_t_ms="$(json_number "$train_out" median_batched_parallel_4t_epoch_ms)"
+    if [ -z "$serial_ms" ] || [ -z "$four_t_ms" ]; then
+        echo "bench.sh: scaling smoke FAILED: medians missing from $train_out" >&2
+        exit 1
+    fi
+    ok="$(awk -v s="$serial_ms" -v p="$four_t_ms" 'BEGIN { print (s / p >= 1.15) ? 1 : 0 }')"
+    speedup="$(awk -v s="$serial_ms" -v p="$four_t_ms" 'BEGIN { printf "%.2f", s / p }')"
+    if [ "$ok" != 1 ]; then
+        echo "bench.sh: scaling smoke FAILED: batched 4-thread epoch is only ${speedup}x batched serial (${serial_ms}ms -> ${four_t_ms}ms, need >= 1.15x on a ${cores}-core machine)" >&2
+        exit 1
+    fi
+    echo "==> scaling smoke ok: 4-thread epoch ${speedup}x batched serial" >&2
+fi
 echo "==> wrote $tensor_out $train_out $serve_out" >&2

@@ -8,6 +8,7 @@
 //! fdctl evaluate --corpus corpus.json --model model.json
 //! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
 //! fdctl serve    --corpus corpus.json --model model.json [--addr 127.0.0.1:7878] [--max-batch 32] [--max-delay-ms 2]
+//!                [--precision f32|int8]
 //! fdctl ckpt     inspect ckpts/ckpt-00000005.fdck
 //! fdctl analyze  --corpus corpus.json
 //! ```
@@ -23,7 +24,9 @@
 //! env vars are documented in OPERATIONS.md.
 
 use fakedetector::prelude::*;
-use fakedetector::serve::{parse_mode, BundleSplit, ServeConfig, ServeModel, Server, TrainBundle};
+use fakedetector::serve::{
+    parse_mode, BundleSplit, Precision, ServeConfig, ServeModel, Server, TrainBundle,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -360,6 +363,7 @@ fn cmd_score(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let corpus_path = required(opts, "corpus")?;
     let model_path = required(opts, "model")?;
+    let precision = Precision::parse(opts.get("precision").map(String::as_str).unwrap_or("f32"))?;
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: opts.get("addr").cloned().unwrap_or(defaults.addr),
@@ -374,9 +378,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 
     eprintln!("loading {corpus_path} + {model_path}…");
-    let model = Arc::new(ServeModel::load(corpus_path, model_path)?);
+    let model = Arc::new(ServeModel::load_with_precision(corpus_path, model_path, precision)?);
     let (articles, creators, subjects) = model.corpus_sizes();
     eprintln!("corpus: {articles} articles / {creators} creators / {subjects} subjects");
+    eprintln!("serving precision: {}", precision.name());
 
     fakedetector::serve::install_signal_handlers();
     let server = Server::start(model, &config).map_err(|e| format!("serve: {e}"))?;
@@ -394,7 +399,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             // Load the new bundle fully before swapping; a bad file on
             // disk must leave the old model serving untouched.
             eprintln!("SIGHUP: reloading {corpus_path} + {model_path}…");
-            match ServeModel::load(corpus_path, model_path) {
+            match ServeModel::load_with_precision(corpus_path, model_path, precision) {
                 Ok(new_model) => {
                     server.swap_model(Arc::new(new_model));
                     eprintln!("reload complete");
