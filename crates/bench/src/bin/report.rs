@@ -291,10 +291,12 @@ mod serve {
         (v * 100.0).round() / 100.0
     }
 
-    /// Nearest-rank percentile of an already-sorted sample.
-    fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-        let idx = ((p / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
-        sorted_ms[idx]
+    /// The latency histogram the load passes record into — fine
+    /// exponential buckets (≈15% wide) from 50µs to ~30s, so the
+    /// bucket-interpolated [`fd_obs::Histogram::percentile`] quotes
+    /// match nearest-rank percentiles to well under bucket width.
+    fn latency_histogram() -> &'static fd_obs::Histogram {
+        fd_obs::histogram("bench.serve.latency_ms", &fd_obs::exponential_buckets(0.05, 1.15, 96))
     }
 
     /// A deterministic request body for request `i`, cycling node
@@ -425,6 +427,58 @@ mod serve {
         })
     }
 
+    /// Replays every body from `clients` concurrent keep-alive
+    /// connections and asserts each response matches `reference`.
+    /// Returns (wall-clock seconds, max latency ms); when
+    /// `record_latency` is set, per-request latencies also go into
+    /// [`latency_histogram`].
+    fn concurrent_pass(
+        addr: &str,
+        bodies: &[String],
+        reference: &[String],
+        clients: usize,
+        per_client: usize,
+        record_latency: bool,
+    ) -> (f64, f64) {
+        let loaded = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.to_string();
+                let slice: Vec<(usize, String)> = (c * per_client..(c + 1) * per_client)
+                    .map(|i| (i, bodies[i].clone()))
+                    .collect();
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(&addr).expect("connect");
+                    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+                    slice
+                        .into_iter()
+                        .map(|(i, body)| {
+                            let sent = Instant::now();
+                            let (status, response) =
+                                client.post("/v1/predict", &body).expect("post");
+                            (i, status, response, sent.elapsed().as_secs_f64() * 1e3)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut max_ms = 0.0f64;
+        for worker in workers {
+            for (i, status, response, ms) in worker.join().expect("client thread") {
+                assert_eq!(status, 200, "request {i} failed under load: {response}");
+                assert_eq!(
+                    response, reference[i],
+                    "request {i}: batched response differs from sequential reference"
+                );
+                max_ms = max_ms.max(ms);
+                if record_latency {
+                    latency_histogram().record(ms);
+                }
+            }
+        }
+        (loaded.elapsed().as_secs_f64(), max_ms)
+    }
+
     pub fn write_report(out_path: &str, clients: usize, per_client: usize) {
         assert!(clients >= 1 && per_client >= 1, "need at least one client and request");
         let (model, int8_model) = build_models();
@@ -453,47 +507,22 @@ mod serve {
         }
 
         // Concurrent load: the same requests from `clients` keep-alive
-        // connections at once.
-        let loaded = Instant::now();
-        let workers: Vec<_> = (0..clients)
-            .map(|c| {
-                let addr = addr.clone();
-                let slice: Vec<(usize, String)> = (c * per_client..(c + 1) * per_client)
-                    .map(|i| (i, bodies[i].clone()))
-                    .collect();
-                std::thread::spawn(move || {
-                    let mut client = HttpClient::connect(&addr).expect("connect");
-                    client.set_timeout(Duration::from_secs(30)).expect("timeout");
-                    slice
-                        .into_iter()
-                        .map(|(i, body)| {
-                            let sent = Instant::now();
-                            let (status, response) =
-                                client.post("/v1/predict", &body).expect("post");
-                            (i, status, response, sent.elapsed().as_secs_f64() * 1e3)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        let mut latencies_ms = Vec::with_capacity(total);
-        for worker in workers {
-            for (i, status, response, ms) in worker.join().expect("client thread") {
-                assert_eq!(status, 200, "request {i} failed under load: {response}");
-                assert_eq!(
-                    response, reference[i],
-                    "request {i}: batched response differs from sequential reference"
-                );
-                latencies_ms.push(ms);
-            }
-        }
-        let wall_s = loaded.elapsed().as_secs_f64();
+        // connections at once. First with tracing off — the numbers the
+        // report headlines — then the identical pass again with
+        // FD_TRACE on at sample 1 to price the tracing hot path.
+        let (wall_s, max_ms) = concurrent_pass(&addr, &bodies, &reference, clients, per_client, true);
+
+        fd_obs::trace::set_enabled(true);
+        fd_obs::trace::set_sample(1);
+        let (traced_wall_s, _) =
+            concurrent_pass(&addr, &bodies, &reference, clients, per_client, false);
+        fd_obs::trace::set_enabled(false);
+        let traced_spans = fd_obs::trace::take_spans().len();
+        assert!(traced_spans > 0, "traced load pass recorded no spans");
 
         let draining = Instant::now();
         server.shutdown();
         let shutdown_ms = draining.elapsed().as_secs_f64() * 1e3;
-
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         // First registration wins in fd-obs, and the server registered
         // these before any request ran, so the placeholder bounds here
         // never take effect.
@@ -508,7 +537,7 @@ mod serve {
                 ("clients", clients.into()),
                 ("total_requests", total.into()),
                 ("throughput_rps", (total as f64 / wall_s).into()),
-                ("p99_ms", percentile(&latencies_ms, 99.0).into()),
+                ("p99_ms", latency_histogram().percentile(0.99).into()),
             ],
         );
         let corpus_json = serde_json::json!({
@@ -516,11 +545,23 @@ mod serve {
             "creators": creators,
             "subjects": subjects,
         });
+        let latency_hist = latency_histogram();
         let latency_json = serde_json::json!({
-            "p50": round2(percentile(&latencies_ms, 50.0)),
-            "p90": round2(percentile(&latencies_ms, 90.0)),
-            "p99": round2(percentile(&latencies_ms, 99.0)),
-            "max": round2(percentile(&latencies_ms, 100.0)),
+            "p50": round2(latency_hist.percentile(0.50)),
+            "p90": round2(latency_hist.percentile(0.90)),
+            "p99": round2(latency_hist.percentile(0.99)),
+            "max": round2(max_ms),
+        });
+        // Tracing overhead: identical load pass with FD_TRACE on at
+        // sample 1 vs the off pass above. The off pass is the shipping
+        // configuration — its cost over an uninstrumented build is one
+        // relaxed atomic load per span site.
+        let trace_json = serde_json::json!({
+            "off_throughput_rps": round2(total as f64 / wall_s),
+            "on_throughput_rps": round2(total as f64 / traced_wall_s),
+            "on_sample": 1,
+            "on_spans_recorded": traced_spans,
+            "on_overhead_pct": round2((traced_wall_s / wall_s - 1.0) * 100.0),
         });
         let batch_json = serde_json::json!({
             "bounds": batch_hist.bounds().to_vec(),
@@ -547,6 +588,7 @@ mod serve {
             "queue_wait_us_mean": round2(wait_hist.sum() / wait_hist.count().max(1) as f64),
             "bitwise_identical_to_sequential": true,
             "graceful_shutdown_ms": round2(shutdown_ms),
+            "trace": trace_json,
             "precision": precision_json,
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");

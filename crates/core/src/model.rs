@@ -67,6 +67,43 @@ fn validation_accuracy(
     acc_sum / types_present.max(1) as f64
 }
 
+/// Times the phases of one training epoch for the profiler: [`lap`]
+/// records the time since the previous lap (or [`reset`]) into the
+/// phase's histogram and — when the run is traced — as a span under
+/// the epoch's trace context, nesting `train.fit` → `train.epoch` →
+/// phase in the exported Chrome trace.
+///
+/// [`lap`]: PhaseTimer::lap
+/// [`reset`]: PhaseTimer::reset
+struct PhaseTimer<'a> {
+    parent: &'a fd_obs::TraceCtx,
+    started: std::time::Instant,
+    started_us: u64,
+}
+
+impl<'a> PhaseTimer<'a> {
+    fn start(parent: &'a fd_obs::TraceCtx) -> Self {
+        Self { parent, started: std::time::Instant::now(), started_us: fd_obs::trace::now_us() }
+    }
+
+    /// Restarts the clock without recording — skips code between laps
+    /// that belongs to no phase.
+    fn reset(&mut self) {
+        self.started = std::time::Instant::now();
+        self.started_us = fd_obs::trace::now_us();
+    }
+
+    /// Closes the current phase and restarts the clock.
+    fn lap(&mut self, name: &'static str, hist: &fd_obs::Histogram) {
+        let dur = self.started.elapsed();
+        hist.record(dur.as_secs_f64() * 1e6);
+        if self.parent.sampled {
+            self.parent.child().record(name, self.started_us, dur.as_micros() as u64);
+        }
+        self.reset();
+    }
+}
+
 /// Per-epoch training diagnostics.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrainReport {
@@ -526,6 +563,20 @@ impl FakeDetector {
             fd_obs::histogram("train.epoch_us", &fd_obs::exponential_buckets(100.0, 4.0, 10));
         let epochs_run = fd_obs::counter("train.epochs");
         let _fit_span = fd_obs::span_timed("fit", fit_us);
+        // Per-phase profiling: each epoch phase gets a histogram, and —
+        // when FD_TRACE is on — a span nested train.fit → train.epoch →
+        // phase, so `fdctl trace summarize` can attribute epoch time.
+        let phase_bounds = fd_obs::exponential_buckets(50.0, 4.0, 10);
+        let forward_us = fd_obs::histogram("train.phase.forward_us", &phase_bounds);
+        let backward_us = fd_obs::histogram("train.phase.backward_us", &phase_bounds);
+        let clip_us = fd_obs::histogram("train.phase.clip_us", &phase_bounds);
+        let optimizer_us = fd_obs::histogram("train.phase.optimizer_us", &phase_bounds);
+        let validate_us = fd_obs::histogram("train.phase.validate_us", &phase_bounds);
+        let checkpoint_us = fd_obs::histogram("train.phase.checkpoint_us", &phase_bounds);
+        let fit_trace = fd_obs::TraceCtx::root();
+        // Guard, not manual record: the fit span closes on every return
+        // path, including checkpoint-error early exits.
+        let fit_trace_span = fit_trace.span("train.fit");
         let dims = NetworkDims {
             vocab: ctx.tokenized.vocab.id_space(),
             explicit_dim: ctx.explicit.dim,
@@ -663,6 +714,9 @@ impl FakeDetector {
             }
             let epoch_start = std::time::Instant::now();
             let _epoch_span = fd_obs::span("epoch");
+            let epoch_trace = fit_trace_span.ctx().child();
+            let epoch_start_us = fd_obs::trace::now_us();
+            let mut phase = PhaseTimer::start(&epoch_trace);
             tape.reset();
             let binding = Binding::new(&tape, &network.params);
             let want_slot_losses = fd_obs::enabled(fd_obs::Level::Info);
@@ -739,10 +793,13 @@ impl FakeDetector {
                 let val_states = (n_val > 0).then(|| network.forward_states_matrix(cfg, ctx));
                 (loss, slot_losses, val_states)
             };
+            phase.lap("train.forward", forward_us);
 
             tape.backward(loss);
             let mut grads = binding.grads();
+            phase.lap("train.backward", backward_us);
             let norm = clip_global_norm(&mut grads, cfg.clip);
+            phase.lap("train.clip", clip_us);
             let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
 
             // Divergence guard: a non-finite loss or gradient norm means
@@ -793,6 +850,7 @@ impl FakeDetector {
             // validation pool does not drown out creators/subjects.
             let mut epoch_val_acc: Option<f64> = None;
             if let Some(states) = &val_states {
+                phase.reset();
                 let acc = validation_accuracy(&network, states, val_items);
                 epoch_val_acc = Some(acc);
                 if best.as_ref().is_none_or(|(b, _)| acc > *b) {
@@ -801,10 +859,13 @@ impl FakeDetector {
                 } else {
                     since_best += 1;
                 }
+                phase.lap("train.validate", validate_us);
             }
 
             drop(binding);
+            phase.reset();
             optimizer.apply(&mut network.params, &grads);
+            phase.lap("train.optimizer", optimizer_us);
             report.losses.push(loss_value);
             report.grad_norms.push(norm);
 
@@ -840,6 +901,7 @@ impl FakeDetector {
                 epoch == cfg.epochs || (n_val > 0 && since_best >= cfg.patience);
             if let Some(store) = &store {
                 if epoch.is_multiple_of(options.every()) || stopping {
+                    phase.reset();
                     save_checkpoint(
                         store,
                         epoch,
@@ -853,6 +915,7 @@ impl FakeDetector {
                         dims,
                         &fingerprint,
                     )?;
+                    phase.lap("train.checkpoint", checkpoint_us);
                     guard = GuardSnapshot::capture(
                         epoch,
                         &network,
@@ -876,6 +939,13 @@ impl FakeDetector {
                     &best,
                     since_best,
                     &report,
+                );
+            }
+            if epoch_trace.sampled {
+                epoch_trace.record(
+                    "train.epoch",
+                    epoch_start_us,
+                    fd_obs::trace::now_us().saturating_sub(epoch_start_us),
                 );
             }
         }

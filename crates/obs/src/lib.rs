@@ -41,6 +41,19 @@
 //! assert!(fd_obs::snapshot().contains("doc.latency_us"));
 //! ```
 //!
+//! Two more layers sit alongside, added for the serving SLO work:
+//!
+//! * **Request tracing** ([`trace`], [`TraceCtx`]): `Copy` trace
+//!   contexts that propagate across thread boundaries (a serve
+//!   request's context rides its queued job through the batcher), a
+//!   lock-free drop-oldest ring collector gated by `FD_TRACE` /
+//!   `FD_TRACE_SAMPLE`, and Chrome `trace_event` JSON export
+//!   (`FD_TRACE_FILE`, [`trace::flush`]) loadable in Perfetto.
+//! * **Prometheus exposition** ([`prometheus_text`],
+//!   [`validate_prometheus`]): the whole registry rendered as a 0.0.4
+//!   text scrape (`_total` counters, cumulative `_bucket`/`_sum`/
+//!   `_count` histograms) for `GET /metrics`.
+//!
 //! The JSON string escaper the logger uses is exported
 //! ([`escape_json`], [`push_json_string`]) so other crates that
 //! hand-roll JSON (e.g. `fd-metrics` result series) share one correct
@@ -60,11 +73,15 @@
 mod json;
 mod log;
 mod metrics;
+mod prom;
 mod span;
+pub mod trace;
 
 pub use json::{escape_json, push_json_f64, push_json_string};
 pub use log::{enabled, event, level, with_capture, with_level, Level, Value};
 pub use metrics::{
     counter, exponential_buckets, gauge, histogram, snapshot, Counter, Gauge, Histogram,
 };
+pub use prom::{prometheus_text, validate_prometheus, PROMETHEUS_CONTENT_TYPE};
 pub use span::{current_span_path, span, span_timed, SpanTimer};
+pub use trace::TraceCtx;

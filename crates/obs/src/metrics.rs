@@ -48,6 +48,21 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
+
+    /// Adds `delta` (negative to subtract) with a CAS loop, so
+    /// concurrent increments never lose updates — the primitive behind
+    /// in-flight/queue-depth style gauges.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 /// A fixed-bucket histogram over `bounds.len() + 1` buckets: bucket `i`
@@ -118,6 +133,36 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
+
+    /// The `q`-quantile (`0.0..=1.0`) estimated by linear interpolation
+    /// within the bucket holding the target rank — the same estimator
+    /// Prometheus' `histogram_quantile` uses. The first bucket
+    /// interpolates from 0, and ranks landing in the overflow bucket
+    /// clamp to the largest bound (the histogram has no upper edge
+    /// there). Returns `NaN` when nothing has been recorded.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= rank {
+                if i >= self.bounds.len() {
+                    return *self.bounds.last().expect("histogram has bounds");
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+        }
+        *self.bounds.last().expect("histogram has bounds")
+    }
 }
 
 #[derive(Default)]
@@ -172,6 +217,22 @@ pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
         bound *= factor;
     }
     bounds
+}
+
+/// Sorted `(name, value)` pairs of every registered counter — the
+/// iteration surface the Prometheus exporter reads.
+pub(crate) fn all_counters() -> Vec<(String, u64)> {
+    lock_map(&registry().counters).iter().map(|(n, c)| (n.clone(), c.get())).collect()
+}
+
+/// Sorted `(name, value)` pairs of every registered gauge.
+pub(crate) fn all_gauges() -> Vec<(String, f64)> {
+    lock_map(&registry().gauges).iter().map(|(n, g)| (n.clone(), g.get())).collect()
+}
+
+/// Sorted `(name, handle)` pairs of every registered histogram.
+pub(crate) fn all_histograms() -> Vec<(String, &'static Histogram)> {
+    lock_map(&registry().histograms).iter().map(|(n, h)| (n.clone(), *h)).collect()
 }
 
 /// Serialises every registered metric to pretty-printed JSON:
@@ -274,6 +335,39 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.sum(), 102.0);
         assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn gauge_add_accumulates() {
+        let g = gauge("test.metrics.gauge_add");
+        g.set(1.0);
+        g.add(2.5);
+        g.add(-0.5);
+        assert_eq!(g.get(), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let h = histogram("test.metrics.hist_pct", &[10.0, 20.0, 40.0]);
+        assert!(h.percentile(0.5).is_nan(), "empty histogram");
+        // 10 observations in (10, 20]: rank q*10 lands fraction q into it.
+        for _ in 0..10 {
+            h.record(15.0);
+        }
+        assert_eq!(h.percentile(0.5), 15.0);
+        assert_eq!(h.percentile(1.0), 20.0);
+        // One overflow observation clamps the top quantile to the last bound.
+        h.record(1000.0);
+        assert_eq!(h.percentile(1.0), 40.0);
+    }
+
+    #[test]
+    fn percentile_first_bucket_interpolates_from_zero() {
+        let h = histogram("test.metrics.hist_pct0", &[8.0, 16.0]);
+        for _ in 0..4 {
+            h.record(1.0);
+        }
+        assert_eq!(h.percentile(0.5), 4.0);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Prometheus text exposition (format version 0.0.4) over the global
+//! metrics registry, plus a validating parser for the same format.
+//!
+//! [`prometheus_text`] renders every registered counter, gauge and
+//! histogram as a scrape document: dotted fd-obs names are sanitised to
+//! the Prometheus charset and prefixed `fd_` (`serve.queue_depth` →
+//! `fd_serve_queue_depth`), counters get the conventional `_total`
+//! suffix, and histograms expose cumulative `_bucket{le="..."}` series
+//! with the spec-mandated `le="+Inf"` bucket plus `_sum`/`_count`.
+//! Serve exposes this at `GET /metrics` with the
+//! [`PROMETHEUS_CONTENT_TYPE`] header (the JSON snapshot stays at
+//! `/metrics?format=json`).
+//!
+//! [`validate_prometheus`] is the consumer-side check used by
+//! `fdctl obs --check` and the golden tests: it parses a scrape
+//! document line by line, verifying name/label syntax, that every
+//! sample belongs to a `# TYPE`-declared family, and that each
+//! histogram's `+Inf` bucket equals its `_count`.
+
+use crate::metrics::{all_counters, all_gauges, all_histograms};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The Content-Type a Prometheus scraper expects from a 0.0.4 text
+/// exposition endpoint.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// An fd-obs metric name mapped into the Prometheus charset: every
+/// character outside `[a-zA-Z0-9_]` becomes `_`, with an `fd_`
+/// namespace prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("fd_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+/// HELP text with the spec's escaping (`\\` and `\n`).
+fn push_help_escaped(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A float in Prometheus sample syntax (`+Inf`/`-Inf`/`NaN`, else
+/// Rust's shortest decimal form, which Go's parser accepts).
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders the whole registry as a Prometheus 0.0.4 text scrape.
+/// Families are emitted in sorted name order (counters, then gauges,
+/// then histograms), so the output is deterministic for a given set of
+/// recorded values.
+pub fn prometheus_text() -> String {
+    let mut out = String::with_capacity(1 << 12);
+    for (name, value) in all_counters() {
+        let mut base = prom_name(&name);
+        if !base.ends_with("_total") {
+            base.push_str("_total");
+        }
+        let _ = write!(out, "# HELP {base} ");
+        push_help_escaped(&mut out, &format!("fd-obs counter {name}"));
+        let _ = writeln!(out, "\n# TYPE {base} counter\n{base} {value}");
+    }
+    for (name, value) in all_gauges() {
+        let base = prom_name(&name);
+        let _ = write!(out, "# HELP {base} ");
+        push_help_escaped(&mut out, &format!("fd-obs gauge {name}"));
+        let _ = write!(out, "\n# TYPE {base} gauge\n{base} ");
+        push_value(&mut out, value);
+        out.push('\n');
+    }
+    for (name, hist) in all_histograms() {
+        let base = prom_name(&name);
+        let _ = write!(out, "# HELP {base} ");
+        push_help_escaped(&mut out, &format!("fd-obs histogram {name}"));
+        let _ = writeln!(out, "\n# TYPE {base} histogram");
+        let counts = hist.bucket_counts();
+        let mut cum = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(&counts) {
+            cum += count;
+            let _ = write!(out, "{base}_bucket{{le=\"");
+            push_value(&mut out, *bound);
+            let _ = writeln!(out, "\"}} {cum}");
+        }
+        cum += counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = write!(out, "{base}_sum ");
+        push_value(&mut out, hist.sum());
+        // _count mirrors the +Inf bucket (the spec requires equality),
+        // so a scrape racing a writer still validates.
+        let _ = write!(out, "\n{base}_count {cum}\n");
+    }
+    out
+}
+
+/// One parsed sample line: name, labels, value.
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        s => s.parse().ok(),
+    }
+}
+
+/// Parses `name{k="v",...} value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find(['{', ' ', '\t']) {
+        Some(i) => line.split_at(i),
+        None => return Err(format!("sample has no value: {line:?}")),
+    };
+    if !valid_metric_name(name_part) {
+        return Err(format!("bad metric name {name_part:?}"));
+    }
+    let mut labels = BTreeMap::new();
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let Some(end) = body.find('}') else {
+            return Err(format!("unclosed label braces: {line:?}"));
+        };
+        let (label_str, tail) = body.split_at(end);
+        for pair in label_str.split(',').filter(|p| !p.is_empty()) {
+            let Some((k, v)) = pair.split_once('=') else {
+                return Err(format!("bad label pair {pair:?} in {line:?}"));
+            };
+            let v = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted label value {v:?} in {line:?}"))?;
+            if !valid_metric_name(k) {
+                return Err(format!("bad label name {k:?} in {line:?}"));
+            }
+            labels.insert(k.to_string(), v.to_string());
+        }
+        &tail[1..]
+    } else {
+        rest
+    };
+    let mut fields = rest.split_ascii_whitespace();
+    let Some(value_str) = fields.next() else {
+        return Err(format!("sample has no value: {line:?}"));
+    };
+    let value =
+        parse_value(value_str).ok_or_else(|| format!("bad value {value_str:?} in {line:?}"))?;
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>().map_err(|_| format!("bad timestamp {ts:?} in {line:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing tokens in {line:?}"));
+    }
+    Ok(Sample { name: name_part.to_string(), labels, value })
+}
+
+/// Validates a Prometheus 0.0.4 text scrape. Checks line syntax, that
+/// every sample's family has a preceding `# TYPE`, and that every
+/// histogram family's `le="+Inf"` bucket equals its `_count`. Returns
+/// the number of sample lines on success.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut fields = comment.split_ascii_whitespace();
+            match fields.next() {
+                Some("TYPE") => {
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: TYPE without a name"))?;
+                    let kind =
+                        fields.next().ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: bad TYPE name {name:?}"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                Some("HELP") => {
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: HELP without a name"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: bad HELP name {name:?}"));
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let known = types.contains_key(&sample.name)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                sample
+                    .name
+                    .strip_suffix(suffix)
+                    .is_some_and(|base| types.get(base).map(String::as_str) == Some("histogram"))
+            });
+        if !known {
+            return Err(format!("line {lineno}: sample {:?} has no preceding # TYPE", sample.name));
+        }
+        samples.push(sample);
+    }
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let inf_bucket = samples
+            .iter()
+            .find(|s| {
+                s.name == format!("{family}_bucket")
+                    && s.labels.get("le").map(String::as_str) == Some("+Inf")
+            })
+            .ok_or_else(|| format!("histogram {family} is missing its le=\"+Inf\" bucket"))?;
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{family}_count"))
+            .ok_or_else(|| format!("histogram {family} is missing {family}_count"))?;
+        if inf_bucket.value != count.value {
+            return Err(format!(
+                "histogram {family}: +Inf bucket {} != _count {}",
+                inf_bucket.value, count.value
+            ));
+        }
+    }
+    Ok(samples.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, gauge, histogram};
+
+    #[test]
+    fn names_are_sanitised_and_prefixed() {
+        assert_eq!(prom_name("serve.queue_depth"), "fd_serve_queue_depth");
+        assert_eq!(prom_name("a-b c"), "fd_a_b_c");
+    }
+
+    #[test]
+    fn exposition_round_trips_through_validator() {
+        counter("test.prom.requests").add(7);
+        gauge("test.prom.depth").set(3.5);
+        histogram("test.prom.latency_us", &[10.0, 100.0]).record(42.0);
+        let text = prometheus_text();
+        let n = validate_prometheus(&text).expect("own exposition must validate");
+        assert!(n >= 7, "counter + gauge + 3 buckets + sum + count, got {n}");
+        assert!(text.contains("# TYPE fd_test_prom_requests_total counter"), "{text}");
+        assert!(text.contains("fd_test_prom_requests_total 7"), "{text}");
+        assert!(text.contains("fd_test_prom_depth 3.5"), "{text}");
+        assert!(text.contains("fd_test_prom_latency_us_bucket{le=\"+Inf\"}"), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_prometheus("no_type_decl 1\n").is_err(), "sample without TYPE");
+        assert!(
+            validate_prometheus("# TYPE x counter\nx not-a-number\n").is_err(),
+            "unparseable value"
+        );
+        assert!(
+            validate_prometheus("# TYPE 9bad counter\n9bad 1\n").is_err(),
+            "name starting with a digit"
+        );
+        assert!(
+            validate_prometheus(
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n"
+            )
+            .is_err(),
+            "+Inf bucket must equal _count"
+        );
+        let ok = "# HELP h help text\n# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\n\
+                  h_bucket{le=\"+Inf\"} 2\nh_sum 1.5\nh_count 2\n";
+        assert_eq!(validate_prometheus(ok).unwrap(), 4);
+    }
+
+    #[test]
+    fn values_use_prometheus_float_syntax() {
+        let mut s = String::new();
+        push_value(&mut s, f64::INFINITY);
+        s.push(' ');
+        push_value(&mut s, f64::NEG_INFINITY);
+        s.push(' ');
+        push_value(&mut s, f64::NAN);
+        s.push(' ');
+        push_value(&mut s, 0.25);
+        assert_eq!(s, "+Inf -Inf NaN 0.25");
+    }
+}

@@ -1,0 +1,40 @@
+//! Golden test for the Prometheus text exposition: the rendered scrape
+//! for a known set of metrics must match byte-for-byte, and the whole
+//! document must pass fd-obs's own validator. Runs as its own test
+//! binary so the global registry holds exactly these metrics.
+
+#[test]
+fn exposition_matches_golden_output() {
+    fd_obs::counter("serve.responses_2xx").add(12);
+    fd_obs::gauge("serve.queue_depth").set(3.0);
+    fd_obs::gauge("serve.inflight_requests").set(0.5);
+    let h = fd_obs::histogram("serve.queue_wait_us", &[100.0, 1000.0, 10000.0]);
+    h.record(50.0); // underflow bucket
+    h.record(150.0);
+    h.record(700.0);
+    h.record(1e9); // overflow bucket
+
+    let text = fd_obs::prometheus_text();
+    let golden = "\
+# HELP fd_serve_responses_2xx_total fd-obs counter serve.responses_2xx
+# TYPE fd_serve_responses_2xx_total counter
+fd_serve_responses_2xx_total 12
+# HELP fd_serve_inflight_requests fd-obs gauge serve.inflight_requests
+# TYPE fd_serve_inflight_requests gauge
+fd_serve_inflight_requests 0.5
+# HELP fd_serve_queue_depth fd-obs gauge serve.queue_depth
+# TYPE fd_serve_queue_depth gauge
+fd_serve_queue_depth 3
+# HELP fd_serve_queue_wait_us fd-obs histogram serve.queue_wait_us
+# TYPE fd_serve_queue_wait_us histogram
+fd_serve_queue_wait_us_bucket{le=\"100\"} 1
+fd_serve_queue_wait_us_bucket{le=\"1000\"} 3
+fd_serve_queue_wait_us_bucket{le=\"10000\"} 3
+fd_serve_queue_wait_us_bucket{le=\"+Inf\"} 4
+fd_serve_queue_wait_us_sum 1000000900
+fd_serve_queue_wait_us_count 4
+";
+    assert_eq!(text, golden, "exposition drifted from golden:\n{text}");
+    let samples = fd_obs::validate_prometheus(&text).expect("golden scrape must validate");
+    assert_eq!(samples, 9);
+}

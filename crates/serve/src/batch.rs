@@ -16,6 +16,7 @@
 //! every job enqueued before shutdown still gets its answer.
 
 use fd_core::ScoreRequest;
+use fd_obs::TraceCtx;
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Condvar, Mutex};
@@ -25,11 +26,15 @@ use std::time::{Duration, Instant};
 pub type ScoreResult = Result<Vec<f32>, String>;
 
 /// One queued scoring job: the request plus the channel its result
-/// travels back on.
+/// travels back on, and the trace context of the HTTP request it came
+/// from — the context crosses the handler→batcher thread boundary
+/// here, which is what links a request's queue wait and scoring time
+/// into the one trace its handler started.
 struct Job {
     request: ScoreRequest,
     reply: SyncSender<ScoreResult>,
     enqueued: Instant,
+    trace: TraceCtx,
 }
 
 /// Rejection reasons for [`BatchQueue::enqueue`].
@@ -63,6 +68,12 @@ pub struct Batch {
     pub replies: Vec<SyncSender<ScoreResult>>,
     /// Queue-wait of the oldest job in the batch.
     pub oldest_wait: Duration,
+    /// Trace contexts, one per request (index-aligned with
+    /// `requests`). The batcher parents its per-batch spans to these.
+    pub traces: Vec<TraceCtx>,
+    /// Per-request queue wait, index-aligned with `requests` — the
+    /// batcher records each request's `queue.wait` span from this.
+    pub waits: Vec<Duration>,
 }
 
 impl BatchQueue {
@@ -100,6 +111,16 @@ impl BatchQueue {
     /// on. Fails immediately (no blocking) when the queue is full or the
     /// server is shutting down.
     pub fn enqueue(&self, request: ScoreRequest) -> Result<Receiver<ScoreResult>, EnqueueError> {
+        self.enqueue_traced(request, TraceCtx::off())
+    }
+
+    /// [`Self::enqueue`] carrying the HTTP request's trace context, so
+    /// the batcher can attribute queue wait and scoring time to it.
+    pub fn enqueue_traced(
+        &self,
+        request: ScoreRequest,
+        trace: TraceCtx,
+    ) -> Result<Receiver<ScoreResult>, EnqueueError> {
         let (tx, rx) = sync_channel(1);
         {
             let mut st = self.lock();
@@ -110,11 +131,17 @@ impl BatchQueue {
                 fd_obs::counter("serve.queue_full").inc();
                 return Err(EnqueueError::Full);
             }
-            st.queue.push_back(Job { request, reply: tx, enqueued: Instant::now() });
+            st.queue.push_back(Job { request, reply: tx, enqueued: Instant::now(), trace });
             fd_obs::gauge("serve.queue_depth").set(st.queue.len() as f64);
         }
         self.arrival.notify_all();
         Ok(rx)
+    }
+
+    /// The batch-size cap this queue dispatches at — the denominator of
+    /// the batch-occupancy gauge.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
     }
 
     /// Signals shutdown: no new jobs are accepted, and the batcher
@@ -164,14 +191,19 @@ impl BatchQueue {
         let now = Instant::now();
         let mut requests = Vec::with_capacity(take);
         let mut replies = Vec::with_capacity(take);
+        let mut traces = Vec::with_capacity(take);
+        let mut waits = Vec::with_capacity(take);
         let mut oldest_wait = Duration::ZERO;
         for job in st.queue.drain(..take) {
-            oldest_wait = oldest_wait.max(now.duration_since(job.enqueued));
+            let wait = now.duration_since(job.enqueued);
+            oldest_wait = oldest_wait.max(wait);
             requests.push(job.request);
             replies.push(job.reply);
+            traces.push(job.trace);
+            waits.push(wait);
         }
         fd_obs::gauge("serve.queue_depth").set(st.queue.len() as f64);
-        Some(Batch { requests, replies, oldest_wait })
+        Some(Batch { requests, replies, oldest_wait, traces, waits })
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -24,6 +25,14 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Inbound `X-Request-Id` header, when the client sent one — the
+    /// server derives a deterministic trace id from it and echoes it on
+    /// the response.
+    pub request_id: Option<String>,
+    /// When the request's first byte arrived — the trace's anchor for
+    /// the parse span, so keep-alive idle time between requests is not
+    /// billed to parsing.
+    pub received: Instant,
 }
 
 /// Why a request could not be read.
@@ -70,7 +79,7 @@ impl From<io::Error> for HttpError {
 /// `Content-Length`; larger declarations return
 /// [`HttpError::BodyTooLarge`] without draining the body.
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let head = read_head(stream)?;
+    let (head, received) = read_head(stream)?;
     let text = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("head not UTF-8"))?;
     let mut lines = text.split("\r\n");
     let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
@@ -85,6 +94,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let mut content_length = 0usize;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version == "HTTP/1.1";
+    let mut request_id = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -98,6 +108,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                 value.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
+            // Cap what we echo back: a hostile header should not grow
+            // the response unboundedly.
+            request_id = Some(value.chars().take(128).collect::<String>());
         }
     }
     if content_length > max_body {
@@ -111,17 +125,20 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         path: path.to_string(),
         body,
         keep_alive,
+        request_id,
+        received,
     })
 }
 
 /// Reads until the `\r\n\r\n` head terminator, leaving the stream
-/// positioned at the body. Reads byte-by-byte through a small state
-/// machine: request heads are tiny and this keeps the body bytes out of
-/// any look-ahead buffer.
-fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
+/// positioned at the body, and stamps when the first byte arrived.
+/// Reads byte-by-byte through a small state machine: request heads are
+/// tiny and this keeps the body bytes out of any look-ahead buffer.
+fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Instant), HttpError> {
     let mut head = Vec::with_capacity(256);
     let mut matched = 0usize; // prefix length of b"\r\n\r\n" seen
     let mut byte = [0u8; 1];
+    let mut received = None;
     loop {
         let n = stream.read(&mut byte)?;
         if n == 0 {
@@ -129,6 +146,7 @@ fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
                 Err(HttpError::Malformed("connection closed mid-head"))
             };
         }
+        received.get_or_insert_with(Instant::now);
         head.push(byte[0]);
         matched = match (matched, byte[0]) {
             (0, b'\r') | (2, b'\r') => matched + 1,
@@ -138,7 +156,7 @@ fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
         };
         if matched == 4 {
             head.truncate(head.len() - 4);
-            return Ok(head);
+            return Ok((head, received.unwrap_or_else(Instant::now)));
         }
         if head.len() > MAX_HEAD_BYTES {
             return Err(HttpError::HeadTooLarge);
@@ -154,12 +172,34 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_ext(stream, status, body, keep_alive, "application/json", &[])
+}
+
+/// [`write_response`] with an explicit `Content-Type` and extra
+/// response headers (e.g. the echoed `X-Request-Id`). Header values are
+/// sanitised against CRLF injection — any control character becomes a
+/// space.
+pub fn write_response_ext(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    use std::fmt::Write as _;
     let reason = reason_phrase(status);
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: ");
+        head.extend(value.chars().map(|c| if c.is_control() { ' ' } else { c }));
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -189,6 +229,10 @@ pub struct HttpClient {
     stream: TcpStream,
 }
 
+/// `(status, body, response headers)` — headers with lowercased names,
+/// as returned by the `*_with_headers` client calls.
+pub type FullResponse = (u16, String, Vec<(String, String)>);
+
 impl HttpClient {
     /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
     pub fn connect(addr: &str) -> io::Result<Self> {
@@ -207,12 +251,44 @@ impl HttpClient {
         self.roundtrip(&format!("GET {path} HTTP/1.1\r\nhost: fd-serve\r\n\r\n"))
     }
 
+    /// Sends `GET path` and returns `(status, body, response headers)`
+    /// — the variant the content-type and tracing tests use. Header
+    /// names come back lowercased.
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+    ) -> io::Result<FullResponse> {
+        self.stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nhost: fd-serve\r\n\r\n").as_bytes())?;
+        self.stream.flush()?;
+        self.read_response_full()
+    }
+
     /// Sends `POST path` with a JSON body and returns `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
         self.roundtrip(&format!(
             "POST {path} HTTP/1.1\r\nhost: fd-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         ))
+    }
+
+    /// [`Self::post`] with extra request headers (e.g. `X-Request-Id`),
+    /// returning the response headers too.
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<FullResponse> {
+        let mut request = format!("POST {path} HTTP/1.1\r\nhost: fd-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n", body.len());
+        for (name, value) in extra_headers {
+            request.push_str(&format!("{name}: {value}\r\n"));
+        }
+        request.push_str("\r\n");
+        request.push_str(body);
+        self.stream.write_all(request.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response_full()
     }
 
     /// Sends raw bytes (for malformed-input tests) and reads a response.
@@ -229,6 +305,10 @@ impl HttpClient {
     }
 
     fn read_response(&mut self) -> io::Result<(u16, String)> {
+        self.read_response_full().map(|(status, body, _)| (status, body))
+    }
+
+    fn read_response_full(&mut self) -> io::Result<FullResponse> {
         let head = {
             let mut head = Vec::with_capacity(256);
             let mut matched = 0usize;
@@ -266,20 +346,23 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
                 if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                    content_length = value.parse().map_err(|_| {
                         io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                headers.push((name.to_ascii_lowercase(), value.to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.stream.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body not UTF-8"))?;
-        Ok((status, body))
+        Ok((status, body, headers))
     }
 }
 
@@ -314,6 +397,18 @@ mod tests {
         assert_eq!(req.path, "/v1/predict");
         assert_eq!(req.body, b"abcd");
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn captures_request_id_header() {
+        let req = parse(
+            b"POST / HTTP/1.1\r\nX-Request-Id: abc-123\r\nContent-Length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123"));
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.request_id, None);
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! queue, and only then tears the threads down.
 
 use crate::batch::{BatchQueue, EnqueueError};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response, write_response_ext, HttpError, Request};
 use crate::model::{mode_name, ServeModel};
 use fd_core::ScoreRequest;
 use fd_graph::NodeType;
+use fd_obs::TraceCtx;
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -208,13 +209,27 @@ fn batcher_loop(queue: &BatchQueue, slot: &ModelSlot) {
         fd_obs::histogram("serve.queue_wait_us", &fd_obs::exponential_buckets(50.0, 4.0, 10));
     let score_hist =
         fd_obs::histogram("serve.batch_score_us", &fd_obs::exponential_buckets(100.0, 4.0, 12));
+    let occupancy = fd_obs::gauge("serve.batch_occupancy");
     while let Some(batch) = queue.next_batch() {
         size_hist.record(batch.requests.len() as f64);
-        wait_hist.record(batch.oldest_wait.as_secs_f64() * 1e6);
+        occupancy.set(batch.requests.len() as f64 / queue.max_batch() as f64);
+        // The jobs crossed the thread boundary carrying their handler's
+        // trace context: bill each request its own queue wait, then the
+        // shared assembly/scoring time, so every trace in the batch is
+        // self-contained.
+        let assembled_us = fd_obs::trace::now_us();
+        for (trace, wait) in batch.traces.iter().zip(&batch.waits) {
+            wait_hist.record(wait.as_secs_f64() * 1e6);
+            if trace.sampled {
+                let wait_us = wait.as_micros() as u64;
+                trace.child().record("queue.wait", assembled_us.saturating_sub(wait_us), wait_us);
+            }
+        }
         // The model is re-read per batch, so a hot reload takes effect
         // on the very next batch while this one finishes on the Arc it
         // already holds.
         let model = slot.get();
+        let score_start_us = fd_obs::trace::now_us();
         let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(delay) = fd_ckpt::fault::slow_batch() {
                 std::thread::sleep(delay);
@@ -225,6 +240,21 @@ fn batcher_loop(queue: &BatchQueue, slot: &ModelSlot) {
             let _timer = fd_obs::span_timed("serve.batch_score", score_hist);
             model.score(&batch.requests)
         }));
+        let score_end_us = fd_obs::trace::now_us();
+        for trace in &batch.traces {
+            if trace.sampled {
+                trace.child().record(
+                    "batch.assemble",
+                    assembled_us,
+                    score_start_us.saturating_sub(assembled_us),
+                );
+                trace.child().record(
+                    "batch.score",
+                    score_start_us,
+                    score_end_us.saturating_sub(score_start_us),
+                );
+            }
+        }
         match scored {
             // Send failures mean the handler gave up (timeout / dead
             // connection); the result is simply dropped.
@@ -293,6 +323,7 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let latency_hist =
         fd_obs::histogram("serve.request_us", &fd_obs::exponential_buckets(50.0, 4.0, 12));
+    let inflight = fd_obs::gauge("serve.inflight_requests");
     loop {
         let request = match read_request(&mut stream, config.max_body_bytes) {
             Ok(request) => request,
@@ -316,22 +347,44 @@ fn handle_connection(
             }
         };
         fd_obs::counter("serve.requests").inc();
+        inflight.add(1.0);
+        // The request's root trace context: derived from the inbound
+        // X-Request-Id when the client sent one (so retries map to the
+        // same trace id), fresh otherwise. Every span of this request —
+        // including those the batcher thread records — hangs off it.
+        let trace = match request.request_id.as_deref() {
+            Some(id) => TraceCtx::from_request_id(id),
+            None => TraceCtx::root(),
+        };
+        // The parse span is anchored at the first byte's arrival, so
+        // keep-alive idle time between requests is not billed to it.
+        let parse_end_us = fd_obs::trace::now_us();
+        let parse_us = request.received.elapsed().as_micros() as u64;
+        let request_start_us = parse_end_us.saturating_sub(parse_us);
+        if trace.sampled {
+            trace.child().record("http.parse", request_start_us, parse_us);
+        }
         let started = Instant::now();
         // Each request pins the model that was current when it arrived;
         // a concurrent hot reload affects only later requests. Panics
         // inside routing map to a 500 on this connection instead of
         // silently dropping it mid-response.
         let model = slot.get();
-        let (status, body) =
+        let (status, body, content_type) =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                route(&model, queue, config, &request)
+                route(&model, queue, config, &request, &trace)
             }))
             .unwrap_or_else(|_| {
                 fd_obs::counter("serve.handler_panics").inc();
                 fd_obs::event(fd_obs::Level::Error, "serve.handler_panic", &[]);
-                (500, error_body("internal error"))
+                (500, error_body("internal error"), "application/json")
             });
         latency_hist.record(started.elapsed().as_secs_f64() * 1e6);
+        match status {
+            429 => fd_obs::counter("serve.responses_429").inc(),
+            504 => fd_obs::counter("serve.responses_504").inc(),
+            _ => {}
+        }
         if status >= 500 {
             fd_obs::counter("serve.responses_5xx").inc();
         } else if status >= 400 {
@@ -340,7 +393,30 @@ fn handle_connection(
             fd_obs::counter("serve.responses_2xx").inc();
         }
         let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
-        if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+        // Echo the request id (client-supplied, else the generated
+        // trace id) so callers can correlate responses with traces.
+        let echo_id = request.request_id.clone().unwrap_or_else(|| trace.trace_hex());
+        let respond_start_us = fd_obs::trace::now_us();
+        let write_ok = write_response_ext(
+            &mut stream,
+            status,
+            &body,
+            keep_alive,
+            content_type,
+            &[("x-request-id", &echo_id)],
+        )
+        .is_ok();
+        if trace.sampled {
+            let end_us = fd_obs::trace::now_us();
+            trace.child().record(
+                "respond",
+                respond_start_us,
+                end_us.saturating_sub(respond_start_us),
+            );
+            trace.record("request", request_start_us, end_us.saturating_sub(request_start_us));
+        }
+        inflight.add(-1.0);
+        if !write_ok || !keep_alive {
             return;
         }
     }
@@ -431,15 +507,23 @@ impl WireRequest {
     }
 }
 
-/// Dispatches one parsed request to its endpoint; returns status + JSON
-/// body. Never panics on request content.
+/// Dispatches one parsed request to its endpoint; returns status, body
+/// and the body's `Content-Type`. Never panics on request content.
 fn route(
     model: &ServeModel,
     queue: &BatchQueue,
     config: &ServeConfig,
     request: &Request,
-) -> (u16, String) {
-    match (request.method.as_str(), request.path.as_str()) {
+    trace: &TraceCtx,
+) -> (u16, String, &'static str) {
+    const JSON: &str = "application/json";
+    // Split off the query string so `/metrics?format=json` routes like
+    // `/metrics`.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let (articles, creators, subjects) = model.corpus_sizes();
             let health = Health {
@@ -450,15 +534,29 @@ fn route(
                 creators,
                 subjects,
             };
-            (200, serde_json::to_string(&health).unwrap_or_else(|_| "{}".into()))
+            (200, serde_json::to_string(&health).unwrap_or_else(|_| "{}".into()), JSON)
         }
-        ("GET", "/metrics") => (200, fd_obs::snapshot()),
-        ("POST", "/v1/predict") => predict_one(model, queue, config, &request.body),
-        ("POST", "/v1/predict_batch") => predict_batch(model, queue, config, &request.body),
+        // Prometheus text exposition by default; the original JSON
+        // snapshot stays reachable at `/metrics?format=json`.
+        ("GET", "/metrics") => {
+            if query.is_some_and(|q| q.split('&').any(|p| p == "format=json")) {
+                (200, fd_obs::snapshot(), JSON)
+            } else {
+                (200, fd_obs::prometheus_text(), fd_obs::PROMETHEUS_CONTENT_TYPE)
+            }
+        }
+        ("POST", "/v1/predict") => {
+            let (status, body) = predict_one(model, queue, config, &request.body, trace);
+            (status, body, JSON)
+        }
+        ("POST", "/v1/predict_batch") => {
+            let (status, body) = predict_batch(model, queue, config, &request.body, trace);
+            (status, body, JSON)
+        }
         (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/predict_batch") => {
-            (405, error_body("method not allowed"))
+            (405, error_body("method not allowed"), JSON)
         }
-        (_, path) => (404, error_body(&format!("no such endpoint: {path}"))),
+        (_, path) => (404, error_body(&format!("no such endpoint: {path}")), JSON),
     }
 }
 
@@ -480,6 +578,7 @@ fn predict_one(
     queue: &BatchQueue,
     config: &ServeConfig,
     body: &[u8],
+    trace: &TraceCtx,
 ) -> (u16, String) {
     let wire: WireRequest = match parse_body(body) {
         Ok(wire) => wire,
@@ -494,7 +593,7 @@ fn predict_one(
     if let Err(e) = model.validate(&score_request) {
         return (400, error_body(&e));
     }
-    let receiver = match queue.enqueue(score_request) {
+    let receiver = match queue.enqueue_traced(score_request, *trace) {
         Ok(rx) => rx,
         Err(e) => return enqueue_failure(e),
     };
@@ -521,6 +620,7 @@ fn predict_batch(
     queue: &BatchQueue,
     config: &ServeConfig,
     body: &[u8],
+    trace: &TraceCtx,
 ) -> (u16, String) {
     let wire: WireBatch = match parse_body(body) {
         Ok(wire) => wire,
@@ -539,7 +639,7 @@ fn predict_batch(
     }
     let mut receivers = Vec::with_capacity(score_requests.len());
     for score_request in score_requests {
-        match queue.enqueue(score_request) {
+        match queue.enqueue_traced(score_request, *trace) {
             Ok(rx) => receivers.push(rx),
             // Earlier items of this batch stay queued; their results are
             // dropped by the batcher when it finds the receivers dead.

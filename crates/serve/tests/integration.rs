@@ -216,12 +216,113 @@ fn metrics_endpoint_reports_serve_counters() {
     let (server, addr) = start(&ephemeral());
     let (status, response) = client(&addr).post("/v1/predict", &body_for(1)).expect("post");
     assert_eq!(status, 200, "{response}");
-    let (status, snapshot) = client(&addr).get("/metrics").expect("get");
+
+    // Default exposition is Prometheus text, with the matching content
+    // type, and it must pass fd-obs's own format validator.
+    let (status, exposition, headers) = client(&addr).get_with_headers("/metrics").expect("get");
     assert_eq!(status, 200);
+    let content_type = |headers: &[(String, String)]| {
+        headers.iter().find(|(n, _)| n == "content-type").map(|(_, v)| v.clone())
+    };
+    assert_eq!(
+        content_type(&headers).as_deref(),
+        Some(fd_obs::PROMETHEUS_CONTENT_TYPE),
+        "Prometheus exposition must carry the 0.0.4 content type"
+    );
+    for key in ["fd_serve_requests_total", "fd_serve_batch_size_bucket", "fd_serve_queue_depth"] {
+        assert!(exposition.contains(key), "prometheus exposition missing {key}:\n{exposition}");
+    }
+    let samples = fd_obs::validate_prometheus(&exposition).expect("parseable exposition");
+    assert!(samples > 0, "exposition carried no samples");
+
+    // The JSON snapshot survives behind ?format=json with its keys and
+    // content type intact.
+    let (status, snapshot, headers) =
+        client(&addr).get_with_headers("/metrics?format=json").expect("get");
+    assert_eq!(status, 200);
+    assert_eq!(content_type(&headers).as_deref(), Some("application/json"));
     for key in ["serve.requests", "serve.batch_size", "serve.request_us", "serve.queue_depth"] {
         assert!(snapshot.contains(key), "metrics snapshot missing {key}");
     }
     server.shutdown();
+}
+
+#[test]
+fn request_id_is_echoed_on_responses() {
+    let (server, addr) = start(&ephemeral());
+    let (status, _, headers) = client(&addr)
+        .post_with_headers("/v1/predict", &body_for(3), &[("x-request-id", "req-echo-42")])
+        .expect("post");
+    assert_eq!(status, 200);
+    let echoed = headers.iter().find(|(n, _)| n == "x-request-id").map(|(_, v)| v.as_str());
+    assert_eq!(echoed, Some("req-echo-42"), "inbound request id must be echoed");
+
+    // Without an inbound id the server still answers with one — the
+    // hex trace id — so every response is correlatable.
+    let (status, _, headers) =
+        client(&addr).post_with_headers("/v1/predict", &body_for(3), &[]).expect("post");
+    assert_eq!(status, 200);
+    let generated = headers.iter().find(|(n, _)| n == "x-request-id").map(|(_, v)| v.as_str());
+    let generated = generated.expect("generated x-request-id");
+    assert_eq!(generated.len(), 16, "generated id is the 16-hex-digit trace id: {generated}");
+    assert!(generated.chars().all(|c| c.is_ascii_hexdigit()), "{generated}");
+    server.shutdown();
+}
+
+#[test]
+fn one_request_produces_one_linked_trace_across_the_batcher() {
+    // Tracing state is process-global; enable it for this test and pick
+    // the trace out of the shared ring by the trace id that the known
+    // X-Request-Id deterministically hashes to. Other tests running in
+    // parallel only add spans under different trace ids.
+    fd_obs::trace::set_enabled(true);
+    fd_obs::trace::set_sample(1);
+    let request_id = "trace-e2e-7f3a";
+    let expected_trace = fd_obs::TraceCtx::from_request_id(request_id).trace_id;
+
+    // --max-batch 8: the request rides the micro-batching path, so its
+    // queue wait and scoring happen on the batcher thread — the spans
+    // must still land in the handler's trace.
+    let config = ServeConfig { max_batch: 8, ..ephemeral() };
+    let (server, addr) = start(&config);
+    let batch_body = format!("{{\"requests\":[{},{}]}}", body_for(4), body_for(5));
+    let (status, response, headers) = client(&addr)
+        .post_with_headers("/v1/predict_batch", &batch_body, &[("x-request-id", request_id)])
+        .expect("post");
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(
+        headers.iter().find(|(n, _)| n == "x-request-id").map(|(_, v)| v.as_str()),
+        Some(request_id)
+    );
+    server.shutdown();
+    fd_obs::trace::set_enabled(false);
+
+    let spans: Vec<fd_obs::trace::Span> = fd_obs::trace::snapshot_spans()
+        .into_iter()
+        .filter(|s| s.trace_id == expected_trace)
+        .collect();
+    let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    for required in
+        ["request", "http.parse", "queue.wait", "batch.assemble", "batch.score", "respond"]
+    {
+        assert!(names.contains(&required), "trace missing {required} span, got {names:?}");
+    }
+    // One trace: a single root, and every other span is its direct
+    // child — queue wait and scoring recorded by the batcher thread
+    // link back to the span the handler thread opened.
+    let root = spans.iter().find(|s| s.name == "request").expect("root span");
+    assert_eq!(root.parent_id, 0, "request span must be the root");
+    for span in spans.iter().filter(|s| s.name != "request") {
+        assert_eq!(
+            span.parent_id, root.span_id,
+            "{} span must be parented to the request root",
+            span.name
+        );
+    }
+    // The Chrome export keeps them one loadable trace.
+    let json = fd_obs::trace::chrome_json(&spans);
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains(&format!("{expected_trace:016x}")), "{json}");
 }
 
 #[test]

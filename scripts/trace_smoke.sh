@@ -1,0 +1,126 @@
+#!/usr/bin/env sh
+# End-to-end tracing smoke:
+#
+# 1. Train a small bundle with FD_TRACE=on writing a Chrome trace file;
+#    the file must summarize (fdctl trace summarize) and carry the
+#    training phases (train.fit / train.epoch / train.forward / …).
+# 2. Serve that bundle traced, drive it with a few /v1/predict and
+#    /v1/predict_batch requests carrying X-Request-Id, and SIGTERM it;
+#    the flushed trace must summarize and carry the serve hot-path
+#    spans (request / queue.wait / batch.score / …).
+# 3. Scrape GET /metrics while the server is up: the default exposition
+#    must look like Prometheus text (TYPE comments, fd_-prefixed
+#    names), and ?format=json must still be JSON.
+#
+# Usage: scripts/trace_smoke.sh
+#
+# Exits non-zero, naming the step, on any violation.
+set -eu
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/fd-trace-XXXXXX")"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> build fdctl (release)" >&2
+cargo build --release --bin fdctl
+fdctl=target/release/fdctl
+
+echo "==> traced training run" >&2
+"$fdctl" generate --scale 0.02 --seed 7 --out "$work/corpus.json"
+FD_TRACE=on FD_TRACE_FILE="$work/trace_train.json" \
+    "$fdctl" train --corpus "$work/corpus.json" --out "$work/model.json" \
+    --epochs 3 --seed 42 --mode binary
+[ -s "$work/trace_train.json" ] || {
+    echo "trace_smoke.sh: traced train wrote no trace file" >&2
+    exit 1
+}
+"$fdctl" trace summarize "$work/trace_train.json" >"$work/train_summary.txt"
+cat "$work/train_summary.txt" >&2
+for span in train.fit train.epoch train.forward train.backward train.optimizer; do
+    grep -q "$span" "$work/train_summary.txt" || {
+        echo "trace_smoke.sh: train summary missing $span" >&2
+        exit 1
+    }
+done
+
+echo "==> traced serve run" >&2
+FD_TRACE=on FD_TRACE_FILE="$work/trace_serve.json" \
+    "$fdctl" serve --corpus "$work/corpus.json" --model "$work/model.json" \
+    --addr 127.0.0.1:0 --max-batch 8 >"$work/serve.log" 2>&1 &
+server_pid=$!
+addr=""
+tries=0
+while [ -z "$addr" ]; do
+    addr="$(sed -n 's/^listening on \([0-9.:]*\).*/\1/p' "$work/serve.log" | head -1)"
+    [ -n "$addr" ] && break
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ] || ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "trace_smoke.sh: server never came up" >&2
+        cat "$work/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "==> serving on $addr (pid $server_pid)" >&2
+
+body='{"text":"claim about the budget deficit and medicare","creator":0,"subjects":[0]}'
+i=0
+while [ "$i" -lt 8 ]; do
+    code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -H "x-request-id: smoke-$i" -d "$body" "http://$addr/v1/predict")"
+    [ "$code" = "200" ] || {
+        echo "trace_smoke.sh: /v1/predict request $i returned $code" >&2
+        exit 1
+    }
+    i=$((i + 1))
+done
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H "x-request-id: smoke-batch" -d "{\"requests\":[$body,$body]}" \
+    "http://$addr/v1/predict_batch")"
+[ "$code" = "200" ] || {
+    echo "trace_smoke.sh: /v1/predict_batch returned $code" >&2
+    exit 1
+}
+
+echo "==> scrape /metrics (Prometheus + JSON)" >&2
+curl -s "http://$addr/metrics" >"$work/metrics.prom"
+grep -q '^# TYPE fd_serve_requests_total counter' "$work/metrics.prom" || {
+    echo "trace_smoke.sh: /metrics is not Prometheus text" >&2
+    head "$work/metrics.prom" >&2
+    exit 1
+}
+grep -q '^fd_serve_queue_wait_us_bucket' "$work/metrics.prom" || {
+    echo "trace_smoke.sh: /metrics missing queue-wait histogram buckets" >&2
+    exit 1
+}
+curl -s "http://$addr/metrics?format=json" >"$work/metrics.json"
+grep -q '"counters"' "$work/metrics.json" || {
+    echo "trace_smoke.sh: /metrics?format=json is not the JSON snapshot" >&2
+    exit 1
+}
+
+echo "==> graceful shutdown + serve trace summary" >&2
+kill -TERM "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+[ -s "$work/trace_serve.json" ] || {
+    echo "trace_smoke.sh: traced serve wrote no trace file" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+}
+"$fdctl" trace summarize "$work/trace_serve.json" >"$work/serve_summary.txt"
+cat "$work/serve_summary.txt" >&2
+for span in request http.parse queue.wait batch.assemble batch.score respond; do
+    grep -q "$span" "$work/serve_summary.txt" || {
+        echo "trace_smoke.sh: serve summary missing $span" >&2
+        exit 1
+    }
+done
+
+echo "==> trace smoke passed" >&2

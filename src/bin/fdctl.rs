@@ -10,6 +10,7 @@
 //! fdctl serve    --corpus corpus.json --model model.json [--addr 127.0.0.1:7878] [--max-batch 32] [--max-delay-ms 2]
 //!                [--precision f32|int8]
 //! fdctl ckpt     inspect ckpts/ckpt-00000005.fdck
+//! fdctl trace    summarize trace.json
 //! fdctl analyze  --corpus corpus.json
 //! ```
 //!
@@ -36,12 +37,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: fdctl <generate|train|predict|evaluate|score|serve|ckpt|analyze|obs> [options]"
+            "usage: fdctl <generate|train|predict|evaluate|score|serve|ckpt|trace|analyze|obs> [options]"
         );
         return ExitCode::FAILURE;
     };
     let result = if command == "ckpt" {
         cmd_ckpt(&args[1..])
+    } else if command == "trace" {
+        cmd_trace(&args[1..])
     } else {
         let opts = parse_options(&args[1..]);
         match command.as_str() {
@@ -213,7 +216,7 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("{obs_out}: {e}"))?;
         eprintln!("wrote {obs_out}");
     }
-    Ok(())
+    flush_trace()
 }
 
 fn load_bundle(
@@ -412,7 +415,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     eprintln!("signal received, draining…");
     server.shutdown();
     eprintln!("stopped");
-    Ok(())
+    flush_trace()
 }
 
 /// `fdctl ckpt inspect <file>`: prints the checkpoint header, epoch
@@ -437,6 +440,158 @@ fn cmd_ckpt(args: &[String]) -> Result<(), String> {
         Some(other) => Err(format!("unknown ckpt subcommand {other} (expected: inspect)")),
         None => Err("usage: fdctl ckpt inspect <file.fdck>".into()),
     }
+}
+
+/// One span pulled out of a Chrome `trace_event` file: enough to
+/// reconstruct the parent/child tree and attribute self-time.
+struct TraceSpan {
+    name: String,
+    dur_us: u64,
+    span_id: u64,
+    parent_id: u64,
+    trace_id: u64,
+}
+
+/// Parses a Chrome `trace_event` JSON file (as written by
+/// `FD_TRACE_FILE`) into flat spans. Errors on anything malformed —
+/// this doubles as the well-formedness check `fdctl obs --check` runs.
+fn parse_trace_file(path: &str) -> Result<Vec<TraceSpan>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = parsed["traceEvents"]
+        .as_seq()
+        .ok_or_else(|| format!("{path}: no traceEvents array"))?;
+    let hex_id = |content: Option<&serde::Content>, what: &str, i: usize| -> Result<u64, String> {
+        let s = content
+            .and_then(serde::Content::as_str)
+            .ok_or_else(|| format!("{path}: event {i} missing args.{what}"))?;
+        u64::from_str_radix(s, 16)
+            .map_err(|_| format!("{path}: event {i} args.{what} is not a hex id: {s:?}"))
+    };
+    let mut spans = Vec::with_capacity(events.len());
+    for (i, event) in events.iter().enumerate() {
+        let fields = event.as_map().ok_or_else(|| format!("{path}: event {i} is not an object"))?;
+        let get = |key: &str| serde::content_get(fields, key);
+        let name = get("name")
+            .and_then(serde::Content::as_str)
+            .ok_or_else(|| format!("{path}: event {i} has no name"))?;
+        if get("ph").and_then(serde::Content::as_str) != Some("X") {
+            return Err(format!("{path}: event {i} is not a complete-span (ph=X) event"));
+        }
+        let ts = get("ts").and_then(serde::Content::as_u64);
+        let dur = get("dur").and_then(serde::Content::as_u64);
+        let (Some(_), Some(dur_us)) = (ts, dur) else {
+            return Err(format!("{path}: event {i} missing numeric ts/dur"));
+        };
+        let args =
+            get("args").and_then(serde::Content::as_map).ok_or_else(|| {
+                format!("{path}: event {i} has no args (trace/span/parent ids)")
+            })?;
+        let arg = |key: &str| serde::content_get(args, key);
+        spans.push(TraceSpan {
+            name: name.to_string(),
+            dur_us,
+            span_id: hex_id(arg("span"), "span", i)?,
+            parent_id: hex_id(arg("parent"), "parent", i)?,
+            trace_id: hex_id(arg("trace"), "trace", i)?,
+        });
+    }
+    if spans.is_empty() {
+        return Err(format!("{path}: traceEvents is empty — was FD_TRACE on?"));
+    }
+    Ok(spans)
+}
+
+/// Nearest-rank percentile of a sorted slice; `sorted` must be
+/// non-empty.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// `fdctl trace summarize <file>`: per-span-name profile of a Chrome
+/// trace file — count, total and self time (total minus time spent in
+/// child spans), and p50/p95/p99 of span duration. Self-time ranks the
+/// table, so the phase actually burning the time tops it even when an
+/// enclosing span (`train.fit`, `request`) covers the whole run.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let [_, path] = args else {
+                return Err("usage: fdctl trace summarize <trace.json>".into());
+            };
+            let spans = parse_trace_file(path)?;
+
+            // Children's durations, keyed by (trace, parent span) —
+            // subtracted from each parent to get self-time. Saturating:
+            // clock skew between a parent's recorded window and its
+            // children must not wrap.
+            let mut child_time: HashMap<(u64, u64), u64> = HashMap::new();
+            for span in &spans {
+                *child_time.entry((span.trace_id, span.parent_id)).or_default() += span.dur_us;
+            }
+
+            struct NameStats {
+                count: u64,
+                total_us: u64,
+                self_us: u64,
+                durs: Vec<u64>,
+            }
+            let mut by_name: HashMap<&str, NameStats> = HashMap::new();
+            let mut traces = std::collections::HashSet::new();
+            for span in &spans {
+                traces.insert(span.trace_id);
+                let nested =
+                    child_time.get(&(span.trace_id, span.span_id)).copied().unwrap_or(0);
+                let stats = by_name.entry(span.name.as_str()).or_insert_with(|| NameStats {
+                    count: 0,
+                    total_us: 0,
+                    self_us: 0,
+                    durs: Vec::new(),
+                });
+                stats.count += 1;
+                stats.total_us += span.dur_us;
+                stats.self_us += span.dur_us.saturating_sub(nested);
+                stats.durs.push(span.dur_us);
+            }
+
+            let mut rows: Vec<(&str, NameStats)> = by_name.into_iter().collect();
+            rows.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+
+            println!("{} spans, {} traces in {path}", spans.len(), traces.len());
+            println!(
+                "{:<18} {:>7} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                "span", "count", "total_ms", "self_ms", "p50_us", "p95_us", "p99_us"
+            );
+            for (name, mut stats) in rows {
+                stats.durs.sort_unstable();
+                println!(
+                    "{:<18} {:>7} {:>12.3} {:>12.3} {:>10} {:>10} {:>10}",
+                    name,
+                    stats.count,
+                    stats.total_us as f64 / 1000.0,
+                    stats.self_us as f64 / 1000.0,
+                    nearest_rank(&stats.durs, 0.50),
+                    nearest_rank(&stats.durs, 0.95),
+                    nearest_rank(&stats.durs, 0.99),
+                );
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown trace subcommand {other} (expected: summarize)")),
+        None => Err("usage: fdctl trace summarize <trace.json>".into()),
+    }
+}
+
+/// Drains the trace ring to `FD_TRACE_FILE` (when set) and reports the
+/// written path on stderr. Commands call this on their way out so a
+/// traced run always leaves a loadable file behind.
+fn flush_trace() -> Result<(), String> {
+    if let Some(path) = fakedetector::obs::trace::flush()? {
+        eprintln!("wrote trace {path}");
+    }
+    Ok(())
 }
 
 fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -526,6 +681,7 @@ fn cmd_obs(opts: &HashMap<String, String>) -> Result<(), String> {
     let snapshot = fakedetector::obs::snapshot();
     std::fs::write(out, &snapshot).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {out}");
+    flush_trace()?;
     if check {
         check_obs(&snapshot, epochs)?;
         eprintln!("obs check passed");
@@ -560,15 +716,52 @@ fn check_obs(snapshot: &str, epochs: usize) -> Result<(), String> {
         return Err("no tensor.par dispatches recorded".into());
     }
     let histograms = parsed["histograms"].as_map().ok_or("snapshot missing histograms")?;
-    for name in ["train.epoch_us", "train.fit_us", "infer.predict_us", "infer.proba_us"] {
+    let histogram_count = |name: &str| -> Result<u64, String> {
         let hist = serde::content_get(histograms, name)
             .and_then(serde::Content::as_map)
             .ok_or_else(|| format!("snapshot missing histogram {name}"))?;
-        let count = serde::content_get(hist, "count")
+        serde::content_get(hist, "count")
             .and_then(serde::Content::as_u64)
-            .ok_or_else(|| format!("histogram {name} has no count"))?;
-        if count == 0 {
+            .ok_or_else(|| format!("histogram {name} has no count"))
+    };
+    for name in ["train.epoch_us", "train.fit_us", "infer.predict_us", "infer.proba_us"] {
+        if histogram_count(name)? == 0 {
             return Err(format!("histogram {name} is empty"));
+        }
+    }
+    // Phase profiler: every epoch times its forward/backward/clip/
+    // optimizer phases. Validate and checkpoint phases are registered
+    // but stay empty here — the smoke train runs without a validation
+    // split or checkpoint dir.
+    for phase in ["forward", "backward", "clip", "optimizer"] {
+        let name = format!("train.phase.{phase}_us");
+        let count = histogram_count(&name)?;
+        if count < epochs as u64 {
+            return Err(format!("{name} recorded {count} laps, expected at least {epochs}"));
+        }
+    }
+    for phase in ["validate", "checkpoint"] {
+        histogram_count(&format!("train.phase.{phase}_us"))?;
+    }
+
+    // The Prometheus exposition of this very registry must parse under
+    // our own validator — CI's scrape-format safety net.
+    let samples = fakedetector::obs::validate_prometheus(&fakedetector::obs::prometheus_text())
+        .map_err(|e| format!("prometheus exposition invalid: {e}"))?;
+    if samples == 0 {
+        return Err("prometheus exposition carried no samples".into());
+    }
+
+    // When this run was traced to a file, the file must be well-formed
+    // Chrome JSON carrying the training phases.
+    if fakedetector::obs::trace::enabled() {
+        if let Ok(trace_path) = std::env::var("FD_TRACE_FILE") {
+            let spans = parse_trace_file(&trace_path)?;
+            for required in ["train.fit", "train.epoch", "train.forward", "train.backward"] {
+                if !spans.iter().any(|s| s.name == required) {
+                    return Err(format!("{trace_path}: no {required} span recorded"));
+                }
+            }
         }
     }
 
