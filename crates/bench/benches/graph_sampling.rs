@@ -1,9 +1,14 @@
 //! Microbenches for the graph substrate: random walks (DeepWalk's corpus
-//! generator) and alias sampling (LINE's edge sampler).
+//! generator), the CSR neighbour hot path, deterministic neighbour
+//! sampling, and alias sampling (LINE's edge sampler).
+//!
+//! `random_walks` and `neighbor_scan` are the regression gauges for the
+//! CSR adjacency refactor: both used to allocate a fresh `Vec<NodeRef>`
+//! per `neighbors()` call and now read borrowed CSR slices.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fd_data::{generate, GeneratorConfig};
-use fd_graph::{generate_walks, AliasTable, WalkConfig};
+use fd_graph::{generate_walks, AliasTable, NeighborSampler, NodeRef, NodeType, WalkConfig};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
 
@@ -11,11 +16,66 @@ fn bench_walks(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_walks");
     group.sample_size(10);
     let corpus = generate(&GeneratorConfig::politifact().scaled(0.05), 1);
+    corpus.graph.finalize();
     let cfg = WalkConfig { walks_per_node: 2, walk_length: 20 };
     group.bench_function("scale0.05_2x20", |bench| {
         bench.iter(|| {
             let mut rng = StdRng::seed_from_u64(7);
             black_box(generate_walks(&corpus.graph, &cfg, &mut rng).len())
+        })
+    });
+    group.finish();
+}
+
+fn all_nodes(graph: &fd_graph::HetGraph) -> Vec<NodeRef> {
+    let mut nodes = Vec::with_capacity(graph.n_nodes());
+    for ty in NodeType::ALL {
+        let count = match ty {
+            NodeType::Article => graph.n_articles(),
+            NodeType::Creator => graph.n_creators(),
+            NodeType::Subject => graph.n_subjects(),
+        };
+        nodes.extend((0..count).map(|idx| NodeRef { ty, idx }));
+    }
+    nodes
+}
+
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_scan");
+    group.sample_size(30);
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.05), 1);
+    corpus.graph.finalize();
+    let nodes = all_nodes(&corpus.graph);
+    group.bench_function("all_nodes_scale0.05", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for &node in &nodes {
+                for n in corpus.graph.neighbors(node) {
+                    acc ^= n.idx;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighbor_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_sampling");
+    group.sample_size(30);
+    let corpus = generate(&GeneratorConfig::politifact().scaled(0.05), 1);
+    corpus.graph.finalize();
+    let nodes = all_nodes(&corpus.graph);
+    let sampler = NeighborSampler::new(7, [8, 6, 6]);
+    group.bench_function("fanout_8_6_6_scale0.05", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            let mut acc = 0usize;
+            for &node in &nodes {
+                sampler.sample_neighbors_into(&corpus.graph, node, 0, &mut out);
+                acc ^= out.len();
+            }
+            black_box(acc)
         })
     });
     group.finish();
@@ -52,5 +112,5 @@ fn bench_edges(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walks, bench_alias, bench_edges);
+criterion_group!(benches, bench_walks, bench_neighbor_scan, bench_neighbor_sampling, bench_alias, bench_edges);
 criterion_main!(benches);

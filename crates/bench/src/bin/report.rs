@@ -9,10 +9,13 @@
 //!   times the tensor kernels and a full model inference step —
 //!   seed-era naive kernels vs the blocked serial kernels vs the
 //!   row-parallel path — and writes the numbers to `BENCH_tensor.json`.
-//! * `cargo run --release -p fd-bench --bin report -- train [out.json] [scale]`
+//! * `cargo run --release -p fd-bench --bin report -- train [out.json] [scale] [sweep_scales]`
 //!   times full training epochs at Table-1 scale (default `scale` 1.0) —
 //!   the per-node reference tape vs the batched matrix-level graph at
-//!   `FD_THREADS` 1 and 4 — and writes `BENCH_train.json`.
+//!   `FD_THREADS` 1 and 4 — then runs one neighbour-sampled epoch at
+//!   each comma-separated corpus scale in `sweep_scales` (default
+//!   `0.1,1,8`; pass `""` to skip), recording articles, epoch
+//!   wall-clock and per-run peak RSS, and writes `BENCH_train.json`.
 //! * `cargo run --release -p fd-bench --bin report -- serve [out.json] [clients] [per_client]`
 //!   trains a small model, starts the fd-serve HTTP server in-process,
 //!   drives it with concurrent keep-alive clients (default 32 × 12
@@ -37,7 +40,34 @@ fn main() {
                 .next()
                 .map(|s| s.parse().unwrap_or_else(|e| panic!("bad scale `{s}`: {e}")))
                 .unwrap_or(1.0);
-            train::write_report(&out, scale);
+            // Comma-separated corpus scales for the sampled-training
+            // sweep (empty string disables it). Scales > 1 tile whole
+            // Table-1 shards: 8 ≈ 112k articles.
+            let sweep: Vec<f64> = args
+                .next()
+                .map(|s| {
+                    s.split(',')
+                        .filter(|t| !t.trim().is_empty())
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .unwrap_or_else(|e| panic!("bad sweep scale `{t}`: {e}"))
+                        })
+                        .collect()
+                })
+                .unwrap_or_else(|| vec![0.1, 1.0, 8.0]);
+            train::write_report(&out, scale, &sweep);
+        }
+        // Internal: one scale-sweep point, run by `train` in a child
+        // process so each point's VmHWM reading is its own.
+        Some(mode) if mode == "train-scale-point" => {
+            let scale: f64 = args
+                .next()
+                .expect("train-scale-point needs a scale")
+                .parse()
+                .unwrap_or_else(|e| panic!("bad scale: {e}"));
+            let point = train::sampled_scale_run(scale);
+            println!("{}", serde_json::to_string(&point).expect("serialise scale point"));
         }
         Some(mode) if mode == "serve" => {
             let out = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
@@ -62,20 +92,52 @@ const SWEEP_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// Renders a `[(threads, ms)]` sweep as the `thread_scaling` object:
 /// per-width median milliseconds and speedup over the 1-thread run.
+/// Widths the machine cannot actually run in parallel (requested >
+/// `machine_threads`) are annotated `"oversubscribed": true` — their
+/// "speedup" is scheduling noise, not a runtime regression, and
+/// consumers must not gate on it.
 fn scaling_curve(sweep: &[(usize, f64)]) -> serde_json::Value {
     let serial_ms = sweep[0].1;
+    let machine = machine_threads();
     serde_json::Value::from_content(serde::Content::Map(
         sweep
             .iter()
             .map(|&(threads, ms)| {
-                let point = serde_json::json!({
-                    "ms": (ms * 100.0).round() / 100.0,
-                    "speedup_vs_1t": (serial_ms / ms * 100.0).round() / 100.0,
-                });
+                let point = if threads > machine {
+                    serde_json::json!({
+                        "ms": (ms * 100.0).round() / 100.0,
+                        "speedup_vs_1t": (serial_ms / ms * 100.0).round() / 100.0,
+                        "oversubscribed": true,
+                    })
+                } else {
+                    serde_json::json!({
+                        "ms": (ms * 100.0).round() / 100.0,
+                        "speedup_vs_1t": (serial_ms / ms * 100.0).round() / 100.0,
+                    })
+                };
                 (threads.to_string(), point.as_content().clone())
             })
             .collect(),
     ))
+}
+
+/// Peak resident set size in MiB, read from `/proc/self/status`
+/// `VmHWM` (Linux only; `None` elsewhere). Pair with
+/// [`reset_peak_rss`] to scope the high-water mark to one run.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some((kb / 1024.0 * 100.0).round() / 100.0)
+}
+
+/// Rewinds the kernel's RSS high-water mark (`echo 5 >
+/// /proc/self/clear_refs`), so the next [`peak_rss_mb`] read reflects
+/// only memory touched after this call. Best-effort: when the write is
+/// not supported the cumulative process peak stays in place, which is
+/// still a valid upper bound.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
 /// `available_parallelism()` as actually observed by this run — the
@@ -146,7 +208,7 @@ mod train {
     //! batched matrix-level graph vs the per-node reference tape.
 
     use fd_bench::{prepare, SweepConfig};
-    use fd_core::{FakeDetector, FakeDetectorConfig};
+    use fd_core::{FakeDetector, FakeDetectorConfig, TrainMode};
     use fd_data::{ExperimentContext, ExplicitFeatures, LabelMode};
     use fd_tensor::parallel;
 
@@ -181,7 +243,82 @@ mod train {
         })
     }
 
-    pub fn write_report(out_path: &str, scale: f64) {
+    /// One bounded-memory data point for the scale sweep: generates
+    /// the corpus at `scale` (whole-number scales > 1 tile Table-1
+    /// shards), runs a single neighbour-sampled epoch, and reports the
+    /// epoch wall-clock plus the run's own peak RSS (the high-water
+    /// mark is rewound first, so each scale prices only itself).
+    /// Runs one scale-sweep point in a child `report train-scale-point`
+    /// process and parses the JSON it prints on stdout. FD_LOG_FILE is
+    /// stripped from the child's environment so it cannot truncate a
+    /// log file the parent run owns.
+    fn scale_point_in_child(scale: f64) -> serde_json::Value {
+        let exe = std::env::current_exe().expect("locate the report binary");
+        let out = std::process::Command::new(exe)
+            .args(["train-scale-point", &scale.to_string()])
+            .env_remove("FD_LOG_FILE")
+            .output()
+            .unwrap_or_else(|e| panic!("spawn scale-point child at scale {scale}: {e}"));
+        assert!(
+            out.status.success(),
+            "scale-point child failed at scale {scale}:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("scale-point child stdout is utf-8");
+        let line = stdout
+            .lines()
+            .rev()
+            .find(|l| l.trim_start().starts_with('{'))
+            .unwrap_or_else(|| panic!("no JSON line from scale-point child at scale {scale}"));
+        serde_json::from_str(line).expect("parse scale-point child JSON")
+    }
+
+    pub fn sampled_scale_run(scale: f64) -> serde_json::Value {
+        super::reset_peak_rss();
+        let config = SweepConfig { scale, folds: 1, ..SweepConfig::default() };
+        let prepared = prepare(&config);
+        let (train, _test) = prepared.split(0, 1.0, config.seed);
+        let explicit = ExplicitFeatures::extract(&prepared.corpus, &prepared.tokenized, &train, 60);
+        let ctx = ExperimentContext {
+            corpus: &prepared.corpus,
+            tokenized: &prepared.tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed: 3,
+        };
+        let (batch_size, fanout, rounds) = (256, 8, 2);
+        let model_cfg = FakeDetectorConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            train_mode: TrainMode::Sampled { batch_size, fanout, rounds },
+            ..FakeDetectorConfig::default()
+        };
+        let trained = FakeDetector::new(model_cfg).fit(&ctx);
+        let epoch_ms = trained.report().epoch_ms.first().copied().unwrap_or(0.0);
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.scale_point",
+            &[
+                ("scale", scale.into()),
+                ("articles", prepared.corpus.articles.len().into()),
+                ("sampled_epoch_ms", epoch_ms.into()),
+            ],
+        );
+        serde_json::json!({
+            "scale": scale,
+            "articles": prepared.corpus.articles.len(),
+            "creators": prepared.corpus.creators.len(),
+            "subjects": prepared.corpus.subjects.len(),
+            "batch_size": batch_size,
+            "fanout": fanout,
+            "rounds": rounds,
+            "sampled_epoch_ms": round2(epoch_ms),
+            "peak_rss_mb": super::peak_rss_mb(),
+        })
+    }
+
+    pub fn write_report(out_path: &str, scale: f64, sweep_scales: &[f64]) {
         let config = SweepConfig { scale, folds: 1, ..SweepConfig::default() };
         let prepared = prepare(&config);
         let (train, _test) = prepared.split(0, 1.0, config.seed);
@@ -236,6 +373,15 @@ mod train {
                 ("batched_parallel_4t_epoch_ms", four_t.into()),
             ],
         );
+        // The bounded-memory scale sweep: each point runs in its own
+        // child process. In-process, the kernel's RSS high-water mark
+        // cannot rewind below the memory the allocator still retains
+        // from the full-graph timing sweep above (~1.5 GiB at Table-1
+        // scale), which would swamp every point's reading; a child's
+        // VmHWM is genuinely its own.
+        let scale_sweep: Vec<serde_json::Value> =
+            sweep_scales.iter().map(|&s| scale_point_in_child(s)).collect();
+
         let report = serde_json::json!({
             "generator": "cargo run --release -p fd-bench --bin report -- train",
             "machine_threads": super::machine_threads(),
@@ -259,6 +405,7 @@ mod train {
             "speedup_batched_4t_vs_per_node": round2(per_node / four_t),
             "thread_scaling": super::scaling_curve(&scaling),
             "losses_bit_identical_across_widths": true,
+            "scale_sweep": scale_sweep,
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));

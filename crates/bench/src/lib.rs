@@ -8,7 +8,7 @@
 //! figure.
 
 use fd_data::{
-    generate, sample_ratio, Corpus, CredibilityModel, CvSplits, ExplicitFeatures,
+    generate_at_scale, sample_ratio, Corpus, CredibilityModel, CvSplits, ExplicitFeatures,
     GeneratorConfig, LabelMode, Predictions, TokenizedCorpus, TrainSets,
 };
 use fd_graph::NodeType;
@@ -106,9 +106,12 @@ pub struct PreparedCorpus {
     pub splits: [CvSplits; 3],
 }
 
-/// Generates the corpus and the CV splits for a sweep.
+/// Generates the corpus and the CV splits for a sweep. Scales ≤ 1 shrink
+/// Table 1 proportionally; whole-number scales > 1 tile that many
+/// Table-1 shards (`fd_data::generate_at_scale`), so a 100k-article
+/// corpus is one `--scale 8` away.
 pub fn prepare(config: &SweepConfig) -> PreparedCorpus {
-    let corpus = generate(&GeneratorConfig::politifact().scaled(config.scale), config.seed);
+    let corpus = generate_at_scale(&GeneratorConfig::politifact(), config.scale, config.seed);
     let tokenized = TokenizedCorpus::build(&corpus, config.seq_len, config.max_vocab);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xcf);
     let k_articles = 10.min(corpus.articles.len());

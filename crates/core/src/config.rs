@@ -1,6 +1,84 @@
 //! FakeDetector hyper-parameters, including the ablation switches the
 //! DESIGN.md experiment index calls out.
 
+/// How each training epoch traverses the News-HSN.
+///
+/// The default, [`TrainMode::Full`], records every node of the graph on
+/// the tape each epoch — exact, but peak memory grows with the corpus.
+/// [`TrainMode::Sampled`] instead splits the training items into
+/// minibatches and runs each step over a sampled k-hop neighbourhood
+/// subgraph (deterministic reservoir sampling, see
+/// `fd_graph::NeighborSampler`), so peak memory scales with
+/// `batch_size x fanout^rounds` instead of the graph size.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMode {
+    /// Full-graph epochs (the reference path; exact).
+    #[default]
+    Full,
+    /// Neighbour-sampled minibatch epochs.
+    Sampled {
+        /// Training items per minibatch (the subgraph's seed set).
+        batch_size: usize,
+        /// Neighbours kept per node and relation when expanding the
+        /// subgraph (degree-capped reservoir sample).
+        fanout: usize,
+        /// Subgraph hop depth *and* GDU unroll depth for sampled steps
+        /// (overrides `diffusion_rounds` in sampled mode so the sampled
+        /// receptive field always covers the unrolled diffusion).
+        rounds: usize,
+    },
+}
+
+// The vendored serde derive handles named-field structs and unit-variant
+// enums only, so the struct-variant `Sampled` is lowered by hand:
+// `Full` as the string "full" (compact, self-describing), `Sampled` as a
+// tagged map. Both shapes round-trip through the JSON stand-in.
+impl serde::Serialize for TrainMode {
+    fn serialize_content(&self) -> serde::Content {
+        match *self {
+            TrainMode::Full => serde::Content::Str("full".to_string()),
+            TrainMode::Sampled { batch_size, fanout, rounds } => serde::Content::Map(vec![
+                ("mode".to_string(), serde::Content::Str("sampled".to_string())),
+                ("batch_size".to_string(), serde::Content::U64(batch_size as u64)),
+                ("fanout".to_string(), serde::Content::U64(fanout as u64)),
+                ("rounds".to_string(), serde::Content::U64(rounds as u64)),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for TrainMode {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        if let Some(s) = content.as_str() {
+            return match s {
+                "full" => Ok(TrainMode::Full),
+                other => Err(serde::Error::custom(format!(
+                    "unknown train_mode {other:?} (expected \"full\" or a sampled-mode map)"
+                ))),
+            };
+        }
+        let map = content.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("train_mode must be a string or map, got {content:?}"))
+        })?;
+        let field = |name: &str| -> Result<usize, serde::Error> {
+            serde::content_get(map, name)
+                .and_then(serde::Content::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| serde::Error::custom(format!("sampled train_mode needs {name}")))
+        };
+        match serde::content_get(map, "mode").and_then(serde::Content::as_str) {
+            Some("sampled") => Ok(TrainMode::Sampled {
+                batch_size: field("batch_size")?,
+                fanout: field("fanout")?,
+                rounds: field("rounds")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown train_mode tag {other:?} (expected \"sampled\")"
+            ))),
+        }
+    }
+}
+
 /// All tunables of the deep diffusive network.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FakeDetectorConfig {
@@ -47,6 +125,11 @@ pub struct FakeDetectorConfig {
     /// saved-model JSON written before this field existed).
     #[serde(default = "default_batched_training")]
     pub batched_training: bool,
+    /// Epoch traversal: full-graph (default, exact) or neighbour-sampled
+    /// minibatches with bounded peak memory. Absent from saved-model
+    /// JSON written before sampled training existed ⇒ full-graph.
+    #[serde(default)]
+    pub train_mode: TrainMode,
 }
 
 fn default_batched_training() -> bool {
@@ -72,6 +155,7 @@ impl Default for FakeDetectorConfig {
             use_diffusion: true,
             use_gates: true,
             batched_training: true,
+            train_mode: TrainMode::Full,
         }
     }
 }
@@ -122,6 +206,37 @@ mod tests {
         assert!(!json.contains("batched_training"), "field not stripped: {json}");
         let c: FakeDetectorConfig = serde_json::from_str(&json).unwrap();
         assert!(c.batched_training);
+    }
+
+    #[test]
+    fn train_mode_defaults_to_full_for_old_saved_configs() {
+        // Saved-model JSON written before sampled training must load as
+        // full-graph.
+        let json = serde_json::to_string(&FakeDetectorConfig::default()).unwrap();
+        let json = json.replace(",\"train_mode\":\"full\"", "");
+        assert!(!json.contains("train_mode"), "field not stripped: {json}");
+        let c: FakeDetectorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c.train_mode, TrainMode::Full);
+    }
+
+    #[test]
+    fn sampled_train_mode_roundtrips_through_json() {
+        let c = FakeDetectorConfig {
+            train_mode: TrainMode::Sampled { batch_size: 64, fanout: 8, rounds: 2 },
+            ..FakeDetectorConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"mode\":\"sampled\""), "{json}");
+        let back: FakeDetectorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.train_mode, c.train_mode);
+    }
+
+    #[test]
+    fn unknown_train_mode_is_rejected() {
+        let json = serde_json::to_string(&FakeDetectorConfig::default()).unwrap();
+        let json = json.replace("\"train_mode\":\"full\"", "\"train_mode\":\"bogus\"");
+        let err = serde_json::from_str::<FakeDetectorConfig>(&json).unwrap_err();
+        assert!(err.to_string().contains("train_mode"), "{err}");
     }
 
     #[test]

@@ -170,6 +170,44 @@ impl Hflu {
         }
     }
 
+    /// Tape-recorded twin of [`Hflu::encode_batch_tape`] over an
+    /// arbitrary entity subset instead of the contiguous prefix
+    /// `0..count`: one `indices.len() x out_dim` variable whose row `k`
+    /// is bit-identical to the tape value of
+    /// `encode(bind, ctx, indices[k])`. This is the sampled-minibatch
+    /// entry point — a subgraph's compacted node set encodes only its
+    /// own members, so HFLU cost per step scales with the subgraph, not
+    /// the corpus.
+    pub fn encode_subset_tape(
+        &self,
+        bind: &Binding,
+        ctx: &ExperimentContext<'_>,
+        indices: &[usize],
+    ) -> fd_autograd::Var {
+        let tape = bind.tape();
+        let explicit = self.use_explicit.then(|| {
+            let mut rows = Matrix::zeros(indices.len(), ctx.explicit.dim);
+            for (k, &i) in indices.iter().enumerate() {
+                rows.row_mut(k)
+                    .copy_from_slice(ctx.explicit.feature(self.node_type, i).row(0));
+            }
+            tape.leaf(rows)
+        });
+        let latent = self.encoder.as_ref().map(|enc| {
+            let sequences: Vec<&[usize]> = indices
+                .iter()
+                .map(|&i| ctx.tokenized.sequence(self.node_type, i))
+                .collect();
+            enc.encode_batch_tape(bind, &sequences)
+        });
+        match (explicit, latent) {
+            (Some(e), Some(l)) => tape.concat_cols(e, l),
+            (Some(e), None) => e,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("config validation forbids both halves off"),
+        }
+    }
+
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.out_dim

@@ -33,10 +33,11 @@ mod config;
 mod gdu;
 mod hflu;
 mod model;
+mod sampled;
 mod trained;
 
 pub use checkpoint::FitOptions;
-pub use config::FakeDetectorConfig;
+pub use config::{FakeDetectorConfig, TrainMode};
 pub use gdu::{GduCell, QuantGdu};
 pub use hflu::Hflu;
 pub use model::{FakeDetector, TrainReport};

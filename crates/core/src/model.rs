@@ -2,11 +2,12 @@
 //! diffusion over the News-HSN, joint training (Section 4.3).
 
 use crate::checkpoint::{self, FitOptions};
+use crate::sampled::{sample_subgraph, SampledSubgraph};
 use crate::trained::TrainedFakeDetector;
-use crate::{FakeDetectorConfig, GduCell, Hflu};
+use crate::{FakeDetectorConfig, GduCell, Hflu, TrainMode};
 use fd_autograd::{Tape, Var};
 use fd_data::{CredibilityModel, ExperimentContext, Predictions};
-use fd_graph::NodeType;
+use fd_graph::{NeighborSampler, NodeType};
 use fd_nn::{clip_global_norm, Adam, AdamState, Binding, Linear, Optimizer, ParamId, Params};
 use fd_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -16,6 +17,20 @@ use std::rc::Rc;
 /// Seed-mixing constant for the internal validation split.
 const VAL_SPLIT_MIX: u64 = 0x7a11_da7e;
 
+/// Seed-mixing constant for the neighbour sampler of sampled training.
+const SAMPLER_MIX: u64 = 0x5a3b_1e5e_ed00_0001;
+
+/// Seed-mixing constant for the per-epoch minibatch shuffle.
+const BATCH_SHUFFLE_MIX: u64 = 0xba7c_0bdf_0000_0002;
+
+/// Sampler salt reserved for the validation subgraphs (training batches
+/// salt with `epoch * GOLDEN + batch + 1`, which never reaches this).
+const VAL_SAMPLE_SALT: u64 = u64::MAX;
+
+/// One sampled-mode validation chunk: a fixed subgraph plus the chunk's
+/// held-out items as `(type, local row, target class)`.
+type ValChunk = (SampledSubgraph, Vec<(NodeType, usize, usize)>);
+
 /// How many times the divergence guard may halve the learning rate
 /// before giving up and returning the last good weights.
 const MAX_LR_HALVINGS: u32 = 6;
@@ -24,7 +39,7 @@ const MAX_LR_HALVINGS: u32 = 6;
 /// rollback target; refresh it every this many epochs.
 const GUARD_EVERY: usize = 10;
 
-fn type_slot(ty: NodeType) -> usize {
+pub(crate) fn type_slot(ty: NodeType) -> usize {
     match ty {
         NodeType::Article => 0,
         NodeType::Creator => 1,
@@ -32,39 +47,63 @@ fn type_slot(ty: NodeType) -> usize {
     }
 }
 
-/// Macro-averaged validation accuracy over pre-update diffusion states:
-/// one batched row gather plus one head matmul per entity type, instead
-/// of one tape variable per validation item. Bit-identical to scoring
-/// each item alone because both the gather and the head are
-/// row-independent.
-fn validation_accuracy(
+/// Scores `items` against `states` (rows indexed however `items` says)
+/// and adds per-type correct/total counts — the shared kernel of
+/// full-graph and chunked sampled validation. One batched row gather
+/// plus one head matmul per entity type; bit-identical to scoring each
+/// item alone because both the gather and the head are row-independent.
+fn accumulate_validation(
     network: &Network,
     states: &[Matrix; 3],
-    val_items: &[(NodeType, usize, usize)],
-) -> f64 {
+    items: &[(NodeType, usize, usize)],
+    correct: &mut [usize; 3],
+    total: &mut [usize; 3],
+) {
     let mut rows: [Vec<Option<usize>>; 3] = Default::default();
     let mut targets: [Vec<usize>; 3] = Default::default();
-    for &(ty, idx, target) in val_items {
+    for &(ty, idx, target) in items {
         let slot = type_slot(ty);
         rows[slot].push(Some(idx));
         targets[slot].push(target);
     }
-    let (mut acc_sum, mut types_present) = (0.0f64, 0usize);
     for slot in 0..3 {
         if rows[slot].is_empty() {
             continue;
         }
         let sel = fd_tensor::gather_rows(&states[slot], &rows[slot]);
         let logits = network.heads[slot].forward_matrix(&network.params, &sel);
-        let correct = targets[slot]
+        correct[slot] += targets[slot]
             .iter()
             .enumerate()
             .filter(|&(k, &target)| logits.row_argmax(k).index == target)
             .count();
-        acc_sum += correct as f64 / rows[slot].len() as f64;
-        types_present += 1;
+        total[slot] += rows[slot].len();
+    }
+}
+
+/// Accuracy macro-averaged over the entity types present in the counts,
+/// so the article-heavy validation pool does not drown out
+/// creators/subjects.
+fn macro_accuracy(correct: &[usize; 3], total: &[usize; 3]) -> f64 {
+    let (mut acc_sum, mut types_present) = (0.0f64, 0usize);
+    for slot in 0..3 {
+        if total[slot] > 0 {
+            acc_sum += correct[slot] as f64 / total[slot] as f64;
+            types_present += 1;
+        }
     }
     acc_sum / types_present.max(1) as f64
+}
+
+/// Macro-averaged validation accuracy over pre-update diffusion states.
+fn validation_accuracy(
+    network: &Network,
+    states: &[Matrix; 3],
+    val_items: &[(NodeType, usize, usize)],
+) -> f64 {
+    let (mut correct, mut total) = ([0usize; 3], [0usize; 3]);
+    accumulate_validation(network, states, val_items, &mut correct, &mut total);
+    macro_accuracy(&correct, &total)
 }
 
 /// Times the phases of one training epoch for the profiler: [`lap`]
@@ -159,6 +198,56 @@ impl GuardSnapshot {
             n_hist: report.losses.len(),
         }
     }
+}
+
+/// Rolls training back to the divergence guard's snapshot with a halved
+/// learning rate — the shared recovery path of full-graph and sampled
+/// epochs. Returns `false` when the halving budget is exhausted and
+/// training should stop with the last good weights.
+#[allow(clippy::too_many_arguments)]
+fn rollback_divergence(
+    network: &mut Network,
+    optimizer: &mut Adam,
+    guard: &GuardSnapshot,
+    best: &mut Option<(f64, Params)>,
+    since_best: &mut usize,
+    report: &mut TrainReport,
+    epoch: &mut usize,
+    lr_halvings: &mut u32,
+) -> bool {
+    report.divergence_rollbacks += 1;
+    fd_obs::counter("train.divergence_rollbacks").inc();
+    network.params = guard.params.clone();
+    optimizer
+        .restore_state(&network.params, &guard.opt)
+        .expect("guard snapshot always matches the live network");
+    *best = guard.best.clone();
+    *since_best = guard.since_best;
+    report.losses.truncate(guard.n_hist);
+    report.grad_norms.truncate(guard.n_hist);
+    report.epoch_ms.truncate(guard.n_hist);
+    *epoch = guard.epoch;
+    if *lr_halvings >= MAX_LR_HALVINGS {
+        fd_obs::event(
+            fd_obs::Level::Error,
+            "train.diverged",
+            &[("epoch", (*epoch).into()), ("lr", optimizer.lr().into())],
+        );
+        return false;
+    }
+    let halved = optimizer.lr() * 0.5;
+    optimizer.set_lr(halved);
+    *lr_halvings += 1;
+    fd_obs::event(
+        fd_obs::Level::Error,
+        "train.divergence_rollback",
+        &[
+            ("epoch", (*epoch).into()),
+            ("lr", halved.into()),
+            ("lr_halvings", (*lr_halvings).into()),
+        ],
+    );
+    true
 }
 
 /// Builds the durable checkpoint for the state *entering* epoch
@@ -385,6 +474,51 @@ impl Network {
         states
     }
 
+    /// Sampled-subgraph twin of [`Network::forward_states_batched`]:
+    /// the same batched gather/mean/GDU schedule, but over a
+    /// [`SampledSubgraph`]'s compacted node set — HFLU encodes only the
+    /// subgraph members and every adjacency op reads the sampled local
+    /// lists, so tape size per step scales with the subgraph, not the
+    /// corpus. When the subgraph covers a node's full neighbourhood
+    /// (fan-out at or above its degree, node interior to the hop
+    /// radius), its state row is bit-identical to the full-graph batched
+    /// forward; at the receptive-field boundary neighbourhoods are
+    /// truncated (the GraphSAGE approximation).
+    pub fn forward_states_subgraph(
+        &self,
+        config: &FakeDetectorConfig,
+        bind: &Binding<'_>,
+        ctx: &ExperimentContext<'_>,
+        sub: &SampledSubgraph,
+        rounds: usize,
+    ) -> [Var; 3] {
+        let tape = bind.tape();
+        let counts = [sub.nodes[0].len(), sub.nodes[1].len(), sub.nodes[2].len()];
+        let hidden = config.gdu_hidden;
+        let feats: [Var; 3] =
+            [0, 1, 2].map(|slot| self.hflu[slot].encode_subset_tape(bind, ctx, &sub.nodes[slot]));
+        let zeros: [Var; 3] = counts.map(|n| tape.leaf(Matrix::zeros(n, hidden)));
+        let mut states = zeros;
+        for _round in 0..rounds.max(1) {
+            states = if config.use_diffusion {
+                let z_articles = tape.mean_rows(states[2], Rc::clone(&sub.subjects_of_article));
+                let t_articles = tape.gather_rows(states[1], &sub.author);
+                let z_creators = tape.mean_rows(states[0], Rc::clone(&sub.articles_of_creator));
+                let z_subjects = tape.mean_rows(states[0], Rc::clone(&sub.articles_of_subject));
+                [
+                    self.gdu[0].forward(bind, feats[0], z_articles, t_articles, config.use_gates),
+                    self.gdu[1].forward(bind, feats[1], z_creators, zeros[1], config.use_gates),
+                    self.gdu[2].forward(bind, feats[2], z_subjects, zeros[2], config.use_gates),
+                ]
+            } else {
+                [0, 1, 2].map(|slot| {
+                    self.gdu[slot].forward(bind, feats[slot], zeros[slot], zeros[slot], config.use_gates)
+                })
+            };
+        }
+        states
+    }
+
     /// Tape-free batched twin of [`Network::forward_states`]: one
     /// `count x hidden` state matrix per node type instead of per-node
     /// tape variables. Row `i` of each matrix is bit-identical to the
@@ -573,6 +707,9 @@ impl FakeDetector {
         let optimizer_us = fd_obs::histogram("train.phase.optimizer_us", &phase_bounds);
         let validate_us = fd_obs::histogram("train.phase.validate_us", &phase_bounds);
         let checkpoint_us = fd_obs::histogram("train.phase.checkpoint_us", &phase_bounds);
+        // Sampled-mode phase: subgraph gathering. Registered alongside
+        // the other phases (it simply stays empty in full-graph runs).
+        let sample_us = fd_obs::histogram("train.phase.sample_us", &phase_bounds);
         let fit_trace = fd_obs::TraceCtx::root();
         // Guard, not manual record: the fit span closes on every return
         // path, including checkpoint-error early exits.
@@ -640,6 +777,64 @@ impl FakeDetector {
             .zip(&within_slot)
             .map(|(&(ty, _, _), &w)| Some(offsets[type_slot(ty)] + w))
             .collect();
+
+        // Sampled minibatch mode: a deterministic neighbour sampler (a
+        // pure function of seed/salt/node, so the epoch schedule is
+        // replayable across resumes and thread counts) plus the
+        // sampler-specific observability instruments.
+        let sampled_setup = match cfg.train_mode {
+            TrainMode::Sampled { batch_size, fanout, rounds } => {
+                assert!(batch_size > 0, "TrainMode::Sampled: batch_size must be > 0");
+                assert!(rounds > 0, "TrainMode::Sampled: rounds must be > 0");
+                Some((batch_size, rounds, NeighborSampler::new(seed ^ SAMPLER_MIX, [fanout; 3])))
+            }
+            TrainMode::Full => None,
+        };
+        let sampler_fanout_hist = sampled_setup.as_ref().map(|_| {
+            fd_obs::histogram("train.sampler.fanout", &fd_obs::exponential_buckets(1.0, 2.0, 10))
+        });
+        let subgraph_nodes_hist = sampled_setup.as_ref().map(|_| {
+            fd_obs::histogram(
+                "train.sampler.subgraph_nodes",
+                &fd_obs::exponential_buckets(16.0, 4.0, 10),
+            )
+        });
+        let subgraph_edges_hist = sampled_setup.as_ref().map(|_| {
+            fd_obs::histogram(
+                "train.sampler.subgraph_edges",
+                &fd_obs::exponential_buckets(16.0, 4.0, 10),
+            )
+        });
+        // Validation fixtures for sampled mode, built once: the held-out
+        // items in batch-sized chunks, each with its own subgraph drawn
+        // at a fixed salt. Chunking bounds validation memory the same
+        // way minibatching bounds training memory, and the fixed salt
+        // keeps the accuracy curve a function of the weights alone.
+        let val_fixture: Option<Vec<ValChunk>> =
+            sampled_setup.as_ref().and_then(|&(batch_size, rounds, ref sampler)| {
+                (n_val > 0).then(|| {
+                    val_items
+                        .chunks(batch_size)
+                        .map(|chunk| {
+                            let seeds: Vec<(NodeType, usize)> =
+                                chunk.iter().map(|&(ty, idx, _)| (ty, idx)).collect();
+                            let sub = sample_subgraph(
+                                &ctx.corpus.graph,
+                                sampler,
+                                &seeds,
+                                rounds,
+                                VAL_SAMPLE_SALT,
+                            );
+                            let local_items: Vec<(NodeType, usize, usize)> = chunk
+                                .iter()
+                                .zip(&sub.seed_rows)
+                                .map(|(&(ty, _, target), &(_, local))| (ty, local, target))
+                                .collect();
+                            (sub, local_items)
+                        })
+                        .collect()
+                })
+            });
 
         let mut best: Option<(f64, Params)> = None;
         let mut since_best = 0usize;
@@ -717,6 +912,189 @@ impl FakeDetector {
             let epoch_trace = fit_trace_span.ctx().child();
             let epoch_start_us = fd_obs::trace::now_us();
             let mut phase = PhaseTimer::start(&epoch_trace);
+            let mut epoch_val_acc: Option<f64> = None;
+            let loss_value: f32;
+            let norm: f32;
+            let slot_losses: Option<[f64; 3]>;
+            if let Some((batch_size, rounds, sampler)) = sampled_setup.as_ref() {
+                let (batch_size, rounds) = (*batch_size, *rounds);
+                // Deterministic per-epoch minibatch schedule: a fresh RNG
+                // keyed on (seed, epoch) makes the shuffle a pure function
+                // of durable state, so a checkpoint resume replays the
+                // exact remaining batches.
+                let mut order: Vec<usize> = (0..fit_items.len()).collect();
+                let mut batch_rng = StdRng::seed_from_u64(
+                    seed ^ BATCH_SHUFFLE_MIX
+                        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                order.shuffle(&mut batch_rng);
+
+                let mut epoch_loss = 0.0f32;
+                let mut epoch_norm = 0.0f32;
+                let mut diverged = false;
+                for (b, chunk) in order.chunks(batch_size).enumerate() {
+                    tape.reset();
+                    let binding = Binding::new(&tape, &network.params);
+                    phase.reset();
+                    // Per-batch sample salt; never collides with
+                    // VAL_SAMPLE_SALT, which is reserved for the
+                    // validation fixtures.
+                    let salt = (epoch as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(b as u64 + 1);
+                    let seeds: Vec<(NodeType, usize)> =
+                        chunk.iter().map(|&k| (fit_items[k].0, fit_items[k].1)).collect();
+                    let sub = sample_subgraph(&ctx.corpus.graph, sampler, &seeds, rounds, salt);
+                    if let Some(h) = subgraph_nodes_hist {
+                        h.record(sub.n_nodes() as f64);
+                    }
+                    if let Some(h) = subgraph_edges_hist {
+                        h.record(sub.n_sampled_edges() as f64);
+                    }
+                    if let Some(h) = sampler_fanout_hist {
+                        for list in sub
+                            .subjects_of_article
+                            .iter()
+                            .chain(sub.articles_of_creator.iter())
+                            .chain(sub.articles_of_subject.iter())
+                        {
+                            h.record(list.len() as f64);
+                        }
+                    }
+                    phase.lap("train.sample", sample_us);
+
+                    // Forward + loss over the compacted subgraph: the same
+                    // stacked-logits assembly as the full-graph path, but
+                    // rows address the subgraph's local index space, and
+                    // the L2 term is scaled by the batch fraction so one
+                    // epoch applies one full α·L2's worth of decay.
+                    let states =
+                        network.forward_states_subgraph(cfg, &binding, ctx, &sub, rounds);
+                    let mut rows: [Vec<Option<usize>>; 3] = Default::default();
+                    let mut batch_targets: Vec<usize> = Vec::with_capacity(chunk.len());
+                    let mut within: Vec<usize> = Vec::with_capacity(chunk.len());
+                    for (&k, &(slot, local)) in chunk.iter().zip(&sub.seed_rows) {
+                        within.push(rows[slot].len());
+                        rows[slot].push(Some(local));
+                        batch_targets.push(fit_items[k].2);
+                    }
+                    let batch_offsets = {
+                        let mut off = [0usize; 3];
+                        let mut acc = 0;
+                        for (o, r) in off.iter_mut().zip(&rows) {
+                            *o = acc;
+                            acc += r.len();
+                        }
+                        off
+                    };
+                    let batch_order: Vec<Option<usize>> = sub
+                        .seed_rows
+                        .iter()
+                        .zip(&within)
+                        .map(|(&(slot, _), &w)| Some(batch_offsets[slot] + w))
+                        .collect();
+                    let mut stacked: Option<Var> = None;
+                    for slot in 0..3 {
+                        if rows[slot].is_empty() {
+                            continue;
+                        }
+                        let sel = tape.gather_rows(states[slot], &rows[slot]);
+                        let logits = network.heads[slot].forward(&binding, sel);
+                        stacked = Some(match stacked {
+                            Some(s) => tape.concat_rows(s, logits),
+                            None => logits,
+                        });
+                    }
+                    let stacked = stacked.expect("chunks() never yields an empty batch");
+                    let ordered = tape.gather_rows(stacked, &batch_order);
+                    let ce = tape.softmax_cross_entropy_rows(ordered, &batch_targets);
+                    let loss = if cfg.reg_alpha > 0.0 && !network.reg_ids.is_empty() {
+                        let reg = binding.l2_term(&network.reg_ids);
+                        let frac = chunk.len() as f32 / fit_items.len() as f32;
+                        tape.add(ce, tape.scale(reg, cfg.reg_alpha * frac))
+                    } else {
+                        ce
+                    };
+                    phase.lap("train.forward", forward_us);
+
+                    tape.backward(loss);
+                    let mut grads = binding.grads();
+                    phase.lap("train.backward", backward_us);
+                    let batch_norm = clip_global_norm(&mut grads, cfg.clip);
+                    phase.lap("train.clip", clip_us);
+                    let batch_loss = tape.with_value(loss, |m| m[(0, 0)]);
+                    drop(binding);
+                    if !batch_loss.is_finite() || !batch_norm.is_finite() {
+                        diverged = true;
+                        break;
+                    }
+                    phase.reset();
+                    // Sparse Adam: parameter rows outside this subgraph
+                    // received no gradient and are skipped outright, so
+                    // step cost tracks the subgraph, not the corpus.
+                    optimizer.apply_sparse(&mut network.params, &grads);
+                    phase.lap("train.optimizer", optimizer_us);
+                    epoch_loss += batch_loss;
+                    epoch_norm = epoch_norm.max(batch_norm);
+                }
+                if diverged {
+                    if !rollback_divergence(
+                        &mut network,
+                        &mut optimizer,
+                        &guard,
+                        &mut best,
+                        &mut since_best,
+                        &mut report,
+                        &mut epoch,
+                        &mut lr_halvings,
+                    ) {
+                        break;
+                    }
+                    continue;
+                }
+
+                // Validation over the fixed pre-sampled chunks. Unlike
+                // the full-graph path (which reads validation states off
+                // the pre-update training forward for free), this
+                // measures the *post*-update weights — there is no single
+                // epoch-wide forward pass to piggyback on.
+                if let Some(chunks) = &val_fixture {
+                    phase.reset();
+                    let mut correct = [0usize; 3];
+                    let mut total = [0usize; 3];
+                    for (sub, local_items) in chunks {
+                        tape.reset();
+                        let binding = Binding::new(&tape, &network.params);
+                        let states =
+                            network.forward_states_subgraph(cfg, &binding, ctx, sub, rounds);
+                        let mats = [
+                            tape.value(states[0]),
+                            tape.value(states[1]),
+                            tape.value(states[2]),
+                        ];
+                        drop(binding);
+                        accumulate_validation(
+                            &network,
+                            &mats,
+                            local_items,
+                            &mut correct,
+                            &mut total,
+                        );
+                    }
+                    let acc = macro_accuracy(&correct, &total);
+                    epoch_val_acc = Some(acc);
+                    if best.as_ref().is_none_or(|(b, _)| acc > *b) {
+                        best = Some((acc, network.params_snapshot()));
+                        since_best = 0;
+                    } else {
+                        since_best += 1;
+                    }
+                    phase.lap("train.validate", validate_us);
+                }
+                loss_value = epoch_loss;
+                norm = epoch_norm;
+                slot_losses = None;
+            } else {
             tape.reset();
             let binding = Binding::new(&tape, &network.params);
             let want_slot_losses = fd_obs::enabled(fd_obs::Level::Info);
@@ -724,7 +1102,7 @@ impl FakeDetector {
             // The paper's objective: L(T_n) + L(T_u) + L(T_s) + α L_reg,
             // recorded either as one matrix-valued graph per node type
             // (batched) or one tape variable per node (reference).
-            let (loss, slot_losses, val_states) = if cfg.batched_training {
+            let (loss, epoch_slot_losses, val_states) = if cfg.batched_training {
                 let states = network.forward_states_batched(cfg, &binding, ctx);
                 let mut stacked: Option<Var> = None;
                 for slot in 0..3 {
@@ -798,9 +1176,9 @@ impl FakeDetector {
             tape.backward(loss);
             let mut grads = binding.grads();
             phase.lap("train.backward", backward_us);
-            let norm = clip_global_norm(&mut grads, cfg.clip);
+            norm = clip_global_norm(&mut grads, cfg.clip);
             phase.lap("train.clip", clip_us);
-            let loss_value = tape.with_value(loss, |m| m[(0, 0)]);
+            loss_value = tape.with_value(loss, |m| m[(0, 0)]);
 
             // Divergence guard: a non-finite loss or gradient norm means
             // this step (and possibly a few before it) blew up. Clipping
@@ -810,45 +1188,24 @@ impl FakeDetector {
             // there with a halved learning rate.
             if !loss_value.is_finite() || !norm.is_finite() {
                 drop(binding);
-                report.divergence_rollbacks += 1;
-                fd_obs::counter("train.divergence_rollbacks").inc();
-                network.params = guard.params.clone();
-                optimizer
-                    .restore_state(&network.params, &guard.opt)
-                    .expect("guard snapshot always matches the live network");
-                best = guard.best.clone();
-                since_best = guard.since_best;
-                report.losses.truncate(guard.n_hist);
-                report.grad_norms.truncate(guard.n_hist);
-                report.epoch_ms.truncate(guard.n_hist);
-                epoch = guard.epoch;
-                if lr_halvings >= MAX_LR_HALVINGS {
-                    fd_obs::event(
-                        fd_obs::Level::Error,
-                        "train.diverged",
-                        &[("epoch", epoch.into()), ("lr", optimizer.lr().into())],
-                    );
+                if !rollback_divergence(
+                    &mut network,
+                    &mut optimizer,
+                    &guard,
+                    &mut best,
+                    &mut since_best,
+                    &mut report,
+                    &mut epoch,
+                    &mut lr_halvings,
+                ) {
                     break;
                 }
-                let halved = optimizer.lr() * 0.5;
-                optimizer.set_lr(halved);
-                lr_halvings += 1;
-                fd_obs::event(
-                    fd_obs::Level::Error,
-                    "train.divergence_rollback",
-                    &[
-                        ("epoch", epoch.into()),
-                        ("lr", halved.into()),
-                        ("lr_halvings", lr_halvings.into()),
-                    ],
-                );
                 continue;
             }
 
             // Validation accuracy from the pre-update forward pass,
             // macro-averaged over entity types so the article-heavy
             // validation pool does not drown out creators/subjects.
-            let mut epoch_val_acc: Option<f64> = None;
             if let Some(states) = &val_states {
                 phase.reset();
                 let acc = validation_accuracy(&network, states, val_items);
@@ -866,6 +1223,8 @@ impl FakeDetector {
             phase.reset();
             optimizer.apply(&mut network.params, &grads);
             phase.lap("train.optimizer", optimizer_us);
+            slot_losses = epoch_slot_losses;
+            }
             report.losses.push(loss_value);
             report.grad_norms.push(norm);
 
@@ -876,17 +1235,21 @@ impl FakeDetector {
             fd_obs::gauge("train.loss").set(f64::from(loss_value));
             fd_obs::gauge("train.grad_norm").set(f64::from(norm));
             fd_obs::gauge("train.lr").set(f64::from(optimizer.lr()));
-            if let Some([la, lc, ls]) = slot_losses {
+            if fd_obs::enabled(fd_obs::Level::Info) {
                 let mut fields: Vec<(&str, fd_obs::Value)> = vec![
                     ("epoch", epoch.into()),
                     ("loss", loss_value.into()),
-                    ("loss_articles", la.into()),
-                    ("loss_creators", lc.into()),
-                    ("loss_subjects", ls.into()),
-                    ("grad_norm", norm.into()),
-                    ("lr", optimizer.lr().into()),
-                    ("epoch_ms", (epoch_elapsed * 1e3).into()),
                 ];
+                // Slot decomposition exists only on the full-graph path;
+                // sampled epochs report the summed minibatch losses.
+                if let Some([la, lc, ls]) = slot_losses {
+                    fields.push(("loss_articles", la.into()));
+                    fields.push(("loss_creators", lc.into()));
+                    fields.push(("loss_subjects", ls.into()));
+                }
+                fields.push(("grad_norm", norm.into()));
+                fields.push(("lr", optimizer.lr().into()));
+                fields.push(("epoch_ms", (epoch_elapsed * 1e3).into()));
                 if let Some(acc) = epoch_val_acc {
                     fields.push(("val_acc", acc.into()));
                 }
@@ -1221,6 +1584,61 @@ mod tests {
                 rounds
             );
             assert_grads_close(&grads_bat, &grads_ref, 1e-4, 1e-6);
+        }
+    }
+
+    /// A subgraph that covers the whole graph (every node seeded, fanout
+    /// unbounded) must be indistinguishable from the full-graph forward:
+    /// the compacted index space degenerates to the identity and every
+    /// sampled adjacency list is the complete CSR list, so the sampled
+    /// forward must reproduce `forward_states_batched` bitwise.
+    #[test]
+    fn full_coverage_subgraph_forward_matches_batched_bitwise() {
+        let f = fixture();
+        let ctx = make_ctx(&f, 13);
+        let config = FakeDetectorConfig::default();
+        let dims = NetworkDims {
+            vocab: ctx.tokenized.vocab.id_space(),
+            explicit_dim: ctx.explicit.dim,
+            n_classes: ctx.n_classes(),
+        };
+        let network = Network::build(&config, dims, Params::new(), 21);
+
+        // Seed every node of every type in index order: interning then
+        // maps each global index to itself.
+        let mut seeds: Vec<(NodeType, usize)> = Vec::new();
+        seeds.extend((0..f.corpus.articles.len()).map(|i| (NodeType::Article, i)));
+        seeds.extend((0..f.corpus.creators.len()).map(|u| (NodeType::Creator, u)));
+        seeds.extend((0..f.corpus.subjects.len()).map(|s| (NodeType::Subject, s)));
+        let sampler = NeighborSampler::new(99, [usize::MAX; 3]);
+        let sub = sample_subgraph(&f.corpus.graph, &sampler, &seeds, 0, 3);
+        for (slot, n) in [
+            f.corpus.articles.len(),
+            f.corpus.creators.len(),
+            f.corpus.subjects.len(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(sub.nodes[slot], (0..*n).collect::<Vec<_>>(), "slot {slot} compaction");
+        }
+
+        let tape = Tape::with_capacity(1 << 16);
+        let binding = Binding::new(&tape, &network.params);
+        let batched = network.forward_states_batched(&config, &binding, &ctx);
+        let sampled =
+            network.forward_states_subgraph(&config, &binding, &ctx, &sub, config.diffusion_rounds);
+        for slot in 0..3 {
+            let b = tape.value(batched[slot]);
+            let s = tape.value(sampled[slot]);
+            assert_eq!(b.shape(), s.shape(), "slot {slot} shape");
+            for (i, (x, y)) in b.as_slice().iter().zip(s.as_slice()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "slot {slot}, flat index {i}: {x} vs {y}"
+                );
+            }
         }
     }
 

@@ -46,7 +46,9 @@ pub use analysis::{creator_tally, subject_tallies, word_frequencies, SubjectTall
 pub use corpus::{Article, Corpus, Creator, Subject};
 pub use experiment::{CredibilityModel, ExperimentContext, Predictions};
 pub use features::{ExplicitFeatures, FeatureWeighting, TokenizedCorpus};
-pub use generator::{generate, GeneratorConfig};
+pub use generator::{
+    generate, generate_at_scale, generate_shards, generate_tiled, GeneratorConfig,
+};
 pub use labels::{Credibility, LabelMode};
 pub use lexicon::{COMMON_WORDS, FALSE_SIGNATURE_WORDS, SUBJECT_TOPICS, TRUE_SIGNATURE_WORDS};
 pub use split::{sample_ratio, CvSplits, TrainSets};

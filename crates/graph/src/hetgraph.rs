@@ -1,6 +1,7 @@
 //! Typed node references and the heterogeneous graph itself.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// The three node categories of a News-HSN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -27,12 +28,86 @@ pub struct NodeRef {
     pub idx: usize,
 }
 
+/// Finalised CSR view of the undirected typed adjacency: one
+/// offset/target array pair per node type, targets in the exact order the
+/// old per-call `neighbors()` used to materialise (author port first for
+/// articles, then topic links in insertion order).
+///
+/// Built once from the append-side adjacency logs and cached; any
+/// mutation invalidates the cache. `offsets[ty]` has `count(ty) + 1`
+/// entries so the neighbour list of node `i` is
+/// `targets[ty][offsets[ty][i]..offsets[ty][i + 1]]` — a borrowed slice,
+/// no per-call allocation — and degree is an O(1) offset difference.
+#[derive(Debug, Clone, Default)]
+struct NeighborCsr {
+    offsets: [Vec<usize>; 3],
+    targets: [Vec<NodeRef>; 3],
+}
+
+impl NeighborCsr {
+    fn build(g: &HetGraph) -> Self {
+        let mut csr = NeighborCsr::default();
+
+        // Articles: author port (when assigned) then subjects in
+        // insertion order — the schema order the diffusion ports rely on.
+        let slot = NodeType::Article as usize;
+        let mut offsets = Vec::with_capacity(g.n_articles + 1);
+        let mut targets =
+            Vec::with_capacity(g.n_authorship_links() + g.n_subject_links());
+        offsets.push(0);
+        for a in 0..g.n_articles {
+            if g.author[a] != UNSET {
+                targets.push(NodeRef { ty: NodeType::Creator, idx: g.author[a] });
+            }
+            targets.extend(
+                g.article_subjects[a]
+                    .iter()
+                    .map(|&s| NodeRef { ty: NodeType::Subject, idx: s }),
+            );
+            offsets.push(targets.len());
+        }
+        csr.offsets[slot] = offsets;
+        csr.targets[slot] = targets;
+
+        // Creators and subjects: articles in insertion order.
+        for (slot, lists, ty) in [
+            (NodeType::Creator as usize, &g.creator_articles, NodeType::Article),
+            (NodeType::Subject as usize, &g.subject_articles, NodeType::Article),
+        ] {
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            let mut targets = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+            offsets.push(0);
+            for list in lists {
+                targets.extend(list.iter().map(|&a| NodeRef { ty, idx: a }));
+                offsets.push(targets.len());
+            }
+            csr.offsets[slot] = offsets;
+            csr.targets[slot] = targets;
+        }
+        csr
+    }
+
+    fn slice(&self, node: NodeRef) -> &[NodeRef] {
+        let slot = node.ty as usize;
+        let offsets = &self.offsets[slot];
+        &self.targets[slot][offsets[node.idx]..offsets[node.idx + 1]]
+    }
+}
+
 /// The News-HSN: articles, creators and subjects with authorship and
 /// topic-indication links.
 ///
 /// Structure is append-only: nodes are fixed at construction, links are
 /// added afterwards. Adjacency lists are kept sorted by insertion order
 /// (generation order), which downstream code relies on for determinism.
+///
+/// Reads go through a CSR (compressed sparse row) view — typed
+/// offset/target arrays built lazily on first query and invalidated by
+/// mutation — so [`HetGraph::neighbors`] returns a borrowed slice with no
+/// per-call allocation and [`HetGraph::degree`] is an O(1) offset
+/// difference. The append-side lists double as the (unchanged) serde
+/// representation, so corpora serialised before the CSR refactor load
+/// bit-for-bit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HetGraph {
     n_articles: usize,
@@ -47,6 +122,9 @@ pub struct HetGraph {
     article_subjects: Vec<Vec<usize>>,
     /// Articles under each subject.
     subject_articles: Vec<Vec<usize>>,
+    /// Lazily built CSR adjacency; never serialised, reset on mutation.
+    #[serde(skip)]
+    csr: OnceLock<NeighborCsr>,
 }
 
 const UNSET: usize = usize::MAX;
@@ -62,7 +140,29 @@ impl HetGraph {
             creator_articles: vec![Vec::new(); n_creators],
             article_subjects: vec![Vec::new(); n_articles],
             subject_articles: vec![Vec::new(); n_subjects],
+            csr: OnceLock::new(),
         }
+    }
+
+    /// The finalised CSR view, building it on first use.
+    fn csr(&self) -> &NeighborCsr {
+        self.csr.get_or_init(|| NeighborCsr::build(self))
+    }
+
+    /// Forces the CSR adjacency to be built now (it is otherwise built
+    /// lazily on the first [`HetGraph::neighbors`]/[`HetGraph::degree`]
+    /// query). Useful to pay the one-off construction cost at load time
+    /// instead of inside a benchmarked or latency-sensitive path.
+    pub fn finalize(&self) {
+        let _ = self.csr();
+    }
+
+    /// The raw CSR arrays for one node type: `(offsets, targets)` with
+    /// `offsets.len() == count + 1`, so node `i` of `ty` owns
+    /// `targets[offsets[i]..offsets[i + 1]]`.
+    pub fn neighbor_csr(&self, ty: NodeType) -> (&[usize], &[NodeRef]) {
+        let csr = self.csr();
+        (&csr.offsets[ty as usize], &csr.targets[ty as usize])
     }
 
     /// Number of articles.
@@ -110,6 +210,7 @@ impl HetGraph {
         );
         self.author[article] = creator;
         self.creator_articles[creator].push(article);
+        self.csr = OnceLock::new();
     }
 
     /// Links `article` to `subject` (articles may have many subjects).
@@ -125,6 +226,7 @@ impl HetGraph {
         );
         self.article_subjects[article].push(subject);
         self.subject_articles[subject].push(article);
+        self.csr = OnceLock::new();
     }
 
     /// The creator of `article`, if assigned.
@@ -150,43 +252,21 @@ impl HetGraph {
         &self.subject_articles[subject]
     }
 
-    /// Undirected degree of a node (authorship + topic links combined).
+    /// Undirected degree of a node (authorship + topic links combined) —
+    /// an O(1) difference of adjacent CSR offsets.
     pub fn degree(&self, node: NodeRef) -> usize {
-        match node.ty {
-            NodeType::Article => {
-                self.article_subjects[node.idx].len()
-                    + usize::from(self.author[node.idx] != UNSET)
-            }
-            NodeType::Creator => self.creator_articles[node.idx].len(),
-            NodeType::Subject => self.subject_articles[node.idx].len(),
-        }
+        let offsets = &self.csr().offsets[node.ty as usize];
+        offsets[node.idx + 1] - offsets[node.idx]
     }
 
     /// Undirected neighbours of a node, respecting the heterogeneous
     /// schema (creators and subjects only touch articles).
-    pub fn neighbors(&self, node: NodeRef) -> Vec<NodeRef> {
-        match node.ty {
-            NodeType::Article => {
-                let mut out = Vec::with_capacity(self.degree(node));
-                if let Some(c) = self.author_of(node.idx) {
-                    out.push(NodeRef { ty: NodeType::Creator, idx: c });
-                }
-                out.extend(
-                    self.article_subjects[node.idx]
-                        .iter()
-                        .map(|&s| NodeRef { ty: NodeType::Subject, idx: s }),
-                );
-                out
-            }
-            NodeType::Creator => self.creator_articles[node.idx]
-                .iter()
-                .map(|&a| NodeRef { ty: NodeType::Article, idx: a })
-                .collect(),
-            NodeType::Subject => self.subject_articles[node.idx]
-                .iter()
-                .map(|&a| NodeRef { ty: NodeType::Article, idx: a })
-                .collect(),
-        }
+    ///
+    /// Returns a borrowed CSR slice — no allocation per call. For
+    /// articles the author port (when assigned) comes first, then the
+    /// topic links in insertion order.
+    pub fn neighbors(&self, node: NodeRef) -> &[NodeRef] {
+        self.csr().slice(node)
     }
 
     /// Maps a typed reference to a dense global id in
@@ -361,6 +441,48 @@ mod tests {
         assert_eq!(g.author_of(0), None);
         assert_eq!(g.degree(NodeRef { ty: NodeType::Article, idx: 0 }), 0);
         assert!(g.edges_global().is_empty());
+    }
+
+    #[test]
+    fn csr_rebuilt_after_mutation() {
+        let mut g = HetGraph::new(2, 1, 1);
+        g.set_author(0, 0);
+        // First read builds the CSR...
+        assert_eq!(g.neighbors(NodeRef { ty: NodeType::Creator, idx: 0 }).len(), 1);
+        // ...and any mutation afterwards must invalidate it.
+        g.set_author(1, 0);
+        assert_eq!(g.neighbors(NodeRef { ty: NodeType::Creator, idx: 0 }).len(), 2);
+        g.add_subject_link(0, 0);
+        assert_eq!(g.degree(NodeRef { ty: NodeType::Article, idx: 0 }), 2);
+        assert_eq!(
+            g.neighbors(NodeRef { ty: NodeType::Article, idx: 0 }),
+            &[
+                NodeRef { ty: NodeType::Creator, idx: 0 },
+                NodeRef { ty: NodeType::Subject, idx: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn csr_offsets_are_consistent() {
+        let g = sample();
+        g.finalize();
+        let mut total = 0;
+        for ty in NodeType::ALL {
+            let (offsets, targets) = g.neighbor_csr(ty);
+            let count = match ty {
+                NodeType::Article => g.n_articles(),
+                NodeType::Creator => g.n_creators(),
+                NodeType::Subject => g.n_subjects(),
+            };
+            assert_eq!(offsets.len(), count + 1);
+            assert_eq!(offsets[0], 0);
+            assert_eq!(*offsets.last().unwrap(), targets.len());
+            assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+            total += targets.len();
+        }
+        // Every undirected edge appears once per endpoint.
+        assert_eq!(total, 2 * (g.n_authorship_links() + g.n_subject_links()));
     }
 
     #[test]

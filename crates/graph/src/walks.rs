@@ -78,6 +78,9 @@ pub fn generate_biased_walks(
 
     let uniform = (bias.p - 1.0).abs() < f64::EPSILON && (bias.q - 1.0).abs() < f64::EPSILON;
     let mut walks = Vec::with_capacity(starts.len() * config.walks_per_node);
+    // Reused across steps; `graph.neighbors` itself is a borrowed CSR
+    // slice, so the walk inner loop allocates nothing.
+    let mut weights: Vec<f64> = Vec::new();
     for _ in 0..config.walks_per_node {
         starts.shuffle(rng);
         for &start in &starts {
@@ -91,13 +94,15 @@ pub fn generate_biased_walks(
                     break;
                 }
                 let next = match previous {
-                    None => *neighbors.as_slice().choose(rng).expect("non-empty"),
-                    Some(_) if uniform => *neighbors.as_slice().choose(rng).expect("non-empty"),
+                    None => *neighbors.choose(rng).expect("non-empty"),
+                    Some(_) if uniform => *neighbors.choose(rng).expect("non-empty"),
                     Some(prev) => {
-                        let weights: Vec<f64> = neighbors
-                            .iter()
-                            .map(|&n| if n == prev { 1.0 / bias.p } else { 1.0 / bias.q })
-                            .collect();
+                        weights.clear();
+                        weights.extend(
+                            neighbors
+                                .iter()
+                                .map(|&n| if n == prev { 1.0 / bias.p } else { 1.0 / bias.q }),
+                        );
                         let total: f64 = weights.iter().sum();
                         let mut roll = rng.gen_range(0.0..total);
                         let mut chosen = neighbors[neighbors.len() - 1];

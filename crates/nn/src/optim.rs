@@ -143,6 +143,75 @@ impl Adam {
         AdamState { step: self.step, m: moments(&self.m), v: moments(&self.v) }
     }
 
+    /// Lazy ("sparse") variant of [`Optimizer::apply`] for minibatch
+    /// steps where most embedding-table rows receive no gradient: rows
+    /// whose gradient is entirely zero are skipped outright — their
+    /// weights are not touched and their moment estimates are *not*
+    /// decayed, so an embedding row's Adam trajectory depends only on
+    /// the steps that actually touched it (the standard lazy-Adam
+    /// semantics). For rows with any non-zero gradient entry the update
+    /// is bit-identical to the dense [`Optimizer::apply`] given the same
+    /// moments and step count. Row skipping is data-dependent but
+    /// deterministic, and each tensor still updates sequentially on one
+    /// thread, so results stay bit-identical for any `FD_THREADS`.
+    pub fn apply_sparse(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let Some(max_idx) = grads.iter().map(|(id, _)| id.index()).max() else {
+            return;
+        };
+        let width = params.len().max(max_idx + 1);
+        if self.m.len() < width {
+            self.m.resize_with(width, || None);
+            self.v.resize_with(width, || None);
+        }
+        let mut gradient_of: Vec<Option<&Matrix>> = vec![None; width];
+        for (id, g) in grads {
+            gradient_of[id.index()] = Some(g);
+            for slot in [&mut self.m[id.index()], &mut self.v[id.index()]] {
+                if slot.is_none() {
+                    *slot = Some(Matrix::zeros(g.rows(), g.cols()));
+                }
+            }
+        }
+        let scalars: usize = grads.iter().map(|(_, g)| g.len()).sum();
+        let mut tasks: Vec<(&mut Matrix, &mut Matrix, &mut Matrix, &Matrix)> = params
+            .values_mut()
+            .iter_mut()
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+            .enumerate()
+            .filter_map(|(i, ((p, m), v))| {
+                let g = gradient_of[i]?;
+                Some((p, m.as_mut().expect("moment ensured above"), v.as_mut().expect("moment ensured above"), g))
+            })
+            .collect();
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let work = scalars / tasks.len().max(1) * 10;
+        fd_tensor::parallel::par_for_each(&mut tasks, work, |(p, m, v, g)| {
+            let cols = g.cols();
+            for r in 0..g.rows() {
+                let g_row = &g.as_slice()[r * cols..(r + 1) * cols];
+                if g_row.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                let m_row = &mut m.as_mut_slice()[r * cols..(r + 1) * cols];
+                let v_row = &mut v.as_mut_slice()[r * cols..(r + 1) * cols];
+                let p_row = &mut p.as_mut_slice()[r * cols..(r + 1) * cols];
+                for ((mi, vi), &gi) in m_row.iter_mut().zip(v_row.iter_mut()).zip(g_row) {
+                    *mi = beta1 * *mi + (1.0 - beta1) * gi;
+                    *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
+                }
+                for ((pi, &mi), &vi) in p_row.iter_mut().zip(m_row.iter()).zip(v_row.iter()) {
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    *pi -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        });
+    }
+
     /// Restores state captured by [`Adam::export_state`], replacing any
     /// moments accumulated so far. Fails if a snapshot entry names a
     /// parameter `params` does not have, or shapes disagree — both mean
@@ -404,6 +473,98 @@ mod tests {
         let (a, b) = (run(1), run(4));
         for (ma, mb) in a.iter().zip(&b) {
             assert_eq!(ma.as_slice(), mb.as_slice(), "updates must not depend on FD_THREADS");
+        }
+    }
+
+    #[test]
+    fn sparse_adam_skips_zero_rows_and_matches_dense_on_touched_rows() {
+        let init = || {
+            let mut params = Params::new();
+            let id = params.get_or_insert("emb", || {
+                Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.1)
+            });
+            (params, id)
+        };
+        // Gradient touching rows 0 and 2 only.
+        let grad = Matrix::from_fn(4, 3, |r, c| {
+            if r % 2 == 0 { (c as f32 + 1.0) * 0.5 } else { 0.0 }
+        });
+
+        let (mut dense_params, id) = init();
+        let mut dense = Adam::new(0.1);
+        let (mut sparse_params, _) = init();
+        let mut sparse = Adam::new(0.1);
+        for _ in 0..3 {
+            dense.apply(&mut dense_params, &[(id, grad.clone())]);
+            sparse.apply_sparse(&mut sparse_params, &[(id, grad.clone())]);
+        }
+        let (d, s) = (dense_params.value(id), sparse_params.value(id));
+        let untouched = init().0.value(id).clone();
+        for r in 0..4 {
+            for c in 0..3 {
+                if r % 2 == 0 {
+                    // Touched rows: bit-identical to the dense update
+                    // (same step count, same moments for these rows).
+                    assert_eq!(d[(r, c)].to_bits(), s[(r, c)].to_bits(), "row {r} col {c}");
+                } else {
+                    // Untouched rows: left strictly alone.
+                    assert_eq!(s[(r, c)].to_bits(), untouched[(r, c)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_adam_moments_untouched_rows_do_not_decay() {
+        let mut params = Params::new();
+        let id = params.get_or_insert("w", || Matrix::zeros(2, 2));
+        let mut opt = Adam::new(0.1);
+        // Step 1 touches both rows; step 2 touches only row 0.
+        opt.apply_sparse(&mut params, &[(id, Matrix::ones(2, 2))]);
+        let m_after_1 = opt.export_state(&params).m[0].1.clone();
+        let partial = Matrix::from_fn(2, 2, |r, _| if r == 0 { 1.0 } else { 0.0 });
+        opt.apply_sparse(&mut params, &[(id, partial)]);
+        let m_after_2 = opt.export_state(&params).m[0].1.clone();
+        // Row 1's first moment is exactly what step 1 left there.
+        assert_eq!(m_after_2[(1, 0)].to_bits(), m_after_1[(1, 0)].to_bits());
+        assert_eq!(m_after_2[(1, 1)].to_bits(), m_after_1[(1, 1)].to_bits());
+        // Row 0's moved.
+        assert_ne!(m_after_2[(0, 0)].to_bits(), m_after_1[(0, 0)].to_bits());
+    }
+
+    #[test]
+    fn sparse_adam_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            fd_tensor::parallel::with_thread_count(threads, || {
+                let mut params = Params::new();
+                let ids: Vec<_> = (0..4)
+                    .map(|k| {
+                        params.get_or_insert(&format!("w{k}"), || {
+                            Matrix::from_fn(6, 5, |r, c| ((r * 5 + c + k) as f32).cos())
+                        })
+                    })
+                    .collect();
+                let mut opt = Adam::new(0.05);
+                for step in 0..4 {
+                    let grads: Vec<_> = ids
+                        .iter()
+                        .map(|&id| {
+                            // Zero out alternating rows so sparsity is real.
+                            let w = params.value(id);
+                            let g = Matrix::from_fn(w.rows(), w.cols(), |r, c| {
+                                if (r + step) % 2 == 0 { w[(r, c)] * 0.1 } else { 0.0 }
+                            });
+                            (id, g)
+                        })
+                        .collect();
+                    opt.apply_sparse(&mut params, &grads);
+                }
+                ids.iter().map(|&id| params.value(id).clone()).collect::<Vec<_>>()
+            })
+        };
+        let (a, b) = (run(1), run(4));
+        for (ma, mb) in a.iter().zip(&b) {
+            assert_eq!(ma.as_slice(), mb.as_slice(), "sparse updates must not depend on FD_THREADS");
         }
     }
 

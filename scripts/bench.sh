@@ -7,7 +7,10 @@
 #   tape-free forward).
 # * BENCH_train.json — full training epochs at Table-1 scale: the
 #   per-node reference tape vs the batched matrix-level graph across
-#   FD_THREADS {1,2,4,8} (losses must be bit-identical at every width).
+#   FD_THREADS {1,2,4,8} (losses must be bit-identical at every width),
+#   plus a neighbour-sampled scale sweep (default corpus scales
+#   0.1/1/8 ≈ 1.4k/14k/112k articles) recording one sampled epoch's
+#   wall-clock and peak RSS per scale.
 # * BENCH_serve.json — the fd-serve HTTP load benchmark: 32 concurrent
 #   keep-alive clients against the in-process server, with every
 #   response verified bitwise against a sequential reference pass,
@@ -17,6 +20,10 @@
 # the resolved runtime width, and the detected SIMD level.
 #
 # Usage: scripts/bench.sh [tensor_out.json] [train_out.json] [train_scale]
+#                         [serve_out.json] [sweep_scales]
+#
+# `sweep_scales` is the comma-separated list for the sampled scale
+# sweep (pass "" to skip it).
 #
 # Any failing report subcommand (including a bitwise-determinism
 # violation in the serve benchmark, which panics) aborts the script
@@ -30,6 +37,7 @@ tensor_out="${1:-BENCH_tensor.json}"
 train_out="${2:-BENCH_train.json}"
 train_scale="${3:-1.0}"
 serve_out="${4:-BENCH_serve.json}"
+sweep_scales="${5:-0.1,1,8}"
 
 run_report() {
     step="$1"
@@ -42,7 +50,7 @@ run_report() {
 }
 
 run_report tensor tensor "$tensor_out"
-run_report train train "$train_out" "$train_scale"
+run_report train train "$train_out" "$train_scale" "$sweep_scales"
 run_report serve serve "$serve_out" 32 12
 
 # Scaling smoke: threads must actually pay. On a multi-core machine the

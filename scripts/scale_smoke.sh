@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Bounded-memory scale drill for neighbour-sampled minibatch training:
+#
+# 1. Train one sampled epoch over a tiled corpus at --scale N (default
+#    8 = 8 Table-1 shards ≈ 112k articles) under a hard address-space
+#    ceiling (ulimit -v). The dense full-graph path materialises one
+#    N×H variable per (node type, diffusion round) on the autograd tape
+#    and does not fit; peak memory in sampled mode scales with
+#    batch×fanout^rounds, so the run must complete under the ceiling.
+# 2. Assert checkpoint/resume stays bitwise in sampled mode: a control
+#    run (2 epochs, per-epoch checkpoints) vs an interrupted run (1
+#    epoch, then --resume to 2) must produce byte-identical final
+#    checkpoints (checkpoints carry weights + optimizer state + loss
+#    history and exclude wall-clock, so byte equality is the bitwise-
+#    resume guarantee; train bundles embed epoch_ms and cannot match).
+# 3. Regenerate a small BENCH_train.json (scale sweep included) and
+#    gate its provenance header — scale, machine_threads, per-point
+#    peak_rss_mb — through `fdctl obs --check --bench`.
+#
+# Usage: scripts/scale_smoke.sh [big_scale] [vmem_kb]
+#
+# Exits non-zero, naming the step, on any violation.
+set -eu
+cd "$(dirname "$0")/.."
+big_scale="${1:-8}"
+vmem_kb="${2:-4194304}" # 4 GiB
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/fd-scale-XXXXXX")"
+trap 'rm -rf "$work"' EXIT INT TERM
+
+echo "==> build fdctl + report (release)" >&2
+cargo build --release --bin fdctl -p fakedetector
+cargo build --release --bin report -p fd-bench
+fdctl=target/release/fdctl
+
+echo "==> sampled epoch at scale $big_scale under ulimit -v ${vmem_kb}kB" >&2
+(
+    ulimit -v "$vmem_kb"
+    "$fdctl" train --scale "$big_scale" --seed 7 --epochs 1 \
+        --batch-size 256 --fanout 8 --rounds 2 --out "$work/big.json"
+) || {
+    echo "scale_smoke.sh: sampled training failed under the memory ceiling" >&2
+    exit 1
+}
+[ -s "$work/big.json" ] || {
+    echo "scale_smoke.sh: sampled run left no bundle behind" >&2
+    exit 1
+}
+
+echo "==> bitwise checkpoint/resume in sampled mode (scale 1)" >&2
+train1() {
+    # $1 = bundle path, $2 = checkpoint dir, $3 = epochs, then extras.
+    out="$1"; dir="$2"; epochs="$3"; shift 3
+    "$fdctl" train --scale 1 --seed 42 --epochs "$epochs" \
+        --batch-size 256 --fanout 8 --rounds 2 \
+        --checkpoint-dir "$dir" --checkpoint-every 1 --out "$out" "$@"
+}
+train1 "$work/control.json" "$work/ckpt-control" 2
+train1 "$work/partial.json" "$work/ckpt-resume" 1
+train1 "$work/resumed.json" "$work/ckpt-resume" 2 --resume
+latest() {
+    find "$1" -name '*.fdck' | sort | tail -1
+}
+control_final="$(latest "$work/ckpt-control")"
+resumed_final="$(latest "$work/ckpt-resume")"
+if [ "$(basename "$control_final")" != "$(basename "$resumed_final")" ]; then
+    echo "scale_smoke.sh: control and resumed runs ended at different epochs" >&2
+    exit 1
+fi
+if ! cmp "$control_final" "$resumed_final"; then
+    echo "scale_smoke.sh: sampled resume diverged bitwise from the control run" >&2
+    exit 1
+fi
+
+echo "==> BENCH_train.json provenance gate" >&2
+cargo run --release -q -p fd-bench --bin report -- train "$work/bench.json" 0.05 "0.05,0.1"
+FD_LOG=info FD_LOG_FILE="$work/obs.jsonl" "$fdctl" obs --check \
+    --bench "$work/bench.json" --out "$work/OBS.json" --epochs 2 --scale 0.02
+
+echo "==> scale smoke passed" >&2

@@ -1,9 +1,11 @@
 //! `fdctl` — command-line workflow around the fakedetector library.
 //!
 //! ```sh
-//! fdctl generate --scale 0.05 --seed 42 --out corpus.json
+//! fdctl generate --scale 0.05 --seed 42 --out corpus.json   # whole scales > 1 tile Table-1 shards
 //! fdctl train    --corpus corpus.json --out model.json [--mode binary|multi] [--theta 0.5] [--epochs 60]
 //!                [--checkpoint-dir ckpts/] [--checkpoint-every 5] [--checkpoint-keep 3] [--resume]
+//!                [--batch-size 256 [--fanout 8] [--rounds 2]]  # neighbour-sampled minibatch mode
+//! fdctl train    --scale 8 --out model.json [...]             # synthetic corpus, no corpus file
 //! fdctl predict  --corpus corpus.json --model model.json [--out predictions.json]
 //! fdctl evaluate --corpus corpus.json --model model.json
 //! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
@@ -105,11 +107,24 @@ fn load_corpus(opts: &HashMap<String, String>) -> Result<Corpus, String> {
     Corpus::from_json(&json)
 }
 
+/// Checks a `--scale` value the way [`generate_at_scale`] will: scales
+/// above 1 tile whole Table-1 shards, so they must be whole numbers.
+fn validate_scale(scale: f64) -> Result<(), String> {
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(format!("--scale {scale}: must be positive"));
+    }
+    if scale > 1.0 && (scale - scale.round()).abs() > 1e-9 {
+        return Err(format!("--scale {scale}: scales above 1 must be whole shard counts"));
+    }
+    Ok(())
+}
+
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     let scale: f64 = opt_parse(opts, "scale", 0.05)?;
     let seed: u64 = opt_parse(opts, "seed", 42)?;
     let out = required(opts, "out")?;
-    let corpus = generate(&GeneratorConfig::politifact().scaled(scale), seed);
+    validate_scale(scale)?;
+    let corpus = generate_at_scale(&GeneratorConfig::politifact(), scale, seed);
     std::fs::write(out, corpus.to_json()).map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
         "wrote {out}: {} articles / {} creators / {} subjects",
@@ -142,7 +157,6 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     if fit_options.resume && fit_options.checkpoint_dir.is_none() {
         return Err("--resume needs --checkpoint-dir".into());
     }
-    let corpus = load_corpus(opts)?;
     let out = required(opts, "out")?;
     let mode = parse_mode(opts.get("mode").map(String::as_str).unwrap_or("binary"))?;
     let theta: f64 = opt_parse(opts, "theta", 1.0)?;
@@ -151,6 +165,41 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let explicit_dim: usize = opt_parse(opts, "explicit-dim", 60)?;
     let seq_len: usize = opt_parse(opts, "seq-len", 12)?;
     let max_vocab: usize = opt_parse(opts, "max-vocab", 6000)?;
+    // `--batch-size` selects the neighbour-sampled minibatch trainer;
+    // `--fanout`/`--rounds` refine it and are meaningless without it.
+    let train_mode = if opts.contains_key("batch-size") {
+        let batch_size: usize = opt_parse(opts, "batch-size", 256)?;
+        let fanout: usize = opt_parse(opts, "fanout", 8)?;
+        let rounds: usize = opt_parse(opts, "rounds", 2)?;
+        if batch_size == 0 || rounds == 0 {
+            return Err("--batch-size and --rounds must be at least 1".into());
+        }
+        TrainMode::Sampled { batch_size, fanout, rounds }
+    } else if opts.contains_key("fanout") || opts.contains_key("rounds") {
+        return Err("--fanout/--rounds need --batch-size (sampled minibatch mode)".into());
+    } else {
+        TrainMode::Full
+    };
+    // `--corpus file` trains on a saved corpus; `--scale N` generates a
+    // synthetic Table-1-shaped one in memory (whole scales > 1 tile
+    // that many shards — the bounded-memory path scale_smoke.sh
+    // exercises at 100k+ articles).
+    let corpus = if opts.contains_key("corpus") {
+        load_corpus(opts)?
+    } else if opts.contains_key("scale") {
+        let scale: f64 = opt_parse(opts, "scale", 1.0)?;
+        validate_scale(scale)?;
+        let corpus = generate_at_scale(&GeneratorConfig::politifact(), scale, seed);
+        eprintln!(
+            "generated synthetic corpus at scale {scale}: {} articles / {} creators / {} subjects",
+            corpus.articles.len(),
+            corpus.creators.len(),
+            corpus.subjects.len()
+        );
+        corpus
+    } else {
+        return Err("--corpus or --scale is required".into());
+    };
 
     let mut rng = StdRng::seed_from_u64(seed);
     let folds = [
@@ -179,6 +228,12 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         train.creators.len(),
         train.subjects.len()
     );
+    if let TrainMode::Sampled { batch_size, fanout, rounds } = train_mode {
+        eprintln!(
+            "neighbour-sampled minibatches: batch_size {batch_size}, fanout {fanout}, \
+             {rounds} hop(s)"
+        );
+    }
     if let Some(dir) = &fit_options.checkpoint_dir {
         eprintln!(
             "checkpointing to {} every {} epoch(s), keeping {}{}",
@@ -188,7 +243,7 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
             if fit_options.resume { ", resuming from the newest valid checkpoint" } else { "" }
         );
     }
-    let config = FakeDetectorConfig { epochs, ..FakeDetectorConfig::default() };
+    let config = FakeDetectorConfig { epochs, train_mode, ..FakeDetectorConfig::default() };
     let trained = FakeDetector::new(config).fit_with(&ctx, &fit_options)?;
     eprintln!(
         "loss {:.2} -> {:.2}",
@@ -632,10 +687,13 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Runs an instrumented smoke train (generate → featurise → fit →
-/// predict → predict_proba) and writes the metrics snapshot to `--out`
-/// (default `OBS_train.json`). With `--check` it additionally validates
-/// the `FD_LOG_FILE` JSONL log and the snapshot's expected keys; CI runs
-/// this under `FD_LOG=debug`.
+/// predict → predict_proba), follows it with a short neighbour-sampled
+/// pass, and writes the metrics snapshot to `--out` (default
+/// `OBS_train.json`). With `--check` it additionally validates the
+/// `FD_LOG_FILE` JSONL log, the snapshot's expected keys (including the
+/// sampler/minibatch histograms), and — when `--bench BENCH_train.json`
+/// is given — that file's provenance header; CI runs this under
+/// `FD_LOG=debug`.
 fn cmd_obs(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = opts.get("out").map(String::as_str).unwrap_or("OBS_train.json");
     let scale: f64 = opt_parse(opts, "scale", 0.02)?;
@@ -678,20 +736,76 @@ fn cmd_obs(opts: &HashMap<String, String>) -> Result<(), String> {
         predictions.articles.len() + predictions.creators.len() + predictions.subjects.len()
     );
 
+    // A short neighbour-sampled pass through the same pipeline, so the
+    // sampler/minibatch instruments (`train.phase.sample_us`,
+    // `train.sampler.*`) carry data the check can validate.
+    let sampled_epochs = 2usize;
+    let sampled_cfg = FakeDetectorConfig {
+        epochs: sampled_epochs,
+        validation_fraction: 0.0,
+        train_mode: TrainMode::Sampled { batch_size: 16, fanout: 4, rounds: 2 },
+        ..FakeDetectorConfig::default()
+    };
+    let sampled = FakeDetector::new(sampled_cfg).fit(&ctx);
+    eprintln!("sampled smoke train done: {} epochs", sampled.report().losses.len());
+
     let snapshot = fakedetector::obs::snapshot();
     std::fs::write(out, &snapshot).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {out}");
     flush_trace()?;
     if check {
-        check_obs(&snapshot, epochs)?;
+        check_obs(&snapshot, epochs + sampled_epochs)?;
+        if let Some(bench_path) = opts.get("bench") {
+            check_bench_provenance(bench_path)?;
+        }
         eprintln!("obs check passed");
     }
     Ok(())
 }
 
+/// Validates the provenance header of a `BENCH_train.json` written by
+/// `report -- train`: the hardware fields every report must carry, the
+/// corpus `scale`, and — when a scale sweep ran — per-point `scale`,
+/// `articles` and `peak_rss_mb` so bounded-memory claims stay auditable.
+fn check_bench_provenance(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let bench =
+        parsed.as_content().as_map().ok_or_else(|| format!("{path}: not a JSON object"))?;
+    let field = |name: &str| -> Result<&serde::Content, String> {
+        serde::content_get(bench, name)
+            .ok_or_else(|| format!("{path}: provenance header missing {name:?}"))
+    };
+    if field("scale")?.as_f64().is_none() {
+        return Err(format!("{path}: scale is not a number"));
+    }
+    if field("machine_threads")?.as_u64().is_none() {
+        return Err(format!("{path}: machine_threads is not a number"));
+    }
+    for name in ["fd_threads_resolved", "simd_level", "generator"] {
+        field(name)?;
+    }
+    let sweep = field("scale_sweep")?
+        .as_seq()
+        .ok_or_else(|| format!("{path}: scale_sweep is not an array"))?;
+    for (i, point) in sweep.iter().enumerate() {
+        let point =
+            point.as_map().ok_or_else(|| format!("{path}: scale_sweep[{i}] not an object"))?;
+        for name in ["scale", "articles", "sampled_epoch_ms", "peak_rss_mb"] {
+            if serde::content_get(point, name).and_then(serde::Content::as_f64).is_none() {
+                return Err(format!("{path}: scale_sweep[{i}] missing numeric {name}"));
+            }
+        }
+    }
+    eprintln!("bench provenance ok: {path} ({} scale-sweep points)", sweep.len());
+    Ok(())
+}
+
 /// Asserts the snapshot and the `FD_LOG_FILE` JSONL log carry what an
-/// instrumented smoke train must produce. Fails with a description of
-/// the first missing piece.
+/// instrumented smoke train must produce. `epochs` is the total across
+/// both smoke passes (full-graph + neighbour-sampled). Fails with a
+/// description of the first missing piece.
 fn check_obs(snapshot: &str, epochs: usize) -> Result<(), String> {
     use fakedetector::obs::Level;
 
@@ -742,6 +856,19 @@ fn check_obs(snapshot: &str, epochs: usize) -> Result<(), String> {
     }
     for phase in ["validate", "checkpoint"] {
         histogram_count(&format!("train.phase.{phase}_us"))?;
+    }
+    // The neighbour-sampled smoke pass must populate the sampler
+    // instruments: per-batch sampling time, the realised per-list
+    // fan-out, and the compacted subgraph sizes.
+    for name in [
+        "train.phase.sample_us",
+        "train.sampler.fanout",
+        "train.sampler.subgraph_nodes",
+        "train.sampler.subgraph_edges",
+    ] {
+        if histogram_count(name)? == 0 {
+            return Err(format!("histogram {name} is empty"));
+        }
     }
 
     // The Prometheus exposition of this very registry must parse under

@@ -59,11 +59,11 @@ pub mod prelude {
     pub use fd_baselines::{
         default_baselines, DeepWalk, Line, Propagation, RnnBaseline, SvmBaseline,
     };
-    pub use fd_core::{FakeDetector, FakeDetectorConfig};
+    pub use fd_core::{FakeDetector, FakeDetectorConfig, TrainMode};
     pub use fd_data::{
-        creator_tally, generate, sample_ratio, subject_tallies, word_frequencies, Corpus,
-        Credibility, CredibilityModel, CvSplits, ExperimentContext, ExplicitFeatures,
-        GeneratorConfig, LabelMode, Predictions, TokenizedCorpus, TrainSets,
+        creator_tally, generate, generate_at_scale, sample_ratio, subject_tallies,
+        word_frequencies, Corpus, Credibility, CredibilityModel, CvSplits, ExperimentContext,
+        ExplicitFeatures, GeneratorConfig, LabelMode, Predictions, TokenizedCorpus, TrainSets,
     };
     pub use fd_graph::{HetGraph, NodeRef, NodeType};
     pub use fd_metrics::{ConfusionMatrix, MetricKind, SweepResults};
