@@ -23,6 +23,16 @@
 //!   sequential reference pass, and writes throughput, latency
 //!   percentiles and the observed batch-size histogram to
 //!   `BENCH_serve.json`.
+//! * `cargo run --release -p fd-bench --bin report -- ingest [out.json] [scales]`
+//!   the early-detection benchmark of `POST /v1/ingest`: at each
+//!   comma-separated corpus scale (default `1,8`) it trains a model,
+//!   starts the server in-process, ingests single articles at subject
+//!   degrees 0–5 under continuous predict load, checks every ingested
+//!   node against a full extended-graph recompute (documented bound
+//!   1e-5), and writes per-degree latency percentiles, the delta
+//!   curve, and the cross-scale latency ratio to `BENCH_ingest.json`.
+//!   The ratio gate (< 4× between the largest and smallest scale) is
+//!   the corpus-size-independence claim, enforced at run time.
 
 use fd_metrics::{MetricKind, SweepResults};
 use fd_obs::{event, Level};
@@ -68,6 +78,25 @@ fn main() {
                 .unwrap_or_else(|e| panic!("bad scale: {e}"));
             let point = train::sampled_scale_run(scale);
             println!("{}", serde_json::to_string(&point).expect("serialise scale point"));
+        }
+        Some(mode) if mode == "ingest" => {
+            let out = args.next().unwrap_or_else(|| "BENCH_ingest.json".into());
+            // Comma-separated corpus scales; the latency-ratio gate
+            // compares the last against the first.
+            let scales: Vec<f64> = args
+                .next()
+                .map(|s| {
+                    s.split(',')
+                        .filter(|t| !t.trim().is_empty())
+                        .map(|t| {
+                            t.trim()
+                                .parse()
+                                .unwrap_or_else(|e| panic!("bad ingest scale `{t}`: {e}"))
+                        })
+                        .collect()
+                })
+                .unwrap_or_else(|| vec![1.0, 8.0]);
+            ingest::write_report(&out, &scales);
         }
         Some(mode) if mode == "serve" => {
             let out = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
@@ -737,6 +766,368 @@ mod serve {
             "graceful_shutdown_ms": round2(shutdown_ms),
             "trace": trace_json,
             "precision": precision_json,
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+        fd_obs::event(fd_obs::Level::Info, "report.wrote", &[("path", out_path.into())]);
+    }
+}
+
+mod ingest {
+    //! The `ingest` mode: the early-detection benchmark of
+    //! `POST /v1/ingest`. Per corpus scale it trains a model, serves it
+    //! in-process, and times single-article ingests at subject degrees
+    //! 0–5 while background clients hammer `/v1/predict` (every one of
+    //! those must come back 200 — ingest never blocks serving). Every
+    //! ingested node's probabilities are then checked against the
+    //! honest O(corpus) extended-graph recompute, per degree, against
+    //! the documented 1e-5 bound. Across scales, the median ingest
+    //! latency of the largest corpus must stay under 4× the smallest —
+    //! the measurable form of "ingest cost tracks the neighbourhood,
+    //! not the corpus".
+
+    use fd_core::{FakeDetector, FakeDetectorConfig, TrainMode, TrainedFakeDetector};
+    use fd_data::{
+        generate_at_scale, CvSplits, ExperimentContext, ExplicitFeatures, GeneratorConfig,
+        LabelMode, TokenizedCorpus, TrainSets,
+    };
+    use fd_graph::{GraphOverlay, NodeType};
+    use fd_serve::{
+        HttpClient, IngestArticle, IngestBatch, IngestReport, ServeConfig, ServeModel, Server,
+    };
+    use fd_tensor::Matrix;
+    use fd_text::{encode_sequence, Tokenizer};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const EXPLICIT_DIM: usize = 40;
+    const SEQ_LEN: usize = 10;
+    const MAX_VOCAB: usize = 4000;
+    /// The serving guarantee from DESIGN.md "Incremental diffusion".
+    const DELTA_BOUND: f32 = 1e-5;
+    const MAX_DEGREE: usize = 5;
+    const INGESTS_PER_DEGREE: usize = 8;
+
+    fn round2(v: f64) -> f64 {
+        (v * 100.0).round() / 100.0
+    }
+
+    /// Nearest-rank percentile over an ascending-sorted sample.
+    fn pctl(sorted: &[f64], q: f64) -> f64 {
+        sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
+    }
+
+    fn median(samples: &[f64]) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        pctl(&sorted, 0.5)
+    }
+
+    /// The in-process mirror of the server's attach path over the
+    /// frozen feature pipeline; its [`extended_states_rounds`] pass is
+    /// the full-recompute reference every delta is judged against.
+    ///
+    /// [`extended_states_rounds`]: TrainedFakeDetector::extended_states_rounds
+    struct Reference<'a> {
+        ctx: ExperimentContext<'a>,
+        trained: &'a TrainedFakeDetector,
+        overlay: GraphOverlay,
+        explicit_rows: [Vec<Vec<f32>>; 3],
+        sequences: [Vec<Vec<usize>>; 3],
+    }
+
+    impl<'a> Reference<'a> {
+        fn new(ctx: ExperimentContext<'a>, trained: &'a TrainedFakeDetector) -> Self {
+            let overlay = GraphOverlay::new(&ctx.corpus.graph);
+            Self {
+                ctx,
+                trained,
+                overlay,
+                explicit_rows: Default::default(),
+                sequences: Default::default(),
+            }
+        }
+
+        fn apply_article(&mut self, article: &IngestArticle) {
+            self.overlay
+                .add_article(article.creator, &article.subjects)
+                .expect("bench sends valid articles");
+            let tokens = Tokenizer::default().tokenize(&article.text);
+            self.explicit_rows[0].push(
+                self.ctx.explicit.featurise_tokens(NodeType::Article, &tokens).row(0).to_vec(),
+            );
+            self.sequences[0].push(encode_sequence(
+                &tokens,
+                &self.ctx.tokenized.vocab,
+                self.ctx.tokenized.seq_len,
+            ));
+        }
+
+        /// Final-round article probabilities via the honest O(corpus)
+        /// recompute over the extended graph.
+        fn full_recompute_article_probabilities(&self) -> Vec<Vec<f32>> {
+            let new_explicit: [Matrix; 3] = std::array::from_fn(|slot| {
+                let rows = &self.explicit_rows[slot];
+                let mut m = Matrix::zeros(rows.len(), self.ctx.explicit.dim);
+                for (k, row) in rows.iter().enumerate() {
+                    m.row_mut(k).copy_from_slice(row);
+                }
+                m
+            });
+            let history = self
+                .trained
+                .extended_states_rounds(&self.ctx, &self.overlay, &new_explicit, &self.sequences)
+                .expect("extended recompute");
+            let last = history.last().expect("at least one round");
+            (0..last[0].rows())
+                .map(|i| self.trained.node_probabilities(NodeType::Article, last[0].row(i)))
+                .collect()
+        }
+    }
+
+    struct ScaleRun {
+        json: serde_json::Value,
+        median_ingest_ms: f64,
+    }
+
+    fn scale_run(scale: f64) -> ScaleRun {
+        let seed = 42;
+        let corpus = generate_at_scale(&GeneratorConfig::politifact(), scale, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 10, &mut rng).fold(0).0,
+        };
+        let tokenized = TokenizedCorpus::build(&corpus, SEQ_LEN, MAX_VOCAB);
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, EXPLICIT_DIM);
+        let ctx = ExperimentContext {
+            corpus: &corpus,
+            tokenized: &tokenized,
+            explicit: &explicit,
+            train: &train,
+            mode: LabelMode::Binary,
+            seed,
+        };
+        // Above Table-1 scale, train with the bounded-memory sampled
+        // path (the ingest timings do not depend on how the weights
+        // were fitted, only on the serving graph's size).
+        let mut model_cfg = FakeDetectorConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            ..FakeDetectorConfig::default()
+        };
+        if scale > 1.0 {
+            model_cfg.train_mode = TrainMode::Sampled { batch_size: 256, fanout: 8, rounds: 2 };
+        }
+        let trained = FakeDetector::new(model_cfg).fit(&ctx);
+        let twin = TrainedFakeDetector::from_json(&trained.to_json()).expect("weights round-trip");
+
+        let warmup = Instant::now();
+        let model = ServeModel::new(
+            corpus.clone(),
+            twin,
+            train.clone(),
+            LabelMode::Binary,
+            EXPLICIT_DIM,
+            SEQ_LEN,
+            MAX_VOCAB,
+        );
+        let warmup_ms = warmup.elapsed().as_secs_f64() * 1e3;
+        let (articles_n, creators_n, subjects_n) = model.corpus_sizes();
+        let config = ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() };
+        let server = Server::start(Arc::new(model), &config).expect("start server");
+        let addr = server.local_addr().to_string();
+
+        // Background predict hammer: the zero-dropped-requests claim is
+        // only worth stating if predicts actually overlap the ingests.
+        let stop = Arc::new(AtomicBool::new(false));
+        let sent = Arc::new(AtomicUsize::new(0));
+        let non_200 = Arc::new(AtomicUsize::new(0));
+        let hammers: Vec<_> = (0..2)
+            .map(|t| {
+                let addr = addr.clone();
+                let (stop, sent, non_200) =
+                    (Arc::clone(&stop), Arc::clone(&sent), Arc::clone(&non_200));
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(&addr).expect("hammer connect");
+                    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::SeqCst) {
+                        let body = format!(
+                            "{{\"text\":\"load probe {t}-{i} on medicare\",\"creator\":{},\"subjects\":[{}]}}",
+                            i % creators_n,
+                            i % subjects_n
+                        );
+                        let (status, _) = client.post("/v1/predict", &body).expect("post");
+                        sent.fetch_add(1, Ordering::SeqCst);
+                        if status != 200 {
+                            non_200.fetch_add(1, Ordering::SeqCst);
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+
+        // Single-article ingests at subject degrees 0..=5 (the creator
+        // edge is always present — degree counts the subjects cited).
+        let mut reference = Reference::new(ctx, &trained);
+        let mut ingest_client = HttpClient::connect(&addr).expect("connect");
+        ingest_client.set_timeout(Duration::from_secs(60)).expect("timeout");
+        let mut all_ms: Vec<f64> = Vec::new();
+        struct DegreeSamples {
+            ms: Vec<f64>,
+            attach_us: Vec<f64>,
+            diffuse_us: Vec<f64>,
+            affected: Vec<f64>,
+            reported: Vec<(usize, Vec<f32>)>,
+        }
+        let mut per_degree: Vec<DegreeSamples> = Vec::new();
+        for degree in 0..=MAX_DEGREE {
+            let mut samples = DegreeSamples {
+                ms: Vec::new(),
+                attach_us: Vec::new(),
+                diffuse_us: Vec::new(),
+                affected: Vec::new(),
+                reported: Vec::new(),
+            };
+            for i in 0..INGESTS_PER_DEGREE {
+                let article = IngestArticle {
+                    text: format!(
+                        "breaking claim {degree}-{i} disputes the budget, immigration and health care record"
+                    ),
+                    creator: (degree * INGESTS_PER_DEGREE + i) % creators_n,
+                    subjects: (0..degree).map(|k| (i * 7 + k) % subjects_n).collect(),
+                };
+                let batch =
+                    IngestBatch { articles: vec![article.clone()], ..IngestBatch::default() };
+                let body = serde_json::to_string(&batch).expect("batch json");
+                let posted = Instant::now();
+                let (status, response) =
+                    ingest_client.post("/v1/ingest", &body).expect("post ingest");
+                let ms = posted.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(status, 200, "ingest at degree {degree} failed: {response}");
+                let report: IngestReport = serde_json::from_str(&response).expect("report json");
+                samples.ms.push(ms);
+                all_ms.push(ms);
+                samples.attach_us.push(report.attach_us as f64);
+                samples.diffuse_us.push(report.diffuse_us as f64);
+                samples.affected.push(report.affected_base_nodes as f64);
+                let node = &report.articles[0];
+                samples.reported.push((node.id, node.probabilities.clone()));
+                reference.apply_article(&article);
+            }
+            per_degree.push(samples);
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        for hammer in hammers {
+            hammer.join().expect("hammer thread");
+        }
+        server.shutdown();
+
+        // The delta curve: every ingested article vs the full
+        // extended-graph recompute, grouped by degree.
+        let full = reference.full_recompute_article_probabilities();
+        let mut overall_delta = 0.0f32;
+        let degrees_json: Vec<serde_json::Value> = per_degree
+            .iter()
+            .enumerate()
+            .map(|(degree, samples)| {
+                let mut max_delta = 0.0f32;
+                for (id, probs) in &samples.reported {
+                    for (a, b) in probs.iter().zip(&full[*id]) {
+                        max_delta = max_delta.max((a - b).abs());
+                    }
+                }
+                assert!(
+                    max_delta <= DELTA_BOUND,
+                    "degree {degree}: max |Δ| {max_delta} exceeds the documented {DELTA_BOUND} bound"
+                );
+                overall_delta = overall_delta.max(max_delta);
+                let mut sorted = samples.ms.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+                let mean =
+                    |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+                serde_json::json!({
+                    "degree": degree,
+                    "ingests": samples.ms.len(),
+                    "ingest_ms_p50": round2(pctl(&sorted, 0.50)),
+                    "ingest_ms_p90": round2(pctl(&sorted, 0.90)),
+                    "ingest_ms_max": round2(pctl(&sorted, 1.0)),
+                    "attach_us_median": round2(median(&samples.attach_us)),
+                    "diffuse_us_median": round2(median(&samples.diffuse_us)),
+                    "affected_base_nodes_mean": round2(mean(&samples.affected)),
+                    "max_abs_delta_vs_full_recompute": max_delta,
+                })
+            })
+            .collect();
+
+        let requests = sent.load(Ordering::SeqCst);
+        let failures = non_200.load(Ordering::SeqCst);
+        assert!(requests > 0, "the predict hammer must have overlapped the ingests");
+        assert_eq!(failures, 0, "{failures} of {requests} predicts failed during ingest");
+
+        let mut sorted = all_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ingest_ms = pctl(&sorted, 0.5);
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.ingest_scale",
+            &[
+                ("scale", scale.into()),
+                ("articles", articles_n.into()),
+                ("median_ingest_ms", median_ingest_ms.into()),
+                ("max_abs_delta", (overall_delta as f64).into()),
+            ],
+        );
+        let hammer_json = serde_json::json!({
+            "requests": requests,
+            "non_200": failures,
+        });
+        let json = serde_json::json!({
+            "scale": scale,
+            "articles": articles_n,
+            "creators": creators_n,
+            "subjects": subjects_n,
+            "warmup_full_diffusion_ms": round2(warmup_ms),
+            "ingests": all_ms.len(),
+            "ingest_ms_p50": round2(pctl(&sorted, 0.50)),
+            "ingest_ms_p90": round2(pctl(&sorted, 0.90)),
+            "ingest_ms_max": round2(pctl(&sorted, 1.0)),
+            "degrees": degrees_json,
+            "max_abs_delta_vs_full_recompute": overall_delta,
+            "predict_hammer": hammer_json,
+        });
+        ScaleRun { json, median_ingest_ms }
+    }
+
+    pub fn write_report(out_path: &str, scales: &[f64]) {
+        assert!(!scales.is_empty(), "need at least one ingest scale");
+        let runs: Vec<ScaleRun> = scales.iter().map(|&s| scale_run(s)).collect();
+        let ratio = runs.last().expect("non-empty").median_ingest_ms / runs[0].median_ingest_ms;
+        if runs.len() > 1 {
+            assert!(
+                ratio < 4.0,
+                "median ingest latency grew {ratio:.2}× from scale {} to {} — \
+                 ingest cost must track the neighbourhood, not the corpus",
+                scales[0],
+                scales[scales.len() - 1],
+            );
+        }
+        let report = serde_json::json!({
+            "generator": "cargo run --release -p fd-bench --bin report -- ingest",
+            "machine_threads": super::machine_threads(),
+            "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "fd_threads_resolved": fd_tensor::parallel::current_threads(),
+            "simd_level": fd_tensor::simd_level().name(),
+            "delta_bound": DELTA_BOUND,
+            "scales": runs.iter().map(|r| r.json.clone()).collect::<Vec<_>>(),
+            "median_ingest_ms_ratio_last_vs_first": round2(ratio),
+            "corpus_size_independent": ratio < 4.0,
         });
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));

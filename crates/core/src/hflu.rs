@@ -170,6 +170,41 @@ impl Hflu {
         }
     }
 
+    /// Tape-free twin of [`Hflu::encode_batch`] over an arbitrary
+    /// entity subset instead of the contiguous prefix `0..count`: one
+    /// `indices.len() x out_dim` matrix whose row `k` is bit-identical
+    /// to row `indices[k]` of `encode_batch`. Incremental ingestion
+    /// uses this to re-encode only the affected base nodes, so a delta
+    /// update's HFLU cost scales with the affected set, not the corpus.
+    pub fn encode_subset(
+        &self,
+        params: &Params,
+        ctx: &ExperimentContext<'_>,
+        indices: &[usize],
+    ) -> Matrix {
+        let explicit = self.use_explicit.then(|| {
+            let mut rows = Matrix::zeros(indices.len(), ctx.explicit.dim);
+            for (k, &i) in indices.iter().enumerate() {
+                rows.row_mut(k)
+                    .copy_from_slice(ctx.explicit.feature(self.node_type, i).row(0));
+            }
+            rows
+        });
+        let latent = self.encoder.as_ref().map(|enc| {
+            let sequences: Vec<&[usize]> = indices
+                .iter()
+                .map(|&i| ctx.tokenized.sequence(self.node_type, i))
+                .collect();
+            enc.encode_batch(params, &sequences)
+        });
+        match (explicit, latent) {
+            (Some(e), Some(l)) => e.concat_cols(&l),
+            (Some(e), None) => e,
+            (None, Some(l)) => l,
+            (None, None) => unreachable!("config validation forbids both halves off"),
+        }
+    }
+
     /// Tape-recorded twin of [`Hflu::encode_batch_tape`] over an
     /// arbitrary entity subset instead of the contiguous prefix
     /// `0..count`: one `indices.len() x out_dim` variable whose row `k`

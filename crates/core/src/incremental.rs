@@ -1,0 +1,720 @@
+//! Incremental diffusion: delta state updates for online ingestion.
+//!
+//! The serving tier precomputes the per-round diffused GDU states of a
+//! frozen corpus ([`TrainedFakeDetector::diffused_states_rounds`]).
+//! When new nodes are attached at runtime (a [`GraphOverlay`] over the
+//! frozen News-HSN), recomputing the whole graph would cost O(corpus)
+//! per ingest. This module instead recomputes only the **affected
+//! neighbourhood** and stores it as a [`StateOverlay`] beside the
+//! untouched base matrices.
+//!
+//! **Why the affected set is small.** Diffusion starts from zero
+//! states, so a node's *round-1* state is `GDU(x, 0, 0)` — a function
+//! of its own features only (the neighbour mean of zero rows is zero
+//! whatever the adjacency). Attaching nodes therefore never changes any
+//! base node's round-1 state. A base node's round `r ≥ 2` state changes
+//! only if its neighbour list changed (it gained a citing article) or a
+//! neighbour's round `r − 1` state changed. Since only new articles
+//! introduce edges, the affected set at round 2 is exactly the base
+//! creators/subjects cited by the new articles; each further round
+//! grows it by one hop of readers. With the default
+//! `diffusion_rounds = 2`, an ingest recomputes the new nodes plus the
+//! directly cited base nodes — O(payload × degree), independent of
+//! corpus size.
+//!
+//! **Delta update rule.** For each round `r` and each affected or
+//! appended node `v` of slot `τ`:
+//!
+//! ```text
+//! z_v  = mean_{w ∈ N_z(v)}  view_{r−1}[w]      (combined list: base ++ extras)
+//! t_v  = view_{r−1}[author(v)]                 (articles only, else 0)
+//! s_v^r = GDU_τ(x_v, z_v, t_v)
+//! ```
+//!
+//! where `view_{r−1}` resolves a row through the previous round's
+//! [`RoundDelta`] (patched base row → appended row → base matrix). The
+//! combined neighbour lists concatenate the base CSR slice with the
+//! overlay extras in ingestion order — the same insertion order a
+//! from-scratch rebuild would use — and the mean replays the exact
+//! `fd_tensor::mean_rows` reduction, so every recomputed row is
+//! bit-identical to [`TrainedFakeDetector::extended_states_rounds`],
+//! the honest O(corpus) recompute over the extended graph with the
+//! *frozen* feature pipeline. (A true retrain re-tokenizes and refits —
+//! that is the slow path: checkpoint retrain + SIGHUP swap.)
+
+use crate::trained::TrainedFakeDetector;
+use fd_data::ExperimentContext;
+use fd_graph::{GraphOverlay, NeighborSampler, NodeType};
+use fd_tensor::Matrix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Recomputed rows for one diffusion round: sparse patches over the
+/// base node set plus dense state rows for the appended nodes.
+#[derive(Debug, Clone)]
+pub struct RoundDelta {
+    /// Base rows whose state this round's recompute replaced, per slot
+    /// (`BTreeMap` for deterministic enumeration).
+    pub patched: [BTreeMap<usize, Vec<f32>>; 3],
+    /// States of the appended nodes, row `k` = appended node `k` of the
+    /// slot (combined index `base_count + k`).
+    pub appended: [Matrix; 3],
+}
+
+/// The full per-round delta an ingest produced: one [`RoundDelta`] per
+/// diffusion round, aligned with the base history from
+/// [`TrainedFakeDetector::diffused_states_rounds`].
+#[derive(Debug, Clone)]
+pub struct StateOverlay {
+    /// Element `r` patches the base states after round `r + 1`.
+    pub rounds: Vec<RoundDelta>,
+    /// Largest number of base rows any single round recomputed — the
+    /// affected-neighbourhood size an ingest actually paid for.
+    pub max_affected_base: usize,
+}
+
+impl StateOverlay {
+    /// The final round's delta — what serving reads states through.
+    pub fn final_round(&self) -> &RoundDelta {
+        self.rounds.last().expect("at least one diffusion round")
+    }
+}
+
+/// A read-only resolver for "current" state rows: base matrices,
+/// optionally overlaid with one round's [`RoundDelta`]. Row lookups
+/// check the patch map first, fall through to the base matrix, and
+/// serve appended nodes (combined index at or beyond the base count)
+/// from the delta's appended rows.
+#[derive(Clone, Copy)]
+pub struct StateView<'a> {
+    base: &'a [Matrix; 3],
+    delta: Option<&'a RoundDelta>,
+}
+
+impl<'a> StateView<'a> {
+    /// A view over plain base matrices (no overlay).
+    pub fn from_base(base: &'a [Matrix; 3]) -> Self {
+        Self { base, delta: None }
+    }
+
+    /// A view over base matrices patched and extended by `delta`.
+    pub fn with_delta(base: &'a [Matrix; 3], delta: &'a RoundDelta) -> Self {
+        Self { base, delta: Some(delta) }
+    }
+
+    /// Node counts visible through the view, `[articles, creators,
+    /// subjects]` (base + appended).
+    pub fn counts(&self) -> [usize; 3] {
+        std::array::from_fn(|slot| {
+            self.base[slot].rows() + self.delta.map_or(0, |d| d.appended[slot].rows())
+        })
+    }
+
+    /// The state row of combined node `idx` in `slot`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is beyond [`StateView::counts`] for the slot.
+    pub fn row(&self, slot: usize, idx: usize) -> &'a [f32] {
+        let base_rows = self.base[slot].rows();
+        if idx < base_rows {
+            if let Some(delta) = self.delta {
+                if let Some(patch) = delta.patched[slot].get(&idx) {
+                    return patch;
+                }
+            }
+            self.base[slot].row(idx)
+        } else {
+            let delta = self.delta.expect("combined index requires an overlay");
+            delta.appended[slot].row(idx - base_rows)
+        }
+    }
+}
+
+/// Mean of the listed rows read through `view`, replaying the exact
+/// `fd_tensor::mean_rows` arithmetic (copy first, accumulate rest in
+/// list order, scale by `1/len`; empty list → zero row) over the
+/// concatenation `base_part ++ extra_part`.
+fn mean_into(
+    view: &StateView<'_>,
+    src_slot: usize,
+    base_part: &[usize],
+    extra_part: &[usize],
+    out: &mut [f32],
+) {
+    let len = base_part.len() + extra_part.len();
+    if len == 0 {
+        return; // `out` is already the zero row.
+    }
+    let mut items = base_part.iter().chain(extra_part.iter()).copied();
+    let first = items.next().expect("len > 0");
+    out.copy_from_slice(view.row(src_slot, first));
+    for j in items {
+        for (acc, &v) in out.iter_mut().zip(view.row(src_slot, j)) {
+            *acc += v;
+        }
+    }
+    let inv = 1.0 / len as f32;
+    for acc in out.iter_mut() {
+        *acc *= inv;
+    }
+}
+
+/// Shape checks shared by the delta and reference recomputes; returns
+/// the appended node counts per slot.
+fn check_overlay_inputs(
+    ctx: &ExperimentContext<'_>,
+    overlay: &GraphOverlay,
+    new_explicit: &[Matrix; 3],
+    new_sequences: &[Vec<Vec<usize>>; 3],
+) -> Result<[usize; 3], String> {
+    let graph = &ctx.corpus.graph;
+    let graph_counts = [graph.n_articles(), graph.n_creators(), graph.n_subjects()];
+    if overlay.base_counts() != graph_counts {
+        return Err(format!(
+            "overlay anchored to {:?} nodes but the corpus graph has {graph_counts:?}",
+            overlay.base_counts()
+        ));
+    }
+    let appended = overlay.appended();
+    for slot in 0..3 {
+        if new_explicit[slot].rows() != appended[slot] || new_sequences[slot].len() != appended[slot]
+        {
+            return Err(format!(
+                "slot {slot}: overlay appends {} nodes but got {} explicit rows / {} sequences",
+                appended[slot],
+                new_explicit[slot].rows(),
+                new_sequences[slot].len()
+            ));
+        }
+    }
+    Ok(appended)
+}
+
+impl TrainedFakeDetector {
+    /// Incremental diffusion for an ingest: recomputes the per-round
+    /// states of the appended nodes and of the affected base
+    /// neighbourhood only, as a [`StateOverlay`] against `base_rounds`
+    /// (the untouched history from
+    /// [`TrainedFakeDetector::diffused_states_rounds`]).
+    ///
+    /// `new_explicit` / `new_sequences` carry the frozen-pipeline
+    /// features of *all* nodes the overlay appends (cumulative, in
+    /// append order). Every recomputed row is bit-identical to the same
+    /// row of [`TrainedFakeDetector::extended_states_rounds`]; the
+    /// serving layer documents the looser `≤ 1e-5` score bound so the
+    /// implementation keeps the freedom the int8 path already has.
+    ///
+    /// `expansion` optionally caps the frontier: when set, the reader
+    /// expansion of a changed base creator/subject samples at most the
+    /// sampler's fan-out from its base CSR slice ([`NeighborSampler`],
+    /// salted by round). New-node rows stay exact under any cap — the
+    /// directly cited base nodes are always recomputed — the cap only
+    /// bounds how far *base-node* refresh propagates at
+    /// `diffusion_rounds > 2`. `None` (the serving default) recomputes
+    /// the full affected set.
+    pub fn delta_states(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        base_rounds: &[[Matrix; 3]],
+        overlay: &GraphOverlay,
+        new_explicit: &[Matrix; 3],
+        new_sequences: &[Vec<Vec<usize>>; 3],
+        expansion: Option<&NeighborSampler>,
+    ) -> Result<StateOverlay, String> {
+        self.check_ctx(ctx);
+        let rounds = self.config.diffusion_rounds.max(1);
+        if base_rounds.len() != rounds {
+            return Err(format!(
+                "base history has {} rounds but the model diffuses {rounds}",
+                base_rounds.len()
+            ));
+        }
+        let new_n = check_overlay_inputs(ctx, overlay, new_explicit, new_sequences)?;
+        let graph = &ctx.corpus.graph;
+        let base_counts = overlay.base_counts();
+        let hidden = self.config.gdu_hidden;
+        let params = &self.network.params;
+
+        // HFLU features of the appended nodes, encoded once from the
+        // frozen vocabulary/χ² pipeline.
+        let x_new: [Option<Matrix>; 3] = std::array::from_fn(|slot| {
+            (new_n[slot] > 0).then(|| {
+                let seq_refs: Vec<&[usize]> =
+                    new_sequences[slot].iter().map(Vec::as_slice).collect();
+                self.network.hflu[slot].encode_raw_batch(
+                    params,
+                    new_explicit[slot].clone(),
+                    &seq_refs,
+                )
+            })
+        });
+
+        let mut deltas: Vec<RoundDelta> = Vec::with_capacity(rounds);
+        let mut affected_prev: [Vec<usize>; 3] = Default::default();
+        let mut max_affected_base = 0usize;
+        for r in 1..=rounds {
+            // Base rows to recompute this round. Round 1 states depend
+            // on own features only, so base rows never change there;
+            // from round 2 on, the changed-adjacency set plus one hop
+            // of readers of last round's recomputed rows.
+            let affected: [Vec<usize>; 3] = if r == 1 || !self.config.use_diffusion {
+                Default::default()
+            } else {
+                let mut next: [BTreeSet<usize>; 3] = Default::default();
+                next[1].extend(overlay.changed_base_creators());
+                next[2].extend(overlay.changed_base_subjects());
+                let mut buf = Vec::new();
+                for (slot, prev) in affected_prev.iter().enumerate() {
+                    for &i in prev {
+                        if slot == 0 {
+                            // Readers of a base article: its author (t
+                            // port) and subjects (z port), all base.
+                            if let Some(u) = graph.author_of(i) {
+                                next[1].insert(u);
+                            }
+                            next[2].extend(graph.subjects_of_article(i).iter().copied());
+                        } else {
+                            // Readers of a base creator/subject: the
+                            // base articles citing it (overlay extras
+                            // are appended nodes, recomputed anyway).
+                            let ty = NodeType::ALL[slot];
+                            let (base_part, _) = if slot == 1 {
+                                overlay.articles_of_creator(graph, i)
+                            } else {
+                                overlay.articles_of_subject(graph, i)
+                            };
+                            match expansion {
+                                Some(sampler) => {
+                                    sampler.sample_list_into(ty, i, base_part, r as u64, &mut buf);
+                                    next[0].extend(buf.iter().copied());
+                                }
+                                None => next[0].extend(base_part.iter().copied()),
+                            }
+                        }
+                    }
+                }
+                next.map(|set| set.into_iter().collect())
+            };
+            max_affected_base =
+                max_affected_base.max(affected.iter().map(Vec::len).sum::<usize>());
+
+            let delta = {
+                // View of the previous round (round 0 is all zeros, and
+                // a mean/gather of zero rows is exactly zero, so round
+                // 1 skips the reads entirely).
+                let prev = (r >= 2)
+                    .then(|| StateView::with_delta(&base_rounds[r - 2], &deltas[r - 2]));
+                let mut patched: [BTreeMap<usize, Vec<f32>>; 3] = Default::default();
+                for (slot, idxs) in affected.iter().enumerate() {
+                    if idxs.is_empty() {
+                        continue;
+                    }
+                    let prev = prev.as_ref().expect("affected rows only exist from round 2");
+                    let x = self.network.hflu[slot].encode_subset(params, ctx, idxs);
+                    let mut z = Matrix::zeros(idxs.len(), hidden);
+                    let mut t_in = Matrix::zeros(idxs.len(), hidden);
+                    for (k, &i) in idxs.iter().enumerate() {
+                        if slot == 0 {
+                            // Base articles never gain neighbours: base
+                            // CSR slices are complete.
+                            mean_into(prev, 2, graph.subjects_of_article(i), &[], z.row_mut(k));
+                            if let Some(u) = graph.author_of(i) {
+                                t_in.row_mut(k).copy_from_slice(prev.row(1, u));
+                            }
+                        } else {
+                            let (base_part, extra) = if slot == 1 {
+                                overlay.articles_of_creator(graph, i)
+                            } else {
+                                overlay.articles_of_subject(graph, i)
+                            };
+                            mean_into(prev, 0, base_part, extra, z.row_mut(k));
+                        }
+                    }
+                    let h = self.network.gdu[slot].forward_matrix(
+                        params,
+                        &x,
+                        &z,
+                        &t_in,
+                        self.config.use_gates,
+                    );
+                    patched[slot] =
+                        idxs.iter().enumerate().map(|(k, &i)| (i, h.row(k).to_vec())).collect();
+                }
+
+                // Appended nodes are recomputed every round.
+                let appended: [Matrix; 3] = std::array::from_fn(|slot| {
+                    let Some(x) = x_new[slot].as_ref() else {
+                        return Matrix::zeros(0, hidden);
+                    };
+                    let n = new_n[slot];
+                    let mut z = Matrix::zeros(n, hidden);
+                    let mut t_in = Matrix::zeros(n, hidden);
+                    if self.config.use_diffusion {
+                        if let Some(prev) = prev.as_ref() {
+                            for k in 0..n {
+                                let idx = base_counts[slot] + k;
+                                if slot == 0 {
+                                    let subjects = overlay.subjects_of_article(graph, idx);
+                                    mean_into(prev, 2, subjects, &[], z.row_mut(k));
+                                    if let Some(u) = overlay.author_of(graph, idx) {
+                                        t_in.row_mut(k).copy_from_slice(prev.row(1, u));
+                                    }
+                                } else {
+                                    let (base_part, extra) = if slot == 1 {
+                                        overlay.articles_of_creator(graph, idx)
+                                    } else {
+                                        overlay.articles_of_subject(graph, idx)
+                                    };
+                                    mean_into(prev, 0, base_part, extra, z.row_mut(k));
+                                }
+                            }
+                        }
+                    }
+                    self.network.gdu[slot].forward_matrix(
+                        params,
+                        x,
+                        &z,
+                        &t_in,
+                        self.config.use_gates,
+                    )
+                });
+                RoundDelta { patched, appended }
+            };
+            affected_prev = affected;
+            deltas.push(delta);
+        }
+        Ok(StateOverlay { rounds: deltas, max_affected_base })
+    }
+
+    /// Reference recompute for the parity gate: the full per-round
+    /// diffusion over the **extended** graph (base corpus + overlay)
+    /// with the frozen feature pipeline — O(corpus) per call, exactly
+    /// what [`TrainedFakeDetector::delta_states`] avoids paying. Base
+    /// node features come from the context, appended node features from
+    /// `new_explicit` / `new_sequences`.
+    pub fn extended_states_rounds(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        overlay: &GraphOverlay,
+        new_explicit: &[Matrix; 3],
+        new_sequences: &[Vec<Vec<usize>>; 3],
+    ) -> Result<Vec<[Matrix; 3]>, String> {
+        self.check_ctx(ctx);
+        let new_n = check_overlay_inputs(ctx, overlay, new_explicit, new_sequences)?;
+        let graph = &ctx.corpus.graph;
+        let base_counts = overlay.base_counts();
+        let counts = overlay.counts();
+        let hidden = self.config.gdu_hidden;
+        let params = &self.network.params;
+
+        // Combined features: base prefix from the context, appended
+        // rows from the frozen-pipeline encodings.
+        let mut feats: Vec<Matrix> = Vec::with_capacity(3);
+        for slot in 0..3 {
+            let base_m = self.network.hflu[slot].encode_batch(params, ctx, base_counts[slot]);
+            if new_n[slot] == 0 {
+                feats.push(base_m);
+                continue;
+            }
+            let seq_refs: Vec<&[usize]> = new_sequences[slot].iter().map(Vec::as_slice).collect();
+            let new_m =
+                self.network.hflu[slot].encode_raw_batch(params, new_explicit[slot].clone(), &seq_refs);
+            let mut m = Matrix::zeros(counts[slot], base_m.cols());
+            for i in 0..base_counts[slot] {
+                m.row_mut(i).copy_from_slice(base_m.row(i));
+            }
+            for k in 0..new_n[slot] {
+                m.row_mut(base_counts[slot] + k).copy_from_slice(new_m.row(k));
+            }
+            feats.push(m);
+        }
+
+        // Materialised combined adjacency (base slice ++ extras).
+        let subjects_of_article: Vec<Vec<usize>> =
+            (0..counts[0]).map(|a| overlay.subjects_of_article(graph, a).to_vec()).collect();
+        let author: Vec<Option<usize>> =
+            (0..counts[0]).map(|a| overlay.author_of(graph, a)).collect();
+        let combined = |parts: (&[usize], &[usize])| -> Vec<usize> {
+            parts.0.iter().chain(parts.1.iter()).copied().collect()
+        };
+        let articles_of_creator: Vec<Vec<usize>> =
+            (0..counts[1]).map(|u| combined(overlay.articles_of_creator(graph, u))).collect();
+        let articles_of_subject: Vec<Vec<usize>> =
+            (0..counts[2]).map(|s| combined(overlay.articles_of_subject(graph, s))).collect();
+
+        let rounds = self.config.diffusion_rounds.max(1);
+        let zeros: [Matrix; 3] = std::array::from_fn(|slot| Matrix::zeros(counts[slot], hidden));
+        let mut history: Vec<[Matrix; 3]> = Vec::with_capacity(rounds);
+        for _round in 0..rounds {
+            let states: &[Matrix; 3] = history.last().unwrap_or(&zeros);
+            let next: [Matrix; 3] = std::array::from_fn(|slot| {
+                let (z, t_in) = if !self.config.use_diffusion {
+                    (Matrix::zeros(counts[slot], hidden), Matrix::zeros(counts[slot], hidden))
+                } else if slot == 0 {
+                    let z = fd_tensor::mean_rows(&states[2], counts[0], |a| {
+                        subjects_of_article[a].as_slice()
+                    });
+                    let mut t_in = Matrix::zeros(counts[0], hidden);
+                    for (a, u) in author.iter().enumerate() {
+                        if let Some(u) = u {
+                            t_in.row_mut(a).copy_from_slice(states[1].row(*u));
+                        }
+                    }
+                    (z, t_in)
+                } else {
+                    let lists = if slot == 1 { &articles_of_creator } else { &articles_of_subject };
+                    let z = fd_tensor::mean_rows(&states[0], counts[slot], |i| lists[i].as_slice());
+                    (z, Matrix::zeros(counts[slot], hidden))
+                };
+                self.network.gdu[slot].forward_matrix(
+                    params,
+                    &feats[slot],
+                    &z,
+                    &t_in,
+                    self.config.use_gates,
+                )
+            });
+            history.push(next);
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FakeDetector, FakeDetectorConfig, ScoreRequest};
+    use fd_data::{
+        generate, CvSplits, ExplicitFeatures, GeneratorConfig, LabelMode, TokenizedCorpus,
+        TrainSets,
+    };
+    use fd_text::{encode_sequence, Tokenizer};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    struct Fixture {
+        corpus: fd_data::Corpus,
+        tokenized: TokenizedCorpus,
+        explicit: ExplicitFeatures,
+        train: TrainSets,
+    }
+
+    fn fixture() -> Fixture {
+        let corpus = generate(&GeneratorConfig::politifact().scaled(0.01), 11);
+        let tokenized = TokenizedCorpus::build(&corpus, 12, 3000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let train = TrainSets {
+            articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+            creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+            subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+        };
+        let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 40);
+        Fixture { corpus, tokenized, explicit, train }
+    }
+
+    fn make_ctx(f: &Fixture) -> fd_data::ExperimentContext<'_> {
+        fd_data::ExperimentContext {
+            corpus: &f.corpus,
+            tokenized: &f.tokenized,
+            explicit: &f.explicit,
+            train: &f.train,
+            mode: LabelMode::Binary,
+            seed: 9,
+        }
+    }
+
+    fn train_with(ctx: &fd_data::ExperimentContext<'_>, rounds: usize) -> TrainedFakeDetector {
+        let config = FakeDetectorConfig {
+            epochs: 1,
+            validation_fraction: 0.0,
+            diffusion_rounds: rounds,
+            ..FakeDetectorConfig::default()
+        };
+        FakeDetector::new(config).fit(ctx)
+    }
+
+    /// Tokenises `text` through the frozen pipeline, appending one
+    /// explicit row and one sequence for a node of `ty`.
+    fn featurise(
+        ctx: &fd_data::ExperimentContext<'_>,
+        ty: fd_graph::NodeType,
+        text: &str,
+        explicit: &mut Vec<Vec<f32>>,
+        sequences: &mut Vec<Vec<usize>>,
+    ) {
+        let tokens = Tokenizer::default().tokenize(text);
+        explicit.push(ctx.explicit.featurise_tokens(ty, &tokens).row(0).to_vec());
+        sequences.push(encode_sequence(&tokens, &ctx.tokenized.vocab, ctx.tokenized.seq_len));
+    }
+
+    /// An overlay with two articles (one citing a brand-new creator and
+    /// subject, one citing base nodes), plus the matching features.
+    #[allow(clippy::type_complexity)]
+    fn sample_overlay(
+        ctx: &fd_data::ExperimentContext<'_>,
+    ) -> (GraphOverlay, [Matrix; 3], [Vec<Vec<usize>>; 3]) {
+        let mut overlay = GraphOverlay::new(&ctx.corpus.graph);
+        let mut explicit: [Vec<Vec<f32>>; 3] = Default::default();
+        let mut sequences: [Vec<Vec<usize>>; 3] = Default::default();
+        let c = overlay.add_creator();
+        featurise(ctx, fd_graph::NodeType::Creator, "a prolific new pundit", &mut explicit[1], &mut sequences[1]);
+        let s = overlay.add_subject();
+        featurise(ctx, fd_graph::NodeType::Subject, "emerging budget controversy", &mut explicit[2], &mut sequences[2]);
+        overlay.add_article(0, &[0, 1]).unwrap();
+        featurise(ctx, fd_graph::NodeType::Article, "fresh claims about the deficit", &mut explicit[0], &mut sequences[0]);
+        overlay.add_article(c, &[s, 0]).unwrap();
+        featurise(ctx, fd_graph::NodeType::Article, "new pundit weighs in on spending", &mut explicit[0], &mut sequences[0]);
+        let dim = ctx.explicit.dim;
+        let explicit = std::array::from_fn(|slot: usize| {
+            let rows: &Vec<Vec<f32>> = &explicit[slot];
+            let mut m = Matrix::zeros(rows.len(), dim);
+            for (k, row) in rows.iter().enumerate() {
+                m.row_mut(k).copy_from_slice(row);
+            }
+            m
+        });
+        (overlay, explicit, sequences)
+    }
+
+    fn assert_rows_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: width");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_overlay_is_a_no_op_and_extended_matches_base() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = train_with(&ctx, 2);
+        let base_rounds = trained.diffused_states_rounds(&ctx);
+        let overlay = GraphOverlay::new(&ctx.corpus.graph);
+        let no_feats: [Matrix; 3] = std::array::from_fn(|_| Matrix::zeros(0, ctx.explicit.dim));
+        let no_seqs: [Vec<Vec<usize>>; 3] = Default::default();
+
+        let delta = trained
+            .delta_states(&ctx, &base_rounds, &overlay, &no_feats, &no_seqs, None)
+            .unwrap();
+        assert_eq!(delta.max_affected_base, 0);
+        for round in &delta.rounds {
+            assert!(round.patched.iter().all(BTreeMap::is_empty));
+            assert!(round.appended.iter().all(|m| m.rows() == 0));
+        }
+
+        let extended =
+            trained.extended_states_rounds(&ctx, &overlay, &no_feats, &no_seqs).unwrap();
+        assert_eq!(extended.len(), base_rounds.len());
+        for (r, (a, b)) in extended.iter().zip(&base_rounds).enumerate() {
+            for slot in 0..3 {
+                for i in 0..a[slot].rows() {
+                    assert_rows_eq(a[slot].row(i), b[slot].row(i), &format!("round {r} slot {slot} row {i}"));
+                }
+            }
+        }
+    }
+
+    /// The tentpole invariant: every state row visible through the
+    /// delta view — appended, patched, and untouched base rows alike —
+    /// is bit-identical to the full extended-graph recompute, at every
+    /// round. Untouched rows matching proves the affected set is
+    /// *sufficient*, not just that the recomputed rows are right.
+    #[test]
+    fn delta_matches_extended_recompute_bitwise() {
+        for rounds in [2usize, 3] {
+            let f = fixture();
+            let ctx = make_ctx(&f);
+            let trained = train_with(&ctx, rounds);
+            let base_rounds = trained.diffused_states_rounds(&ctx);
+            let (overlay, new_explicit, new_sequences) = sample_overlay(&ctx);
+
+            let delta = trained
+                .delta_states(&ctx, &base_rounds, &overlay, &new_explicit, &new_sequences, None)
+                .unwrap();
+            let extended = trained
+                .extended_states_rounds(&ctx, &overlay, &new_explicit, &new_sequences)
+                .unwrap();
+            assert!(delta.max_affected_base > 0, "cited base nodes must be recomputed");
+
+            let counts = overlay.counts();
+            for r in 0..rounds {
+                let view = StateView::with_delta(&base_rounds[r], &delta.rounds[r]);
+                for slot in 0..3 {
+                    for idx in 0..counts[slot] {
+                        assert_rows_eq(
+                            view.row(slot, idx),
+                            extended[r][slot].row(idx),
+                            &format!("rounds={rounds} r={r} slot={slot} idx={idx}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// With a fan-out-0 sampler the frontier never expands past the
+    /// directly cited base nodes, yet appended-node rows stay exact:
+    /// their inputs are base round-1 states (never stale) and the
+    /// always-recomputed changed-adjacency rows.
+    #[test]
+    fn expansion_cap_keeps_appended_rows_exact() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = train_with(&ctx, 3);
+        let base_rounds = trained.diffused_states_rounds(&ctx);
+        let (overlay, new_explicit, new_sequences) = sample_overlay(&ctx);
+
+        let sampler = NeighborSampler::new(0, [0, 0, 0]);
+        let capped = trained
+            .delta_states(&ctx, &base_rounds, &overlay, &new_explicit, &new_sequences, Some(&sampler))
+            .unwrap();
+        let uncapped = trained
+            .delta_states(&ctx, &base_rounds, &overlay, &new_explicit, &new_sequences, None)
+            .unwrap();
+        assert!(capped.max_affected_base <= uncapped.max_affected_base);
+        for (r, (c, u)) in capped.rounds.iter().zip(&uncapped.rounds).enumerate() {
+            for slot in 0..3 {
+                for k in 0..c.appended[slot].rows() {
+                    assert_rows_eq(
+                        c.appended[slot].row(k),
+                        u.appended[slot].row(k),
+                        &format!("r={r} slot={slot} appended={k}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// View-based scoring: requests may cite ingested neighbours, and a
+    /// by-id probability readout matches the transductive path.
+    #[test]
+    fn view_scoring_accepts_ingested_neighbours_and_matches_predict_proba() {
+        let f = fixture();
+        let ctx = make_ctx(&f);
+        let trained = train_with(&ctx, 2);
+        let base_rounds = trained.diffused_states_rounds(&ctx);
+        let (overlay, new_explicit, new_sequences) = sample_overlay(&ctx);
+        let delta = trained
+            .delta_states(&ctx, &base_rounds, &overlay, &new_explicit, &new_sequences, None)
+            .unwrap();
+        let last = base_rounds.last().unwrap();
+        let view = StateView::with_delta(last, delta.final_round());
+
+        // A request citing an appended creator/subject validates and
+        // scores through the view; the plain base path must reject it.
+        let counts = overlay.counts();
+        let req = ScoreRequest::article(
+            "follow-up on the emerging controversy",
+            Some(counts[1] - 1),
+            vec![counts[2] - 1],
+        );
+        let probs = trained.score_batch_view(&ctx, &view, std::slice::from_ref(&req)).unwrap();
+        assert!((probs[0].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(trained
+            .score_batch(&ctx, &trained.diffused_states(&ctx), std::slice::from_ref(&req))
+            .is_err());
+
+        // Base-node by-id readout agrees bitwise with predict_proba.
+        let reference = trained.predict_proba(&ctx);
+        let by_id = trained.node_probabilities(fd_graph::NodeType::Article, view.row(0, 0));
+        assert_rows_eq(&by_id, &reference[0][0], "article 0 by-id");
+    }
+}

@@ -32,6 +32,7 @@ mod checkpoint;
 mod config;
 mod gdu;
 mod hflu;
+mod incremental;
 mod model;
 mod sampled;
 mod trained;
@@ -40,6 +41,7 @@ pub use checkpoint::FitOptions;
 pub use config::{FakeDetectorConfig, TrainMode};
 pub use gdu::{GduCell, QuantGdu};
 pub use hflu::Hflu;
+pub use incremental::{RoundDelta, StateOverlay, StateView};
 pub use model::{FakeDetector, TrainReport};
 pub use trained::{QuantModel, ScoreRequest, TrainedFakeDetector};
 

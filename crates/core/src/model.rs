@@ -532,6 +532,21 @@ impl Network {
         config: &FakeDetectorConfig,
         ctx: &ExperimentContext<'_>,
     ) -> [Matrix; 3] {
+        self.forward_states_rounds(config, ctx).pop().expect("at least one diffusion round")
+    }
+
+    /// [`Network::forward_states_matrix`] keeping *every* round's state
+    /// matrices instead of only the last: element `r` holds the states
+    /// after round `r + 1`, and the final element is bit-identical to
+    /// `forward_states_matrix` (which delegates here). The per-round
+    /// history is what incremental ingestion diffs against — a delta
+    /// update at round `r` needs the unmodified round `r - 1` states of
+    /// the untouched base nodes.
+    pub fn forward_states_rounds(
+        &self,
+        config: &FakeDetectorConfig,
+        ctx: &ExperimentContext<'_>,
+    ) -> Vec<[Matrix; 3]> {
         use fd_tensor::parallel;
         let graph = &ctx.corpus.graph;
         let counts = [graph.n_articles(), graph.n_creators(), graph.n_subjects()];
@@ -545,14 +560,16 @@ impl Network {
         .try_into()
         .expect("par_map returns one result per slot");
 
-        let mut states: [Matrix; 3] = [
+        let zeros: [Matrix; 3] = [
             Matrix::zeros(counts[0], hidden),
             Matrix::zeros(counts[1], hidden),
             Matrix::zeros(counts[2], hidden),
         ];
         let round_work = n_nodes * hidden * hidden;
         let rounds = config.diffusion_rounds.max(1);
+        let mut history: Vec<[Matrix; 3]> = Vec::with_capacity(rounds);
         for _round in 0..rounds {
+            let states: &[Matrix; 3] = history.last().unwrap_or(&zeros);
             let next: [Matrix; 3] = parallel::par_map(3, round_work, |slot| {
                 let (z, t_in) = if !config.use_diffusion {
                     (Matrix::zeros(counts[slot], hidden), Matrix::zeros(counts[slot], hidden))
@@ -587,9 +604,9 @@ impl Network {
             })
             .try_into()
             .expect("par_map returns one result per slot");
-            states = next;
+            history.push(next);
         }
-        states
+        history
     }
 
     /// Mean of the listed article states, or the zero state when

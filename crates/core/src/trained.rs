@@ -7,6 +7,7 @@
 //! author's and subjects' diffused states.
 
 use crate::gdu::QuantGdu;
+use crate::incremental::StateView;
 use crate::model::{Network, NetworkDims};
 use crate::{FakeDetectorConfig, TrainReport};
 use fd_autograd::{Tape, Var};
@@ -85,10 +86,10 @@ impl ScoreRequest {
 
 /// The weights and metadata of a fitted model.
 pub struct TrainedFakeDetector {
-    config: FakeDetectorConfig,
+    pub(crate) config: FakeDetectorConfig,
     dims: NetworkDims,
     seed: u64,
-    network: Network,
+    pub(crate) network: Network,
     report: TrainReport,
 }
 
@@ -133,7 +134,7 @@ impl TrainedFakeDetector {
 
     /// Checks that a context matches the dimensions this model was
     /// trained for; all prediction entry points call this.
-    fn check_ctx(&self, ctx: &ExperimentContext<'_>) {
+    pub(crate) fn check_ctx(&self, ctx: &ExperimentContext<'_>) {
         assert_eq!(
             ctx.tokenized.vocab.id_space(),
             self.dims.vocab,
@@ -268,6 +269,16 @@ impl TrainedFakeDetector {
         self.network.forward_states_matrix(&self.config, ctx)
     }
 
+    /// [`TrainedFakeDetector::diffused_states`] keeping every round's
+    /// state matrices (final element bit-identical to
+    /// `diffused_states`). The per-round history is the baseline that
+    /// incremental ingestion ([`TrainedFakeDetector::delta_states`])
+    /// diffs against.
+    pub fn diffused_states_rounds(&self, ctx: &ExperimentContext<'_>) -> Vec<[fd_tensor::Matrix; 3]> {
+        self.check_ctx(ctx);
+        self.network.forward_states_rounds(&self.config, ctx)
+    }
+
     /// Checks a [`ScoreRequest`]'s neighbour indices against the corpus
     /// without running the model — the serving layer rejects bad
     /// requests with a 4xx *before* they reach the shared batch queue.
@@ -276,11 +287,22 @@ impl TrainedFakeDetector {
         ctx: &ExperimentContext<'_>,
         req: &ScoreRequest,
     ) -> Result<(), String> {
-        let (n_articles, n_creators, n_subjects) = (
-            ctx.corpus.articles.len(),
-            ctx.corpus.creators.len(),
-            ctx.corpus.subjects.len(),
-        );
+        self.validate_request_extended(
+            [ctx.corpus.articles.len(), ctx.corpus.creators.len(), ctx.corpus.subjects.len()],
+            req,
+        )
+    }
+
+    /// [`TrainedFakeDetector::validate_request`] against explicit node
+    /// counts `[articles, creators, subjects]` — the serving layer
+    /// passes its live combined counts (base corpus + ingested nodes)
+    /// so requests may reference ingested neighbours too.
+    pub fn validate_request_extended(
+        &self,
+        counts: [usize; 3],
+        req: &ScoreRequest,
+    ) -> Result<(), String> {
+        let [n_articles, n_creators, n_subjects] = counts;
         match req.node_type {
             NodeType::Article => {
                 if !req.articles.is_empty() {
@@ -333,7 +355,22 @@ impl TrainedFakeDetector {
         states: &[fd_tensor::Matrix; 3],
         requests: &[ScoreRequest],
     ) -> Result<Vec<Vec<f32>>, String> {
-        self.score_batch_with(ctx, states, requests, |slot, x, z, t_in| {
+        self.score_batch_view(ctx, &StateView::from_base(states), requests)
+    }
+
+    /// [`TrainedFakeDetector::score_batch`] reading neighbour states
+    /// through a [`StateView`] instead of plain matrices, so requests
+    /// can reference ingested nodes (appended rows) and base nodes
+    /// whose states an ingest delta patched. With an overlay-free view
+    /// the result is bit-identical to `score_batch` — the mean/gather
+    /// arithmetic replays `fd_tensor::mean_rows`/`gather_rows` exactly.
+    pub fn score_batch_view(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        view: &StateView<'_>,
+        requests: &[ScoreRequest],
+    ) -> Result<Vec<Vec<f32>>, String> {
+        self.score_batch_with(ctx, view, requests, |slot, x, z, t_in| {
             let h = self.network.gdu[slot].forward_matrix(
                 &self.network.params,
                 x,
@@ -373,10 +410,54 @@ impl TrainedFakeDetector {
         requests: &[ScoreRequest],
         quant: &QuantModel,
     ) -> Result<Vec<Vec<f32>>, String> {
-        self.score_batch_with(ctx, states, requests, |slot, x, z, t_in| {
+        self.score_batch_view_quant(ctx, &StateView::from_base(states), requests, quant)
+    }
+
+    /// [`TrainedFakeDetector::score_batch_view`] through a prebuilt
+    /// [`QuantModel`] — the int8 twin of the view-based scorer, same
+    /// parity gates as [`TrainedFakeDetector::score_batch_quant`].
+    pub fn score_batch_view_quant(
+        &self,
+        ctx: &ExperimentContext<'_>,
+        view: &StateView<'_>,
+        requests: &[ScoreRequest],
+        quant: &QuantModel,
+    ) -> Result<Vec<Vec<f32>>, String> {
+        self.score_batch_with(ctx, view, requests, |slot, x, z, t_in| {
             let h = quant.gdu[slot].forward_matrix(x, z, t_in, self.config.use_gates);
             quant.heads[slot].forward_matrix(&h)
         })
+    }
+
+    /// Per-class probabilities of a node already in the (live) graph,
+    /// from its final-round diffused state row: one head matmul plus
+    /// softmax, bit-identical to the corresponding row of
+    /// [`TrainedFakeDetector::predict_proba`]. The serving layer's
+    /// by-id lookups and ingest responses read state rows out of a
+    /// [`StateView`] and score them here.
+    pub fn node_probabilities(&self, ty: NodeType, state_row: &[f32]) -> Vec<f32> {
+        let slot = type_slot(ty);
+        let h = fd_tensor::Matrix::row_vector(state_row);
+        let logits = self.network.heads[slot].forward_matrix(&self.network.params, &h);
+        let mut probs = logits.row(0).to_vec();
+        softmax_in_place(&mut probs);
+        probs
+    }
+
+    /// [`TrainedFakeDetector::node_probabilities`] through the int8
+    /// head of a prebuilt [`QuantModel`] (diffused states stay f32).
+    pub fn node_probabilities_quant(
+        &self,
+        quant: &QuantModel,
+        ty: NodeType,
+        state_row: &[f32],
+    ) -> Vec<f32> {
+        let slot = type_slot(ty);
+        let h = fd_tensor::Matrix::row_vector(state_row);
+        let logits = quant.heads[slot].forward_matrix(&h);
+        let mut probs = logits.row(0).to_vec();
+        softmax_in_place(&mut probs);
+        probs
     }
 
     /// Shared implementation behind the exact and quantized batch
@@ -387,13 +468,14 @@ impl TrainedFakeDetector {
     fn score_batch_with(
         &self,
         ctx: &ExperimentContext<'_>,
-        states: &[fd_tensor::Matrix; 3],
+        view: &StateView<'_>,
         requests: &[ScoreRequest],
         head_logits: impl Fn(usize, &fd_tensor::Matrix, &fd_tensor::Matrix, &fd_tensor::Matrix) -> fd_tensor::Matrix,
     ) -> Result<Vec<Vec<f32>>, String> {
         self.check_ctx(ctx);
+        let counts = view.counts();
         for (i, req) in requests.iter().enumerate() {
-            self.validate_request(ctx, req).map_err(|e| format!("request {i}: {e}"))?;
+            self.validate_request_extended(counts, req).map_err(|e| format!("request {i}: {e}"))?;
         }
         fd_obs::counter("infer.score_batch_calls").inc();
         fd_obs::counter("infer.score_batch_items").add(requests.len() as u64);
@@ -441,14 +523,36 @@ impl TrainedFakeDetector {
             );
             // Articles aggregate subject states and read their creator's
             // state; creators/subjects aggregate article states — the
-            // same wiring as one diffusion round of the full graph.
-            let z_src = if slot == 0 { &states[2] } else { &states[0] };
-            let z = fd_tensor::mean_rows(z_src, n, |k| z_lists[k]);
-            let t_in = if slot == 0 {
-                fd_tensor::gather_rows(&states[1], &t_rows)
-            } else {
-                fd_tensor::Matrix::zeros(n, hidden)
-            };
+            // same wiring as one diffusion round of the full graph. The
+            // rows come out of the view (base matrix, ingest patch, or
+            // appended rows) with the exact `mean_rows`/`gather_rows`
+            // reduction order, so batching and overlays never change an
+            // answer.
+            let z_slot = if slot == 0 { 2 } else { 0 };
+            let mut z = fd_tensor::Matrix::zeros(n, hidden);
+            for (k, list) in z_lists.iter().enumerate() {
+                if let Some((&first, rest)) = list.split_first() {
+                    let row = z.row_mut(k);
+                    row.copy_from_slice(view.row(z_slot, first));
+                    for &j in rest {
+                        for (acc, &v) in row.iter_mut().zip(view.row(z_slot, j)) {
+                            *acc += v;
+                        }
+                    }
+                    let inv = 1.0 / list.len() as f32;
+                    for acc in row.iter_mut() {
+                        *acc *= inv;
+                    }
+                }
+            }
+            let mut t_in = fd_tensor::Matrix::zeros(n, hidden);
+            if slot == 0 {
+                for (k, r) in t_rows.iter().enumerate() {
+                    if let Some(u) = r {
+                        t_in.row_mut(k).copy_from_slice(view.row(1, *u));
+                    }
+                }
+            }
             let logits = head_logits(slot, &x, &z, &t_in);
             for (k, &ri) in members.iter().enumerate() {
                 let mut probs = logits.row(k).to_vec();

@@ -27,12 +27,14 @@
 
 mod alias;
 mod hetgraph;
+mod overlay;
 mod sample;
 mod stats;
 mod walks;
 
 pub use alias::AliasTable;
 pub use hetgraph::{HetGraph, NodeRef, NodeType};
+pub use overlay::GraphOverlay;
 pub use sample::NeighborSampler;
 pub use stats::{degree_histogram, fit_power_law, DegreeStats, PowerLawFit};
 pub use walks::{generate_biased_walks, generate_walks, BiasedWalkConfig, WalkConfig};

@@ -13,15 +13,23 @@
 //!    kernels reduce in a fixed order, a batched response is
 //!    bitwise-identical to scoring the same request alone.
 //! 3. [`server`] — accept loop, routing (`POST /v1/predict`,
-//!    `POST /v1/predict_batch`, `GET /healthz`, `GET /metrics`),
-//!    backpressure (bounded queue → 429), per-request deadlines
-//!    (→ 504), and graceful shutdown that completes in-flight requests
-//!    and drains the queue before exiting.
+//!    `POST /v1/predict_batch`, `POST /v1/ingest`, `GET /healthz`,
+//!    `GET /metrics`), backpressure (bounded queue → 429), per-request
+//!    deadlines (→ 504), and graceful shutdown that completes in-flight
+//!    requests and drains the queue before exiting.
 //!
 //! [`ServeModel`] is the shareable handle behind it all: corpus,
 //! feature pipeline, trained weights, and the precomputed diffused
 //! corpus states, so each request costs one batched HFLU encode + one
 //! GDU step instead of a full graph pass.
+//!
+//! `POST /v1/ingest` grows the graph online: new articles, creators and
+//! subjects attach behind the same hot-swap slot SIGHUP reloads use,
+//! and only the affected neighbourhood's diffused states are
+//! recomputed ([`ServeModel::ingest`]) — so ingest cost tracks the
+//! batch's neighbourhood, not the corpus. In-flight predicts keep the
+//! model they pinned; later requests see (and may cite, by combined
+//! index) the ingested nodes.
 //!
 //! ```no_run
 //! use fd_serve::{ServeConfig, ServeModel, Server};
@@ -44,7 +52,10 @@ pub mod server;
 
 pub use batch::{Batch, BatchQueue, EnqueueError, ScoreResult};
 pub use http::{HttpClient, HttpError, Request};
-pub use model::{mode_name, parse_mode, BundleSplit, Precision, ServeModel, TrainBundle};
+pub use model::{
+    mode_name, parse_mode, BundleSplit, IngestArticle, IngestBatch, IngestCreator, IngestReport,
+    IngestSubject, IngestedNode, Precision, ServeModel, TrainBundle,
+};
 pub use server::{
     install_signal_handlers, signal_received, take_reload_request, ModelSlot, ServeConfig, Server,
     ShutdownHandle,

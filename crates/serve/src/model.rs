@@ -7,12 +7,17 @@
 //! per request. It is `Send + Sync` and lives behind an `Arc` shared
 //! by every handler thread and the batcher.
 
-use fd_core::{QuantModel, ScoreRequest, TrainedFakeDetector};
+use fd_core::{QuantModel, ScoreRequest, StateOverlay, StateView, TrainedFakeDetector};
 use fd_data::{
     Corpus, Credibility, ExperimentContext, ExplicitFeatures, LabelMode, TokenizedCorpus,
     TrainSets,
 };
+use fd_graph::{GraphOverlay, NodeType};
+use fd_tensor::Matrix;
+use fd_text::{encode_sequence, Tokenizer};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The on-disk train bundle written by `fdctl train` and consumed by
 /// `fdctl predict|evaluate|score|serve`. Everything beyond the raw
@@ -124,21 +129,191 @@ impl Precision {
     }
 }
 
-/// A self-contained, thread-shareable serving handle: corpus + feature
-/// pipeline + trained weights + precomputed diffused states.
-pub struct ServeModel {
+/// One new creator on the ingest wire: the profile text the frozen
+/// feature pipeline featurises (mirroring how base creator profiles
+/// were featurised at train time).
+#[derive(Serialize, Deserialize, Clone, Debug)]
+pub struct IngestCreator {
+    /// Profile/biography text of the creator.
+    pub profile: String,
+}
+
+/// One new subject on the ingest wire.
+#[derive(Serialize, Deserialize, Clone, Debug)]
+pub struct IngestSubject {
+    /// Description text of the subject.
+    pub description: String,
+}
+
+/// One new article on the ingest wire. Neighbour indices are
+/// *combined* indices: base corpus nodes, previously ingested nodes,
+/// and nodes earlier in the same batch (creators and subjects are
+/// attached before articles) are all valid targets.
+#[derive(Serialize, Deserialize, Clone, Debug)]
+pub struct IngestArticle {
+    /// Article body text.
+    pub text: String,
+    /// Combined index of the authoring creator.
+    pub creator: usize,
+    /// Combined indices of the subjects the article indicates.
+    #[serde(default)]
+    pub subjects: Vec<usize>,
+}
+
+/// Wire payload of `POST /v1/ingest`: nodes to attach to the live
+/// News-HSN. Creators and subjects are attached first (in batch
+/// order), then articles — so an article may cite a creator/subject
+/// introduced by the same batch.
+#[derive(Serialize, Deserialize, Clone, Debug, Default)]
+pub struct IngestBatch {
+    /// New creators, attached first.
+    #[serde(default)]
+    pub creators: Vec<IngestCreator>,
+    /// New subjects, attached second.
+    #[serde(default)]
+    pub subjects: Vec<IngestSubject>,
+    /// New articles, attached last (may cite batch-new nodes).
+    #[serde(default)]
+    pub articles: Vec<IngestArticle>,
+}
+
+impl IngestBatch {
+    /// Total nodes the batch attaches.
+    pub fn len(&self) -> usize {
+        self.creators.len() + self.subjects.len() + self.articles.len()
+    }
+
+    /// Whether the batch attaches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One attached node in an [`IngestReport`]: its assigned combined
+/// index and its credibility distribution after incremental diffusion.
+#[derive(Serialize, Deserialize, Clone, Debug)]
+pub struct IngestedNode {
+    /// Combined index the node was assigned (usable as `id` in
+    /// `POST /v1/predict` and as a neighbour index in later requests).
+    pub id: usize,
+    /// Per-class probabilities, aligned with `labels`.
+    pub probabilities: Vec<f32>,
+}
+
+/// Response body of `POST /v1/ingest`: assigned ids + scores per node,
+/// and the cost counters the incremental update actually paid.
+#[derive(Serialize, Deserialize, Clone, Debug)]
+pub struct IngestReport {
+    /// Label mode (`"binary"` / `"multi"`).
+    pub mode: String,
+    /// Class names, index-aligned with every probability vector.
+    pub labels: Vec<String>,
+    /// Attached creators, batch order.
+    pub creators: Vec<IngestedNode>,
+    /// Attached subjects, batch order.
+    pub subjects: Vec<IngestedNode>,
+    /// Attached articles, batch order.
+    pub articles: Vec<IngestedNode>,
+    /// Largest number of *base* nodes any diffusion round recomputed —
+    /// the affected-neighbourhood size (O(payload × degree), not
+    /// O(corpus)).
+    pub affected_base_nodes: usize,
+    /// Diffusion rounds the delta update replayed.
+    pub diffusion_rounds: usize,
+    /// Wall-clock µs spent attaching + featurising the new nodes.
+    pub attach_us: u64,
+    /// Wall-clock µs spent on incremental diffusion.
+    pub diffuse_us: u64,
+    /// Combined article count after the ingest.
+    pub articles_total: usize,
+    /// Combined creator count after the ingest.
+    pub creators_total: usize,
+    /// Combined subject count after the ingest.
+    pub subjects_total: usize,
+}
+
+/// The immutable, expensive-to-build part of a serving handle: corpus,
+/// feature pipeline, weights, and the per-round diffused base states.
+/// Shared by every [`ServeModel`] generation an ingest produces, so an
+/// ingest clones an `Arc`, never the corpus.
+struct BaseModel {
     corpus: Corpus,
     tokenized: TokenizedCorpus,
     explicit: ExplicitFeatures,
     train: TrainSets,
     mode: LabelMode,
     trained: TrainedFakeDetector,
-    states: [fd_tensor::Matrix; 3],
+    /// Full diffusion history (one `[articles, creators, subjects]`
+    /// state triple per round) — incremental updates patch against
+    /// every round, serving reads the last.
+    rounds: Vec<[Matrix; 3]>,
+}
+
+impl BaseModel {
+    fn ctx(&self) -> ExperimentContext<'_> {
+        ExperimentContext {
+            corpus: &self.corpus,
+            tokenized: &self.tokenized,
+            explicit: &self.explicit,
+            train: &self.train,
+            mode: self.mode,
+            seed: 0,
+        }
+    }
+}
+
+/// Ingested nodes layered over a [`BaseModel`]: the overlay adjacency,
+/// the frozen-pipeline features of every appended node (cumulative, in
+/// append order — exactly what `delta_states` consumes), and the
+/// per-round state deltas. Cloning copies appended data only.
+#[derive(Clone)]
+struct IngestOverlay {
+    graph: GraphOverlay,
+    explicit: [Vec<Vec<f32>>; 3],
+    sequences: [Vec<Vec<usize>>; 3],
+    states: StateOverlay,
+}
+
+fn type_slot(ty: NodeType) -> usize {
+    match ty {
+        NodeType::Article => 0,
+        NodeType::Creator => 1,
+        NodeType::Subject => 2,
+    }
+}
+
+fn type_name(ty: NodeType) -> &'static str {
+    match ty {
+        NodeType::Article => "article",
+        NodeType::Creator => "creator",
+        NodeType::Subject => "subject",
+    }
+}
+
+fn rows_to_matrix(rows: &[Vec<f32>], cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows.len(), cols);
+    for (k, row) in rows.iter().enumerate() {
+        m.row_mut(k).copy_from_slice(row);
+    }
+    m
+}
+
+/// A self-contained, thread-shareable serving handle: corpus + feature
+/// pipeline + trained weights + precomputed diffused states, plus an
+/// optional overlay of nodes ingested since the last full load.
+///
+/// Ingestion is copy-on-write: [`ServeModel::ingest`] returns a *new*
+/// handle sharing the same base (behind an `Arc`) with the grown
+/// overlay, leaving `self` — and every in-flight request pinned to it —
+/// untouched. The server's model slot swaps handles atomically.
+pub struct ServeModel {
+    base: Arc<BaseModel>,
+    overlay: Option<IngestOverlay>,
     precision: Precision,
     /// Prebuilt int8 twin — `Some` exactly when `precision` is
     /// [`Precision::Int8`], so the quantization cost is paid once at
-    /// load, never per request.
-    quant: Option<QuantModel>,
+    /// load, never per request (and shared across ingest generations).
+    quant: Option<Arc<QuantModel>>,
 }
 
 impl ServeModel {
@@ -155,7 +330,7 @@ impl ServeModel {
     ) -> Self {
         let tokenized = TokenizedCorpus::build(&corpus, seq_len, max_vocab);
         let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, explicit_dim);
-        let states = {
+        let rounds = {
             let ctx = ExperimentContext {
                 corpus: &corpus,
                 tokenized: &tokenized,
@@ -167,16 +342,11 @@ impl ServeModel {
             let hist =
                 fd_obs::histogram("serve.warmup_us", &fd_obs::exponential_buckets(100.0, 4.0, 12));
             let _timer = fd_obs::span_timed("serve.warmup", hist);
-            trained.diffused_states(&ctx)
+            trained.diffused_states_rounds(&ctx)
         };
         Self {
-            corpus,
-            tokenized,
-            explicit,
-            train,
-            mode,
-            trained,
-            states,
+            base: Arc::new(BaseModel { corpus, tokenized, explicit, train, mode, trained, rounds }),
+            overlay: None,
             precision: Precision::F32,
             quant: None,
         }
@@ -189,7 +359,7 @@ impl ServeModel {
         self.precision = precision;
         self.quant = match precision {
             Precision::F32 => None,
-            Precision::Int8 => Some(self.trained.quantize()),
+            Precision::Int8 => Some(Arc::new(self.base.trained.quantize())),
         };
         self
     }
@@ -233,21 +403,32 @@ impl ServeModel {
         Ok(Self::from_bundle_json(corpus, &bundle_json)?.with_precision(precision))
     }
 
-    fn ctx(&self) -> ExperimentContext<'_> {
-        ExperimentContext {
-            corpus: &self.corpus,
-            tokenized: &self.tokenized,
-            explicit: &self.explicit,
-            train: &self.train,
-            mode: self.mode,
-            seed: 0,
+    /// Combined node counts, `[articles, creators, subjects]`.
+    fn counts(&self) -> [usize; 3] {
+        match &self.overlay {
+            Some(overlay) => overlay.graph.counts(),
+            None => {
+                let c = &self.base.corpus;
+                [c.articles.len(), c.creators.len(), c.subjects.len()]
+            }
         }
     }
 
-    /// Checks a request against the corpus (neighbour indices in range,
-    /// neighbour kinds appropriate for the node type) without scoring.
+    /// The state view requests score against: the final diffusion
+    /// round, patched/extended by the ingest overlay when present.
+    fn view(&self) -> StateView<'_> {
+        let last = self.base.rounds.last().expect("at least one diffusion round");
+        match &self.overlay {
+            Some(overlay) => StateView::with_delta(last, overlay.states.final_round()),
+            None => StateView::from_base(last),
+        }
+    }
+
+    /// Checks a request against the combined graph (neighbour indices
+    /// in range — ingested nodes are valid neighbours — and neighbour
+    /// kinds appropriate for the node type) without scoring.
     pub fn validate(&self, request: &ScoreRequest) -> Result<(), String> {
-        self.trained.validate_request(&self.ctx(), request)
+        self.base.trained.validate_request_extended(self.counts(), request)
     }
 
     /// Scores a batch of requests in one matrix pass through the
@@ -255,12 +436,169 @@ impl ServeModel {
     /// scoring each request alone — on the int8 path too, since its
     /// integer accumulation is row-independent.
     pub fn score(&self, requests: &[ScoreRequest]) -> Result<Vec<Vec<f32>>, String> {
+        let ctx = self.base.ctx();
+        let view = self.view();
         match &self.quant {
-            None => self.trained.score_batch(&self.ctx(), &self.states, requests),
-            Some(quant) => {
-                self.trained.score_batch_quant(&self.ctx(), &self.states, requests, quant)
+            None => self.base.trained.score_batch_view(&ctx, &view, requests),
+            Some(quant) => self.base.trained.score_batch_view_quant(&ctx, &view, requests, quant),
+        }
+    }
+
+    /// Credibility distribution of a node *already in* the combined
+    /// graph (base corpus or ingested), read straight off its diffused
+    /// state — no featurisation, no batching. Errors name the valid
+    /// range, so callers can map them to 404.
+    pub fn score_node(&self, ty: NodeType, idx: usize) -> Result<Vec<f32>, String> {
+        let slot = type_slot(ty);
+        let counts = self.counts();
+        if idx >= counts[slot] {
+            return Err(format!(
+                "{} {idx} out of range (graph has {})",
+                type_name(ty),
+                counts[slot]
+            ));
+        }
+        let row = self.view().row(slot, idx);
+        Ok(match &self.quant {
+            None => self.base.trained.node_probabilities(ty, row),
+            Some(quant) => self.base.trained.node_probabilities_quant(quant, ty, row),
+        })
+    }
+
+    /// Attaches a batch of new nodes and runs incremental diffusion,
+    /// returning a new serving handle plus a report with assigned ids,
+    /// scores, and cost counters. `self` is untouched (copy-on-write:
+    /// the base model is shared via `Arc`, only overlay data is
+    /// cloned), so in-flight requests pinned to the old handle are
+    /// unaffected; the caller swaps the new handle into the model slot.
+    ///
+    /// Cost scales with the batch's affected neighbourhood (the new
+    /// nodes plus the base creators/subjects they cite, expanded one
+    /// hop per extra diffusion round), **not** with corpus size.
+    ///
+    /// ```
+    /// # use fd_core::{FakeDetector, FakeDetectorConfig};
+    /// # use fd_data::{generate, CvSplits, ExplicitFeatures, GeneratorConfig,
+    /// #               ExperimentContext, LabelMode, TokenizedCorpus, TrainSets};
+    /// # use fd_serve::{IngestArticle, IngestBatch, ServeModel};
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// # let corpus = generate(&GeneratorConfig::politifact().scaled(0.008), 7);
+    /// # let tokenized = TokenizedCorpus::build(&corpus, 8, 1500);
+    /// # let mut rng = StdRng::seed_from_u64(1);
+    /// # let train = TrainSets {
+    /// #     articles: CvSplits::new(corpus.articles.len(), 10, &mut rng).fold(0).0,
+    /// #     creators: CvSplits::new(corpus.creators.len(), 10, &mut rng).fold(0).0,
+    /// #     subjects: CvSplits::new(corpus.subjects.len(), 6, &mut rng).fold(0).0,
+    /// # };
+    /// # let explicit = ExplicitFeatures::extract(&corpus, &tokenized, &train, 20);
+    /// # let ctx = ExperimentContext {
+    /// #     corpus: &corpus, tokenized: &tokenized, explicit: &explicit,
+    /// #     train: &train, mode: LabelMode::Binary, seed: 1,
+    /// # };
+    /// # let config = FakeDetectorConfig { epochs: 1, ..FakeDetectorConfig::default() };
+    /// # let trained = FakeDetector::new(config).fit(&ctx);
+    /// let model = ServeModel::new(corpus, trained, train, LabelMode::Binary, 20, 8, 1500);
+    /// let (articles, creators, subjects) = model.corpus_sizes();
+    /// let batch = IngestBatch {
+    ///     articles: vec![IngestArticle {
+    ///         text: "breaking claims about the budget".into(),
+    ///         creator: 0,
+    ///         subjects: vec![0],
+    ///     }],
+    ///     ..IngestBatch::default()
+    /// };
+    /// let (next, report) = model.ingest(&batch).unwrap();
+    /// // The new article is appended after the base corpus and scored.
+    /// assert_eq!(report.articles[0].id, articles);
+    /// assert!((report.articles[0].probabilities.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    /// assert_eq!(next.corpus_sizes(), (articles + 1, creators, subjects));
+    /// // The old handle still serves the pre-ingest graph.
+    /// assert_eq!(model.corpus_sizes(), (articles, creators, subjects));
+    /// ```
+    pub fn ingest(&self, batch: &IngestBatch) -> Result<(ServeModel, IngestReport), String> {
+        if batch.is_empty() {
+            return Err("ingest batch is empty: provide at least one creator, subject or article"
+                .to_string());
+        }
+        let base = &self.base;
+        let attach_start = Instant::now();
+        let (mut graph, mut explicit, mut sequences) = match &self.overlay {
+            Some(o) => (o.graph.clone(), o.explicit.clone(), o.sequences.clone()),
+            None => (GraphOverlay::new(&base.corpus.graph), Default::default(), Default::default()),
+        };
+        {
+            // Featurisation goes through the *frozen* pipeline: the
+            // training-time vocabulary and χ² word sets, exactly as base
+            // nodes were featurised. (Refreshing the pipeline itself is
+            // the slow path: retrain + SIGHUP.)
+            let tokenizer = Tokenizer::default();
+            let mut featurise = |slot: usize, ty: NodeType, text: &str| {
+                let tokens = tokenizer.tokenize(text);
+                explicit[slot].push(base.explicit.featurise_tokens(ty, &tokens).row(0).to_vec());
+                sequences[slot]
+                    .push(encode_sequence(&tokens, &base.tokenized.vocab, base.tokenized.seq_len));
+            };
+            for creator in &batch.creators {
+                graph.add_creator();
+                featurise(1, NodeType::Creator, &creator.profile);
+            }
+            for subject in &batch.subjects {
+                graph.add_subject();
+                featurise(2, NodeType::Subject, &subject.description);
+            }
+            for (i, article) in batch.articles.iter().enumerate() {
+                graph
+                    .add_article(article.creator, &article.subjects)
+                    .map_err(|e| format!("article {i}: {e}"))?;
+                featurise(0, NodeType::Article, &article.text);
             }
         }
+        let attach_us = attach_start.elapsed().as_micros() as u64;
+
+        let diffuse_start = Instant::now();
+        let dim = base.explicit.dim;
+        let new_explicit: [Matrix; 3] =
+            std::array::from_fn(|slot| rows_to_matrix(&explicit[slot], dim));
+        let states = base.trained.delta_states(
+            &base.ctx(),
+            &base.rounds,
+            &graph,
+            &new_explicit,
+            &sequences,
+            None,
+        )?;
+        let diffuse_us = diffuse_start.elapsed().as_micros() as u64;
+
+        let affected_base_nodes = states.max_affected_base;
+        let counts = graph.counts();
+        let diffusion_rounds = states.rounds.len();
+        let next = ServeModel {
+            base: Arc::clone(&self.base),
+            overlay: Some(IngestOverlay { graph, explicit, sequences, states }),
+            precision: self.precision,
+            quant: self.quant.clone(),
+        };
+        // Assigned ids: this batch's nodes are the last of each slot.
+        let scored = |ty: NodeType, total: usize, n: usize| -> Result<Vec<IngestedNode>, String> {
+            (total - n..total)
+                .map(|id| Ok(IngestedNode { id, probabilities: next.score_node(ty, id)? }))
+                .collect()
+        };
+        let report = IngestReport {
+            mode: mode_name(base.mode).into(),
+            labels: next.class_labels().into_iter().map(str::to_string).collect(),
+            creators: scored(NodeType::Creator, counts[1], batch.creators.len())?,
+            subjects: scored(NodeType::Subject, counts[2], batch.subjects.len())?,
+            articles: scored(NodeType::Article, counts[0], batch.articles.len())?,
+            affected_base_nodes,
+            diffusion_rounds,
+            attach_us,
+            diffuse_us,
+            articles_total: counts[0],
+            creators_total: counts[1],
+            subjects_total: counts[2],
+        };
+        Ok((next, report))
     }
 
     /// The precision the forward pass runs at.
@@ -270,20 +608,22 @@ impl ServeModel {
 
     /// The label mode the model was trained under.
     pub fn mode(&self) -> LabelMode {
-        self.mode
+        self.base.mode
     }
 
     /// Class names, index-aligned with the probability vectors.
     pub fn class_labels(&self) -> Vec<&'static str> {
-        match self.mode {
+        match self.base.mode {
             LabelMode::Binary => vec!["fake", "credible"],
             LabelMode::MultiClass => Credibility::ALL.iter().map(|l| l.name()).collect(),
         }
     }
 
-    /// Corpus sizes as (articles, creators, subjects) — reported by
-    /// `/healthz` so operators can sanity-check what got loaded.
+    /// Combined graph sizes as (articles, creators, subjects) — base
+    /// corpus plus ingested nodes — reported by `/healthz` so operators
+    /// can sanity-check what is being served.
     pub fn corpus_sizes(&self) -> (usize, usize, usize) {
-        (self.corpus.articles.len(), self.corpus.creators.len(), self.corpus.subjects.len())
+        let [articles, creators, subjects] = self.counts();
+        (articles, creators, subjects)
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::batch::{BatchQueue, EnqueueError};
 use crate::http::{read_request, write_response, write_response_ext, HttpError, Request};
-use crate::model::{mode_name, ServeModel};
+use crate::model::{mode_name, IngestBatch, ServeModel};
 use fd_core::ScoreRequest;
 use fd_graph::NodeType;
 use fd_obs::TraceCtx;
@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,10 @@ pub struct ServeConfig {
     pub request_timeout_ms: u64,
     /// Largest accepted request body (413 past it).
     pub max_body_bytes: usize,
+    /// Largest node count a single `POST /v1/ingest` batch may attach
+    /// (413 past it). Bounds the worst-case affected neighbourhood an
+    /// ingest recomputes while holding the update lock.
+    pub max_ingest_nodes: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,11 +59,13 @@ impl Default for ServeConfig {
             queue_bound: 1024,
             request_timeout_ms: 10_000,
             max_body_bytes: 1 << 20,
+            max_ingest_nodes: 256,
         }
     }
 }
 
-/// An atomically swappable model handle for zero-downtime reloads.
+/// An atomically swappable model handle for zero-downtime reloads and
+/// ingests.
 ///
 /// Readers clone the inner `Arc` under a momentary read lock; a reload
 /// replaces it under a write lock. Requests that already cloned the old
@@ -67,14 +73,21 @@ impl Default for ServeConfig {
 /// or corrupts an in-flight request, it only changes which model *new*
 /// work picks up. The old model is freed when its last request
 /// completes.
+///
+/// Writers (SIGHUP reloads and `/v1/ingest`) additionally serialise on
+/// an update lock, so two concurrent ingests — or an ingest racing a
+/// reload — apply one after the other instead of losing one side's
+/// nodes. The update lock is never held while *readers* wait: `get` only
+/// touches the inner `RwLock`.
 pub struct ModelSlot {
     current: RwLock<Arc<ServeModel>>,
+    update: Mutex<()>,
 }
 
 impl ModelSlot {
     /// A slot serving `model`.
     pub fn new(model: Arc<ServeModel>) -> Self {
-        Self { current: RwLock::new(model) }
+        Self { current: RwLock::new(model), update: Mutex::new(()) }
     }
 
     /// The model new work should score against.
@@ -84,10 +97,30 @@ impl ModelSlot {
         self.current.read().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
     }
 
-    /// Atomically replaces the served model; returns the previous one.
-    pub fn swap(&self, model: Arc<ServeModel>) -> Arc<ServeModel> {
+    fn replace(&self, model: Arc<ServeModel>) -> Arc<ServeModel> {
         let mut slot = self.current.write().unwrap_or_else(|poisoned| poisoned.into_inner());
         std::mem::replace(&mut *slot, model)
+    }
+
+    /// Atomically replaces the served model; returns the previous one.
+    pub fn swap(&self, model: Arc<ServeModel>) -> Arc<ServeModel> {
+        let _writer = self.update.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.replace(model)
+    }
+
+    /// Read-modify-write under the update lock: derives a new model
+    /// from the currently served one and publishes it atomically. An
+    /// `Err` from `f` publishes nothing. `/v1/ingest` goes through
+    /// here, so an ingest can never clobber (or be clobbered by) a
+    /// concurrent ingest or SIGHUP reload.
+    pub fn update<R>(
+        &self,
+        f: impl FnOnce(Arc<ServeModel>) -> Result<(Arc<ServeModel>, R), String>,
+    ) -> Result<R, String> {
+        let _writer = self.update.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (next, out) = f(self.get())?;
+        self.replace(next);
+        Ok(out)
     }
 }
 
@@ -372,7 +405,7 @@ fn handle_connection(
         let model = slot.get();
         let (status, body, content_type) =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                route(&model, queue, config, &request, &trace)
+                route(&model, slot, queue, config, &request, &trace)
             }))
             .unwrap_or_else(|_| {
                 fd_obs::counter("serve.handler_panics").inc();
@@ -427,19 +460,32 @@ fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
     let _ = write_response(stream, status, &error_body(message), false);
 }
 
-/// One entity to score, as it appears on the wire.
+/// One entity to score, as it appears on the wire. Exactly one of
+/// `text` (inductive scoring of an out-of-graph entity) or `id`
+/// (state readout of a node already in the graph, including ingested
+/// ones) must be present.
 #[derive(Deserialize)]
 struct WireRequest {
     /// `article` (default), `creator`, or `subject`.
     #[serde(default = "default_node_type")]
     node_type: String,
-    text: String,
+    #[serde(default)]
+    text: Option<String>,
+    #[serde(default)]
+    id: Option<usize>,
     #[serde(default)]
     creator: Option<usize>,
     #[serde(default)]
     subjects: Vec<usize>,
     #[serde(default)]
     articles: Vec<usize>,
+}
+
+/// How a `/v1/predict` request is served: inline by-id readout, or
+/// featurise-and-batch inductive scoring.
+enum PredictTarget {
+    ById(NodeType, usize),
+    Inductive(ScoreRequest),
 }
 
 fn default_node_type() -> String {
@@ -490,20 +536,47 @@ fn owned_labels(model: &ServeModel) -> Vec<String> {
 }
 
 impl WireRequest {
-    fn into_score_request(self) -> Result<ScoreRequest, String> {
+    fn into_target(self) -> Result<PredictTarget, String> {
         let node_type = match self.node_type.as_str() {
             "article" => NodeType::Article,
             "creator" => NodeType::Creator,
             "subject" => NodeType::Subject,
             other => return Err(format!("node_type must be article|creator|subject, got {other}")),
         };
-        Ok(ScoreRequest {
-            node_type,
-            text: self.text,
-            creator: self.creator,
-            subjects: self.subjects,
-            articles: self.articles,
-        })
+        match (self.id, self.text) {
+            (Some(_), Some(_)) => Err("provide either text or id, not both".to_string()),
+            (None, None) => {
+                Err("provide text (inductive scoring) or id (by-id readout)".to_string())
+            }
+            (Some(id), None) => {
+                if self.creator.is_some() || !self.subjects.is_empty() || !self.articles.is_empty()
+                {
+                    return Err(
+                        "by-id requests must not name neighbours: the graph already has them"
+                            .to_string(),
+                    );
+                }
+                Ok(PredictTarget::ById(node_type, id))
+            }
+            (None, Some(text)) => Ok(PredictTarget::Inductive(ScoreRequest {
+                node_type,
+                text,
+                creator: self.creator,
+                subjects: self.subjects,
+                articles: self.articles,
+            })),
+        }
+    }
+
+    /// The inductive-only conversion `/v1/predict_batch` uses; by-id
+    /// readouts are not batched (they never touch the batcher).
+    fn into_score_request(self) -> Result<ScoreRequest, String> {
+        match self.into_target()? {
+            PredictTarget::Inductive(request) => Ok(request),
+            PredictTarget::ById(..) => {
+                Err("by-id requests are not batched; use /v1/predict".to_string())
+            }
+        }
     }
 }
 
@@ -511,6 +584,7 @@ impl WireRequest {
 /// and the body's `Content-Type`. Never panics on request content.
 fn route(
     model: &ServeModel,
+    slot: &ModelSlot,
     queue: &BatchQueue,
     config: &ServeConfig,
     request: &Request,
@@ -553,7 +627,11 @@ fn route(
             let (status, body) = predict_batch(model, queue, config, &request.body, trace);
             (status, body, JSON)
         }
-        (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/predict_batch") => {
+        ("POST", "/v1/ingest") => {
+            let (status, body) = ingest(slot, config, &request.body, trace);
+            (status, body, JSON)
+        }
+        (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/predict_batch" | "/v1/ingest") => {
             (405, error_body("method not allowed"), JSON)
         }
         (_, path) => (404, error_body(&format!("no such endpoint: {path}")), JSON),
@@ -584,8 +662,23 @@ fn predict_one(
         Ok(wire) => wire,
         Err(e) => return (400, error_body(&e)),
     };
-    let score_request = match wire.into_score_request() {
-        Ok(r) => r,
+    let score_request = match wire.into_target() {
+        // By-id readouts answer inline off the precomputed (and
+        // ingest-patched) states — no featurisation, no batcher trip.
+        Ok(PredictTarget::ById(ty, id)) => {
+            return match model.score_node(ty, id) {
+                Ok(probabilities) => {
+                    let response = PredictResponse {
+                        mode: mode_name(model.mode()).into(),
+                        labels: owned_labels(model),
+                        probabilities,
+                    };
+                    (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+                }
+                Err(e) => (404, error_body(&e)),
+            };
+        }
+        Ok(PredictTarget::Inductive(r)) => r,
         Err(e) => return (400, error_body(&e)),
     };
     // Validate before enqueueing so the batcher only ever sees
@@ -667,6 +760,88 @@ fn predict_batch(
         results,
     };
     (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+}
+
+/// `POST /v1/ingest`: attach new nodes, run incremental diffusion, and
+/// publish the grown model through the slot's update lock. Predict
+/// traffic is never blocked — readers keep cloning whichever `Arc` is
+/// current, and requests already pinned to the old model finish on it.
+fn ingest(
+    slot: &ModelSlot,
+    config: &ServeConfig,
+    body: &[u8],
+    trace: &TraceCtx,
+) -> (u16, String) {
+    let batch: IngestBatch = match parse_body(body) {
+        Ok(batch) => batch,
+        Err(e) => {
+            fd_obs::counter("serve.ingest_rejected").inc();
+            return (400, error_body(&e));
+        }
+    };
+    let nodes = batch.len();
+    if nodes == 0 {
+        fd_obs::counter("serve.ingest_rejected").inc();
+        return (
+            400,
+            error_body("ingest batch is empty: provide at least one creator, subject or article"),
+        );
+    }
+    if nodes > config.max_ingest_nodes {
+        fd_obs::counter("serve.ingest_rejected").inc();
+        return (
+            413,
+            error_body(&format!(
+                "ingest batch attaches {nodes} nodes, limit is {} (raise --max-ingest-nodes)",
+                config.max_ingest_nodes
+            )),
+        );
+    }
+    // The closure re-reads the current model *inside* the update lock,
+    // so concurrent ingests (and SIGHUP reloads) serialise instead of
+    // losing each other's nodes.
+    let outcome = slot.update(|current| {
+        let (next, report) = current.ingest(&batch)?;
+        Ok((Arc::new(next), report))
+    });
+    match outcome {
+        Ok(report) => {
+            fd_obs::counter("serve.ingests").inc();
+            fd_obs::counter("serve.ingest_nodes").add(nodes as u64);
+            fd_obs::histogram("serve.ingest_attach_us", &fd_obs::exponential_buckets(50.0, 4.0, 10))
+                .record(report.attach_us as f64);
+            fd_obs::histogram(
+                "serve.ingest_diffuse_us",
+                &fd_obs::exponential_buckets(50.0, 4.0, 12),
+            )
+            .record(report.diffuse_us as f64);
+            fd_obs::histogram("serve.ingest_affected", &fd_obs::exponential_buckets(1.0, 2.0, 12))
+                .record(report.affected_base_nodes as f64);
+            if trace.sampled {
+                // The two phases run back to back and end roughly now;
+                // reconstruct their spans from the reported durations.
+                let end_us = fd_obs::trace::now_us();
+                let diffuse_start = end_us.saturating_sub(report.diffuse_us);
+                let attach_start = diffuse_start.saturating_sub(report.attach_us);
+                trace.child().record("ingest.attach", attach_start, report.attach_us);
+                trace.child().record("ingest.diffuse", diffuse_start, report.diffuse_us);
+            }
+            fd_obs::event(
+                fd_obs::Level::Info,
+                "serve.ingest",
+                &[
+                    ("nodes", nodes.into()),
+                    ("affected_base", report.affected_base_nodes.into()),
+                    ("articles_total", report.articles_total.into()),
+                ],
+            );
+            (200, serde_json::to_string(&report).unwrap_or_else(|_| "{}".into()))
+        }
+        Err(e) => {
+            fd_obs::counter("serve.ingest_rejected").inc();
+            (400, error_body(&e))
+        }
+    }
 }
 
 /// Installs `SIGINT`/`SIGTERM` handlers that set a process-wide flag,

@@ -10,7 +10,9 @@
 //! fdctl evaluate --corpus corpus.json --model model.json
 //! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
 //! fdctl serve    --corpus corpus.json --model model.json [--addr 127.0.0.1:7878] [--max-batch 32] [--max-delay-ms 2]
-//!                [--precision f32|int8]
+//!                [--precision f32|int8] [--max-ingest-nodes 256]
+//! fdctl ingest   --addr 127.0.0.1:7878 --payload batch.json        # POST a prepared IngestBatch
+//! fdctl ingest   --addr 127.0.0.1:7878 --text "..." --creator 3 [--subjects 0,2]  # one article inline
 //! fdctl ckpt     inspect ckpts/ckpt-00000005.fdck
 //! fdctl trace    summarize trace.json
 //! fdctl analyze  --corpus corpus.json
@@ -39,7 +41,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: fdctl <generate|train|predict|evaluate|score|serve|ckpt|trace|analyze|obs> [options]"
+            "usage: fdctl <generate|train|predict|evaluate|score|serve|ingest|ckpt|trace|analyze|obs> [options]"
         );
         return ExitCode::FAILURE;
     };
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
             "evaluate" => cmd_evaluate(&opts),
             "score" => cmd_score(&opts),
             "serve" => cmd_serve(&opts),
+            "ingest" => cmd_ingest(&opts),
             "analyze" => cmd_analyze(&opts),
             "obs" => cmd_obs(&opts),
             other => Err(format!("unknown command {other}")),
@@ -430,6 +433,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         queue_bound: opt_parse(opts, "queue-bound", defaults.queue_bound)?,
         request_timeout_ms: opt_parse(opts, "request-timeout-ms", defaults.request_timeout_ms)?,
         max_body_bytes: opt_parse(opts, "max-body-bytes", defaults.max_body_bytes)?,
+        max_ingest_nodes: opt_parse(opts, "max-ingest-nodes", defaults.max_ingest_nodes)?,
     };
     if config.max_batch == 0 || config.queue_bound == 0 {
         return Err("--max-batch and --queue-bound must be at least 1".into());
@@ -450,8 +454,12 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         config.max_delay_ms,
         config.queue_bound
     );
-    eprintln!("endpoints: POST /v1/predict, POST /v1/predict_batch, GET /healthz, GET /metrics");
-    eprintln!("SIGHUP reloads {model_path} without dropping in-flight requests");
+    eprintln!(
+        "endpoints: POST /v1/predict, POST /v1/predict_batch, POST /v1/ingest, GET /healthz, GET /metrics"
+    );
+    eprintln!(
+        "SIGHUP reloads {model_path} without dropping in-flight requests (discards ingested nodes)"
+    );
     while !fakedetector::serve::signal_received() {
         if fakedetector::serve::take_reload_request() {
             // Load the new bundle fully before swapping; a bad file on
@@ -471,6 +479,53 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     server.shutdown();
     eprintln!("stopped");
     flush_trace()
+}
+
+/// Posts an ingest batch to a running `fdctl serve` instance and prints
+/// the server's report. Either `--payload batch.json` (a raw
+/// [`IngestBatch`](fakedetector::serve::IngestBatch) document) or a
+/// single inline article via `--text`/`--creator`/`--subjects`.
+fn cmd_ingest(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fakedetector::serve::{HttpClient, IngestArticle, IngestBatch};
+
+    let addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let body = match (opts.get("payload"), opts.get("text")) {
+        (Some(_), Some(_)) => {
+            return Err("provide either --payload or --text, not both".into());
+        }
+        (Some(path), None) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        (None, Some(text)) => {
+            let creator: usize = required(opts, "creator")?
+                .parse()
+                .map_err(|_| "--creator: not an index".to_string())?;
+            let subjects: Vec<usize> = match opts.get("subjects") {
+                Some(raw) => raw
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("--subjects: bad index {s:?}")))
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            };
+            let batch = IngestBatch {
+                creators: Vec::new(),
+                subjects: Vec::new(),
+                articles: vec![IngestArticle { text: text.clone(), creator, subjects }],
+            };
+            serde_json::to_string(&batch).map_err(|e| format!("encode batch: {e}"))?
+        }
+        (None, None) => return Err("--payload file.json or --text \"...\" is required".into()),
+    };
+
+    let mut client = HttpClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_timeout(std::time::Duration::from_secs(60))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let (status, response) = client.post("/v1/ingest", &body).map_err(|e| format!("post: {e}"))?;
+    println!("{response}");
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server returned HTTP {status}"))
+    }
 }
 
 /// `fdctl ckpt inspect <file>`: prints the checkpoint header, epoch
