@@ -23,6 +23,18 @@
 //!   sequential reference pass, and writes throughput, latency
 //!   percentiles and the observed batch-size histogram to
 //!   `BENCH_serve.json`.
+//! * `cargo run --release -p fd-bench --bin report -- load [out.json] [total] [slo_ms]`
+//!   the open-loop load benchmark of the sharded serving tier: an
+//!   in-process router in front of 2 shards × 2 replicas, driven at
+//!   fixed arrival rates (latency measured from each request's
+//!   *scheduled* arrival, so queueing delay is never hidden). A short
+//!   closed-loop probe finds the tier's capacity; the harness then
+//!   runs ≥100k requests at a rated load (60% of capacity, gated on
+//!   p99 ≤ `slo_ms`) and a 2× overload phase, asserting the router
+//!   sheds with `429 + Retry-After` while successful-request latency
+//!   stays bounded — 429s must rise before latency collapses. Every
+//!   200 is verified bitwise against a single-process unsharded
+//!   control server. Writes `BENCH_load.json`.
 //! * `cargo run --release -p fd-bench --bin report -- ingest [out.json] [scales]`
 //!   the early-detection benchmark of `POST /v1/ingest`: at each
 //!   comma-separated corpus scale (default `1,8`) it trains a model,
@@ -97,6 +109,18 @@ fn main() {
                 })
                 .unwrap_or_else(|| vec![1.0, 8.0]);
             ingest::write_report(&out, &scales);
+        }
+        Some(mode) if mode == "load" => {
+            let out = args.next().unwrap_or_else(|| "BENCH_load.json".into());
+            let total: usize = args
+                .next()
+                .map(|s| s.parse().unwrap_or_else(|e| panic!("bad total `{s}`: {e}")))
+                .unwrap_or(105_000);
+            let slo_ms: f64 = args
+                .next()
+                .map(|s| s.parse().unwrap_or_else(|e| panic!("bad slo_ms `{s}`: {e}")))
+                .unwrap_or(500.0);
+            load::write_report(&out, total, slo_ms);
         }
         Some(mode) if mode == "serve" => {
             let out = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
@@ -491,7 +515,9 @@ mod serve {
     /// Trains a small model once and wraps the same weights in one
     /// serving handle per precision (the int8 twin is built from a JSON
     /// round-trip of the f32 weights, exactly as a reload would).
-    fn build_models() -> (ServeModel, ServeModel) {
+    /// Shared with the `load` mode, which serves the f32 handle from
+    /// every worker of the sharded tier.
+    pub(super) fn build_models() -> (ServeModel, ServeModel) {
         let seed = 42;
         let corpus = generate(&GeneratorConfig::politifact().scaled(0.02), seed);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -770,6 +796,442 @@ mod serve {
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
         fd_obs::event(fd_obs::Level::Info, "report.wrote", &[("path", out_path.into())]);
+    }
+}
+
+mod load {
+    //! The `load` mode: an open-loop load harness for the sharded
+    //! serving tier. An in-process `fd-router` fronts 2 shards × 2
+    //! replicas of fd-serve (all sharing one trained model, so any
+    //! answer is bitwise-comparable to the unsharded control server).
+    //!
+    //! Open-loop means arrivals follow a fixed schedule, not the
+    //! clients' progress: request `i` of a phase is due at
+    //! `start + i/rate`, and its latency is measured from that
+    //! *scheduled* instant. A closed-loop harness slows its arrival
+    //! rate exactly when the server struggles, hiding overload — this
+    //! one keeps pushing and reports the queueing delay it caused.
+    //!
+    //! Three gates, all panicking on violation so `scripts/bench.sh`
+    //! fails loudly:
+    //!
+    //! 1. every 200 is bitwise-identical to the control server;
+    //! 2. at the rated load (60% of probed capacity) p99 ≤ the SLO and
+    //!    shed/deadline responses stay ≈ 0;
+    //! 3. at 2× the rated load the router says `429 + Retry-After` on
+    //!    a meaningful fraction of requests while successful-request
+    //!    p99 stays bounded — shedding must kick in *before* latency
+    //!    collapses into the deadline.
+
+    use fd_router::{Router, RouterConfig, Topology};
+    use fd_serve::{HttpClient, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Router admission bound for the benchmark tier. Deliberately
+    /// below the worker count so the overload phase exercises the
+    /// bounded-queue shed path instead of piling work up in memory,
+    /// and small enough that admitted work stays far from the routing
+    /// deadline even on a single busy core.
+    const INFLIGHT_BOUND: usize = 48;
+    /// Open-loop sender threads. Must exceed [`INFLIGHT_BOUND`], or the
+    /// harness itself becomes the admission limit and no 429 can ever
+    /// happen. Kept modest: sender threads share the machine with the
+    /// tier, and on a small box an army of them turns scheduler noise
+    /// into phantom latency.
+    const WORKERS: usize = 64;
+    /// Rated load as a fraction of probed capacity. Conservative on
+    /// purpose: the closed-loop probe quotes burst capacity, and the
+    /// rated phase must hold its p99 for the whole (much longer) run —
+    /// on a shared single-core box the gap between burst and sustained
+    /// is real (a 72-second rated phase at 0.5× burst still shed ~1%).
+    const RATED_FRACTION: f64 = 0.35;
+    /// Distinct request bodies; requests cycle through them so the
+    /// bitwise reference stays small while batches mix by-id readouts
+    /// with inductive scoring.
+    const UNIQUE_BODIES: usize = 256;
+
+    fn round2(v: f64) -> f64 {
+        (v * 100.0).round() / 100.0
+    }
+
+    /// Nearest-rank percentile of an unsorted latency sample.
+    fn percentile(samples: &mut [f64], q: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = (q * samples.len() as f64).ceil() as usize;
+        samples[rank.clamp(1, samples.len()) - 1]
+    }
+
+    /// One phase's merged outcome counts and success latencies.
+    #[derive(Default)]
+    struct PhaseStats {
+        ok: usize,
+        shed: usize,
+        deadline: usize,
+        other: usize,
+        mismatches: usize,
+        missing_retry_after: usize,
+        lat_ok_ms: Vec<f64>,
+    }
+
+    impl PhaseStats {
+        fn total(&self) -> usize {
+            self.ok + self.shed + self.deadline + self.other
+        }
+
+        fn merge(&mut self, other: PhaseStats) {
+            self.ok += other.ok;
+            self.shed += other.shed;
+            self.deadline += other.deadline;
+            self.other += other.other;
+            self.mismatches += other.mismatches;
+            self.missing_retry_after += other.missing_retry_after;
+            self.lat_ok_ms.extend(other.lat_ok_ms);
+        }
+
+        fn shed_fraction(&self) -> f64 {
+            self.shed as f64 / self.total().max(1) as f64
+        }
+
+        fn json(&mut self, scheduled_rps: f64, wall_s: f64) -> serde_json::Value {
+            let (p50, p99, p999) = (
+                percentile(&mut self.lat_ok_ms, 0.50),
+                percentile(&mut self.lat_ok_ms, 0.99),
+                percentile(&mut self.lat_ok_ms, 0.999),
+            );
+            let latency = serde_json::json!({
+                "p50": round2(p50),
+                "p99": round2(p99),
+                "p999": round2(p999),
+            });
+            serde_json::json!({
+                "scheduled_rps": round2(scheduled_rps),
+                "achieved_rps": round2(self.total() as f64 / wall_s),
+                "wall_s": round2(wall_s),
+                "requests": self.total(),
+                "ok": self.ok,
+                "shed_429": self.shed,
+                "deadline_504": self.deadline,
+                "other_failures": self.other,
+                "shed_fraction": round2(self.shed_fraction() * 100.0) / 100.0,
+                "latency_ms": latency,
+            })
+        }
+    }
+
+    /// The request mix: every fourth body is a by-id readout (the
+    /// sharded ownership path), the rest inductive scoring (served by
+    /// any replica; routed for load spread).
+    fn bodies(articles: usize, creators: usize, subjects: usize) -> Vec<String> {
+        (0..UNIQUE_BODIES)
+            .map(|i| {
+                if i % 4 == 0 {
+                    format!("{{\"id\":{}}}", (i * 7) % articles)
+                } else {
+                    format!(
+                        "{{\"text\":\"urgent report {i} contradicts the senate budget figures\",\
+                         \"creator\":{},\"subjects\":[{}]}}",
+                        i % creators,
+                        i % subjects
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// Sends every unique body once, sequentially, to the unsharded
+    /// control server: the bitwise reference for the whole run.
+    fn reference_pass(control_addr: &str, bodies: &[String]) -> Vec<String> {
+        let mut client = HttpClient::connect(control_addr).expect("connect control");
+        client.set_timeout(Duration::from_secs(30)).expect("timeout");
+        bodies
+            .iter()
+            .map(|body| {
+                let (status, response) = client.post("/v1/predict", body).expect("control post");
+                assert_eq!(status, 200, "control reference request failed: {response}");
+                response
+            })
+            .collect()
+    }
+
+    /// Closed-loop capacity probe: `clients` keep-alive connections
+    /// hammer the router back-to-back; returns the achieved rate of
+    /// *successful* responses — shed 429s are tolerated but do not
+    /// count as capacity, or a saturated probe would quote its own
+    /// rejection throughput as tier throughput. This is the
+    /// denominator the rated/overload arrival rates derive from.
+    fn closed_loop_probe(addr: &str, bodies: &Arc<Vec<String>>, clients: usize, per_client: usize) -> f64 {
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.to_string();
+                let bodies = Arc::clone(bodies);
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(&addr).expect("connect router");
+                    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+                    let mut ok = 0usize;
+                    for i in 0..per_client {
+                        let body = &bodies[(c * per_client + i) % bodies.len()];
+                        let (status, response) =
+                            client.post("/v1/predict", body).expect("probe post");
+                        assert!(
+                            status == 200 || status == 429,
+                            "probe request got {status}: {response}"
+                        );
+                        ok += usize::from(status == 200);
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let ok: usize = handles.into_iter().map(|h| h.join().expect("probe client")).sum();
+        assert!(ok > 0, "capacity probe saw no successful responses");
+        ok as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// One open-loop phase: `total` requests at `rate_rps`, spread over
+    /// [`WORKERS`] sender threads. Worker `w` owns requests
+    /// `w, w+W, w+2W, …`; each is due at `start + i/rate` and its
+    /// latency runs from that scheduled instant, so a sender that fell
+    /// behind reports the lateness instead of quietly easing the load.
+    fn open_loop(
+        addr: &str,
+        bodies: &Arc<Vec<String>>,
+        reference: &Arc<Vec<String>>,
+        rate_rps: f64,
+        total: usize,
+    ) -> (PhaseStats, f64) {
+        let start = Instant::now();
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let addr = addr.to_string();
+                let bodies = Arc::clone(bodies);
+                let reference = Arc::clone(reference);
+                std::thread::spawn(move || {
+                    let mut client: Option<HttpClient> = None;
+                    let mut stats = PhaseStats::default();
+                    let mut i = w;
+                    while i < total {
+                        let due = start + Duration::from_secs_f64(i as f64 / rate_rps);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let body = &bodies[i % bodies.len()];
+                        let result = (|| {
+                            if client.is_none() {
+                                let mut fresh = HttpClient::connect_timeout(
+                                    &addr,
+                                    Duration::from_secs(10),
+                                )?;
+                                fresh.set_timeout(Duration::from_secs(30))?;
+                                client = Some(fresh);
+                            }
+                            client
+                                .as_mut()
+                                .expect("client just connected")
+                                .post_with_headers("/v1/predict", body, &[])
+                        })();
+                        let ms = due.elapsed().as_secs_f64() * 1e3;
+                        match result {
+                            Ok((200, response, _)) => {
+                                stats.ok += 1;
+                                stats.lat_ok_ms.push(ms);
+                                if response != reference[i % reference.len()] {
+                                    stats.mismatches += 1;
+                                }
+                            }
+                            Ok((429, _, headers)) => {
+                                stats.shed += 1;
+                                if !headers.iter().any(|(name, _)| name == "retry-after") {
+                                    stats.missing_retry_after += 1;
+                                }
+                            }
+                            Ok((504, _, _)) => stats.deadline += 1,
+                            Ok(_) => stats.other += 1,
+                            Err(_) => {
+                                // Transport error: count it and dial a
+                                // fresh connection for the next request.
+                                stats.other += 1;
+                                client = None;
+                            }
+                        }
+                        i += WORKERS;
+                    }
+                    stats
+                })
+            })
+            .collect();
+        let mut merged = PhaseStats::default();
+        for handle in handles {
+            merged.merge(handle.join().expect("load worker"));
+        }
+        (merged, start.elapsed().as_secs_f64())
+    }
+
+    pub fn write_report(out_path: &str, total_requests: usize, slo_ms: f64) {
+        assert!(total_requests >= 1_000, "need at least 1000 requests for stable percentiles");
+        let (model, int8_model) = super::serve::build_models();
+        drop(int8_model);
+        let model = Arc::new(model);
+        let (articles, creators, subjects) = model.corpus_sizes();
+
+        // The tier: 2 shards × 2 replicas plus the unsharded control,
+        // all serving the same weights in this process on ephemeral
+        // ports. The router's admission bound is lowered so overload
+        // exercises the shed path (see INFLIGHT_BOUND).
+        let shard_server = |index: usize| {
+            let config = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                shard: Some((index, 2)),
+                ..ServeConfig::default()
+            };
+            Server::start(Arc::clone(&model), &config).expect("start shard worker")
+        };
+        let tier = [shard_server(0), shard_server(0), shard_server(1), shard_server(1)];
+        let control = {
+            let config = ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() };
+            Server::start(Arc::clone(&model), &config).expect("start control server")
+        };
+        let spec = format!(
+            "{},{};{},{}",
+            tier[0].local_addr(),
+            tier[1].local_addr(),
+            tier[2].local_addr(),
+            tier[3].local_addr()
+        );
+        let mut router_config =
+            RouterConfig::new(Topology::parse(&spec).expect("tier topology"));
+        router_config.inflight_bound = INFLIGHT_BOUND;
+        let deadline_ms = router_config.deadline_ms;
+        let router = Router::start(router_config).expect("start router");
+        let router_addr = router.local_addr().to_string();
+
+        let bodies = Arc::new(bodies(articles, creators, subjects));
+        let reference = Arc::new(reference_pass(&control.local_addr().to_string(), &bodies));
+
+        // Let the first health-probe round mark every replica up before
+        // measuring anything.
+        std::thread::sleep(Duration::from_millis(500));
+        let max_rps = closed_loop_probe(&router_addr, &bodies, 32, 150);
+        // Settle: the probe leaves the tier saturated, and the rated
+        // phase must not start by shedding the probe's backlog.
+        std::thread::sleep(Duration::from_millis(500));
+        let rated_rps = RATED_FRACTION * max_rps;
+        let overload_rps = 2.0 * rated_rps;
+        let overload_n = total_requests / 5;
+        let rated_n = total_requests - overload_n;
+
+        eprintln!(
+            "capacity probe: {max_rps:.0} rps; rated {rated_rps:.0} rps × {rated_n}, \
+             overload {overload_rps:.0} rps × {overload_n}"
+        );
+        let (mut rated, rated_wall) =
+            open_loop(&router_addr, &bodies, &reference, rated_rps, rated_n);
+        // Drain between phases so overload starts from an idle tier.
+        std::thread::sleep(Duration::from_millis(500));
+        let (mut overload, overload_wall) =
+            open_loop(&router_addr, &bodies, &reference, overload_rps, overload_n);
+
+        let rated_p99 = percentile(&mut rated.lat_ok_ms, 0.99);
+        let overload_p99 = percentile(&mut overload.lat_ok_ms, 0.99);
+
+        // Gate 1: sharded answers are the single-process answers.
+        assert_eq!(
+            rated.mismatches + overload.mismatches,
+            0,
+            "routed responses drifted from the single-process control"
+        );
+        // Gate 2: the rated load meets its SLO without shedding.
+        assert!(
+            rated_p99 <= slo_ms,
+            "rated-load p99 {rated_p99:.1}ms violates the {slo_ms}ms SLO"
+        );
+        assert!(
+            rated.shed_fraction() < 0.01,
+            "rated load shed {:.1}% of requests; the tier is under-provisioned",
+            rated.shed_fraction() * 100.0
+        );
+        assert_eq!(rated.deadline, 0, "rated load hit the routing deadline");
+        // Gate 3: overload sheds with 429s while successful-request
+        // latency stays far from the deadline — backpressure must show
+        // up before latency collapse does.
+        assert!(
+            overload.shed_fraction() > rated.shed_fraction() && overload.shed > 0,
+            "2x overload shed {:.2}% (rated {:.2}%): the bounded queue never pushed back",
+            overload.shed_fraction() * 100.0,
+            rated.shed_fraction() * 100.0
+        );
+        assert!(
+            overload_p99 <= (deadline_ms as f64) / 2.0,
+            "overload success p99 {overload_p99:.0}ms collapsed toward the {deadline_ms}ms deadline"
+        );
+        assert_eq!(
+            rated.missing_retry_after + overload.missing_retry_after,
+            0,
+            "a 429 arrived without a Retry-After header"
+        );
+
+        fd_obs::event(
+            fd_obs::Level::Info,
+            "bench.load",
+            &[
+                ("capacity_rps", max_rps.into()),
+                ("rated_p99_ms", rated_p99.into()),
+                ("overload_shed_fraction", overload.shed_fraction().into()),
+            ],
+        );
+        let corpus_json = serde_json::json!({
+            "articles": articles,
+            "creators": creators,
+            "subjects": subjects,
+        });
+        let tier_json = serde_json::json!({
+            "shards": 2,
+            "replicas_per_shard": 2,
+            "router_inflight_bound": INFLIGHT_BOUND,
+            "router_deadline_ms": deadline_ms,
+        });
+        let harness_json = serde_json::json!({
+            "discipline": "open-loop (latency from scheduled arrival)",
+            "workers": WORKERS,
+            "unique_bodies": UNIQUE_BODIES,
+            "by_id_fraction": 0.25,
+        });
+        let gates_json = serde_json::json!({
+            "bitwise_identical_to_control": true,
+            "rated_p99_within_slo": true,
+            "overload_sheds_before_latency_collapse": true,
+            "every_429_has_retry_after": true,
+        });
+        let report = serde_json::json!({
+            "generator": "cargo run --release -p fd-bench --bin report -- load",
+            "machine_threads": super::machine_threads(),
+            "fd_threads_env": std::env::var("FD_THREADS").unwrap_or_default(),
+            "fd_threads_resolved": fd_tensor::parallel::current_threads(),
+            "simd_level": fd_tensor::simd_level().name(),
+            "corpus": corpus_json,
+            "tier": tier_json,
+            "harness": harness_json,
+            "rated_fraction_of_capacity": RATED_FRACTION,
+            "capacity_probe_rps": round2(max_rps),
+            "slo_p99_ms": slo_ms,
+            "total_requests": rated.total() + overload.total(),
+            "rated": rated.json(rated_rps, rated_wall),
+            "overload": overload.json(overload_rps, overload_wall),
+            "gates": gates_json,
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+        fd_obs::event(fd_obs::Level::Info, "report.wrote", &[("path", out_path.into())]);
+
+        router.shutdown();
+        for server in tier {
+            server.shutdown();
+        }
+        control.shutdown();
     }
 }
 

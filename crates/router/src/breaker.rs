@@ -1,0 +1,219 @@
+//! Per-replica circuit breaker: closed → open → half-open → closed.
+//!
+//! A replica that fails `threshold` consecutive attempts is *open* for
+//! `open_for`: dispatch skips it entirely, shedding its traffic to the
+//! shard's sibling replicas instead of burning each request's deadline
+//! rediscovering that the replica is dead. When the window lapses the
+//! breaker turns *half-open* and admits exactly one probe; a probe
+//! success closes the breaker, a failure re-opens it for another
+//! window. The health prober's periodic `/healthz` poll doubles as the
+//! probe, so a restarted replica rejoins within one probe interval
+//! without any client request having to gamble on it.
+//!
+//! All transitions happen under one small mutex — breaker decisions are
+//! a few nanoseconds against milliseconds of network I/O.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    /// `probe_started` is the in-flight probe's start time; a probe
+    /// that never reports back (e.g. its thread died) expires after
+    /// `open_for`, releasing the slot to the next caller.
+    HalfOpen { probe_started: Option<Instant> },
+}
+
+/// What [`Breaker::admit`] decided for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Closed: attempt normally.
+    Yes,
+    /// Half-open: this caller holds the single probe slot — its
+    /// success/failure report decides the breaker's next state.
+    Probe,
+    /// Open (or half-open with a probe already in flight): skip this
+    /// replica.
+    No,
+}
+
+/// A per-replica circuit breaker. Thread-safe; cheap to `admit`.
+pub struct Breaker {
+    state: std::sync::Mutex<State>,
+    threshold: u32,
+    open_for: Duration,
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and stays open for `open_for` per trip.
+    pub fn new(threshold: u32, open_for: Duration) -> Self {
+        assert!(threshold >= 1, "breaker threshold must be at least 1");
+        Self {
+            state: std::sync::Mutex::new(State::Closed { consecutive_failures: 0 }),
+            threshold,
+            open_for,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Asks to attempt a request against this replica.
+    pub fn admit(&self) -> Admit {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { .. } => Admit::Yes,
+            State::Open { until } => {
+                if Instant::now() >= until {
+                    *st = State::HalfOpen { probe_started: Some(Instant::now()) };
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+            State::HalfOpen { probe_started } => match probe_started {
+                // A stuck probe (never reported) expires; hand the slot on.
+                Some(started) if started.elapsed() < self.open_for => Admit::No,
+                _ => {
+                    *st = State::HalfOpen { probe_started: Some(Instant::now()) };
+                    Admit::Probe
+                }
+            },
+        }
+    }
+
+    /// Reports a successful attempt: resets the failure streak; a
+    /// half-open probe success closes the breaker. A success while
+    /// still *open* is ignored — it can only be a stale in-flight
+    /// response from before the trip, and recovery must go through the
+    /// half-open probe.
+    pub fn record_success(&self) {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { .. } => *st = State::Closed { consecutive_failures: 0 },
+            State::HalfOpen { .. } => *st = State::Closed { consecutive_failures: 0 },
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Reports a failed attempt: extends the streak (tripping open at
+    /// `threshold`); a half-open probe failure re-opens immediately.
+    pub fn record_failure(&self) {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.threshold {
+                    fd_obs::counter("router.breaker_opens").inc();
+                    *st = State::Open { until: Instant::now() + self.open_for };
+                } else {
+                    *st = State::Closed { consecutive_failures: failures };
+                }
+            }
+            State::HalfOpen { .. } => {
+                fd_obs::counter("router.breaker_opens").inc();
+                *st = State::Open { until: Instant::now() + self.open_for };
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// The state name for metrics/health: `closed`, `open`, or
+    /// `half-open`.
+    pub fn state_name(&self) -> &'static str {
+        match *self.lock() {
+            State::Closed { .. } => "closed",
+            State::Open { until } if Instant::now() < until => "open",
+            // An expired open window reads as half-open: the next admit
+            // will hand out the probe.
+            State::Open { .. } | State::HalfOpen { .. } => "half-open",
+        }
+    }
+
+    /// Numeric state for the Prometheus gauge: 0 closed, 1 open, 2
+    /// half-open.
+    pub fn state_code(&self) -> u8 {
+        match self.state_name() {
+            "closed" => 0,
+            "open" => 1,
+            _ => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, open_ms: u64) -> Breaker {
+        Breaker::new(threshold, Duration::from_millis(open_ms))
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = breaker(3, 10_000);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Yes, "below threshold stays closed");
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::No, "third consecutive failure trips it");
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = breaker(3, 10_000);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::Yes, "streak broke; still closed");
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let b = breaker(1, 5);
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::No);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.admit(), Admit::Probe, "window lapsed → one probe");
+        assert_eq!(b.admit(), Admit::No, "second caller is not a probe");
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(), Admit::Yes);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = breaker(1, 5);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.admit(), Admit::Probe);
+        b.record_failure();
+        assert_eq!(b.admit(), Admit::No, "probe failed → open again");
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn stale_success_does_not_close_an_open_breaker() {
+        let b = breaker(1, 10_000);
+        b.record_failure();
+        b.record_success();
+        assert_eq!(b.admit(), Admit::No, "must recover via half-open, not a stale success");
+    }
+
+    #[test]
+    fn stuck_probe_slot_expires() {
+        let b = breaker(1, 5);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.admit(), Admit::Probe);
+        // The probe holder never reports; after open_for the slot frees.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.admit(), Admit::Probe, "expired probe slot is handed on");
+    }
+}

@@ -1,0 +1,165 @@
+//! The retry budget: a token bucket that caps retries + hedges as a
+//! fraction of initial request volume.
+//!
+//! Unbounded retries turn a brown-out into a blackout: when a tier
+//! degrades, every client retry multiplies the offered load exactly
+//! when capacity is lowest (a retry storm). The budget makes the
+//! multiplier explicit — each *initial* request deposits `ratio`
+//! tokens (default 0.1), each retry or hedge withdraws one whole
+//! token, so sustained retry volume cannot exceed `ratio` × request
+//! volume. A small constant reserve keeps failover alive at low
+//! traffic, where ratio-proportional income alone would round to
+//! nothing.
+//!
+//! Token arithmetic is integer milli-tokens in one atomic, so the hot
+//! path is a compare-exchange loop with no lock.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Milli-tokens per whole token.
+const MILLI: i64 = 1000;
+
+/// A token-bucket retry budget. Thread-safe and lock-free.
+pub struct RetryBudget {
+    tokens_milli: AtomicI64,
+    cap_milli: i64,
+    deposit_milli: i64,
+}
+
+impl RetryBudget {
+    /// A budget granting `ratio` retries per initial request (e.g.
+    /// 0.1 = at most ~10% retry volume), holding at most `cap` banked
+    /// tokens, starting with `reserve` tokens so cold-start failovers
+    /// are not starved. `cap` also bounds the burst after an idle
+    /// period.
+    pub fn new(ratio: f64, cap: f64, reserve: f64) -> Self {
+        assert!(ratio >= 0.0 && cap >= 0.0 && reserve >= 0.0, "budget parameters must be >= 0");
+        let cap_milli = (cap * MILLI as f64) as i64;
+        Self {
+            tokens_milli: AtomicI64::new(((reserve * MILLI as f64) as i64).min(cap_milli)),
+            cap_milli,
+            deposit_milli: (ratio * MILLI as f64) as i64,
+        }
+    }
+
+    /// Credits one initial (non-retry) request.
+    pub fn on_request(&self) {
+        if self.deposit_milli == 0 {
+            return;
+        }
+        // Saturating add up to the cap; a CAS loop because fetch_add
+        // could overshoot and a later withdraw would then see phantom
+        // tokens.
+        let mut current = self.tokens_milli.load(Ordering::Relaxed);
+        loop {
+            let next = (current + self.deposit_milli).min(self.cap_milli);
+            if next == current {
+                return;
+            }
+            match self.tokens_milli.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Tries to withdraw one token for a retry or hedge; `false` means
+    /// the budget is exhausted and the caller must not retry.
+    pub fn try_withdraw(&self) -> bool {
+        let mut current = self.tokens_milli.load(Ordering::Relaxed);
+        loop {
+            if current < MILLI {
+                fd_obs::counter("router.retry_budget_exhausted").inc();
+                return false;
+            }
+            match self.tokens_milli.compare_exchange_weak(
+                current,
+                current - MILLI,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Whole tokens currently banked (for `/healthz` and metrics).
+    pub fn balance(&self) -> f64 {
+        self.tokens_milli.load(Ordering::Relaxed) as f64 / MILLI as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_funds_cold_start_retries() {
+        let b = RetryBudget::new(0.1, 100.0, 3.0);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "reserve spent, no income yet");
+    }
+
+    #[test]
+    fn income_is_proportional_to_requests() {
+        let b = RetryBudget::new(0.1, 100.0, 0.0);
+        for _ in 0..10 {
+            b.on_request();
+        }
+        assert!(b.try_withdraw(), "10 requests at 0.1 fund one retry");
+        assert!(!b.try_withdraw(), "…and only one");
+    }
+
+    #[test]
+    fn cap_bounds_the_banked_burst() {
+        let b = RetryBudget::new(1.0, 2.0, 0.0);
+        for _ in 0..100 {
+            b.on_request();
+        }
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "cap is 2 regardless of idle income");
+        assert_eq!(b.balance(), 0.0);
+    }
+
+    #[test]
+    fn zero_ratio_never_funds_retries() {
+        let b = RetryBudget::new(0.0, 10.0, 0.0);
+        for _ in 0..1000 {
+            b.on_request();
+        }
+        assert!(!b.try_withdraw());
+    }
+
+    #[test]
+    fn concurrent_withdrawals_never_overdraw() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let b = Arc::new(RetryBudget::new(0.0, 100.0, 50.0));
+        let granted = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            let granted = Arc::clone(&granted);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    if b.try_withdraw() {
+                        granted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(granted.load(Ordering::Relaxed), 50, "exactly the reserve, no overdraw");
+    }
+}

@@ -1,0 +1,101 @@
+//! A pooled keep-alive HTTP client for one upstream replica.
+//!
+//! Each replica gets a small pool of keep-alive connections shared by
+//! the router's handler threads; a request checks a connection out,
+//! uses it with a per-attempt timeout, and returns it on success. Any
+//! transport error discards the connection — the next request dials
+//! fresh, which is also how the pool sheds connections to a replica
+//! that died and came back.
+
+use fd_serve::http::{FullResponse, HttpClient};
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Connections kept per replica beyond which extras are dropped on
+/// return. Sized for the router's worker parallelism, not peak
+/// connections — bursts just dial extra sockets that close after use.
+const POOL_CAP: usize = 16;
+
+/// The checkout/return pool for one replica address.
+pub struct ReplicaClient {
+    addr: String,
+    pool: Mutex<Vec<HttpClient>>,
+}
+
+impl ReplicaClient {
+    /// A pool for `addr`; no connection is dialled until first use.
+    pub fn new(addr: &str) -> Self {
+        Self { addr: addr.to_string(), pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The replica's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn checkout(&self, timeout: Duration) -> io::Result<(HttpClient, bool)> {
+        let pooled =
+            self.pool.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).pop();
+        match pooled {
+            Some(mut client) => {
+                client.set_timeout(timeout)?;
+                Ok((client, true))
+            }
+            None => Ok((HttpClient::connect_timeout(&self.addr, timeout)?, false)),
+        }
+    }
+
+    fn put_back(&self, client: HttpClient) {
+        let mut pool = self.pool.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < POOL_CAP {
+            pool.push(client);
+        }
+    }
+
+    /// `POST path` with a JSON body and extra headers under `timeout`.
+    /// A failure on a *reused* connection retries once on a fresh dial
+    /// — the server may simply have closed an idle keep-alive socket,
+    /// which is not a replica failure and must not read as one.
+    pub fn post(
+        &self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+        timeout: Duration,
+    ) -> io::Result<FullResponse> {
+        let (mut client, reused) = self.checkout(timeout)?;
+        match client.post_with_headers(path, body, headers) {
+            Ok(response) => {
+                self.put_back(client);
+                Ok(response)
+            }
+            Err(_) if reused => {
+                let mut fresh = HttpClient::connect_timeout(&self.addr, timeout)?;
+                let response = fresh.post_with_headers(path, body, headers)?;
+                self.put_back(fresh);
+                Ok(response)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `GET path` under `timeout`; same stale-keep-alive retry as
+    /// [`Self::post`].
+    pub fn get(&self, path: &str, timeout: Duration) -> io::Result<FullResponse> {
+        let (mut client, reused) = self.checkout(timeout)?;
+        match client.get_with_headers(path) {
+            Ok(response) => {
+                self.put_back(client);
+                Ok(response)
+            }
+            Err(_) if reused => {
+                let mut fresh = HttpClient::connect_timeout(&self.addr, timeout)?;
+                let response = fresh.get_with_headers(path)?;
+                self.put_back(fresh);
+                Ok(response)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Failover dispatch: replica choice, hedged retries, backoff, and the
+//! health prober.
+//!
+//! One request to shard `s` walks the shard's replicas starting from a
+//! round-robin cursor, skipping any whose [`Breaker`] is open. The
+//! first attempt is free; everything after it — a retry after a failed
+//! attempt, or a *hedge* launched when the first attempt is still
+//! silent past the hedge delay — withdraws from the shared
+//! [`RetryBudget`], so a degraded tier sheds load instead of
+//! amplifying it. Attempts run under a per-attempt timeout and retries
+//! back off exponentially with jitter, all bounded by the request's
+//! overall deadline.
+//!
+//! Outcome semantics the router maps to HTTP: an upstream *reply* is
+//! relayed verbatim (the shard's status is the client's status);
+//! transport-level exhaustion is 502; running out the deadline is 504.
+
+use crate::breaker::{Admit, Breaker};
+use crate::budget::RetryBudget;
+use crate::client::ReplicaClient;
+use crate::topology::Topology;
+use fd_serve::http::FullResponse;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Failure-handling tunables (see OPERATIONS.md for guidance).
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Per-attempt timeout: connect + request + response.
+    pub attempt_timeout: Duration,
+    /// How long the first attempt may stay silent before a hedge races
+    /// a sibling replica (budget permitting).
+    pub hedge_delay: Duration,
+    /// Total attempts per request, the initial one included.
+    pub max_attempts: usize,
+    /// First retry backoff; doubles per retry, ±50% jitter.
+    pub backoff_base: Duration,
+    /// Consecutive failures that trip a replica's breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-open.
+    pub breaker_open: Duration,
+    /// Retry + hedge tokens earned per initial request.
+    pub retry_ratio: f64,
+    /// Token-bucket cap (bounds the post-idle retry burst).
+    pub retry_cap: f64,
+    /// Starting balance so cold-start failovers are funded.
+    pub retry_reserve: f64,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            attempt_timeout: Duration::from_millis(2_000),
+            hedge_delay: Duration::from_millis(300),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(25),
+            breaker_threshold: 3,
+            breaker_open: Duration::from_millis(1_000),
+            retry_ratio: 0.1,
+            retry_cap: 100.0,
+            retry_reserve: 10.0,
+        }
+    }
+}
+
+/// One replica's client + breaker, shared with attempt threads.
+pub struct Replica {
+    /// Shard index (for metric names).
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub index: usize,
+    /// Pooled connections to this replica.
+    pub client: ReplicaClient,
+    /// This replica's circuit breaker.
+    pub breaker: Breaker,
+}
+
+impl Replica {
+    /// `s<shard>r<index>` — the metric-name suffix for this replica.
+    pub fn tag(&self) -> String {
+        format!("s{}r{}", self.shard, self.index)
+    }
+}
+
+/// How one dispatched request ended.
+#[derive(Debug)]
+pub enum Outcome {
+    /// An upstream replica replied; relay status/body (and Retry-After,
+    /// when present) verbatim.
+    Replied { status: u16, body: String, retry_after: Option<String> },
+    /// No reply and no time left.
+    DeadlineExceeded,
+    /// All admissible attempts failed at the transport level (or every
+    /// breaker was open) with deadline to spare.
+    Unavailable { detail: String },
+}
+
+/// The dispatcher: topology + per-replica state + the shared retry
+/// budget. One per router process.
+pub struct Dispatcher {
+    topology: Topology,
+    /// `replicas[shard][index]`, `Arc`d so attempt threads can outlive
+    /// the dispatching request (a lost hedge just finishes quietly).
+    replicas: Vec<Vec<Arc<Replica>>>,
+    /// The shared (router-wide) retry/hedge budget.
+    pub budget: RetryBudget,
+    config: DispatchConfig,
+    cursor: Vec<AtomicUsize>,
+    jitter: AtomicU64,
+}
+
+/// What one attempt thread reports back.
+struct AttemptReport {
+    result: std::io::Result<FullResponse>,
+}
+
+/// Upstream statuses worth a failover retry: overload (429), server
+/// faults (500/502/503), and a shard that ran out its own deadline
+/// (504). Everything else — 2xx, client errors, 421 shard-math
+/// disagreements — is the request's real answer.
+fn retryable_status(status: u16) -> bool {
+    matches!(status, 429 | 500 | 502 | 503 | 504)
+}
+
+/// Statuses that count against the replica's breaker. 429 does not: a
+/// full queue is a *healthy* replica telling us to back off, and
+/// tripping its breaker would shed even more load onto its sibling.
+fn breaker_failure_status(status: u16) -> bool {
+    matches!(status, 500 | 502 | 503 | 504)
+}
+
+impl Dispatcher {
+    /// Builds per-replica breakers/pools for `topology`.
+    pub fn new(topology: Topology, config: DispatchConfig) -> Self {
+        let replicas = topology
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| {
+                s.replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(index, addr)| {
+                        Arc::new(Replica {
+                            shard,
+                            index,
+                            client: ReplicaClient::new(addr),
+                            breaker: Breaker::new(config.breaker_threshold, config.breaker_open),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let cursor = (0..topology.shard_count()).map(|_| AtomicUsize::new(0)).collect();
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 | 1)
+            .unwrap_or(0x9e37_79b9);
+        Self {
+            topology,
+            replicas,
+            budget: RetryBudget::new(config.retry_ratio, config.retry_cap, config.retry_reserve),
+            config,
+            cursor,
+            jitter: AtomicU64::new(seed),
+        }
+    }
+
+    /// The tier layout this dispatcher serves.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The failure-handling tunables.
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// Iterates every replica (for health probing and `/healthz`).
+    pub fn all_replicas(&self) -> impl Iterator<Item = &Arc<Replica>> {
+        self.replicas.iter().flatten()
+    }
+
+    /// xorshift step → a jitter factor in `[0.5, 1.5)`.
+    fn jitter_factor(&self) -> f64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        0.5 + (x % 1000) as f64 / 1000.0
+    }
+
+    /// Picks the next admissible replica of `shard`, scanning from the
+    /// round-robin cursor and skipping replicas already tried for this
+    /// request (`tried` resets when every replica has been — later
+    /// retries may revisit). `None` when every breaker refuses.
+    fn pick(&self, shard: usize, tried: &mut [bool], start: usize) -> Option<Arc<Replica>> {
+        let replicas = &self.replicas[shard];
+        if tried.iter().all(|&t| t) {
+            tried.fill(false);
+        }
+        for k in 0..replicas.len() {
+            let i = (start + k) % replicas.len();
+            if tried[i] {
+                continue;
+            }
+            match replicas[i].breaker.admit() {
+                Admit::Yes | Admit::Probe => {
+                    tried[i] = true;
+                    return Some(Arc::clone(&replicas[i]));
+                }
+                Admit::No => continue,
+            }
+        }
+        None
+    }
+
+    /// Launches one attempt on its own thread; the thread reports the
+    /// breaker verdict itself so a dispatch that has already returned
+    /// (lost hedge, blown deadline) still yields passive health signal.
+    fn launch(
+        &self,
+        replica: Arc<Replica>,
+        path: &str,
+        body: &str,
+        request_id: &str,
+        deadline: Instant,
+        tx: Sender<AttemptReport>,
+    ) {
+        let timeout = self
+            .config
+            .attempt_timeout
+            .min(deadline.saturating_duration_since(Instant::now()))
+            .max(Duration::from_millis(1));
+        let path = path.to_string();
+        let body = body.to_string();
+        let request_id = request_id.to_string();
+        fd_obs::counter(&format!("router.attempts.{}", replica.tag())).inc();
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let result =
+                replica.client.post(&path, &body, &[("x-request-id", &request_id)], timeout);
+            fd_obs::histogram(
+                "router.attempt_us",
+                &fd_obs::exponential_buckets(100.0, 4.0, 12),
+            )
+            .record(started.elapsed().as_secs_f64() * 1e6);
+            match &result {
+                Ok((status, ..)) if !breaker_failure_status(*status) => {
+                    replica.breaker.record_success();
+                }
+                Ok(_) => {
+                    replica.breaker.record_failure();
+                    fd_obs::counter(&format!("router.attempt_failures.{}", replica.tag())).inc();
+                }
+                Err(_) => {
+                    replica.breaker.record_failure();
+                    fd_obs::counter(&format!("router.attempt_failures.{}", replica.tag())).inc();
+                }
+            }
+            // The dispatcher may be gone (deadline, won hedge); that is
+            // fine — the breaker got its report either way.
+            let _ = tx.send(AttemptReport { result });
+        });
+    }
+
+    /// Routes one request body to `shard` with failover, hedging, and
+    /// backoff, bounded by `deadline`.
+    pub fn dispatch(
+        &self,
+        shard: usize,
+        path: &str,
+        body: &str,
+        request_id: &str,
+        deadline: Instant,
+    ) -> Outcome {
+        self.budget.on_request();
+        let replica_count = self.replicas[shard].len();
+        let mut tried = vec![false; replica_count];
+        let start = self.cursor[shard].fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+
+        let Some(first) = self.pick(shard, &mut tried, start) else {
+            fd_obs::counter("router.no_replica_available").inc();
+            return Outcome::Unavailable {
+                detail: format!("shard {shard}: all replica breakers are open"),
+            };
+        };
+        self.launch(first, path, body, request_id, deadline, tx.clone());
+        let mut inflight = 1usize;
+        let mut launched = 1usize;
+        let mut hedged = false;
+        let mut backoff = self.config.backoff_base;
+        let mut last_reply: Option<FullResponse> = None;
+        let mut last_error = String::new();
+
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return self.exhausted(last_reply, last_error, true);
+            }
+            let remaining = deadline - now;
+            // Until the hedge fires, wake early at the hedge delay.
+            let wait = if !hedged && launched < self.config.max_attempts {
+                remaining.min(self.config.hedge_delay)
+            } else {
+                remaining
+            };
+            match rx.recv_timeout(wait) {
+                Ok(AttemptReport { result: Ok((status, body, headers)) })
+                    if !retryable_status(status) =>
+                {
+                    return Outcome::Replied { status, body, retry_after: find_retry_after(&headers) };
+                }
+                Ok(AttemptReport { result }) => {
+                    inflight -= 1;
+                    match result {
+                        Ok(reply) => last_reply = Some(reply),
+                        Err(e) => last_error = e.to_string(),
+                    }
+                    if inflight > 0 {
+                        continue; // a hedge is still racing
+                    }
+                    if launched >= self.config.max_attempts || !self.budget.try_withdraw() {
+                        return self.exhausted(last_reply, last_error, false);
+                    }
+                    // Backoff with jitter, but never sleep out the deadline.
+                    let pause = backoff.mul_f64(self.jitter_factor());
+                    let now = Instant::now();
+                    if now + pause >= deadline {
+                        return self.exhausted(last_reply, last_error, true);
+                    }
+                    std::thread::sleep(pause);
+                    backoff = backoff.saturating_mul(2);
+                    let Some(next) = self.pick(shard, &mut tried, start + launched) else {
+                        return self.exhausted(last_reply, last_error, false);
+                    };
+                    fd_obs::counter("router.retries").inc();
+                    self.launch(next, path, body, request_id, deadline, tx.clone());
+                    inflight += 1;
+                    launched += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return self.exhausted(last_reply, last_error, true);
+                    }
+                    // Hedge: the attempt is slow, not (yet) failed — race
+                    // a sibling if the budget allows. One hedge per
+                    // request keeps worst-case amplification at 2×.
+                    if !hedged
+                        && launched < self.config.max_attempts
+                        && replica_count > 1
+                        && self.budget.try_withdraw()
+                    {
+                        if let Some(next) = self.pick(shard, &mut tried, start + launched) {
+                            fd_obs::counter("router.hedges").inc();
+                            self.launch(next, path, body, request_id, deadline, tx.clone());
+                            inflight += 1;
+                            launched += 1;
+                        }
+                    }
+                    hedged = true;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable: we hold `tx`. Treat as exhaustion.
+                    return self.exhausted(last_reply, last_error, false);
+                }
+            }
+        }
+    }
+
+    /// Maps an exhausted dispatch to its outcome: relay the last
+    /// retryable upstream reply when there is one (a 429's Retry-After
+    /// survives), else transport-level unavailability or deadline.
+    fn exhausted(
+        &self,
+        last_reply: Option<FullResponse>,
+        last_error: String,
+        deadline_hit: bool,
+    ) -> Outcome {
+        if let Some((status, body, headers)) = last_reply {
+            return Outcome::Replied { status, body, retry_after: find_retry_after(&headers) };
+        }
+        if deadline_hit {
+            Outcome::DeadlineExceeded
+        } else {
+            let detail = if last_error.is_empty() {
+                "no replica accepted the request".to_string()
+            } else {
+                last_error
+            };
+            Outcome::Unavailable { detail }
+        }
+    }
+}
+
+fn find_retry_after(headers: &[(String, String)]) -> Option<String> {
+    headers.iter().find(|(name, _)| name == "retry-after").map(|(_, value)| value.clone())
+}
+
+/// The active health prober: polls every replica's `/healthz` at
+/// `interval` until `stop` flips, feeding the per-replica breakers —
+/// the success path through a half-open breaker is what re-admits a
+/// restarted replica without a client request having to gamble on it.
+/// Also exports `router.replica_up.*` and `router.breaker_state.*`.
+pub fn probe_loop(
+    dispatcher: &Dispatcher,
+    interval: Duration,
+    stop: &std::sync::atomic::AtomicBool,
+) {
+    let timeout = interval.max(Duration::from_millis(50)).min(Duration::from_millis(500));
+    while !stop.load(Ordering::SeqCst) {
+        for replica in dispatcher.all_replicas() {
+            let tag = replica.tag();
+            match replica.breaker.admit() {
+                Admit::Yes | Admit::Probe => {
+                    let up = replica
+                        .client
+                        .get("/healthz", timeout)
+                        .map(|(status, ..)| status == 200)
+                        .unwrap_or(false);
+                    if up {
+                        replica.breaker.record_success();
+                    } else {
+                        replica.breaker.record_failure();
+                        fd_obs::counter(&format!("router.probe_failures.{tag}")).inc();
+                    }
+                    fd_obs::gauge(&format!("router.replica_up.{tag}"))
+                        .set(if up { 1.0 } else { 0.0 });
+                }
+                // Open: the replica is known-bad until the window
+                // lapses; do not burn a connection finding that out.
+                Admit::No => {
+                    fd_obs::gauge(&format!("router.replica_up.{tag}")).set(0.0);
+                }
+            }
+            fd_obs::gauge(&format!("router.breaker_state.{tag}"))
+                .set(replica.breaker.state_code() as f64);
+        }
+        fd_obs::gauge("router.retry_budget").set(dispatcher.budget.balance());
+        std::thread::sleep(interval);
+    }
+}

@@ -1,0 +1,449 @@
+//! The async bulk-scoring job queue, spooled crash-safe to disk.
+//!
+//! Lifecycle: `POST /v1/jobs` validates the request array and durably
+//! spools it as `<dir>/job-<n>.json` in state `pending` *before*
+//! acknowledging — the temp-file → fsync → rename → dir-fsync
+//! discipline `fd-ckpt` uses, so an acknowledged job survives a router
+//! crash at any point. A single runner thread drains pending jobs,
+//! scoring them in chunks fanned across the shards through the same
+//! failover dispatcher interactive traffic uses; the finished record
+//! (results included) replaces the spool file atomically in state
+//! `done`. `running` exists only in memory: a job the router died
+//! mid-way through still reads `pending` on disk and is simply re-run
+//! from the top on restart — scoring is pure, so re-running is
+//! idempotent and the spool needs no partial-progress bookkeeping.
+//!
+//! Results are spliced as raw JSON slices (see [`crate::wire`]), so a
+//! bulk job's scores are byte-identical to interactive ones.
+
+use crate::dispatch::{Dispatcher, Outcome};
+use crate::wire;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A job's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Spooled, not yet picked up (also: recovered after a restart).
+    Pending,
+    /// The runner is scoring it (in-memory state only).
+    Running,
+    /// Finished; results are in the spool file.
+    Done,
+    /// A chunk failed terminally; the spool file holds the error.
+    Failed,
+}
+
+impl JobState {
+    fn name(self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// What `GET /v1/jobs/<id>` reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobStatus {
+    /// The job id (`job-<n>`).
+    pub id: String,
+    /// `pending` | `running` | `done` | `failed`.
+    pub state: String,
+    /// Requests in the job.
+    pub total: usize,
+    /// Requests scored so far (updates per finished chunk).
+    pub completed: usize,
+}
+
+struct JobEntry {
+    state: JobState,
+    total: usize,
+    completed: usize,
+}
+
+/// The spool directory + in-memory index and work queue.
+pub struct JobStore {
+    dir: PathBuf,
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    queue: Mutex<VecDeque<String>>,
+    seq: AtomicU64,
+}
+
+/// Writes `bytes` to `path` durably: temp file in the same directory,
+/// fsync, atomic rename over the target, then directory fsync so the
+/// rename itself survives power loss. A crash leaves either the old
+/// file or the new one, never a torn mix.
+fn durable_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync can fail on exotic filesystems; the rename
+        // already happened, so treat that as best-effort like fd-ckpt.
+        if let Ok(dir) = File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+impl JobStore {
+    /// Opens (creating if needed) the spool at `dir` and recovers
+    /// existing jobs: `done`/`failed` records become queryable again,
+    /// anything else re-enqueues for a full re-run.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        fs::create_dir_all(dir).map_err(|e| format!("create spool dir {}: {e}", dir.display()))?;
+        let store = Self {
+            dir: dir.to_path_buf(),
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            seq: AtomicU64::new(1),
+        };
+        let mut recovered = 0usize;
+        let entries =
+            fs::read_dir(dir).map_err(|e| format!("read spool dir {}: {e}", dir.display()))?;
+        let mut ids: Vec<String> = entries
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let id = name.strip_suffix(".json")?;
+                id.starts_with("job-").then(|| id.to_string())
+            })
+            .collect();
+        // Numeric order so recovery re-runs jobs in submission order.
+        ids.sort_by_key(|id| id[4..].parse::<u64>().unwrap_or(u64::MAX));
+        for id in ids {
+            if let Ok(n) = id[4..].parse::<u64>() {
+                let next = store.seq.load(Ordering::Relaxed).max(n + 1);
+                store.seq.store(next, Ordering::Relaxed);
+            }
+            let Ok(text) = fs::read_to_string(store.spool_path(&id)) else { continue };
+            let state = match wire::raw_string_value(&text, "state") {
+                Some("done") => JobState::Done,
+                Some("failed") => JobState::Failed,
+                _ => JobState::Pending,
+            };
+            let total = wire::usize_value(&text, "total").unwrap_or(0);
+            let completed = if state == JobState::Done { total } else { 0 };
+            store
+                .jobs
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .insert(id.clone(), JobEntry { state, total, completed });
+            if state == JobState::Pending {
+                store.queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).push_back(id);
+                recovered += 1;
+            }
+        }
+        if recovered > 0 {
+            fd_obs::counter("router.jobs_recovered").add(recovered as u64);
+            fd_obs::event(
+                fd_obs::Level::Info,
+                "router.jobs_recovered",
+                &[("jobs", recovered.into())],
+            );
+        }
+        Ok(store)
+    }
+
+    fn spool_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.json"))
+    }
+
+    /// Spools a new job. `requests_raw` must be the raw `[...]` slice
+    /// of the client's `requests` array; it is persisted verbatim. The
+    /// 202 acknowledgement must only be sent after this returns — the
+    /// durable write *is* the acknowledgement's meaning.
+    pub fn submit(&self, requests_raw: &str) -> Result<JobStatus, String> {
+        let elements = wire::array_elements(requests_raw)
+            .ok_or_else(|| "requests must be a JSON array".to_string())?;
+        if elements.is_empty() {
+            return Err("requests array is empty".to_string());
+        }
+        let total = elements.len();
+        let id = format!("job-{}", self.seq.fetch_add(1, Ordering::Relaxed));
+        let record = format!(
+            "{{\"id\":\"{id}\",\"state\":\"pending\",\"total\":{total},\"requests\":{requests_raw}}}"
+        );
+        durable_write(&self.spool_path(&id), record.as_bytes())
+            .map_err(|e| format!("spool job: {e}"))?;
+        self.jobs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(id.clone(), JobEntry { state: JobState::Pending, total, completed: 0 });
+        self.queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).push_back(id.clone());
+        fd_obs::counter("router.jobs_submitted").inc();
+        Ok(JobStatus { id, state: "pending".into(), total, completed: 0 })
+    }
+
+    /// One job's status, if known.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        let jobs = self.jobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        jobs.get(id).map(|entry| JobStatus {
+            id: id.to_string(),
+            state: entry.state.name().into(),
+            total: entry.total,
+            completed: entry.completed,
+        })
+    }
+
+    /// Every job, newest first.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let jobs = self.jobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut statuses: Vec<JobStatus> = jobs
+            .iter()
+            .map(|(id, entry)| JobStatus {
+                id: id.clone(),
+                state: entry.state.name().into(),
+                total: entry.total,
+                completed: entry.completed,
+            })
+            .collect();
+        statuses.sort_by_key(|s| std::cmp::Reverse(s.id[4..].parse::<u64>().unwrap_or(0)));
+        statuses
+    }
+
+    /// The finished record (results included) for a `done` or `failed`
+    /// job; `Err` carries `(status, message)` for the HTTP layer.
+    pub fn results(&self, id: &str) -> Result<String, (u16, String)> {
+        let state = {
+            let jobs = self.jobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            jobs.get(id).map(|entry| entry.state)
+        };
+        match state {
+            None => Err((404, format!("no such job: {id}"))),
+            Some(JobState::Pending | JobState::Running) => {
+                Err((409, format!("job {id} is not complete yet")))
+            }
+            Some(JobState::Done | JobState::Failed) => fs::read_to_string(self.spool_path(id))
+                .map_err(|e| (500, format!("read job spool: {e}"))),
+        }
+    }
+
+    fn set_state(&self, id: &str, state: JobState) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.state = state;
+            if state == JobState::Done {
+                entry.completed = entry.total;
+            }
+        }
+    }
+
+    fn add_completed(&self, id: &str, n: usize) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.completed += n;
+        }
+    }
+
+    /// Scores one spooled job through `dispatcher`, writing the
+    /// finished record back durably.
+    fn process(
+        &self,
+        id: &str,
+        dispatcher: &Dispatcher,
+        chunk_size: usize,
+        chunk_deadline: Duration,
+    ) -> Result<(), String> {
+        let text = fs::read_to_string(self.spool_path(id))
+            .map_err(|e| format!("read spooled job: {e}"))?;
+        let requests = wire::raw_value(&text, "requests")
+            .ok_or_else(|| "spooled job has no requests".to_string())?;
+        let elements = wire::array_elements(requests)
+            .ok_or_else(|| "spooled requests are not an array".to_string())?;
+        let shards = dispatcher.topology().shard_count();
+        let mut mode_and_labels: Option<(String, String)> = None;
+        let mut result_slices: Vec<String> = Vec::with_capacity(elements.len());
+        for (chunk_index, chunk) in elements.chunks(chunk_size.max(1)).enumerate() {
+            let body = format!("{{\"requests\":[{}]}}", chunk.join(","));
+            // Bulk chunks are inductive (by-id is rejected in batches),
+            // so any shard can score them; round-robin spreads the job
+            // across the tier.
+            let shard = chunk_index % shards;
+            let deadline = Instant::now() + chunk_deadline;
+            let request_id = format!("{id}-c{chunk_index}");
+            match dispatcher.dispatch(shard, "/v1/predict_batch", &body, &request_id, deadline) {
+                Outcome::Replied { status: 200, body, .. } => {
+                    let results = wire::raw_value(&body, "results")
+                        .and_then(wire::array_elements)
+                        .ok_or_else(|| "upstream batch response lacks results".to_string())?;
+                    if results.len() != chunk.len() {
+                        return Err(format!(
+                            "chunk {chunk_index}: {} results for {} requests",
+                            results.len(),
+                            chunk.len()
+                        ));
+                    }
+                    if mode_and_labels.is_none() {
+                        let mode = wire::raw_value(&body, "mode").unwrap_or("\"unknown\"");
+                        let labels = wire::raw_value(&body, "labels").unwrap_or("[]");
+                        mode_and_labels = Some((mode.to_string(), labels.to_string()));
+                    }
+                    result_slices.extend(results.iter().map(|s| s.to_string()));
+                    self.add_completed(id, chunk.len());
+                }
+                Outcome::Replied { status, body, .. } => {
+                    return Err(format!("chunk {chunk_index}: upstream {status}: {body}"));
+                }
+                Outcome::DeadlineExceeded => {
+                    return Err(format!("chunk {chunk_index}: deadline exceeded"));
+                }
+                Outcome::Unavailable { detail } => {
+                    return Err(format!("chunk {chunk_index}: {detail}"));
+                }
+            }
+        }
+        let (mode, labels) =
+            mode_and_labels.unwrap_or_else(|| ("\"unknown\"".to_string(), "[]".to_string()));
+        let record = format!(
+            "{{\"id\":\"{id}\",\"state\":\"done\",\"total\":{},\"completed\":{},\"mode\":{mode},\"labels\":{labels},\"results\":[{}]}}",
+            elements.len(),
+            elements.len(),
+            result_slices.join(",")
+        );
+        durable_write(&self.spool_path(id), record.as_bytes())
+            .map_err(|e| format!("write finished job: {e}"))
+    }
+
+    /// The runner loop: drains pending jobs until `stop` flips. Run it
+    /// on one dedicated thread — single-flight keeps bulk work from
+    /// starving interactive traffic, which shares the same shard tier.
+    pub fn run_worker(
+        &self,
+        dispatcher: &Dispatcher,
+        stop: &AtomicBool,
+        chunk_size: usize,
+        chunk_deadline: Duration,
+    ) {
+        while !stop.load(Ordering::SeqCst) {
+            let next =
+                self.queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).pop_front();
+            let Some(id) = next else {
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            };
+            self.set_state(&id, JobState::Running);
+            fd_obs::event(
+                fd_obs::Level::Info,
+                "router.job_start",
+                &[("id", fd_obs::Value::Str(id.clone()))],
+            );
+            match self.process(&id, dispatcher, chunk_size, chunk_deadline) {
+                Ok(()) => {
+                    self.set_state(&id, JobState::Done);
+                    fd_obs::counter("router.jobs_completed").inc();
+                }
+                Err(e) => {
+                    let record = format!(
+                        "{{\"id\":\"{id}\",\"state\":\"failed\",\"total\":{},\"error\":{}}}",
+                        self.status(&id).map(|s| s.total).unwrap_or(0),
+                        serde_json::to_string(&e).unwrap_or_else(|_| "\"error\"".into())
+                    );
+                    let _ = durable_write(&self.spool_path(&id), record.as_bytes());
+                    self.set_state(&id, JobState::Failed);
+                    fd_obs::counter("router.jobs_failed").inc();
+                    fd_obs::event(
+                        fd_obs::Level::Error,
+                        "router.job_failed",
+                        &[
+                            ("id", fd_obs::Value::Str(id.clone())),
+                            ("error", fd_obs::Value::Str(e)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("fd-router-jobs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn submit_spools_durably_and_tracks_status() {
+        let dir = tmp_dir("submit");
+        let store = JobStore::open(&dir).unwrap();
+        let status = store.submit(r#"[{"text":"a"},{"text":"b"}]"#).unwrap();
+        assert_eq!(status.state, "pending");
+        assert_eq!(status.total, 2);
+        let on_disk = fs::read_to_string(dir.join(format!("{}.json", status.id))).unwrap();
+        assert_eq!(wire::raw_string_value(&on_disk, "state"), Some("pending"));
+        assert_eq!(
+            wire::raw_value(&on_disk, "requests"),
+            Some(r#"[{"text":"a"},{"text":"b"}]"#),
+            "requests persist verbatim"
+        );
+        assert!(store.results(&status.id).is_err(), "no results before completion");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_empty_or_malformed_submissions() {
+        let dir = tmp_dir("reject");
+        let store = JobStore::open(&dir).unwrap();
+        assert!(store.submit("[]").is_err());
+        assert!(store.submit("not an array").is_err());
+        assert!(store.submit(r#"[{"text":"a"#).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_pending_jobs_and_seq() {
+        let dir = tmp_dir("recover");
+        let first_id = {
+            let store = JobStore::open(&dir).unwrap();
+            store.submit(r#"[{"text":"x"}]"#).unwrap().id
+        };
+        // A "router restart": a fresh store over the same spool dir.
+        let store = JobStore::open(&dir).unwrap();
+        let recovered = store.status(&first_id).expect("job survives restart");
+        assert_eq!(recovered.state, "pending");
+        let second = store.submit(r#"[{"text":"y"}]"#).unwrap();
+        assert_ne!(second.id, first_id, "sequence resumes past recovered ids");
+        assert_eq!(store.list().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_jobs_recover_as_done() {
+        let dir = tmp_dir("done");
+        let id = {
+            let store = JobStore::open(&dir).unwrap();
+            let id = store.submit(r#"[{"text":"x"}]"#).unwrap().id;
+            // Simulate the runner finishing: write a done record.
+            let record = format!(
+                "{{\"id\":\"{id}\",\"state\":\"done\",\"total\":1,\"completed\":1,\"mode\":\"m\",\"labels\":[],\"results\":[[0.5,0.5]]}}"
+            );
+            durable_write(&store.spool_path(&id), record.as_bytes()).unwrap();
+            id
+        };
+        let store = JobStore::open(&dir).unwrap();
+        let status = store.status(&id).unwrap();
+        assert_eq!(status.state, "done");
+        assert_eq!(status.completed, 1);
+        let body = store.results(&id).unwrap();
+        assert_eq!(wire::raw_value(&body, "results"), Some("[[0.5,0.5]]"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,53 @@
+//! **fd-router** — the sharded serving tier's front door.
+//!
+//! One router process (`fdctl route`) in front of N shards × M
+//! replicas of `fdctl serve --shard i/n`, built on the same std-only
+//! HTTP plumbing as fd-serve. The pieces:
+//!
+//! 1. [`topology`] — the tier layout and routing keys. Shard `i` owns
+//!    entities with `id % n == i` (the worker enforces the same rule
+//!    with a 421, so router/worker disagreement fails loudly);
+//!    inductive requests route by creator id or text hash purely for
+//!    load spread, since every worker holds the full read-only corpus
+//!    and any replica's answer is bitwise-identical.
+//! 2. [`breaker`] — per-replica circuit breakers (closed → open →
+//!    half-open) so a dead replica sheds to its sibling instead of
+//!    burning each request's deadline.
+//! 3. [`budget`] — the token-bucket retry budget: retries and hedges
+//!    are paid for at ~10% of request volume, which is what prevents
+//!    a brown-out from amplifying into a retry storm.
+//! 4. [`dispatch`] — failover dispatch: round-robin replica choice,
+//!    per-attempt timeouts, exponential backoff + jitter, one hedged
+//!    attempt for slow replicas, plus the active `/healthz` prober
+//!    that walks breakers back from half-open.
+//! 5. [`jobs`] — the async bulk-scoring queue (`POST /v1/jobs` →
+//!    poll → fetch results), spooled with fd-ckpt's
+//!    temp-fsync-rename discipline so a router restart re-runs
+//!    acknowledged jobs instead of losing them.
+//! 6. [`server`] — the router HTTP server: admission control (bounded
+//!    in-flight → 429 + `Retry-After`), deadline → 504, raw-JSON
+//!    splicing for bitwise-faithful `predict_batch` merges, and
+//!    trace propagation (the forwarded `X-Request-Id` makes router,
+//!    shard, and batcher spans one trace).
+//! 7. [`wire`] — the raw-JSON scanners the splicing rests on.
+//!
+//! Failure semantics, tuning guidance, and the full endpoint schema
+//! live in the repository's OPERATIONS.md ("Distributed serving") and
+//! DESIGN.md (failover state machines).
+
+pub mod breaker;
+pub mod budget;
+pub mod client;
+pub mod dispatch;
+pub mod jobs;
+pub mod server;
+pub mod topology;
+pub mod wire;
+
+pub use breaker::{Admit, Breaker};
+pub use budget::RetryBudget;
+pub use client::ReplicaClient;
+pub use dispatch::{DispatchConfig, Dispatcher, Outcome, Replica};
+pub use jobs::{JobState, JobStatus, JobStore};
+pub use server::{Router, RouterConfig};
+pub use topology::{Shard, Topology};

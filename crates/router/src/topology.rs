@@ -1,0 +1,153 @@
+//! Tier layout and routing keys.
+//!
+//! A topology is `N` shards × `M` replicas, written on the command line
+//! as shard groups separated by `;` with replica addresses separated by
+//! `,`:
+//!
+//! ```text
+//! --shards 127.0.0.1:7871,127.0.0.1:7872;127.0.0.1:7881,127.0.0.1:7882
+//! ```
+//!
+//! is 2 shards × 2 replicas. Shard `i` *owns* the entities whose
+//! `id % shards == i` — the same arithmetic `fdctl serve --shard i/n`
+//! enforces on the worker side (421 on a miss), so a router/worker
+//! disagreement is caught loudly rather than silently double-serving.
+//!
+//! Inductive requests (scoring new text that is not in the graph) have
+//! no id; they route by the creator id when the request names one —
+//! keeping an author's traffic on the shard that owns the author — and
+//! otherwise by an FNV-1a hash of the text, which spreads anonymous
+//! traffic uniformly while keeping retries of the same request on the
+//! same shard.
+
+/// One shard: the addresses of its replicas, all serving identical
+/// state (every worker loads the full corpus; sharding scopes
+/// *ownership*, not data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Replica addresses, e.g. `127.0.0.1:7871`.
+    pub replicas: Vec<String>,
+}
+
+/// The parsed tier layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Shards in index order; `shards[i]` owns ids with `id % n == i`.
+    pub shards: Vec<Shard>,
+}
+
+impl Topology {
+    /// Parses the `--shards` syntax: `;`-separated shard groups of
+    /// `,`-separated replica addresses. Every shard must have at least
+    /// one replica and every address must be `host:port`-shaped.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut shards = Vec::new();
+        for (i, group) in spec.split(';').enumerate() {
+            let replicas: Vec<String> = group
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect();
+            if replicas.is_empty() {
+                return Err(format!("shard {i} has no replica addresses"));
+            }
+            for addr in &replicas {
+                let Some((host, port)) = addr.rsplit_once(':') else {
+                    return Err(format!("shard {i}: address {addr:?} is not host:port"));
+                };
+                if host.is_empty() || port.parse::<u16>().is_err() {
+                    return Err(format!("shard {i}: address {addr:?} is not host:port"));
+                }
+            }
+            shards.push(Shard { replicas });
+        }
+        if shards.is_empty() {
+            return Err("topology has no shards".to_string());
+        }
+        Ok(Self { shards })
+    }
+
+    /// Shard count `n` in the `id % n` ownership rule.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns entity `id`.
+    pub fn shard_of_id(&self, id: usize) -> usize {
+        id % self.shards.len()
+    }
+
+    /// The shard an inductive request routes to: the creator's owner
+    /// when the request names one, else a uniform hash of the text.
+    pub fn shard_of_inductive(&self, creator: Option<usize>, text: &str) -> usize {
+        match creator {
+            Some(id) => self.shard_of_id(id),
+            None => (fnv1a(text.as_bytes()) % self.shards.len() as u64) as usize,
+        }
+    }
+
+    /// Total replica count across all shards.
+    pub fn replica_count(&self) -> usize {
+        self.shards.iter().map(|s| s.replicas.len()).sum()
+    }
+}
+
+/// FNV-1a — tiny, dependency-free, and stable across processes, which
+/// is all a routing hash needs (no adversarial-collision concerns: a
+/// collision just means two texts share a shard).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_by_two() {
+        let t = Topology::parse("a:1,b:2;c:3,d:4").unwrap();
+        assert_eq!(t.shard_count(), 2);
+        assert_eq!(t.shards[0].replicas, vec!["a:1", "b:2"]);
+        assert_eq!(t.shards[1].replicas, vec!["c:3", "d:4"]);
+        assert_eq!(t.replica_count(), 4);
+    }
+
+    #[test]
+    fn parses_single_shard_single_replica() {
+        let t = Topology::parse("127.0.0.1:7878").unwrap();
+        assert_eq!(t.shard_count(), 1);
+        assert_eq!(t.replica_count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(Topology::parse("").is_err());
+        assert!(Topology::parse("a:1;;b:2").is_err(), "empty shard group");
+        assert!(Topology::parse("no-port").is_err());
+        assert!(Topology::parse("host:notaport").is_err());
+        assert!(Topology::parse(":7878").is_err(), "empty host");
+    }
+
+    #[test]
+    fn id_ownership_matches_modulo() {
+        let t = Topology::parse("a:1;b:2;c:3").unwrap();
+        for id in 0..30 {
+            assert_eq!(t.shard_of_id(id), id % 3);
+        }
+    }
+
+    #[test]
+    fn inductive_routing_prefers_creator_and_is_stable() {
+        let t = Topology::parse("a:1;b:2").unwrap();
+        assert_eq!(t.shard_of_inductive(Some(7), "anything"), 7 % 2);
+        let by_text = t.shard_of_inductive(None, "some article text");
+        assert_eq!(by_text, t.shard_of_inductive(None, "some article text"), "stable");
+        assert!(by_text < 2);
+    }
+}

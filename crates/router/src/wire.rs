@@ -1,0 +1,193 @@
+//! Raw-JSON slicing for bitwise-faithful relaying.
+//!
+//! The router's merge path must never parse-and-reprint floats: a
+//! `0.30000001` that round-trips through an `f32` could come back as a
+//! different decimal string, breaking the tier's guarantee that routed
+//! scores are *bitwise-identical* to a single-process server's. So the
+//! router treats upstream bodies as text and splices raw value slices
+//! — these helpers find a key's raw value in an object and split an
+//! array into its top-level element slices, respecting strings,
+//! escapes, and nesting. They are read-only scanners; building merged
+//! bodies is plain string concatenation of the slices.
+
+/// Byte-index past the end of the string whose opening `"` is at `i`.
+fn scan_string(b: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+/// Byte-index past the end of the JSON value starting at `i` (object,
+/// array, string, number, `true`/`false`/`null`).
+fn scan_value(b: &[u8], i: usize) -> Option<usize> {
+    match b.get(i)? {
+        b'"' => scan_string(b, i),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < b.len() {
+                match b[j] {
+                    b'"' => j = scan_string(b, j)?,
+                    b'{' | b'[' => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        j += 1;
+                        if depth == 0 {
+                            return Some(j);
+                        }
+                    }
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // Number / true / false / null: runs until a delimiter.
+            let mut j = i;
+            while j < b.len() && !matches!(b[j], b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r')
+            {
+                j += 1;
+            }
+            (j > i).then_some(j)
+        }
+    }
+}
+
+/// The raw value slice of top-level `key` in a JSON object — exactly
+/// the bytes between (but not re-encoding) the source text. `None` when
+/// `json` is not an object or lacks the key.
+pub fn raw_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let b = json.as_bytes();
+    let mut i = skip_ws(b, 0);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        i = skip_ws(b, i);
+        match b.get(i)? {
+            b'}' => return None,
+            b',' => i += 1,
+            b'"' => {
+                let key_end = scan_string(b, i)?;
+                let found = &json[i + 1..key_end - 1];
+                i = skip_ws(b, key_end);
+                if b.get(i) != Some(&b':') {
+                    return None;
+                }
+                i = skip_ws(b, i + 1);
+                let value_end = scan_value(b, i)?;
+                if found == key {
+                    return Some(&json[i..value_end]);
+                }
+                i = value_end;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Splits a raw `[...]` slice into its top-level element slices.
+/// `None` when the input is not a well-formed array.
+pub fn array_elements(array: &str) -> Option<Vec<&str>> {
+    let b = array.as_bytes();
+    let mut i = skip_ws(b, 0);
+    if b.get(i) != Some(&b'[') {
+        return None;
+    }
+    i = skip_ws(b, i + 1);
+    let mut elements = Vec::new();
+    if b.get(i) == Some(&b']') {
+        return Some(elements);
+    }
+    loop {
+        let end = scan_value(b, i)?;
+        elements.push(&array[i..end]);
+        i = skip_ws(b, end);
+        match b.get(i)? {
+            b',' => i = skip_ws(b, i + 1),
+            b']' => return Some(elements),
+            _ => return None,
+        }
+    }
+}
+
+/// Top-level `key` as a usize, when present and numeric.
+pub fn usize_value(json: &str, key: &str) -> Option<usize> {
+    raw_value(json, key)?.trim().parse().ok()
+}
+
+/// Top-level `key` as a string. Returns the *raw inner* slice of the
+/// string literal (escapes intact) — the router only hashes it for
+/// routing, where stability matters and decoding does not.
+pub fn raw_string_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let raw = raw_value(json, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"mode":"gdu","labels":["true","false"],"results":[[0.30000001,0.69999999],[1e-7,0.5]],"n":42}"#;
+
+    #[test]
+    fn raw_value_returns_exact_slices() {
+        assert_eq!(raw_value(SAMPLE, "mode"), Some(r#""gdu""#));
+        assert_eq!(raw_value(SAMPLE, "labels"), Some(r#"["true","false"]"#));
+        assert_eq!(
+            raw_value(SAMPLE, "results"),
+            Some("[[0.30000001,0.69999999],[1e-7,0.5]]"),
+            "float text must come back byte-for-byte"
+        );
+        assert_eq!(raw_value(SAMPLE, "n"), Some("42"));
+        assert_eq!(raw_value(SAMPLE, "missing"), None);
+    }
+
+    #[test]
+    fn array_elements_split_at_top_level_only() {
+        let results = raw_value(SAMPLE, "results").unwrap();
+        let elements = array_elements(results).unwrap();
+        assert_eq!(elements, vec!["[0.30000001,0.69999999]", "[1e-7,0.5]"]);
+        assert_eq!(array_elements("[]").unwrap(), Vec::<&str>::new());
+        assert_eq!(array_elements(" [ 1 , 2 ] ").unwrap(), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_brackets_do_not_confuse_the_scanner() {
+        let json = r#"{"text":"a \"quoted\" ] } value","id":7}"#;
+        assert_eq!(raw_string_value(json, "text"), Some(r#"a \"quoted\" ] } value"#));
+        assert_eq!(usize_value(json, "id"), Some(7));
+    }
+
+    #[test]
+    fn nested_objects_are_one_element() {
+        let elements = array_elements(r#"[{"a":[1,2]},{"b":{"c":3}}]"#).unwrap();
+        assert_eq!(elements, vec![r#"{"a":[1,2]}"#, r#"{"b":{"c":3}}"#]);
+    }
+
+    #[test]
+    fn malformed_input_is_none_not_panic() {
+        assert_eq!(raw_value("not json", "k"), None);
+        assert_eq!(raw_value(r#"{"unterminated":"..."#, "unterminated"), None);
+        assert_eq!(array_elements("[1,2"), None);
+        assert_eq!(array_elements("{}"), None);
+    }
+}

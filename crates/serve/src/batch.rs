@@ -144,6 +144,12 @@ impl BatchQueue {
         self.max_batch
     }
 
+    /// Jobs currently waiting. The 429 `Retry-After` estimate is
+    /// `depth / max_batch` batches times the mean batch-scoring time.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
     /// Signals shutdown: no new jobs are accepted, and the batcher
     /// exits once the queue is drained.
     pub fn shutdown(&self) {

@@ -8,8 +8,85 @@
 //! on wire data.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
+
+/// Binds a TCP listener with `SO_REUSEADDR` set (Linux), so a killed
+/// worker can be restarted on the same port immediately. Without it,
+/// connections the dead process left behind sit in `TIME_WAIT` and
+/// block the rebind for a minute — which defeats replica-restart
+/// drills (`scripts/router_chaos.sh` kills and revives shard workers
+/// on fixed ports). Falls back to a plain [`TcpListener::bind`] off
+/// Linux, or when `addr` does not resolve to IPv4.
+pub fn bind_reuse(addr: &str) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::{SocketAddr, ToSocketAddrs};
+        let v4 = addr
+            .to_socket_addrs()?
+            .find_map(|a| match a {
+                SocketAddr::V4(v4) => Some(v4),
+                SocketAddr::V6(_) => None,
+            });
+        if let Some(v4) = v4 {
+            return bind_reuse_v4(v4);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+/// The Linux FFI path of [`bind_reuse`]: socket → `SO_REUSEADDR` →
+/// bind → listen, handing the finished fd to [`TcpListener`]. Uses the
+/// raw syscall surface directly (as the signal handlers already do) so
+/// no crate dependency is needed.
+#[cfg(target_os = "linux")]
+fn bind_reuse_v4(addr: std::net::SocketAddrV4) -> io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    /// `struct sockaddr_in` as Linux lays it out.
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    // SAFETY: plain syscalls on a fresh fd; the fd is closed on every
+    // error path and ownership transfers to TcpListener on success.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let on: u32 = 1;
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port_be: addr.port().to_be(),
+            addr_be: u32::from(*addr.ip()).to_be(),
+            zero: [0; 8],
+        };
+        let rc = setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, 4);
+        let rc = if rc == 0 { bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) } else { rc };
+        let rc = if rc == 0 { listen(fd, 128) } else { rc };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -214,8 +291,10 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "",
@@ -241,9 +320,26 @@ impl HttpClient {
         Ok(Self { stream })
     }
 
-    /// Sets the response-read timeout.
+    /// [`Self::connect`] with a connect *and* read timeout — what the
+    /// router uses, so an unreachable replica costs a bounded attempt
+    /// instead of a hung dispatch thread.
+    pub fn connect_timeout(addr: &str, timeout: std::time::Duration) -> io::Result<Self> {
+        use std::net::ToSocketAddrs;
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream })
+    }
+
+    /// Sets the response-read (and request-write) timeout.
     pub fn set_timeout(&mut self, timeout: std::time::Duration) -> io::Result<()> {
-        self.stream.set_read_timeout(Some(timeout))
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
     }
 
     /// Sends `GET path` and returns `(status, body)`.

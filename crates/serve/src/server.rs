@@ -48,6 +48,14 @@ pub struct ServeConfig {
     /// (413 past it). Bounds the worst-case affected neighbourhood an
     /// ingest recomputes while holding the update lock.
     pub max_ingest_nodes: usize,
+    /// `Some((i, n))` when this process is shard worker `i` of `n` in a
+    /// routed tier (`fdctl serve --shard i/n`). The worker still loads
+    /// the full corpus — diffused states are read-only, so any replica
+    /// answers bitwise-identically — but it *owns* only the entities
+    /// whose `id % n == i`: by-id readouts for other ids are refused
+    /// with 421 so a misconfigured router is caught loudly instead of
+    /// silently double-serving. `None` (the default) serves everything.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +68,7 @@ impl Default for ServeConfig {
             request_timeout_ms: 10_000,
             max_body_bytes: 1 << 20,
             max_ingest_nodes: 256,
+            shard: None,
         }
     }
 }
@@ -163,8 +172,10 @@ impl ShutdownHandle {
 impl Server {
     /// Binds `config.addr` and starts the accept loop and the batcher.
     pub fn start(model: Arc<ServeModel>, config: &ServeConfig) -> Result<Self, String> {
-        let listener =
-            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        // SO_REUSEADDR so a replica killed mid-drill can be restarted
+        // on its fixed port without waiting out TIME_WAIT.
+        let listener = crate::http::bind_reuse(&config.addr)
+            .map_err(|e| format!("bind {}: {e}", config.addr))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
         let queue = Arc::new(BatchQueue::new(
             config.queue_bound,
@@ -403,14 +414,14 @@ fn handle_connection(
         // inside routing map to a 500 on this connection instead of
         // silently dropping it mid-response.
         let model = slot.get();
-        let (status, body, content_type) =
+        let (status, body, content_type, extra_headers) =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 route(&model, slot, queue, config, &request, &trace)
             }))
             .unwrap_or_else(|_| {
                 fd_obs::counter("serve.handler_panics").inc();
                 fd_obs::event(fd_obs::Level::Error, "serve.handler_panic", &[]);
-                (500, error_body("internal error"), "application/json")
+                (500, error_body("internal error"), "application/json", vec![])
             });
         latency_hist.record(started.elapsed().as_secs_f64() * 1e6);
         match status {
@@ -429,16 +440,12 @@ fn handle_connection(
         // Echo the request id (client-supplied, else the generated
         // trace id) so callers can correlate responses with traces.
         let echo_id = request.request_id.clone().unwrap_or_else(|| trace.trace_hex());
+        let mut headers: Vec<(&str, &str)> = vec![("x-request-id", &echo_id)];
+        headers.extend(extra_headers.iter().map(|(k, v)| (k.as_str(), v.as_str())));
         let respond_start_us = fd_obs::trace::now_us();
-        let write_ok = write_response_ext(
-            &mut stream,
-            status,
-            &body,
-            keep_alive,
-            content_type,
-            &[("x-request-id", &echo_id)],
-        )
-        .is_ok();
+        let write_ok =
+            write_response_ext(&mut stream, status, &body, keep_alive, content_type, &headers)
+                .is_ok();
         if trace.sampled {
             let end_us = fd_obs::trace::now_us();
             trace.child().record(
@@ -519,6 +526,10 @@ struct Health {
     articles: usize,
     creators: usize,
     subjects: usize,
+    /// This worker's shard index; 0 when unsharded.
+    shard: usize,
+    /// Total shards in the tier; 1 when unsharded.
+    shards: usize,
 }
 
 #[derive(Serialize)]
@@ -580,8 +591,13 @@ impl WireRequest {
     }
 }
 
-/// Dispatches one parsed request to its endpoint; returns status, body
-/// and the body's `Content-Type`. Never panics on request content.
+/// Response headers beyond the defaults — currently only `Retry-After`
+/// on 429s. Owned strings because the values are computed per response.
+type ExtraHeaders = Vec<(String, String)>;
+
+/// Dispatches one parsed request to its endpoint; returns status, body,
+/// the body's `Content-Type`, and any extra response headers. Never
+/// panics on request content.
 fn route(
     model: &ServeModel,
     slot: &ModelSlot,
@@ -589,7 +605,7 @@ fn route(
     config: &ServeConfig,
     request: &Request,
     trace: &TraceCtx,
-) -> (u16, String, &'static str) {
+) -> (u16, String, &'static str, ExtraHeaders) {
     const JSON: &str = "application/json";
     // Split off the query string so `/metrics?format=json` routes like
     // `/metrics`.
@@ -600,6 +616,7 @@ fn route(
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let (articles, creators, subjects) = model.corpus_sizes();
+            let (shard, shards) = config.shard.unwrap_or((0, 1));
             let health = Health {
                 status: "ok".into(),
                 mode: mode_name(model.mode()).into(),
@@ -607,34 +624,36 @@ fn route(
                 articles,
                 creators,
                 subjects,
+                shard,
+                shards,
             };
-            (200, serde_json::to_string(&health).unwrap_or_else(|_| "{}".into()), JSON)
+            (200, serde_json::to_string(&health).unwrap_or_else(|_| "{}".into()), JSON, vec![])
         }
         // Prometheus text exposition by default; the original JSON
         // snapshot stays reachable at `/metrics?format=json`.
         ("GET", "/metrics") => {
             if query.is_some_and(|q| q.split('&').any(|p| p == "format=json")) {
-                (200, fd_obs::snapshot(), JSON)
+                (200, fd_obs::snapshot(), JSON, vec![])
             } else {
-                (200, fd_obs::prometheus_text(), fd_obs::PROMETHEUS_CONTENT_TYPE)
+                (200, fd_obs::prometheus_text(), fd_obs::PROMETHEUS_CONTENT_TYPE, vec![])
             }
         }
         ("POST", "/v1/predict") => {
-            let (status, body) = predict_one(model, queue, config, &request.body, trace);
-            (status, body, JSON)
+            let (status, body, headers) = predict_one(model, queue, config, &request.body, trace);
+            (status, body, JSON, headers)
         }
         ("POST", "/v1/predict_batch") => {
-            let (status, body) = predict_batch(model, queue, config, &request.body, trace);
-            (status, body, JSON)
+            let (status, body, headers) = predict_batch(model, queue, config, &request.body, trace);
+            (status, body, JSON, headers)
         }
         ("POST", "/v1/ingest") => {
             let (status, body) = ingest(slot, config, &request.body, trace);
-            (status, body, JSON)
+            (status, body, JSON, vec![])
         }
         (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/predict_batch" | "/v1/ingest") => {
-            (405, error_body("method not allowed"), JSON)
+            (405, error_body("method not allowed"), JSON, vec![])
         }
-        (_, path) => (404, error_body(&format!("no such endpoint: {path}")), JSON),
+        (_, path) => (404, error_body(&format!("no such endpoint: {path}")), JSON, vec![]),
     }
 }
 
@@ -643,11 +662,31 @@ fn parse_body<T: Deserialize>(body: &[u8]) -> Result<T, String> {
     serde_json::from_str(text).map_err(|e| format!("invalid request body: {e}"))
 }
 
-/// Maps an enqueue rejection to its HTTP response.
-fn enqueue_failure(err: EnqueueError) -> (u16, String) {
+/// Seconds a 429'd client should wait before retrying: the backlog in
+/// batches (`depth / max_batch`, rounded up) times the mean
+/// batch-scoring time observed so far, clamped to `[1, 30]`. Before the
+/// first batch has been scored there is no mean yet; 1 s is a safe
+/// floor either way since the clamp guarantees `Retry-After >= 1`.
+pub fn retry_after_secs(queue: &BatchQueue) -> u64 {
+    let hist =
+        fd_obs::histogram("serve.batch_score_us", &fd_obs::exponential_buckets(100.0, 4.0, 12));
+    let mean_us = if hist.count() > 0 { hist.sum() / hist.count() as f64 } else { 0.0 };
+    let backlog_batches = (queue.depth() as f64 / queue.max_batch() as f64).ceil();
+    let secs = (backlog_batches * mean_us / 1e6).ceil() as u64;
+    secs.clamp(1, 30)
+}
+
+/// Maps an enqueue rejection to its HTTP response. 429s carry a
+/// `Retry-After` so well-behaved clients back off for roughly as long
+/// as the backlog needs to drain, instead of hammering a full queue.
+fn enqueue_failure(queue: &BatchQueue, err: EnqueueError) -> (u16, String, ExtraHeaders) {
     match err {
-        EnqueueError::Full => (429, error_body("queue full, retry later")),
-        EnqueueError::ShuttingDown => (503, error_body("server is shutting down")),
+        EnqueueError::Full => (
+            429,
+            error_body("queue full, retry later"),
+            vec![("retry-after".into(), retry_after_secs(queue).to_string())],
+        ),
+        EnqueueError::ShuttingDown => (503, error_body("server is shutting down"), vec![]),
     }
 }
 
@@ -657,15 +696,32 @@ fn predict_one(
     config: &ServeConfig,
     body: &[u8],
     trace: &TraceCtx,
-) -> (u16, String) {
+) -> (u16, String, ExtraHeaders) {
     let wire: WireRequest = match parse_body(body) {
         Ok(wire) => wire,
-        Err(e) => return (400, error_body(&e)),
+        Err(e) => return (400, error_body(&e), vec![]),
     };
     let score_request = match wire.into_target() {
         // By-id readouts answer inline off the precomputed (and
         // ingest-patched) states — no featurisation, no batcher trip.
         Ok(PredictTarget::ById(ty, id)) => {
+            // Shard ownership guard: a by-id readout landing on a
+            // worker that does not own the id means the router's shard
+            // math disagrees with ours — refuse loudly (421) rather
+            // than answer for an entity another shard owns.
+            if let Some((index, total)) = config.shard {
+                if id % total != index {
+                    fd_obs::counter("serve.responses_421").inc();
+                    return (
+                        421,
+                        error_body(&format!(
+                            "id {id} belongs to shard {}/{total}, this worker is {index}/{total}",
+                            id % total
+                        )),
+                        vec![],
+                    );
+                }
+            }
             return match model.score_node(ty, id) {
                 Ok(probabilities) => {
                     let response = PredictResponse {
@@ -673,22 +729,22 @@ fn predict_one(
                         labels: owned_labels(model),
                         probabilities,
                     };
-                    (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+                    (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()), vec![])
                 }
-                Err(e) => (404, error_body(&e)),
+                Err(e) => (404, error_body(&e), vec![]),
             };
         }
         Ok(PredictTarget::Inductive(r)) => r,
-        Err(e) => return (400, error_body(&e)),
+        Err(e) => return (400, error_body(&e), vec![]),
     };
     // Validate before enqueueing so the batcher only ever sees
     // well-formed jobs and bad requests fail fast with a 400.
     if let Err(e) = model.validate(&score_request) {
-        return (400, error_body(&e));
+        return (400, error_body(&e), vec![]);
     }
     let receiver = match queue.enqueue_traced(score_request, *trace) {
         Ok(rx) => rx,
-        Err(e) => return enqueue_failure(e),
+        Err(e) => return enqueue_failure(queue, e),
     };
     match receiver.recv_timeout(Duration::from_millis(config.request_timeout_ms)) {
         Ok(Ok(probabilities)) => {
@@ -697,14 +753,14 @@ fn predict_one(
                 labels: owned_labels(model),
                 probabilities,
             };
-            (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+            (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()), vec![])
         }
-        Ok(Err(e)) => (500, error_body(&e)),
+        Ok(Err(e)) => (500, error_body(&e), vec![]),
         Err(RecvTimeoutError::Timeout) => {
             fd_obs::counter("serve.request_timeouts").inc();
-            (504, error_body("scoring deadline exceeded"))
+            (504, error_body("scoring deadline exceeded"), vec![])
         }
-        Err(RecvTimeoutError::Disconnected) => (500, error_body("batcher unavailable")),
+        Err(RecvTimeoutError::Disconnected) => (500, error_body("batcher unavailable"), vec![]),
     }
 }
 
@@ -714,19 +770,19 @@ fn predict_batch(
     config: &ServeConfig,
     body: &[u8],
     trace: &TraceCtx,
-) -> (u16, String) {
+) -> (u16, String, ExtraHeaders) {
     let wire: WireBatch = match parse_body(body) {
         Ok(wire) => wire,
-        Err(e) => return (400, error_body(&e)),
+        Err(e) => return (400, error_body(&e), vec![]),
     };
     let mut score_requests = Vec::with_capacity(wire.requests.len());
     for (i, item) in wire.requests.into_iter().enumerate() {
         let score_request = match item.into_score_request() {
             Ok(r) => r,
-            Err(e) => return (400, error_body(&format!("request {i}: {e}"))),
+            Err(e) => return (400, error_body(&format!("request {i}: {e}")), vec![]),
         };
         if let Err(e) = model.validate(&score_request) {
-            return (400, error_body(&format!("request {i}: {e}")));
+            return (400, error_body(&format!("request {i}: {e}")), vec![]);
         }
         score_requests.push(score_request);
     }
@@ -736,7 +792,7 @@ fn predict_batch(
             Ok(rx) => receivers.push(rx),
             // Earlier items of this batch stay queued; their results are
             // dropped by the batcher when it finds the receivers dead.
-            Err(e) => return enqueue_failure(e),
+            Err(e) => return enqueue_failure(queue, e),
         }
     }
     // One deadline for the whole batch, not per item.
@@ -746,12 +802,14 @@ fn predict_batch(
         let remaining = deadline.saturating_duration_since(Instant::now());
         match receiver.recv_timeout(remaining) {
             Ok(Ok(probabilities)) => results.push(probabilities),
-            Ok(Err(e)) => return (500, error_body(&e)),
+            Ok(Err(e)) => return (500, error_body(&e), vec![]),
             Err(RecvTimeoutError::Timeout) => {
                 fd_obs::counter("serve.request_timeouts").inc();
-                return (504, error_body("scoring deadline exceeded"));
+                return (504, error_body("scoring deadline exceeded"), vec![]);
             }
-            Err(RecvTimeoutError::Disconnected) => return (500, error_body("batcher unavailable")),
+            Err(RecvTimeoutError::Disconnected) => {
+                return (500, error_body("batcher unavailable"), vec![])
+            }
         }
     }
     let response = BatchResponse {
@@ -759,7 +817,7 @@ fn predict_batch(
         labels: owned_labels(model),
         results,
     };
-    (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()))
+    (200, serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()), vec![])
 }
 
 /// `POST /v1/ingest`: attach new nodes, run incremental diffusion, and

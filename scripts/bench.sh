@@ -15,15 +15,24 @@
 #   keep-alive clients against the in-process server, with every
 #   response verified bitwise against a sequential reference pass,
 #   plus the direct f32-vs-int8 scoring comparison and its parity gate.
+# * BENCH_load.json — the open-loop overload harness against the full
+#   sharded tier (router + 2 shards × 2 replicas): a closed-loop probe
+#   rates the tier's capacity, then ≥100k requests are fired at fixed
+#   arrival rates — a rated phase that must hold its p99 SLO with
+#   near-zero shedding, and a 2× overload phase that must shed with
+#   429 + Retry-After *before* successful-request latency collapses.
+#   Every 200 is verified bitwise against an unsharded control server.
 #
 # Every file's header records machine_threads, the FD_THREADS request,
 # the resolved runtime width, and the detected SIMD level.
 #
 # Usage: scripts/bench.sh [tensor_out.json] [train_out.json] [train_scale]
-#                         [serve_out.json] [sweep_scales]
+#                         [serve_out.json] [sweep_scales] [load_out.json]
+#                         [load_total]
 #
 # `sweep_scales` is the comma-separated list for the sampled scale
-# sweep (pass "" to skip it).
+# sweep (pass "" to skip it). `load_total` is the open-loop request
+# count for the load harness (default 105000; the issue floor is 100k).
 #
 # Any failing report subcommand (including a bitwise-determinism
 # violation in the serve benchmark, which panics) aborts the script
@@ -38,6 +47,8 @@ train_out="${2:-BENCH_train.json}"
 train_scale="${3:-1.0}"
 serve_out="${4:-BENCH_serve.json}"
 sweep_scales="${5:-0.1,1,8}"
+load_out="${6:-BENCH_load.json}"
+load_total="${7:-105000}"
 
 run_report() {
     step="$1"
@@ -52,6 +63,7 @@ run_report() {
 run_report tensor tensor "$tensor_out"
 run_report train train "$train_out" "$train_scale" "$sweep_scales"
 run_report serve serve "$serve_out" 32 12
+run_report load load "$load_out" "$load_total" 500
 
 # Scaling smoke: threads must actually pay. On a multi-core machine the
 # batched 4-thread epoch must be at least 1.15x faster than batched
@@ -80,4 +92,4 @@ else
     fi
     echo "==> scaling smoke ok: 4-thread epoch ${speedup}x batched serial" >&2
 fi
-echo "==> wrote $tensor_out $train_out $serve_out" >&2
+echo "==> wrote $tensor_out $train_out $serve_out $load_out" >&2

@@ -10,7 +10,12 @@
 //! fdctl evaluate --corpus corpus.json --model model.json
 //! fdctl score    --corpus corpus.json --model model.json --text "..." [--creator 3] [--subjects 0,2]
 //! fdctl serve    --corpus corpus.json --model model.json [--addr 127.0.0.1:7878] [--max-batch 32] [--max-delay-ms 2]
-//!                [--precision f32|int8] [--max-ingest-nodes 256]
+//!                [--precision f32|int8] [--max-ingest-nodes 256] [--shard i/n]
+//! fdctl route    --shards "127.0.0.1:7878,127.0.0.1:7879;127.0.0.1:7880,127.0.0.1:7881"
+//!                [--addr 127.0.0.1:7800] [--spool-dir jobs/] [--deadline-ms 5000] [--inflight-bound 256]
+//!                [--attempt-timeout-ms 2000] [--hedge-delay-ms 300] [--max-attempts 3] [--backoff-ms 25]
+//!                [--breaker-threshold 3] [--breaker-open-ms 1000] [--retry-ratio 0.1]
+//!                [--probe-interval-ms 200] [--job-chunk 64]
 //! fdctl ingest   --addr 127.0.0.1:7878 --payload batch.json        # POST a prepared IngestBatch
 //! fdctl ingest   --addr 127.0.0.1:7878 --text "..." --creator 3 [--subjects 0,2]  # one article inline
 //! fdctl ckpt     inspect ckpts/ckpt-00000005.fdck
@@ -21,6 +26,11 @@
 //! `serve` reloads the bundle from disk on `SIGHUP` without dropping
 //! in-flight requests; `train --checkpoint-dir … --resume` continues a
 //! killed run bit-exactly (see OPERATIONS.md, "Checkpoints & recovery").
+//!
+//! `route` fronts N shards × M replicas of `serve --shard i/n` with
+//! health-probed failover, hedged retries under a token-bucket budget,
+//! per-replica circuit breakers, and a crash-safe bulk-scoring job
+//! queue (see OPERATIONS.md, "Distributed serving").
 //!
 //! The train bundle ([`TrainBundle`], shared with `fd-serve`) embeds
 //! everything needed to rebuild the feature pipeline (train indices,
@@ -41,7 +51,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: fdctl <generate|train|predict|evaluate|score|serve|ingest|ckpt|trace|analyze|obs> [options]"
+            "usage: fdctl <generate|train|predict|evaluate|score|serve|route|ingest|ckpt|trace|analyze|obs> [options]"
         );
         return ExitCode::FAILURE;
     };
@@ -58,6 +68,7 @@ fn main() -> ExitCode {
             "evaluate" => cmd_evaluate(&opts),
             "score" => cmd_score(&opts),
             "serve" => cmd_serve(&opts),
+            "route" => cmd_route(&opts),
             "ingest" => cmd_ingest(&opts),
             "analyze" => cmd_analyze(&opts),
             "obs" => cmd_obs(&opts),
@@ -425,6 +436,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let corpus_path = required(opts, "corpus")?;
     let model_path = required(opts, "model")?;
     let precision = Precision::parse(opts.get("precision").map(String::as_str).unwrap_or("f32"))?;
+    let shard = match opts.get("shard") {
+        Some(raw) => Some(parse_shard_spec(raw)?),
+        None => None,
+    };
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: opts.get("addr").cloned().unwrap_or(defaults.addr),
@@ -434,6 +449,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         request_timeout_ms: opt_parse(opts, "request-timeout-ms", defaults.request_timeout_ms)?,
         max_body_bytes: opt_parse(opts, "max-body-bytes", defaults.max_body_bytes)?,
         max_ingest_nodes: opt_parse(opts, "max-ingest-nodes", defaults.max_ingest_nodes)?,
+        shard,
     };
     if config.max_batch == 0 || config.queue_bound == 0 {
         return Err("--max-batch and --queue-bound must be at least 1".into());
@@ -444,6 +460,21 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let (articles, creators, subjects) = model.corpus_sizes();
     eprintln!("corpus: {articles} articles / {creators} creators / {subjects} subjects");
     eprintln!("serving precision: {}", precision.name());
+    if let Some((index, total)) = shard {
+        // Sharding partitions ownership by `id % total`; a corpus whose
+        // smallest entity type has fewer entities than shards would
+        // leave some shards owning nothing of that type — refuse it
+        // cleanly rather than serve a degenerate tier.
+        let smallest = articles.min(creators).min(subjects);
+        if smallest < total {
+            return Err(format!(
+                "--shard {index}/{total}: corpus has only {smallest} entities of its smallest \
+                 type ({articles} articles / {creators} creators / {subjects} subjects), fewer \
+                 than {total} shards — use fewer shards or a larger corpus"
+            ));
+        }
+        eprintln!("shard worker {index}/{total}: owns entities with id % {total} == {index}");
+    }
 
     fakedetector::serve::install_signal_handlers();
     let server = Server::start(model, &config).map_err(|e| format!("serve: {e}"))?;
@@ -479,6 +510,111 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     server.shutdown();
     eprintln!("stopped");
     flush_trace()
+}
+
+/// Parses `--shard i/n` into `(index, total)`. All failure modes exit
+/// with a clear message via `Err` rather than panicking: malformed
+/// specs, a zero shard count, and an index outside `0..n`.
+fn parse_shard_spec(raw: &str) -> Result<(usize, usize), String> {
+    let (i, n) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("--shard {raw:?}: expected the form i/n, e.g. --shard 0/2"))?;
+    let index: usize = i
+        .trim()
+        .parse()
+        .map_err(|_| format!("--shard {raw:?}: shard index {i:?} is not a number"))?;
+    let total: usize = n
+        .trim()
+        .parse()
+        .map_err(|_| format!("--shard {raw:?}: shard count {n:?} is not a number"))?;
+    if total == 0 {
+        return Err(format!("--shard {raw:?}: shard count must be at least 1"));
+    }
+    if index >= total {
+        return Err(format!(
+            "--shard {raw:?}: shard index {index} is out of range for {total} shard(s) \
+             (valid: 0..={})",
+            total - 1
+        ));
+    }
+    Ok((index, total))
+}
+
+/// Starts the sharded-tier router and blocks until SIGINT/SIGTERM.
+/// `--shards` lays out the tier: `;` separates shards, `,` separates a
+/// shard's replicas (each a `host:port` running `fdctl serve --shard
+/// i/n`). Failure-handling tunables map one-to-one onto
+/// [`fd_router::DispatchConfig`]; the runbook in OPERATIONS.md
+/// ("Distributed serving") explains how to size them.
+fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fd_router::{Router, RouterConfig, Topology};
+    use std::time::Duration;
+
+    let spec = required(opts, "shards")?;
+    let topology = Topology::parse(spec)?;
+    let mut config = RouterConfig::new(topology);
+    config.addr = opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7800".to_string());
+    config.deadline_ms = opt_parse(opts, "deadline-ms", config.deadline_ms)?;
+    config.inflight_bound = opt_parse(opts, "inflight-bound", config.inflight_bound)?;
+    config.max_body_bytes = opt_parse(opts, "max-body-bytes", config.max_body_bytes)?;
+    config.probe_interval_ms = opt_parse(opts, "probe-interval-ms", config.probe_interval_ms)?;
+    config.spool_dir = opts.get("spool-dir").map(std::path::PathBuf::from);
+    config.job_chunk = opt_parse(opts, "job-chunk", config.job_chunk)?;
+    config.job_chunk_deadline_ms =
+        opt_parse(opts, "job-chunk-deadline-ms", config.job_chunk_deadline_ms)?;
+    let d = &mut config.dispatch;
+    d.attempt_timeout =
+        Duration::from_millis(opt_parse(opts, "attempt-timeout-ms", millis(d.attempt_timeout))?);
+    d.hedge_delay =
+        Duration::from_millis(opt_parse(opts, "hedge-delay-ms", millis(d.hedge_delay))?);
+    d.max_attempts = opt_parse(opts, "max-attempts", d.max_attempts)?;
+    d.backoff_base = Duration::from_millis(opt_parse(opts, "backoff-ms", millis(d.backoff_base))?);
+    d.breaker_threshold = opt_parse(opts, "breaker-threshold", d.breaker_threshold)?;
+    d.breaker_open =
+        Duration::from_millis(opt_parse(opts, "breaker-open-ms", millis(d.breaker_open))?);
+    d.retry_ratio = opt_parse(opts, "retry-ratio", d.retry_ratio)?;
+    if config.inflight_bound == 0 || config.job_chunk == 0 {
+        return Err("--inflight-bound and --job-chunk must be at least 1".into());
+    }
+    if config.dispatch.max_attempts == 0 || config.dispatch.breaker_threshold == 0 {
+        return Err("--max-attempts and --breaker-threshold must be at least 1".into());
+    }
+    if !config.dispatch.retry_ratio.is_finite() || config.dispatch.retry_ratio < 0.0 {
+        return Err(format!(
+            "--retry-ratio {}: must be a finite non-negative number",
+            config.dispatch.retry_ratio
+        ));
+    }
+
+    let shards = config.topology.shard_count();
+    let replicas = config.topology.replica_count();
+    let spool = config.spool_dir.clone();
+    fakedetector::serve::install_signal_handlers();
+    let router = Router::start(config).map_err(|e| format!("route: {e}"))?;
+    eprintln!(
+        "routing on {} across {shards} shard(s), {replicas} replica(s)",
+        router.local_addr()
+    );
+    match &spool {
+        Some(dir) => eprintln!("bulk jobs spooled to {} (POST /v1/jobs)", dir.display()),
+        None => eprintln!("bulk jobs disabled (no --spool-dir)"),
+    }
+    eprintln!(
+        "endpoints: POST /v1/predict, POST /v1/predict_batch, POST /v1/jobs, \
+         GET /v1/jobs[/<id>[/results]], GET /healthz, GET /metrics"
+    );
+    while !fakedetector::serve::signal_received() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("signal received, draining…");
+    router.shutdown();
+    eprintln!("stopped");
+    flush_trace()
+}
+
+/// `Duration` → whole milliseconds for flag defaults.
+fn millis(d: std::time::Duration) -> u64 {
+    d.as_millis() as u64
 }
 
 /// Posts an ingest batch to a running `fdctl serve` instance and prints

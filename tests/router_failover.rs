@@ -1,0 +1,309 @@
+//! Failover integration tests for the sharded serving tier, run
+//! through the compiled `fdctl` binary: a router in front of 2 shards
+//! × 2 replicas must survive `kill -9` of a replica mid-load with zero
+//! client-visible failures (every response 200 and bitwise-identical
+//! to a single-process control server), trip the killed replica's
+//! circuit breaker, and walk it back to closed through the half-open
+//! probe once the replica restarts on the same port. Also covers the
+//! `--shard i/n` flag's failure modes: every bad spec must exit
+//! non-zero with a clear message, never a panic.
+
+use fakedetector::serve::HttpClient;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fdctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fdctl"))
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdctl-router-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Kills the child on drop so a panicking test never leaks servers.
+struct Guard(Child);
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// A free TCP port, found by binding an ephemeral listener and
+/// dropping it. The tier needs *fixed* ports (the router's topology is
+/// static and the killed replica must restart on the same address), so
+/// ephemeral binds inside the workers are not an option.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").expect("probe port").local_addr().expect("addr").port()
+}
+
+fn generate_and_train(root: &Path) -> (PathBuf, PathBuf) {
+    let corpus = root.join("corpus.json");
+    let model = root.join("model.json");
+    let out = fdctl()
+        .args(["generate", "--scale", "0.02", "--seed", "11", "--out"])
+        .arg(&corpus)
+        .output()
+        .expect("run fdctl generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = fdctl()
+        .args(["train", "--epochs", "2", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&model)
+        .output()
+        .expect("run fdctl train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    (corpus, model)
+}
+
+fn spawn_worker(corpus: &Path, model: &Path, port: u16, shard: Option<&str>) -> Guard {
+    let mut cmd = fdctl();
+    cmd.arg("serve")
+        .arg("--corpus")
+        .arg(corpus)
+        .arg("--model")
+        .arg(model)
+        .args(["--addr", &format!("127.0.0.1:{port}")]);
+    if let Some(spec) = shard {
+        cmd.args(["--shard", spec]);
+    }
+    Guard(cmd.stdout(Stdio::null()).stderr(Stdio::null()).spawn().expect("spawn fdctl serve"))
+}
+
+/// Polls `path` until it answers 200 or the timeout lapses.
+fn wait_http_ok(addr: &str, path: &str, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if let Ok(mut client) = HttpClient::connect(addr) {
+            if client.set_timeout(Duration::from_secs(5)).is_ok() {
+                if let Ok((200, _)) = client.get(path) {
+                    return true;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    client.set_timeout(Duration::from_secs(10)).expect("timeout");
+    client.get(path).expect("get")
+}
+
+/// The `fd_router_breaker_opens_total` sample from the router's
+/// Prometheus exposition (0.0 when the counter has not fired yet and
+/// is therefore absent).
+fn breaker_opens(router_addr: &str) -> f64 {
+    let (status, text) = get(router_addr, "/metrics");
+    assert_eq!(status, 200, "metrics endpoint failed: {text}");
+    text.lines()
+        .find(|line| line.starts_with("fd_router_breaker_opens_total"))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn shard_flag_validation_errors_are_clean() {
+    // None of these reach the corpus: the spec itself is bad, and the
+    // process must exit non-zero with a pointed message, not a panic.
+    for (spec, needle) in [
+        ("3/2", "out of range"),
+        ("2/2", "out of range"),
+        ("0/0", "must be at least 1"),
+        ("banana", "expected the form i/n"),
+        ("1:2", "expected the form i/n"),
+        ("x/2", "is not a number"),
+        ("0/y", "is not a number"),
+    ] {
+        let out = fdctl()
+            .args(["serve", "--corpus", "absent.json", "--model", "absent.json", "--shard", spec])
+            .output()
+            .expect("run fdctl serve");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "--shard {spec} must fail");
+        assert!(stderr.contains(needle), "--shard {spec}: stderr lacks {needle:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "--shard {spec} panicked: {stderr}");
+    }
+}
+
+#[test]
+fn corpus_with_fewer_entities_than_shards_is_refused() {
+    let root = tmp_root("tiny");
+    let (corpus, model) = generate_and_train(&root);
+    // The 0.02-scale corpus holds a few dozen entities of its smallest
+    // type; 10000 shards cannot all own at least one.
+    let out = fdctl()
+        .arg("serve")
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--model")
+        .arg(&model)
+        .args(["--addr", "127.0.0.1:0", "--shard", "0/10000"])
+        .output()
+        .expect("run fdctl serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a 10000-shard split of a tiny corpus must be refused");
+    assert!(
+        stderr.contains("fewer") && stderr.contains("10000"),
+        "stderr should explain the entity shortfall: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "refusal must not be a panic: {stderr}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn replica_kill_under_load_is_invisible_and_recovers() {
+    let root = tmp_root("failover");
+    let (corpus, model) = generate_and_train(&root);
+
+    // The tier: an unsharded control plus 2 shards × 2 replicas on
+    // fixed ports, fronted by one router.
+    let [control_port, s0r0, s0r1, s1r0, s1r1, router_port] =
+        [free_port(), free_port(), free_port(), free_port(), free_port(), free_port()];
+    let control = spawn_worker(&corpus, &model, control_port, None);
+    let mut victim = spawn_worker(&corpus, &model, s0r0, Some("0/2"));
+    let workers = [
+        spawn_worker(&corpus, &model, s0r1, Some("0/2")),
+        spawn_worker(&corpus, &model, s1r0, Some("1/2")),
+        spawn_worker(&corpus, &model, s1r1, Some("1/2")),
+    ];
+    let control_addr = format!("127.0.0.1:{control_port}");
+    for port in [control_port, s0r0, s0r1, s1r0, s1r1] {
+        assert!(
+            wait_http_ok(&format!("127.0.0.1:{port}"), "/healthz", Duration::from_secs(60)),
+            "worker on port {port} never became healthy"
+        );
+    }
+    let spec = format!("127.0.0.1:{s0r0},127.0.0.1:{s0r1};127.0.0.1:{s1r0},127.0.0.1:{s1r1}");
+    let router_proc = Guard(
+        fdctl()
+            .args(["route", "--shards", &spec])
+            .args(["--addr", &format!("127.0.0.1:{router_port}")])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fdctl route"),
+    );
+    let router_addr = format!("127.0.0.1:{router_port}");
+    assert!(
+        wait_http_ok(&router_addr, "/healthz", Duration::from_secs(60)),
+        "router never became healthy"
+    );
+
+    // The request mix: by-id readouts on both shards plus inductive
+    // scoring, each answered once by the single-process control server
+    // as the bitwise reference.
+    let bodies: Vec<String> = (0..12)
+        .map(|i| {
+            if i % 3 == 0 {
+                format!("{{\"id\":{i}}}")
+            } else {
+                format!("{{\"text\":\"claim {i} disputes the official numbers\",\"creator\":{}}}", i % 5)
+            }
+        })
+        .collect();
+    let reference: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let mut client = HttpClient::connect(&control_addr).expect("connect control");
+            client.set_timeout(Duration::from_secs(30)).expect("timeout");
+            let (status, response) = client.post("/v1/predict", body).expect("control post");
+            assert_eq!(status, 200, "control request failed: {response}");
+            response
+        })
+        .collect();
+
+    // Continuous load from 6 keep-alive clients. Every response must
+    // be a bitwise-identical 200 — the drill fails on the first
+    // client-visible wobble, killed replica or not.
+    let stop = Arc::new(AtomicBool::new(false));
+    let bodies = Arc::new(bodies);
+    let reference = Arc::new(reference);
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let bodies = Arc::clone(&bodies);
+            let reference = Arc::clone(&reference);
+            let addr = router_addr.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(&addr).expect("connect router");
+                client.set_timeout(Duration::from_secs(30)).expect("timeout");
+                let mut sent = 0usize;
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let body = &bodies[i % bodies.len()];
+                    let (status, response) = client.post("/v1/predict", body).expect("post");
+                    assert_eq!(status, 200, "client-visible failure during failover: {response}");
+                    assert_eq!(
+                        response,
+                        reference[i % reference.len()],
+                        "routed answer drifted from the single-process control"
+                    );
+                    sent += 1;
+                    i += 1;
+                }
+                sent
+            })
+        })
+        .collect();
+
+    // Let the load warm up, then SIGKILL one shard-0 replica mid-load.
+    std::thread::sleep(Duration::from_millis(500));
+    let opens_before = breaker_opens(&router_addr);
+    victim.0.kill().expect("kill -9 the victim replica");
+    victim.0.wait().expect("reap the victim");
+    std::thread::sleep(Duration::from_millis(2_000));
+    stop.store(true, Ordering::Relaxed);
+    let total: usize = clients.into_iter().map(|c| c.join().expect("load client")).sum();
+    assert!(total > 50, "load harness barely ran ({total} requests)");
+
+    let opens_after = breaker_opens(&router_addr);
+    assert!(
+        opens_after > opens_before,
+        "the killed replica's breaker never tripped ({opens_before} -> {opens_after})"
+    );
+
+    // Restart the victim on the same port; the router's half-open
+    // probe must fold it back in: healthz shows every replica up with
+    // a closed breaker.
+    victim = spawn_worker(&corpus, &model, s0r0, Some("0/2"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let recovered = loop {
+        let (status, body) = get(&router_addr, "/healthz");
+        if status == 200 && !body.contains("\"up\":0") && !body.contains("\"breaker\":\"open\"") {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("last healthz: {body}");
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(recovered, "restarted replica never rejoined via the half-open probe");
+
+    // And the tier still answers correctly end to end.
+    let mut client = HttpClient::connect(&router_addr).expect("connect router");
+    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+    for (body, expected) in bodies.iter().zip(reference.iter()) {
+        let (status, response) = client.post("/v1/predict", body).expect("post");
+        assert_eq!(status, 200, "post-recovery request failed: {response}");
+        assert_eq!(&response, expected, "post-recovery answer drifted");
+    }
+
+    drop(victim);
+    drop(router_proc);
+    drop(workers);
+    drop(control);
+    let _ = std::fs::remove_dir_all(&root);
+}
